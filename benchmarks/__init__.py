@@ -1,0 +1,7 @@
+"""Benchmark harness: one module per paper table/figure (see DESIGN.md).
+
+Run with ``pytest benchmarks/ --benchmark-only``.  Each module prints the
+reproduced rows/series (via the ``report`` fixture, which bypasses
+pytest's capture) and asserts the qualitative shape of the paper's
+result; ``EXPERIMENTS.md`` records paper-vs-measured for every entry.
+"""

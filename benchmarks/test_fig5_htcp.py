@@ -1,0 +1,72 @@
+"""Figure 5 — HTCP traces: a plain Reno-variant scores 'low enough'.
+
+The paper's surprise (§5.3): although H-TCP's window growth has an
+inflection (its additive gain grows with loss age), the simple handler
+``cwnd + reno_inc`` achieves a distance so close to the delay-aware
+fine-tuned handler that the search never explores deeper.  We reproduce
+the comparison: on HTCP traces, the Reno-variant handler's distance must
+be within a small factor of the fine-tuned HTCP handler's — and far
+below a flat baseline's.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dsl.parser import parse
+from repro.handlers import FINETUNED_TEXT, SYNTHESIZED_TEXT
+from repro.reporting import format_series, format_table
+from repro.synth.replay import replay_on_segment
+from repro.synth.scoring import Scorer
+
+
+@pytest.fixture(scope="module")
+def distances(store):
+    segments = store.segments("htcp")
+    scorer = Scorer(series_budget=96)
+    return {
+        "reno-variant (synthesized)": scorer.score_handler(
+            parse(SYNTHESIZED_TEXT["htcp"]), segments
+        ),
+        "fine-tuned HTCP": scorer.score_handler(
+            parse(FINETUNED_TEXT["htcp"]), segments
+        ),
+        "flat baseline": scorer.score_handler(parse("2 * mss"), segments),
+    }, segments
+
+
+def test_fig5_htcp_reno_variant(benchmark, distances, store, report):
+    scores, segments = distances
+    scorer = Scorer(series_budget=96)
+    benchmark.pedantic(
+        lambda: scorer.score_handler(
+            parse(SYNTHESIZED_TEXT["htcp"]), segments[:2]
+        ),
+        rounds=3,
+        iterations=1,
+    )
+
+    report()
+    report(
+        format_table(
+            ["handler", "DTW distance on HTCP traces"],
+            [[name, f"{value:.2f}"] for name, value in scores.items()],
+            title="Figure 5: Reno-variant vs fine-tuned handler on HTCP traces",
+        )
+    )
+    segment = segments[0]
+    synth, observed = replay_on_segment(
+        parse(SYNTHESIZED_TEXT["htcp"]), segment
+    )
+    report(format_series("observed HTCP cwnd", list(observed)))
+    report(format_series("reno-variant replay", list(synth)))
+
+    reno_variant = scores["reno-variant (synthesized)"]
+    finetuned = scores["fine-tuned HTCP"]
+    flat = scores["flat baseline"]
+
+    # Paper shape: 56.24 vs 54.53 — within ~10% of each other.  We allow
+    # a 2x factor at this scale; the point is "low enough that the search
+    # stops", i.e. far below the baseline and comparable to fine-tuned.
+    assert reno_variant < flat * 0.6
+    assert reno_variant < 2.0 * finetuned

@@ -1,0 +1,99 @@
+"""Performance benchmarks of the synthesis hot kernels.
+
+Not a paper table: these pin the compute kernels the refinement loop
+lives in — DTW scoring, compiled-handler replay, sketch enumeration and
+the discrete-event simulator — so regressions in any of them (they have
+all been optimized: vectorized DTW rows, compiled handlers, the shared
+enumeration stream) show up as benchmark deltas rather than as
+mysteriously slow paper benches.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.cca import make_cca
+from repro.distance import dtw_distance
+from repro.dsl import RENO_DSL, with_budget
+from repro.dsl.compiled import compile_handler
+from repro.dsl.evaluate import evaluate
+from repro.dsl.parser import parse
+from repro.netsim import Environment, simulate
+from repro.synth.enumerator import enumerate_sketches
+from repro.synth.replay import replay_handler
+
+HANDLER = "cwnd + ((vegas_diff < 1) ? 0.7 * reno_inc : 0)"
+
+
+def test_perf_dtw(benchmark):
+    rng = np.random.default_rng(0)
+    a, b = rng.random(256), rng.random(256)
+    result = benchmark(lambda: dtw_distance(a, b))
+    assert result >= 0
+
+
+def test_perf_compiled_eval(benchmark):
+    compiled = compile_handler(parse(HANDLER))
+    env = {
+        "cwnd": 30000.0,
+        "mss": 1500.0,
+        "acked_bytes": 1500.0,
+        "rtt": 0.06,
+        "min_rtt": 0.05,
+        "ack_rate": 1e6,
+    }
+    args = [env[name] for name in compiled.signals]
+    value = benchmark(lambda: compiled(*args))
+    assert np.isfinite(value)
+
+
+def test_perf_interpreted_eval(benchmark):
+    """The tree-walking reference; the compiled path above should be
+    several times faster (both are kept: the interpreter is the
+    semantic oracle)."""
+    expr = parse(HANDLER)
+    env = {
+        "cwnd": 30000.0,
+        "mss": 1500.0,
+        "acked_bytes": 1500.0,
+        "rtt": 0.06,
+        "min_rtt": 0.05,
+        "ack_rate": 1e6,
+    }
+    value = benchmark(lambda: evaluate(expr, env))
+    assert np.isfinite(value)
+
+
+def test_perf_replay(benchmark, store):
+    segments = store.segments("reno", limit=1)
+    from repro.trace.signals import extract_signals
+
+    table = extract_signals(segments[0]).coalesce(384)
+    handler = parse("cwnd + 0.7 * reno_inc")
+    series = benchmark(lambda: replay_handler(handler, table))
+    assert len(series) == len(table)
+
+
+def test_perf_enumeration(benchmark):
+    dsl = with_budget(RENO_DSL, max_depth=3, max_nodes=5)
+
+    def first_500():
+        return sum(
+            1 for _ in itertools.islice(enumerate_sketches(dsl), 500)
+        )
+
+    count = benchmark(first_500)
+    assert count == 500
+
+
+def test_perf_simulator(benchmark):
+    env = Environment(bandwidth_mbps=10, rtt_ms=50)
+
+    def run():
+        return simulate(make_cca("reno"), env, duration=5.0)
+
+    trace = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(trace.acks) > 100

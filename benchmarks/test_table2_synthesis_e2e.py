@@ -1,0 +1,104 @@
+"""Table 2 (end-to-end) — full-pipeline synthesis for selected CCAs.
+
+Running every Table 2 row through the complete search is a cluster-scale
+job in the paper (up to 48 h per CCA); this bench runs the unchanged
+pipeline at laptop budgets on a representative subset covering the three
+structural families the paper's results fall into:
+
+* Reno-family (reno, scalable): additive-increase handlers on reno_inc;
+* Vegas-family (vegas): a delay-conditional handler;
+* degenerate student rows (student4/student5): bare constant handlers.
+
+The shape to preserve is §5.3/§5.4/§5.6's: the synthesized expression
+uses the family's signature ingredients and scores close to the expert
+fine-tuned handler.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import BENCH_SYNTHESIS
+from repro.dsl import ast
+from repro.dsl.families import family, with_budget
+from repro.dsl.parser import parse
+from repro.handlers import FINETUNED_TEXT, PAPER_FAMILY
+from repro.reporting import format_table
+from repro.synth.refinement import synthesize
+from repro.synth.scoring import Scorer
+
+TARGETS = ("reno", "scalable", "vegas", "student4", "student5")
+_BUDGETS = {"max_depth": 3, "max_nodes": 5}
+
+
+@pytest.fixture(scope="module")
+def outcomes(store):
+    rows = {}
+    for name in TARGETS:
+        segments = store.segments(name)
+        dsl = with_budget(family(PAPER_FAMILY[name]), **_BUDGETS)
+        result = synthesize(segments, dsl, BENCH_SYNTHESIS)
+        fine = None
+        if name in FINETUNED_TEXT:
+            scorer = Scorer(
+                series_budget=BENCH_SYNTHESIS.series_budget,
+                max_replay_rows=BENCH_SYNTHESIS.max_replay_rows,
+            )
+            fine = scorer.score_handler(parse(FINETUNED_TEXT[name]), segments)
+        rows[name] = (result, fine)
+    return rows
+
+
+def test_table2_synthesis_end_to_end(benchmark, outcomes, store, report):
+    benchmark.pedantic(
+        lambda: synthesize(
+            store.segments("student4"),
+            with_budget(family("vegas"), **_BUDGETS),
+            BENCH_SYNTHESIS,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    display = []
+    for name, (result, fine) in outcomes.items():
+        display.append(
+            [
+                name,
+                result.expression,
+                f"{result.distance:.2f}",
+                f"{fine:.2f}" if fine is not None else "-",
+            ]
+        )
+    report()
+    report(
+        format_table(
+            ["CCA", "synthesized handler", "DTW", "fine-tuned DTW"],
+            display,
+            title="Table 2 (end-to-end): full-pipeline synthesis at laptop budgets",
+        )
+    )
+
+    # Shape check 1: Reno-family rows synthesize additive handlers whose
+    # distance is within a modest factor of the expert handler's.
+    for name in ("reno", "scalable"):
+        result, fine = outcomes[name]
+        assert result.distance <= max(2.5 * fine, fine + 1.5), name
+        used = ast.signals_used(result.best.handler) | ast.macros_used(
+            result.best.handler
+        )
+        assert "cwnd" in used or "reno_inc" in used, name
+
+    # Shape check 2: degenerate students synthesize tiny constant-window
+    # handlers (the paper returned `mss` and `2 * mss`).
+    for name in ("student4", "student5"):
+        result, _ = outcomes[name]
+        assert result.best.distance < 3.0, name
+        assert ast.depth(result.best.handler) <= 3, name
+
+    # Shape check 3: the Vegas search returns something meaningfully
+    # better than a flat window.
+    vegas_result, _ = outcomes["vegas"]
+    scorer = Scorer(series_budget=BENCH_SYNTHESIS.series_budget)
+    flat = scorer.score_handler(parse("2 * mss"), store.segments("vegas"))
+    assert vegas_result.distance < flat

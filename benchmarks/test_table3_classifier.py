@@ -1,0 +1,127 @@
+"""Table 3 — classifier outputs per CCA.
+
+Gordon classifies the kernel CCAs; CCAnalyzer classifies the (UDP)
+student CCAs.  Targets are probed with measurement noise, so this is not
+an identity match against the reference library.  The paper's shape:
+
+* Gordon labels most of its known CCAs correctly (it got 10/13 rows
+  right, misreading Westwood, Hybla and Veno);
+* CCAs outside Gordon's library (LP, NV) come back Unknown;
+* every student CCA is Unknown to CCAnalyzer, with a closest-CCA hint.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cca.registry import STUDENT_NAMES
+from repro.classify import (
+    CCANALYZER_KNOWN_CCAS,
+    GORDON_KNOWN_CCAS,
+    CcaAnalyzer,
+    GordonClassifier,
+)
+from repro.reporting import format_table
+
+KERNEL_TARGETS = (
+    "bbr",
+    "reno",
+    "westwood",
+    "scalable",
+    "lp",
+    "hybla",
+    "htcp",
+    "illinois",
+    "vegas",
+    "veno",
+    "nv",
+    "yeah",
+    "cubic",
+)
+
+
+def _noisy_probe(cca_name: str):
+    """Probe the target with the classifier's own protocol plus noise.
+
+    A classifier compares its probes against a reference library built
+    under the same protocol (duration, probe environments, ack caps);
+    only the measurement noise differs between reference and target.
+    Re-using the synthesis trace store here would bake a protocol
+    mismatch into every verdict.
+    """
+    from benchmarks.conftest import BENCH_NOISE
+    from repro.classify.base import probe_config
+    from repro.trace.collect import CollectionConfig, collect_traces
+
+    base = probe_config()
+    config = CollectionConfig(
+        duration=base.duration,
+        environments=base.environments,
+        noise=BENCH_NOISE,
+        max_acks_per_trace=base.max_acks_per_trace,
+    )
+    return collect_traces(cca_name, config)
+
+
+@pytest.fixture(scope="module")
+def verdicts():
+    gordon = GordonClassifier()
+    analyzer = CcaAnalyzer()
+    rows = []
+    for name in KERNEL_TARGETS:
+        rows.append((name, "Gordon", gordon.classify(_noisy_probe(name))))
+    for name in STUDENT_NAMES:
+        rows.append(
+            (name, "CCAnalyzer", analyzer.classify(_noisy_probe(name)))
+        )
+    return rows
+
+
+def test_table3_classifier_outputs(benchmark, verdicts, report):
+    gordon = GordonClassifier()
+    probes = _noisy_probe("reno")
+    benchmark.pedantic(
+        lambda: gordon.classify(probes), rounds=3, iterations=1
+    )
+
+    display = [
+        [
+            name,
+            tool,
+            verdict.render(),
+            "OK" if verdict.label == name else ("unknown" if verdict.is_unknown else "WRONG"),
+        ]
+        for name, tool, verdict in verdicts
+    ]
+    report()
+    report(
+        format_table(
+            ["CCA", "classifier", "output", "vs truth"],
+            display,
+            title="Table 3: classifier outputs (noisy probes)",
+        )
+    )
+
+    kernel = [(n, v) for n, tool, v in verdicts if tool == "Gordon"]
+    in_library = [
+        (name, verdict)
+        for name, verdict in kernel
+        if name in GORDON_KNOWN_CCAS
+    ]
+    correct = sum(1 for name, verdict in in_library if verdict.label == name)
+    # Paper shape: most in-library CCAs classified correctly (Gordon was
+    # right on 10 of its 13 kernel rows).
+    assert correct >= 0.6 * len(in_library), f"{correct}/{len(in_library)}"
+
+    # CCAs outside Gordon's library must never be claimed as themselves.
+    for name, verdict in kernel:
+        if name not in GORDON_KNOWN_CCAS:
+            assert verdict.label != name
+
+    # Students: all Unknown, each with a closest-CCA hint from the
+    # analyzer's library (the paper reports CDG/Vegas/Scalable hints).
+    students = [(n, v) for n, tool, v in verdicts if tool == "CCAnalyzer"]
+    unknown = sum(1 for _, verdict in students if verdict.is_unknown)
+    assert unknown >= len(students) - 1
+    for _, verdict in students:
+        assert verdict.closest in CCANALYZER_KNOWN_CCAS

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Classify the CCA zoo the way the paper's Table 3 does.
+
+Runs the Gordon-style classifier on noisy probes of a few kernel CCAs
+and the CCAnalyzer-style classifier on the (UDP) student CCAs, printing
+a Table-3-style report.  Classifier outputs are what Abagnale uses to
+pick a sub-DSL.
+
+Run:  python examples/classify_zoo.py
+"""
+
+from repro.classify import CcaAnalyzer, GordonClassifier, probe_config
+from repro.dsl import dsl_for_classifier_label
+from repro.reporting import format_table
+from repro.trace import CollectionConfig, NoiseModel, collect_traces
+
+
+def noisy_probes(cca_name):
+    base = probe_config()
+    config = CollectionConfig(
+        duration=base.duration,
+        environments=base.environments,
+        noise=NoiseModel(
+            jitter_std=0.002, dropout=0.03, cwnd_error=0.03, seed=17
+        ),
+        max_acks_per_trace=base.max_acks_per_trace,
+    )
+    return collect_traces(cca_name, config)
+
+
+def main() -> None:
+    gordon = GordonClassifier()
+    analyzer = CcaAnalyzer()
+    rows = []
+
+    kernel = ("reno", "cubic", "bbr", "vegas", "westwood", "scalable", "nv")
+    print(f"Classifying {len(kernel)} kernel CCAs with Gordon...")
+    for name in kernel:
+        verdict = gordon.classify(noisy_probes(name))
+        hint = verdict.label if not verdict.is_unknown else verdict.closest
+        rows.append(
+            [name, "Gordon", verdict.render(), dsl_for_classifier_label(hint).name]
+        )
+
+    students = ("student1", "student3", "student5")
+    print(f"Classifying {len(students)} student CCAs with CCAnalyzer...")
+    for name in students:
+        verdict = analyzer.classify(noisy_probes(name))
+        hint = verdict.label if not verdict.is_unknown else verdict.closest
+        rows.append(
+            [
+                name,
+                "CCAnalyzer",
+                verdict.render(),
+                dsl_for_classifier_label(hint).name,
+            ]
+        )
+
+    print()
+    print(
+        format_table(
+            ["ground truth", "classifier", "output", "chosen sub-DSL"],
+            rows,
+            title="Classifier outputs (Table 3 style)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Quickstart: reverse-engineer TCP Reno from its packet traces.
+
+Collects traces of the kernel Reno implementation over a small testbed
+matrix, lets the classifier pick a sub-DSL, and runs Abagnale's
+refinement loop.  Budgets are laptop-scale (a couple of minutes); the
+recovered expression should be a Reno-variant such as
+``cwnd + 0.7 * reno_inc``.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import SynthesisConfig, reverse_engineer_cca
+from repro.netsim import Environment
+from repro.trace import CollectionConfig
+
+
+def main() -> None:
+    collection = CollectionConfig(
+        duration=15.0,
+        environments=(
+            Environment(bandwidth_mbps=5, rtt_ms=25),
+            Environment(bandwidth_mbps=10, rtt_ms=50),
+            Environment(bandwidth_mbps=15, rtt_ms=80),
+        ),
+    )
+    config = SynthesisConfig(
+        initial_samples=8,
+        initial_keep=4,
+        completion_cap=16,
+        max_iterations=3,
+        exhaustive_cap=300,
+        time_budget_seconds=180,
+    )
+    print("Collecting traces and synthesizing (about a minute)...")
+    report = reverse_engineer_cca(
+        "reno",
+        collection=collection,
+        config=config,
+        max_depth=3,
+        max_nodes=5,
+    )
+    print()
+    print(report.summary())
+    print()
+    print("Search telemetry:")
+    for record in report.result.iterations:
+        kept = len(record.kept)
+        print(
+            f"  iteration {record.index}: {record.bucket_count} buckets "
+            f"-> kept {kept}, N={record.samples_per_bucket}, "
+            f"working set {record.segment_count} segments"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""Abagnale: reverse-engineering congestion control algorithm behavior.
+
+A full reproduction of the IMC '24 paper's system: a program-synthesis
+pipeline that recovers a simple cwnd-ack handler expression from packet
+traces of an unknown congestion control algorithm, plus every substrate
+it needs -- a discrete-event network simulator, the Linux-kernel CCA zoo,
+trace processing, DSLs, distance metrics, and CCA classifiers.
+
+Quick start::
+
+    from repro import reverse_engineer_cca
+
+    report = reverse_engineer_cca("reno")
+    print(report.summary())
+
+Subpackages
+-----------
+``repro.dsl``      the handler DSL: AST, families, evaluation, parsing
+``repro.netsim``   discrete-event bottleneck simulator (testbed substitute)
+``repro.cca``      16 kernel CCAs + 7 synthetic student CCAs
+``repro.trace``    collection, segmentation, signals, noise, serialization
+``repro.distance`` DTW and the other distance metrics of the paper's 4.3
+``repro.synth``    enumeration, concretization, replay, refinement loop
+``repro.classify`` Gordon / CCAnalyzer-style sub-DSL hints
+``repro.handlers`` the paper's Table 2 expert expressions
+"""
+
+from repro.pipeline import (
+    PipelineReport,
+    reverse_engineer,
+    reverse_engineer_cca,
+)
+from repro.synth.refinement import SynthesisConfig, synthesize
+from repro.version import __version__
+
+__all__ = [
+    "PipelineReport",
+    "reverse_engineer",
+    "reverse_engineer_cca",
+    "SynthesisConfig",
+    "synthesize",
+    "__version__",
+]

@@ -1,0 +1,189 @@
+"""Post-synthesis analysis of handler expressions.
+
+What the paper does *with* synthesized handlers (§5.3–§5.4): compare
+variants within a family, "estimate each CCA's relative aggressiveness",
+and check which congestion signals actually drive a handler's behavior.
+These helpers make those analyses mechanical:
+
+* :func:`response_curve` — sweep one signal, hold the rest;
+* :func:`growth_per_rtt` — the window growth a handler produces over one
+  RTT's worth of ACKs at a reference state (MSS units; Reno ≡ ~1);
+* :func:`aggressiveness_ranking` — order handlers by that growth;
+* :func:`signal_sensitivity` — numerically probe which signals move the
+  output (Abagnale's structural insight: "the signals and structure a
+  target CCA uses");
+* :func:`handlers_equivalent` — behavioral equality over an environment
+  grid, for deciding whether two expressions are the same algorithm.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.dsl import ast
+from repro.dsl.compiled import compile_handler
+
+__all__ = [
+    "REFERENCE_ENV",
+    "response_curve",
+    "growth_per_rtt",
+    "aggressiveness_ranking",
+    "signal_sensitivity",
+    "handlers_equivalent",
+]
+
+#: A mid-path reference state: 10 Mbps bottleneck, 50 ms base RTT, a
+#: half-full queue, window around one BDP.
+REFERENCE_ENV: dict[str, float] = {
+    "cwnd": 62_500.0,
+    "mss": 1500.0,
+    "acked_bytes": 1500.0,
+    "rtt": 0.06,
+    "min_rtt": 0.05,
+    "max_rtt": 0.08,
+    "ewma_rtt": 0.058,
+    "ack_rate": 1_041_666.0,
+    "rtt_gradient": 0.0,
+    "delay_gradient": 0.0,
+    "time_since_loss": 1.0,
+    "inflight": 62_500.0,
+    "wmax": 89_285.0,
+}
+
+
+def response_curve(
+    handler: ast.NumExpr,
+    signal: str,
+    values: Sequence[float],
+    *,
+    base_env: Mapping[str, float] | None = None,
+) -> np.ndarray:
+    """Evaluate *handler* while sweeping *signal* over *values*."""
+    compiled = compile_handler(handler)
+    env = dict(base_env or REFERENCE_ENV)
+    out = np.empty(len(values))
+    for index, value in enumerate(values):
+        env[signal] = float(value)
+        out[index] = compiled.call_env(env)
+    return out
+
+
+def growth_per_rtt(
+    handler: ast.NumExpr,
+    *,
+    env: Mapping[str, float] | None = None,
+) -> float:
+    """Window growth over one RTT of ACKs, in MSS units.
+
+    Applies the handler once per MSS-sized ACK for a full window's worth
+    of ACKs — one round trip — starting from the reference state, and
+    returns ``(w_end - w_start) / mss``.  Classic Reno scores ~1; the
+    paper's ``cwnd + .37 * reno_inc`` Scalable handler ~0.37; a
+    rate-anchored BBR handler scores by how far its target sits from the
+    reference window.
+    """
+    environment = dict(env or REFERENCE_ENV)
+    compiled = compile_handler(handler)
+    mss = environment["mss"]
+    start = environment["cwnd"]
+    acks = max(int(start / mss), 1)
+    window = start
+    for _ in range(acks):
+        environment["cwnd"] = window
+        window = compiled.call_env(environment)
+    return (window - start) / mss
+
+
+def aggressiveness_ranking(
+    handlers: Mapping[str, ast.NumExpr],
+    *,
+    env: Mapping[str, float] | None = None,
+) -> list[tuple[str, float]]:
+    """Rank named handlers by :func:`growth_per_rtt`, most aggressive
+    first (the §5.3 'relative aggressiveness' comparison)."""
+    scored = [
+        (name, growth_per_rtt(handler, env=env))
+        for name, handler in handlers.items()
+    ]
+    scored.sort(key=lambda item: item[1], reverse=True)
+    return scored
+
+
+def signal_sensitivity(
+    handler: ast.NumExpr,
+    *,
+    env: Mapping[str, float] | None = None,
+    bump: float = 0.25,
+) -> dict[str, float]:
+    """Relative output change when each read signal is bumped by ±25%.
+
+    Returns ``{signal: sensitivity}`` for every signal the handler reads
+    (``max |Δoutput| / |output|`` across the two bumps); a sensitivity of
+    zero means the signal appears syntactically but is behaviorally inert
+    at this state (e.g. an untaken conditional branch).
+    """
+    compiled = compile_handler(handler)
+    base_env = dict(env or REFERENCE_ENV)
+    base = compiled.call_env(base_env)
+    scale = max(abs(base), 1e-9)
+    out: dict[str, float] = {}
+    for signal in compiled.signals:
+        worst = 0.0
+        for direction in (1.0 + bump, 1.0 - bump):
+            probe = dict(base_env)
+            probe[signal] = base_env[signal] * direction
+            worst = max(worst, abs(compiled.call_env(probe) - base) / scale)
+        out[signal] = worst
+    return out
+
+
+def handlers_equivalent(
+    first: ast.NumExpr,
+    second: ast.NumExpr,
+    *,
+    tolerance: float = 0.02,
+    growth_tolerance_mss: float = 0.2,
+    grid_points: int = 3,
+) -> bool:
+    """Behavioral equality over a grid of plausible states.
+
+    Sweeps window size, RTT inflation and loss age over a small grid; at
+    each state the two handlers must agree on (a) the raw output within
+    *tolerance* relative and (b) the per-RTT growth within
+    *growth_tolerance_mss* MSS.  The growth check matters: per-ACK
+    increments are tiny relative to the window, so a raw-output test
+    alone cannot tell ``+0.7·reno_inc`` from ``+1.4·reno_inc``.
+
+    This mechanizes the §5.4 claim "Abagnale's output given traces from
+    NV is identical to its output for traces from Vegas".
+    """
+    a = compile_handler(first)
+    b = compile_handler(second)
+    cwnds = np.linspace(15_000, 250_000, grid_points)
+    rtt_factors = np.linspace(1.0, 2.0, grid_points)
+    loss_ages = np.linspace(0.1, 5.0, grid_points)
+    for cwnd, factor, age in itertools.product(
+        cwnds, rtt_factors, loss_ages
+    ):
+        env = dict(REFERENCE_ENV)
+        env["cwnd"] = float(cwnd)
+        env["inflight"] = float(cwnd)
+        env["rtt"] = env["min_rtt"] * float(factor)
+        env["ewma_rtt"] = env["rtt"]
+        env["max_rtt"] = max(env["max_rtt"], env["rtt"])
+        env["time_since_loss"] = float(age)
+        env["ack_rate"] = cwnd / env["rtt"]
+        left = a.call_env(env)
+        right = b.call_env(env)
+        scale = max(abs(left), abs(right), 1e-9)
+        if abs(left - right) / scale > tolerance:
+            return False
+        growth_gap = abs(
+            growth_per_rtt(first, env=env) - growth_per_rtt(second, env=env)
+        )
+        if growth_gap > growth_tolerance_mss:
+            return False
+    return True

@@ -1,0 +1,77 @@
+"""The congestion-control algorithm zoo.
+
+Python ports of the 16 CCAs distributed with the Linux kernel plus seven
+synthetic "student" CCAs (paper §5).  All share the
+:class:`~repro.cca.base.CongestionControl` event interface consumed by
+the simulator.
+"""
+
+from repro.cca.base import AckEvent, CongestionControl, LossEvent
+from repro.cca.bbr import Bbr
+from repro.cca.bic import Bic
+from repro.cca.cdg import Cdg
+from repro.cca.cubic import Cubic
+from repro.cca.highspeed import HighSpeed
+from repro.cca.htcp import Htcp
+from repro.cca.hybla import Hybla
+from repro.cca.illinois import Illinois
+from repro.cca.lp import LowPriority
+from repro.cca.nv import NewVegas
+from repro.cca.registry import (
+    ALL_CCAS,
+    KERNEL_CCAS,
+    STUDENT_NAMES,
+    cca_names,
+    make_cca,
+)
+from repro.cca.reno import Reno
+from repro.cca.scalable import Scalable
+from repro.cca.student import (
+    STUDENT_CCAS,
+    Student1,
+    Student2,
+    Student3,
+    Student4,
+    Student5,
+    Student6,
+    Student7,
+)
+from repro.cca.vegas import Vegas
+from repro.cca.veno import Veno
+from repro.cca.westwood import Westwood
+from repro.cca.yeah import Yeah
+
+__all__ = [
+    "AckEvent",
+    "CongestionControl",
+    "LossEvent",
+    "Bbr",
+    "Bic",
+    "Cdg",
+    "Cubic",
+    "HighSpeed",
+    "Htcp",
+    "Hybla",
+    "Illinois",
+    "LowPriority",
+    "NewVegas",
+    "Reno",
+    "Scalable",
+    "Vegas",
+    "Veno",
+    "Westwood",
+    "Yeah",
+    "Student1",
+    "Student2",
+    "Student3",
+    "Student4",
+    "Student5",
+    "Student6",
+    "Student7",
+    "STUDENT_CCAS",
+    "ALL_CCAS",
+    "KERNEL_CCAS",
+    "STUDENT_NAMES",
+    "cca_names",
+    "make_cca",
+]

@@ -1,0 +1,185 @@
+"""Congestion-control algorithm interface.
+
+Every CCA in the zoo subclasses :class:`CongestionControl` and implements
+two event handlers, mirroring the kernel module interface the paper
+targets (§3, "Model"):
+
+``_on_ack``
+    called for every new cumulative acknowledgment, with the ACK metadata
+    in an :class:`AckEvent`; updates ``self.cwnd``.
+
+``_on_loss``
+    called when the sender infers a loss (triple-dupack fast retransmit
+    or an RTO), with a :class:`LossEvent`.
+
+The base class maintains the bookkeeping almost every CCA needs — RTT
+statistics (latest/EWMA/min/max), a delivery-rate estimate, slow-start
+state, and the time of the last loss — so concrete algorithms stay close
+to the ~50–500 line kernel modules they reproduce.
+
+Window arithmetic is done in *bytes* throughout (kernel code uses
+segments; bytes keep the DSL's unit checking meaningful).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import deque
+from dataclasses import dataclass
+from typing import ClassVar
+
+__all__ = ["AckEvent", "LossEvent", "CongestionControl"]
+
+#: Smoothing factor for the RTT EWMA (RFC 6298's 1/8).
+RTT_EWMA_ALPHA = 0.125
+#: Delivery-rate window length, in smoothed RTTs.
+RATE_WINDOW_RTTS = 2.0
+#: Minimum delivery-rate window, seconds.
+RATE_WINDOW_MIN = 0.05
+
+
+@dataclass(slots=True)
+class AckEvent:
+    """Metadata for one new cumulative acknowledgment."""
+
+    now: float
+    acked_bytes: int
+    rtt_sample: float | None
+    inflight_bytes: int
+
+
+@dataclass(slots=True)
+class LossEvent:
+    """Metadata for one inferred loss."""
+
+    now: float
+    kind: str  # "dupack" or "timeout"
+    inflight_bytes: int
+
+
+class CongestionControl(ABC):
+    """Base class for every congestion control algorithm in the zoo."""
+
+    #: Registry name, e.g. ``"reno"``; set by each subclass.
+    name: ClassVar[str] = "abstract"
+
+    def __init__(self, mss: int = 1500, initial_cwnd_segments: int = 10):
+        self.mss = mss
+        self.cwnd: float = float(initial_cwnd_segments * mss)
+        self.ssthresh: float = float("inf")
+        # RTT statistics.
+        self.latest_rtt: float | None = None
+        self.srtt: float | None = None
+        self.min_rtt: float = float("inf")
+        self.max_rtt: float = 0.0
+        # Delivery-rate estimate (bytes/sec) over a sliding window of ACK
+        # history; robust to the bursty cumulative jumps SACK recovery
+        # produces (an instantaneous per-ack rate can spike by orders of
+        # magnitude and would poison Westwood/BBR bandwidth estimates).
+        self.ack_rate: float = 0.0
+        self._rate_history: deque[tuple[float, int]] = deque()
+        self._last_ack_time: float | None = None
+        # Loss bookkeeping.
+        self.last_loss_time: float = 0.0
+        self.losses_seen: int = 0
+        # Total bytes delivered, for rate estimation.
+        self.delivered_bytes: int = 0
+
+    # ------------------------------------------------------------------
+    # Event entry points (called by the simulator)
+    # ------------------------------------------------------------------
+
+    def on_ack(self, ack: AckEvent) -> None:
+        """Update shared statistics, then dispatch to the algorithm."""
+        if ack.rtt_sample is not None and ack.rtt_sample > 0:
+            self.latest_rtt = ack.rtt_sample
+            self.min_rtt = min(self.min_rtt, ack.rtt_sample)
+            self.max_rtt = max(self.max_rtt, ack.rtt_sample)
+            if self.srtt is None:
+                self.srtt = ack.rtt_sample
+            else:
+                self.srtt += RTT_EWMA_ALPHA * (ack.rtt_sample - self.srtt)
+        self.delivered_bytes += ack.acked_bytes
+        self._update_ack_rate(ack.now)
+        self._last_ack_time = ack.now
+        self._on_ack(ack)
+        self._clamp()
+
+    def on_loss(self, loss: LossEvent) -> None:
+        """Record the loss, then dispatch to the algorithm."""
+        self.last_loss_time = loss.now
+        self.losses_seen += 1
+        self._on_loss(loss)
+        self._clamp()
+
+    def _update_ack_rate(self, now: float) -> None:
+        """Recompute ``ack_rate`` over a sliding window of delivery history.
+
+        The window spans a few smoothed RTTs (at least
+        :data:`RATE_WINDOW_MIN` seconds) so the estimate reflects an RTT's
+        worth of progress, not a single ACK's arrival spacing.
+        """
+        self._rate_history.append((now, self.delivered_bytes))
+        window = max(
+            RATE_WINDOW_RTTS * (self.srtt or 0.0), RATE_WINDOW_MIN
+        )
+        while (
+            len(self._rate_history) > 2
+            and now - self._rate_history[0][0] > window
+        ):
+            self._rate_history.popleft()
+        oldest_time, oldest_delivered = self._rate_history[0]
+        elapsed = now - oldest_time
+        if elapsed > 0:
+            self.ack_rate = (
+                self.delivered_bytes - oldest_delivered
+            ) / elapsed
+
+    # ------------------------------------------------------------------
+    # Algorithm hooks
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def _on_ack(self, ack: AckEvent) -> None:
+        """Algorithm-specific window update on a new acknowledgment."""
+
+    @abstractmethod
+    def _on_loss(self, loss: LossEvent) -> None:
+        """Algorithm-specific reaction to an inferred loss."""
+
+    # ------------------------------------------------------------------
+    # Shared helpers used by many algorithms
+    # ------------------------------------------------------------------
+
+    @property
+    def in_slow_start(self) -> bool:
+        return self.cwnd < self.ssthresh
+
+    def slow_start_ack(self, ack: AckEvent) -> None:
+        """Exponential growth: one MSS per acked segment."""
+        self.cwnd += min(ack.acked_bytes, self.mss)
+
+    def reno_ca_ack(self, ack: AckEvent, scale: float = 1.0) -> None:
+        """Reno congestion avoidance: ``scale`` MSS per cwnd of ACKs."""
+        self.cwnd += scale * self.mss * ack.acked_bytes / max(self.cwnd, 1.0)
+
+    def multiplicative_decrease(self, factor: float) -> None:
+        """Cut the window to ``factor * cwnd`` and track ssthresh."""
+        self.ssthresh = max(self.cwnd * factor, 2.0 * self.mss)
+        self.cwnd = self.ssthresh
+
+    def timeout_reset(self) -> None:
+        """RTO reaction shared by loss-based CCAs: back to one segment."""
+        self.ssthresh = max(self.cwnd / 2.0, 2.0 * self.mss)
+        self.cwnd = float(self.mss)
+
+    def _clamp(self) -> None:
+        self.cwnd = max(self.cwnd, float(self.mss))
+
+    # ------------------------------------------------------------------
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<{type(self).__name__} cwnd={self.cwnd:.0f}B "
+            f"ssthresh={self.ssthresh:.0f}>"
+        )

@@ -1,0 +1,90 @@
+"""BBR v1 [Cardwell et al., ACM Queue '16], simplified.
+
+BBR is rate-based: it estimates the bottleneck bandwidth (windowed max of
+the delivery rate) and the path's minimum RTT, and sets
+``cwnd = cwnd_gain * BDP``.  In PROBE_BW it cycles through pacing gains
+``[1.25, 0.75, 1, 1, 1, 1, 1, 1]`` — the periodic pulses visible in
+packet traces — advancing one phase per min-RTT.  This port keeps the
+cwnd-driven skeleton (gain cycling, bandwidth filter, startup/drain) and
+omits pacing and PROBE_RTT refinements; the externally visible pulse
+dynamics match what the paper's traces show (§5.2).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.cca.base import AckEvent, CongestionControl, LossEvent
+
+__all__ = ["Bbr"]
+
+
+class Bbr(CongestionControl):
+    """Simplified BBRv1: bandwidth-probing gain cycle on a BDP window."""
+
+    name = "bbr"
+
+    #: PROBE_BW pacing-gain cycle.
+    GAIN_CYCLE = (1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0)
+    #: Steady-state cwnd gain (two BDPs absorbs delayed/stretched ACKs).
+    CWND_GAIN = 2.0
+    #: Startup gain (2/ln2).
+    STARTUP_GAIN = 2.885
+    #: Bandwidth filter length, in gain-cycle phases.
+    BW_FILTER_LEN = 10
+
+    def __init__(self, mss: int = 1500, initial_cwnd_segments: int = 10):
+        super().__init__(mss, initial_cwnd_segments)
+        self._bw_samples: deque[float] = deque(maxlen=self.BW_FILTER_LEN)
+        self._phase = 0
+        self._phase_start = 0.0
+        self._in_startup = True
+        self._full_bw = 0.0
+        self._full_bw_count = 0
+
+    @property
+    def _max_bw(self) -> float:
+        return max(self._bw_samples, default=0.0)
+
+    def _on_ack(self, ack: AckEvent) -> None:
+        if self.ack_rate > 0:
+            self._bw_samples.append(self.ack_rate)
+        if self.min_rtt == float("inf"):
+            return
+        bdp = self._max_bw * self.min_rtt
+        if self._in_startup:
+            self._check_full_pipe()
+            self.cwnd = max(
+                self.STARTUP_GAIN * bdp, self.cwnd + ack.acked_bytes
+            )
+            return
+        self._advance_phase(ack.now)
+        gain = self.GAIN_CYCLE[self._phase]
+        self.cwnd = max(self.CWND_GAIN * gain * bdp, 4.0 * self.mss)
+
+    def _check_full_pipe(self) -> None:
+        """Leave startup once the bandwidth estimate plateaus (3 rounds)."""
+        bw = self._max_bw
+        if bw > self._full_bw * 1.25:
+            self._full_bw = bw
+            self._full_bw_count = 0
+            return
+        self._full_bw_count += 1
+        if self._full_bw_count >= 3:
+            self._in_startup = False
+            self._phase_start = 0.0
+
+    def _advance_phase(self, now: float) -> None:
+        phase_len = max(self.min_rtt, 1e-4)
+        if now - self._phase_start >= phase_len:
+            self._phase = (self._phase + 1) % len(self.GAIN_CYCLE)
+            self._phase_start = now
+
+    def _on_loss(self, loss: LossEvent) -> None:
+        # BBRv1 mostly ignores individual losses; an RTO still restarts
+        # the bandwidth hunt.
+        if loss.kind == "timeout":
+            self._in_startup = True
+            self._full_bw = 0.0
+            self._full_bw_count = 0
+            self.cwnd = 4.0 * self.mss

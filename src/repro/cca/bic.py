@@ -1,0 +1,71 @@
+"""BIC [Xu, Harfoush, Rhee; INFOCOM '04].
+
+Binary Increase Congestion control searches for the capacity between the
+window at the last loss (``last_max``) and the current window: while far
+below ``last_max`` it jumps by half the gap (capped at ``S_MAX``
+segments); close to ``last_max`` it creeps; above ``last_max`` it probes
+linearly then increasingly fast ("max probing").
+"""
+
+from __future__ import annotations
+
+from repro.cca.base import AckEvent, CongestionControl, LossEvent
+
+__all__ = ["Bic"]
+
+
+class Bic(CongestionControl):
+    """BIC-TCP binary-search window growth."""
+
+    name = "bic"
+
+    #: Maximum binary-search step, segments.
+    S_MAX = 16.0
+    #: Minimum step, segments.
+    S_MIN = 0.01
+    #: Multiplicative decrease factor (kernel: 819/1024 ~ 0.8).
+    BETA = 0.8
+    #: Windows below this many segments use plain Reno (kernel low_window).
+    LOW_WINDOW = 14.0
+
+    def __init__(self, mss: int = 1500, initial_cwnd_segments: int = 10):
+        super().__init__(mss, initial_cwnd_segments)
+        self.last_max: float = 0.0
+
+    def _increment_segments(self) -> float:
+        """Per-RTT window increment, in segments (kernel bictcp_update)."""
+        cwnd_seg = self.cwnd / self.mss
+        if cwnd_seg <= self.LOW_WINDOW:
+            return 1.0
+        if self.last_max <= 0:
+            return self.S_MAX  # no target yet: max probing
+        last_max_seg = self.last_max / self.mss
+        if cwnd_seg < last_max_seg:
+            gap = last_max_seg - cwnd_seg
+            step = gap / 2.0  # binary search toward last_max
+        else:
+            # Max probing past the old maximum: slow start-like ramp.
+            step = cwnd_seg - last_max_seg + 1.0
+        return min(max(step, self.S_MIN), self.S_MAX)
+
+    def _on_ack(self, ack: AckEvent) -> None:
+        if self.in_slow_start:
+            self.slow_start_ack(ack)
+            return
+        increment = self._increment_segments()
+        self.cwnd += (
+            increment * self.mss * ack.acked_bytes / max(self.cwnd, 1.0)
+        )
+
+    def _on_loss(self, loss: LossEvent) -> None:
+        cwnd_seg = self.cwnd / self.mss
+        if cwnd_seg < self.last_max / self.mss:
+            # Loss before reaching the old max: the capacity shrank;
+            # remember a point below the current window (fast convergence).
+            self.last_max = self.cwnd * (1.0 + self.BETA) / 2.0
+        else:
+            self.last_max = self.cwnd
+        if loss.kind == "timeout":
+            self.timeout_reset()
+        else:
+            self.multiplicative_decrease(self.BETA)

@@ -1,0 +1,77 @@
+"""CAIA Delay-Gradient (CDG) [Hayes, Armitage; Networking '11].
+
+CDG backs off *probabilistically* based on the gradient of the RTT
+envelope: with smoothed gradients ``g_min`` (of the per-RTT minimum) and
+``g_max`` (of the per-RTT maximum), the flow backs off with probability
+``1 - exp(-g / G)``.  The randomness puts CDG outside Abagnale's DSL
+(paper §5.5) — it is implemented here for trace generation and
+classification, but the synthesizer is not expected to recover it.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.cca.base import AckEvent, CongestionControl, LossEvent
+
+__all__ = ["Cdg"]
+
+
+class Cdg(CongestionControl):
+    """CDG: probabilistic delay-gradient backoff (non-deterministic)."""
+
+    name = "cdg"
+
+    #: Gradient scale parameter G (kernel default: 3 RTT-units).
+    G = 3.0
+    #: Smoothing window for gradients, samples.
+    WINDOW = 8
+
+    def __init__(
+        self,
+        mss: int = 1500,
+        initial_cwnd_segments: int = 10,
+        seed: int = 42,
+    ):
+        super().__init__(mss, initial_cwnd_segments)
+        self._rng = random.Random(seed)
+        self._rtt_min_prev: float | None = None
+        self._round_min = float("inf")
+        self._round_end = 0.0
+        self._gradient = 0.0
+        self._backoff_hold = 0.0
+
+    def _on_ack(self, ack: AckEvent) -> None:
+        if ack.rtt_sample is not None:
+            self._round_min = min(self._round_min, ack.rtt_sample)
+        if ack.now >= self._round_end and self.latest_rtt is not None:
+            self._finish_round(ack.now)
+        if self.in_slow_start:
+            self.slow_start_ack(ack)
+        else:
+            self.reno_ca_ack(ack)
+
+    def _finish_round(self, now: float) -> None:
+        if self._round_min != float("inf"):
+            if self._rtt_min_prev is not None:
+                sample = self._round_min - self._rtt_min_prev
+                self._gradient += (sample - self._gradient) / self.WINDOW
+            self._rtt_min_prev = self._round_min
+        self._round_min = float("inf")
+        self._round_end = now + (self.latest_rtt or 0.05)
+        # Probabilistic backoff on a positive (rising-delay) gradient.
+        if self._gradient > 0 and now >= self._backoff_hold:
+            rtt_unit = max(self.min_rtt, 1e-3)
+            probability = 1.0 - math.exp(
+                -(self._gradient / rtt_unit) / self.G
+            )
+            if self._rng.random() < probability:
+                self.multiplicative_decrease(0.7)
+                self._backoff_hold = now + 5 * (self.latest_rtt or 0.05)
+
+    def _on_loss(self, loss: LossEvent) -> None:
+        if loss.kind == "timeout":
+            self.timeout_reset()
+        else:
+            self.multiplicative_decrease(0.5)

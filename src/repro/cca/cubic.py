@@ -1,0 +1,83 @@
+"""CUBIC [Ha, Rhee, Xu; SIGOPS OSR '08].
+
+The window grows as a cubic function of the time since the last loss:
+``W(t) = C * (t - K)^3 + Wmax`` where ``Wmax`` is the window at the last
+loss and ``K = cbrt(Wmax * beta / C)`` is the time at which the cubic
+re-reaches ``Wmax``.  A TCP-friendliness term keeps CUBIC at least as
+aggressive as Reno at small windows.
+"""
+
+from __future__ import annotations
+
+from repro.cca.base import AckEvent, CongestionControl, LossEvent
+
+__all__ = ["Cubic"]
+
+
+class Cubic(CongestionControl):
+    """CUBIC congestion control (kernel-default since 2.6.19)."""
+
+    name = "cubic"
+
+    #: Cubic's scaling constant, in segments/sec^3 (kernel default 0.4).
+    C = 0.4
+    #: Multiplicative decrease factor (kernel: 717/1024 ~ 0.7).
+    BETA = 0.7
+
+    def __init__(self, mss: int = 1500, initial_cwnd_segments: int = 10):
+        super().__init__(mss, initial_cwnd_segments)
+        self.wmax: float = self.cwnd
+        self._epoch_start: float | None = None
+        self._k: float = 0.0
+        self._tcp_cwnd: float = self.cwnd
+
+    def _on_ack(self, ack: AckEvent) -> None:
+        if self.in_slow_start:
+            self.slow_start_ack(ack)
+            return
+        if self._epoch_start is None:
+            self._begin_epoch(ack.now)
+        t = ack.now - self._epoch_start
+        # Target window from the cubic curve, computed in segments so the
+        # constant C has its kernel meaning, then converted back to bytes.
+        wmax_seg = self.wmax / self.mss
+        target_seg = self.C * (t - self._k) ** 3 + wmax_seg
+        target = target_seg * self.mss
+        if target > self.cwnd:
+            # Approach the target over one RTT's worth of ACKs.
+            self.cwnd += (
+                (target - self.cwnd) * ack.acked_bytes / max(self.cwnd, 1.0)
+            )
+        else:
+            # Mild probing while at/above the curve.
+            self.cwnd += (
+                0.01 * self.mss * ack.acked_bytes / max(self.cwnd, 1.0)
+            )
+        # TCP-friendliness: emulate Reno's window and never fall below it.
+        self._tcp_cwnd += (
+            3.0
+            * (1.0 - self.BETA)
+            / (1.0 + self.BETA)
+            * self.mss
+            * ack.acked_bytes
+            / max(self._tcp_cwnd, 1.0)
+        )
+        self.cwnd = max(self.cwnd, self._tcp_cwnd)
+
+    def _begin_epoch(self, now: float) -> None:
+        self._epoch_start = now
+        wmax_seg = self.wmax / self.mss
+        cwnd_seg = self.cwnd / self.mss
+        if wmax_seg > cwnd_seg:
+            self._k = ((wmax_seg - cwnd_seg) / self.C) ** (1.0 / 3.0)
+        else:
+            self._k = 0.0
+
+    def _on_loss(self, loss: LossEvent) -> None:
+        self.wmax = self.cwnd
+        self._epoch_start = None
+        if loss.kind == "timeout":
+            self.timeout_reset()
+        else:
+            self.multiplicative_decrease(self.BETA)
+        self._tcp_cwnd = self.cwnd

@@ -1,0 +1,47 @@
+"""H-TCP [Leith, Shorten; PFLDNet '04].
+
+H-TCP scales its additive increase with the time since the last loss:
+for the first ``DELTA_L`` second it behaves like Reno (alpha = 1); past
+that, ``alpha = 1 + 10 (d - DELTA_L) + ((d - DELTA_L) / 2)^2``, so long
+loss-free periods probe increasingly fast.  The decrease factor adapts to
+the RTT envelope: ``beta = min_rtt / max_rtt`` bounded to [0.5, 0.8].
+"""
+
+from __future__ import annotations
+
+from repro.cca.base import AckEvent, CongestionControl, LossEvent
+
+__all__ = ["Htcp"]
+
+
+class Htcp(CongestionControl):
+    """H-TCP: loss-age-scaled increase, RTT-ratio decrease."""
+
+    name = "htcp"
+
+    #: Low-speed regime duration after a loss, seconds.
+    DELTA_L = 1.0
+
+    def _alpha(self, now: float) -> float:
+        delta = now - self.last_loss_time
+        if delta <= self.DELTA_L:
+            return 1.0
+        excess = delta - self.DELTA_L
+        return 1.0 + 10.0 * excess + (excess / 2.0) ** 2
+
+    def _beta(self) -> float:
+        if self.max_rtt <= 0 or self.min_rtt == float("inf"):
+            return 0.5
+        return min(max(self.min_rtt / self.max_rtt, 0.5), 0.8)
+
+    def _on_ack(self, ack: AckEvent) -> None:
+        if self.in_slow_start:
+            self.slow_start_ack(ack)
+        else:
+            self.reno_ca_ack(ack, scale=self._alpha(ack.now))
+
+    def _on_loss(self, loss: LossEvent) -> None:
+        if loss.kind == "timeout":
+            self.timeout_reset()
+        else:
+            self.multiplicative_decrease(self._beta())

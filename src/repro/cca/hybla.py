@@ -1,0 +1,45 @@
+"""TCP Hybla [Caini, Firrincieli; IJSCN '04].
+
+Hybla equalizes throughput across RTTs: with ``rho = rtt / rtt0``
+(``rtt0`` = 25 ms reference), slow start grows by ``2^rho - 1`` segments
+per ACK and congestion avoidance by ``rho^2`` Reno increments, so a
+high-delay (e.g. satellite) flow ramps as fast as a 25 ms flow.
+"""
+
+from __future__ import annotations
+
+from repro.cca.base import AckEvent, CongestionControl, LossEvent
+
+__all__ = ["Hybla"]
+
+
+class Hybla(CongestionControl):
+    """TCP Hybla: RTT-compensated Reno."""
+
+    name = "hybla"
+
+    #: Reference round-trip time, seconds (kernel default 25 ms).
+    RTT0 = 0.025
+
+    @property
+    def rho(self) -> float:
+        """RTT normalization factor, floored at 1 like the kernel."""
+        if self.latest_rtt is None:
+            return 1.0
+        return max(self.latest_rtt / self.RTT0, 1.0)
+
+    def _on_ack(self, ack: AckEvent) -> None:
+        rho = self.rho
+        segments = ack.acked_bytes / self.mss
+        if self.in_slow_start:
+            self.cwnd += (2.0**rho - 1.0) * self.mss * segments
+        else:
+            self.cwnd += (
+                rho**2 * self.mss * self.mss * segments / max(self.cwnd, 1.0)
+            )
+
+    def _on_loss(self, loss: LossEvent) -> None:
+        if loss.kind == "timeout":
+            self.timeout_reset()
+        else:
+            self.multiplicative_decrease(0.5)

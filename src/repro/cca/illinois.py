@@ -1,0 +1,68 @@
+"""TCP-Illinois [Liu, Basar, Srikant; Perform. Eval. '08].
+
+A loss-delay hybrid: losses still drive the window down, but the
+*pace* of both increase and decrease adapts to queueing delay.  The
+additive gain ``alpha`` falls from ``ALPHA_MAX`` (10) toward
+``ALPHA_MIN`` (0.3) as the average queueing delay grows, and the backoff
+factor ``beta`` grows from 1/8 to 1/2 with delay.
+"""
+
+from __future__ import annotations
+
+from repro.cca.base import AckEvent, CongestionControl, LossEvent
+
+__all__ = ["Illinois"]
+
+
+class Illinois(CongestionControl):
+    """TCP-Illinois: delay-adaptive AIMD gains."""
+
+    name = "illinois"
+
+    ALPHA_MIN = 0.3
+    ALPHA_MAX = 10.0
+    BETA_MIN = 0.125
+    BETA_MAX = 0.5
+    #: Fraction of the max queueing delay below which alpha is maximal.
+    D1 = 0.01
+
+    def _queueing_delay(self) -> tuple[float, float]:
+        """Return (current, maximum) queueing delay, seconds."""
+        if (
+            self.srtt is None
+            or self.min_rtt == float("inf")
+            or self.max_rtt <= self.min_rtt
+        ):
+            return 0.0, 0.0
+        return self.srtt - self.min_rtt, self.max_rtt - self.min_rtt
+
+    def _alpha(self) -> float:
+        da, dm = self._queueing_delay()
+        if dm <= 0 or da <= self.D1 * dm:
+            return self.ALPHA_MAX
+        # Hyperbolic decay from ALPHA_MAX toward ALPHA_MIN with delay.
+        d1 = self.D1 * dm
+        kappa1 = (dm - d1) * self.ALPHA_MIN * self.ALPHA_MAX
+        kappa2 = (dm - d1) * self.ALPHA_MIN / (
+            self.ALPHA_MAX - self.ALPHA_MIN
+        )
+        return kappa1 / (self.ALPHA_MAX * (kappa2 + (da - d1)))
+
+    def _beta(self) -> float:
+        da, dm = self._queueing_delay()
+        if dm <= 0:
+            return self.BETA_MIN
+        fraction = min(max(da / dm, 0.0), 1.0)
+        return self.BETA_MIN + (self.BETA_MAX - self.BETA_MIN) * fraction
+
+    def _on_ack(self, ack: AckEvent) -> None:
+        if self.in_slow_start:
+            self.slow_start_ack(ack)
+        else:
+            self.reno_ca_ack(ack, scale=self._alpha())
+
+    def _on_loss(self, loss: LossEvent) -> None:
+        if loss.kind == "timeout":
+            self.timeout_reset()
+        else:
+            self.multiplicative_decrease(1.0 - self._beta())

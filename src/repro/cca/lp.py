@@ -1,0 +1,64 @@
+"""TCP-LP (Low Priority) [Kuzmanovic, Knightly; ToN '06].
+
+TCP-LP behaves like Reno but yields to cross traffic: it infers early
+congestion from one-way delay crossing a threshold inside the
+min/max-delay envelope and, on such an *early congestion indication*,
+halves the window (and backs off to the minimum if a second indication
+arrives within an inference window).
+"""
+
+from __future__ import annotations
+
+from repro.cca.base import AckEvent, CongestionControl, LossEvent
+
+__all__ = ["LowPriority"]
+
+
+class LowPriority(CongestionControl):
+    """TCP-LP: Reno with delay-threshold early backoff."""
+
+    name = "lp"
+
+    #: Position of the early-congestion threshold within the delay
+    #: envelope (kernel: 15%).
+    DELAY_THRESHOLD = 0.15
+    #: Inference window, in RTTs, for the double-backoff rule.
+    INFERENCE_RTTS = 3.0
+
+    def __init__(self, mss: int = 1500, initial_cwnd_segments: int = 10):
+        super().__init__(mss, initial_cwnd_segments)
+        self._last_indication = float("-inf")
+
+    def _delay_fraction(self) -> float:
+        if (
+            self.latest_rtt is None
+            or self.min_rtt == float("inf")
+            or self.max_rtt <= self.min_rtt
+        ):
+            return 0.0
+        return (self.latest_rtt - self.min_rtt) / (self.max_rtt - self.min_rtt)
+
+    def _on_ack(self, ack: AckEvent) -> None:
+        if self._delay_fraction() > self.DELAY_THRESHOLD and not self.in_slow_start:
+            self._early_congestion(ack.now)
+            return
+        if self.in_slow_start:
+            self.slow_start_ack(ack)
+        else:
+            self.reno_ca_ack(ack)
+
+    def _early_congestion(self, now: float) -> None:
+        rtt = self.latest_rtt or 0.0
+        if now - self._last_indication < self.INFERENCE_RTTS * rtt:
+            # Second indication inside the inference window: full yield.
+            self.ssthresh = max(self.cwnd / 2.0, 2.0 * self.mss)
+            self.cwnd = float(self.mss)
+        else:
+            self.multiplicative_decrease(0.5)
+        self._last_indication = now
+
+    def _on_loss(self, loss: LossEvent) -> None:
+        if loss.kind == "timeout":
+            self.timeout_reset()
+        else:
+            self.multiplicative_decrease(0.5)

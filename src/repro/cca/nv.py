@@ -1,0 +1,67 @@
+"""TCP New Vegas (NV) [Brakmo, Linux Plumbers '10].
+
+NV modernizes Vegas for data centers: it estimates the number of queued
+packets from the measured *rate* (rather than per-packet RTT deltas),
+smooths its measurements over an interval, and adjusts the window at most
+once per RTT.  The fundamental logic is Vegas's (paper §5.4: "the CCAs
+Vegas and NV use the same fundamental logic; their differences are only
+in the way they measure the number of packets in the queue").
+"""
+
+from __future__ import annotations
+
+from repro.cca.base import AckEvent, CongestionControl, LossEvent
+
+__all__ = ["NewVegas"]
+
+
+class NewVegas(CongestionControl):
+    """TCP-NV: rate-measured Vegas with per-RTT updates."""
+
+    name = "nv"
+
+    #: Target backlog bounds, packets.
+    ALPHA = 2.0
+    BETA = 6.0
+
+    def __init__(self, mss: int = 1500, initial_cwnd_segments: int = 10):
+        super().__init__(mss, initial_cwnd_segments)
+        self._next_update = 0.0
+        self._rate_ewma = 0.0
+
+    def _backlog(self) -> float:
+        """Queued packets estimated from the smoothed delivery rate."""
+        if self.min_rtt == float("inf") or self._rate_ewma <= 0:
+            return 0.0
+        # cwnd worth of data at the measured rate occupies
+        # cwnd/rate seconds; the excess over min_rtt is queueing.
+        queueing_time = self.cwnd / self._rate_ewma - self.min_rtt
+        return max(queueing_time, 0.0) * self._rate_ewma / self.mss
+
+    def _on_ack(self, ack: AckEvent) -> None:
+        # NV smooths the rate itself (moving average of the delay /
+        # delivery measurements) — the hidden state the paper mentions.
+        if self.ack_rate > 0:
+            if self._rate_ewma == 0:
+                self._rate_ewma = self.ack_rate
+            else:
+                self._rate_ewma += 0.5 * (self.ack_rate - self._rate_ewma)
+        if self.in_slow_start:
+            self.slow_start_ack(ack)
+            if self._backlog() > self.BETA:
+                self.ssthresh = self.cwnd
+            return
+        if ack.now < self._next_update or self.latest_rtt is None:
+            return
+        self._next_update = ack.now + self.latest_rtt
+        diff = self._backlog()
+        if diff < self.ALPHA:
+            self.cwnd += self.mss
+        elif diff > self.BETA:
+            self.cwnd -= 2.0 * self.mss
+
+    def _on_loss(self, loss: LossEvent) -> None:
+        if loss.kind == "timeout":
+            self.timeout_reset()
+        else:
+            self.multiplicative_decrease(0.7)

@@ -1,0 +1,80 @@
+"""Registry of every CCA in the zoo, keyed by its kernel-style name."""
+
+from __future__ import annotations
+
+from repro.cca.base import CongestionControl
+from repro.cca.bbr import Bbr
+from repro.cca.bic import Bic
+from repro.cca.cdg import Cdg
+from repro.cca.cubic import Cubic
+from repro.cca.highspeed import HighSpeed
+from repro.cca.htcp import Htcp
+from repro.cca.hybla import Hybla
+from repro.cca.illinois import Illinois
+from repro.cca.lp import LowPriority
+from repro.cca.nv import NewVegas
+from repro.cca.reno import Reno
+from repro.cca.scalable import Scalable
+from repro.cca.student import STUDENT_CCAS
+from repro.cca.vegas import Vegas
+from repro.cca.veno import Veno
+from repro.cca.westwood import Westwood
+from repro.cca.yeah import Yeah
+from repro.errors import ReproError
+
+__all__ = [
+    "KERNEL_CCAS",
+    "STUDENT_NAMES",
+    "ALL_CCAS",
+    "make_cca",
+    "cca_names",
+]
+
+#: The 16 CCAs distributed with the Linux kernel (paper §5), by name.
+KERNEL_CCAS: dict[str, type[CongestionControl]] = {
+    cls.name: cls
+    for cls in (
+        Bbr,
+        Bic,
+        Cdg,
+        Cubic,
+        HighSpeed,
+        Htcp,
+        Hybla,
+        Illinois,
+        LowPriority,
+        NewVegas,
+        Reno,
+        Scalable,
+        Vegas,
+        Veno,
+        Westwood,
+        Yeah,
+    )
+}
+
+#: The seven synthetic student CCAs (paper §5.6), by name.
+STUDENT_NAMES: tuple[str, ...] = tuple(cls.name for cls in STUDENT_CCAS)
+
+#: Every registered CCA.
+ALL_CCAS: dict[str, type[CongestionControl]] = {
+    **KERNEL_CCAS,
+    **{cls.name: cls for cls in STUDENT_CCAS},
+}
+
+
+def make_cca(name: str, *, mss: int = 1500, **kwargs) -> CongestionControl:
+    """Instantiate a CCA by registry name."""
+    try:
+        cls = ALL_CCAS[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown CCA {name!r}; known: {sorted(ALL_CCAS)}"
+        ) from None
+    return cls(mss=mss, **kwargs)
+
+
+def cca_names(*, kernel_only: bool = False) -> tuple[str, ...]:
+    """Names of the registered CCAs, sorted."""
+    source = KERNEL_CCAS if kernel_only else ALL_CCAS
+    return tuple(sorted(source))

@@ -1,0 +1,30 @@
+"""TCP (New)Reno [Hoe, SIGCOMM '96].
+
+The classical AIMD baseline: slow start doubles the window every RTT;
+congestion avoidance adds one MSS per RTT (``mss * acked / cwnd`` per
+ACK); a fast-retransmit loss halves the window; an RTO resets it.
+"""
+
+from __future__ import annotations
+
+from repro.cca.base import AckEvent, CongestionControl, LossEvent
+
+__all__ = ["Reno"]
+
+
+class Reno(CongestionControl):
+    """TCP NewReno congestion control."""
+
+    name = "reno"
+
+    def _on_ack(self, ack: AckEvent) -> None:
+        if self.in_slow_start:
+            self.slow_start_ack(ack)
+        else:
+            self.reno_ca_ack(ack)
+
+    def _on_loss(self, loss: LossEvent) -> None:
+        if loss.kind == "timeout":
+            self.timeout_reset()
+        else:
+            self.multiplicative_decrease(0.5)

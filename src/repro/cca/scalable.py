@@ -1,0 +1,35 @@
+"""Scalable TCP [Kelly, CCR '03].
+
+Scalable TCP makes the increase *multiplicative*: each ACK grows the
+window by a fixed 0.01 segments (so recovery time after a loss is
+constant in the window size), and losses cut the window by only 1/8.
+"""
+
+from __future__ import annotations
+
+from repro.cca.base import AckEvent, CongestionControl, LossEvent
+
+__all__ = ["Scalable"]
+
+
+class Scalable(CongestionControl):
+    """Scalable TCP: MIMD with a = 0.01/ack, b = 0.125."""
+
+    name = "scalable"
+
+    #: Per-acked-segment additive constant (kernel: cwnd/100 per ack).
+    AI = 0.01
+    #: Multiplicative decrease factor on loss.
+    MD = 0.875
+
+    def _on_ack(self, ack: AckEvent) -> None:
+        if self.in_slow_start:
+            self.slow_start_ack(ack)
+        else:
+            self.cwnd += self.AI * ack.acked_bytes
+
+    def _on_loss(self, loss: LossEvent) -> None:
+        if loss.kind == "timeout":
+            self.timeout_reset()
+        else:
+            self.multiplicative_decrease(self.MD)

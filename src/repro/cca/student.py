@@ -1,0 +1,170 @@
+"""Synthetic "student" CCAs.
+
+The paper's second dataset is seven novel CCAs written by students in a
+graduate networking course (50–150 lines of C++ each, UDP transport).
+That dataset is not redistributable, so this module provides seven
+stand-in algorithms with the behavioral signatures the paper reports
+(§5.6, Table 2): most are Vegas-flavoured delay-threshold schemes, two
+are degenerate fixed-window senders, one is rate-based and one reacts to
+the delay gradient.  Each class documents which Table 2 row it mirrors.
+"""
+
+from __future__ import annotations
+
+from repro.cca.base import AckEvent, CongestionControl, LossEvent
+
+__all__ = [
+    "Student1",
+    "Student2",
+    "Student3",
+    "Student4",
+    "Student5",
+    "Student6",
+    "Student7",
+    "STUDENT_CCAS",
+]
+
+
+class _StudentBase(CongestionControl):
+    """Shared plumbing: students mostly ignore losses (UDP transport)."""
+
+    def _on_loss(self, loss: LossEvent) -> None:
+        if loss.kind == "timeout":
+            self.cwnd = 2.0 * self.mss
+
+    def _queued_packets(self) -> float:
+        """The vegas-diff estimate students commonly implement."""
+        if self.latest_rtt is None or self.min_rtt == float("inf"):
+            return 0.0
+        return (
+            (self.latest_rtt - self.min_rtt) * self.ack_rate / self.mss
+        )
+
+
+class Student1(_StudentBase):
+    """Delay-threshold triangle: ramp until queued, then hard reset.
+
+    Mirrors the Table 2 row whose best handler needed the Vegas-11 DSL to
+    capture a triangular cwnd pattern (Figure 6a).
+    """
+
+    name = "student1"
+    TARGET_PACKETS = 6.0
+
+    def _on_ack(self, ack: AckEvent) -> None:
+        if self._queued_packets() < self.TARGET_PACKETS:
+            self.cwnd += 0.5 * self.mss
+        else:
+            self.cwnd = 8.0 * self.mss
+
+
+class Student2(_StudentBase):
+    """Additive increase with a delay-triggered collapse to one MSS.
+
+    Mirrors ``(vegas_diff / min_rtt < 5) ? cwnd + mss : mss``.
+    """
+
+    name = "student2"
+    THRESHOLD = 5.0
+
+    def _on_ack(self, ack: AckEvent) -> None:
+        if self._queued_packets() < self.THRESHOLD:
+            self.cwnd += float(self.mss)
+        else:
+            self.cwnd = float(self.mss)
+
+
+class Student3(_StudentBase):
+    """Rate-based: window pinned to a fraction of the measured BDP.
+
+    Mirrors ``0.8 * acked / min_rtt`` — a handler with no dependence on
+    the previous window at all.
+    """
+
+    name = "student3"
+    GAIN = 0.8
+
+    def _on_ack(self, ack: AckEvent) -> None:
+        if self.min_rtt == float("inf") or self.ack_rate <= 0:
+            self.cwnd += ack.acked_bytes  # still probing
+            return
+        self.cwnd = max(
+            self.GAIN * self.ack_rate * self.min_rtt, 2.0 * self.mss
+        )
+
+
+class Student4(_StudentBase):
+    """Stop-and-wait: one segment outstanding, always (handler: ``mss``)."""
+
+    name = "student4"
+
+    def _on_ack(self, ack: AckEvent) -> None:
+        self.cwnd = float(self.mss)
+
+
+class Student5(_StudentBase):
+    """Fixed two-segment window (handler: ``2 * mss``)."""
+
+    name = "student5"
+
+    def _on_ack(self, ack: AckEvent) -> None:
+        self.cwnd = 2.0 * self.mss
+
+
+class Student6(_StudentBase):
+    """Gradient-damped growth: expands while the RTT is flat, contracts
+    sharply when the RTT rises (handler: ``(cwnd + 150 mss) / gradient``).
+    """
+
+    name = "student6"
+    BOOST = 0.02  # fraction of 150 MSS added per flat-RTT ack
+
+    def __init__(self, mss: int = 1500, initial_cwnd_segments: int = 10):
+        super().__init__(mss, initial_cwnd_segments)
+        self._prev_rtt: float | None = None
+        self._gradient = 0.0
+
+    def _on_ack(self, ack: AckEvent) -> None:
+        if ack.rtt_sample is not None:
+            if self._prev_rtt is not None:
+                sample = (ack.rtt_sample - self._prev_rtt) / max(
+                    ack.rtt_sample, 1e-6
+                )
+                self._gradient += 0.25 * (sample - self._gradient)
+            self._prev_rtt = ack.rtt_sample
+        damping = 1.0 + max(self._gradient, 0.0) * 50.0
+        target = (self.cwnd + self.BOOST * 150.0 * self.mss) / damping
+        self.cwnd = max(target, 2.0 * self.mss)
+
+
+class Student7(_StudentBase):
+    """Delay-tempered AIMD (handler: ``cwnd + 2 * acked / rtt``): the
+    increase shrinks as queueing inflates the RTT above its floor.
+    """
+
+    name = "student7"
+
+    def _on_ack(self, ack: AckEvent) -> None:
+        if self.latest_rtt is None or self.latest_rtt <= 0:
+            self.cwnd += ack.acked_bytes
+            return
+        ratio = (
+            self.min_rtt / self.latest_rtt
+            if self.min_rtt != float("inf")
+            else 1.0
+        )
+        self.cwnd += 2.0 * ack.acked_bytes * ratio * self.mss / max(
+            self.cwnd, 1.0
+        )
+
+
+#: The seven student algorithms, in Table 2 order.
+STUDENT_CCAS: tuple[type[CongestionControl], ...] = (
+    Student1,
+    Student2,
+    Student3,
+    Student4,
+    Student5,
+    Student6,
+    Student7,
+)

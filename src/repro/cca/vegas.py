@@ -1,0 +1,59 @@
+"""TCP Vegas [Brakmo, O'Malley, Peterson; SIGCOMM '94].
+
+Vegas compares the *expected* throughput (``cwnd / base_rtt``) with the
+*actual* throughput (``cwnd / rtt``); the difference, scaled by the base
+RTT, estimates how many packets the flow keeps queued at the bottleneck.
+The window grows when the estimate is below ``alpha`` packets, shrinks
+when above ``beta``, and holds in between — once per RTT.
+"""
+
+from __future__ import annotations
+
+from repro.cca.base import AckEvent, CongestionControl, LossEvent
+
+__all__ = ["Vegas"]
+
+
+class Vegas(CongestionControl):
+    """TCP Vegas delay-based congestion avoidance."""
+
+    name = "vegas"
+
+    #: Lower/upper bounds on estimated queued packets (kernel: 2 and 4).
+    ALPHA = 2.0
+    BETA = 4.0
+
+    def __init__(self, mss: int = 1500, initial_cwnd_segments: int = 10):
+        super().__init__(mss, initial_cwnd_segments)
+        self._next_update = 0.0
+
+    def queue_estimate(self) -> float:
+        """Estimated packets held in the bottleneck queue (Vegas diff)."""
+        if self.latest_rtt is None or self.min_rtt == float("inf"):
+            return 0.0
+        expected = self.cwnd / self.min_rtt
+        actual = self.cwnd / self.latest_rtt
+        return (expected - actual) * self.min_rtt / self.mss
+
+    def _on_ack(self, ack: AckEvent) -> None:
+        if self.in_slow_start:
+            # Vegas slows its exponential growth: every other RTT.
+            self.cwnd += min(ack.acked_bytes, self.mss) / 2.0
+            if self.queue_estimate() > self.BETA:
+                self.ssthresh = self.cwnd
+            return
+        # One window adjustment per RTT.
+        if self.latest_rtt is None or ack.now < self._next_update:
+            return
+        self._next_update = ack.now + self.latest_rtt
+        diff = self.queue_estimate()
+        if diff < self.ALPHA:
+            self.cwnd += self.mss
+        elif diff > self.BETA:
+            self.cwnd -= self.mss
+
+    def _on_loss(self, loss: LossEvent) -> None:
+        if loss.kind == "timeout":
+            self.timeout_reset()
+        else:
+            self.multiplicative_decrease(0.75)

@@ -1,0 +1,54 @@
+"""TCP Veno [Fu, Liew; JSAC '03].
+
+Veno grafts Vegas's queue estimate onto Reno to distinguish random
+(wireless) loss from congestive loss: when the estimated backlog is below
+``beta`` packets the network is uncongested, so losses cut the window by
+only 20%; when congested, Reno's halving applies.  The increase is also
+tempered: in the congested regime Veno grows every *other* ACK.
+"""
+
+from __future__ import annotations
+
+from repro.cca.base import AckEvent, CongestionControl, LossEvent
+
+__all__ = ["Veno"]
+
+
+class Veno(CongestionControl):
+    """TCP Veno: Reno with a Vegas-style congestion discriminator."""
+
+    name = "veno"
+
+    #: Backlog threshold (packets) separating random from congestive loss.
+    BETA = 3.0
+
+    def __init__(self, mss: int = 1500, initial_cwnd_segments: int = 10):
+        super().__init__(mss, initial_cwnd_segments)
+        self._hold = False  # skip-every-other-ack flag in congested regime
+
+    def _backlog(self) -> float:
+        if self.latest_rtt is None or self.min_rtt == float("inf"):
+            return 0.0
+        expected = self.cwnd / self.min_rtt
+        actual = self.cwnd / self.latest_rtt
+        return (expected - actual) * self.min_rtt / self.mss
+
+    def _on_ack(self, ack: AckEvent) -> None:
+        if self.in_slow_start:
+            self.slow_start_ack(ack)
+            return
+        if self._backlog() < self.BETA:
+            self.reno_ca_ack(ack)
+        else:
+            # Congested: increase at half Reno's pace.
+            self._hold = not self._hold
+            if not self._hold:
+                self.reno_ca_ack(ack)
+
+    def _on_loss(self, loss: LossEvent) -> None:
+        if loss.kind == "timeout":
+            self.timeout_reset()
+        elif self._backlog() < self.BETA:
+            self.multiplicative_decrease(0.8)  # likely random loss
+        else:
+            self.multiplicative_decrease(0.5)  # congestive loss

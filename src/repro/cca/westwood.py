@@ -1,0 +1,36 @@
+"""TCP Westwood(+) [Mascolo et al., MobiCom '01].
+
+Westwood keeps Reno's linear increase but replaces blind halving with
+*bandwidth-estimate* backoff: on loss the window is set to the estimated
+achievable pipe, ``bw_est * min_rtt`` — "faster recovery".  The bandwidth
+estimate is an EWMA of the ACK delivery rate.
+"""
+
+from __future__ import annotations
+
+from repro.cca.base import AckEvent, CongestionControl, LossEvent
+
+__all__ = ["Westwood"]
+
+
+class Westwood(CongestionControl):
+    """TCP Westwood+: Reno increase, bandwidth-estimate decrease."""
+
+    name = "westwood"
+
+    def _on_ack(self, ack: AckEvent) -> None:
+        if self.in_slow_start:
+            self.slow_start_ack(ack)
+        else:
+            self.reno_ca_ack(ack)
+
+    def _on_loss(self, loss: LossEvent) -> None:
+        pipe = self.ack_rate * (
+            self.min_rtt if self.min_rtt != float("inf") else 0.0
+        )
+        if loss.kind == "timeout":
+            self.ssthresh = max(pipe, 2.0 * self.mss)
+            self.cwnd = float(self.mss)
+        else:
+            self.ssthresh = max(pipe, 2.0 * self.mss)
+            self.cwnd = self.ssthresh

@@ -1,0 +1,78 @@
+"""YeAH-TCP [Baiocchi, Castellani, Vacirca; PFLDnet '07].
+
+"Yet Another Highspeed" TCP runs in two modes decided by the estimated
+bottleneck backlog ``Q = (rtt - min_rtt) * cwnd / rtt``: *Fast* mode uses
+a Scalable-TCP increase while the queue is short; *Slow* mode falls back
+to Reno and performs precautionary decongestion (shedding the estimated
+queue) when ``Q`` exceeds ``Q_MAX``.
+"""
+
+from __future__ import annotations
+
+from repro.cca.base import AckEvent, CongestionControl, LossEvent
+
+__all__ = ["Yeah"]
+
+
+class Yeah(CongestionControl):
+    """YeAH-TCP: Scalable when the queue is short, Reno otherwise."""
+
+    name = "yeah"
+
+    #: Maximum tolerated backlog, packets (kernel: 80).
+    Q_MAX = 80.0
+    #: Scalable-style per-acked-byte gain in fast mode.
+    FAST_GAIN = 0.01
+    #: min_rtt/rtt ratio below which the path counts as congested.
+    PHY = 0.8
+
+    def __init__(self, mss: int = 1500, initial_cwnd_segments: int = 10):
+        super().__init__(mss, initial_cwnd_segments)
+        self._next_decongestion = 0.0
+
+    def _queue_packets(self) -> float:
+        if self.latest_rtt is None or self.min_rtt == float("inf"):
+            return 0.0
+        queue_bytes = (
+            (self.latest_rtt - self.min_rtt) * self.cwnd / self.latest_rtt
+        )
+        return max(queue_bytes, 0.0) / self.mss
+
+    def _on_ack(self, ack: AckEvent) -> None:
+        if self.in_slow_start:
+            self.slow_start_ack(ack)
+            return
+        queue = self._queue_packets()
+        rtt_ratio = (
+            self.min_rtt / self.latest_rtt
+            if self.latest_rtt
+            else 1.0
+        )
+        if queue < self.Q_MAX and rtt_ratio > self.PHY:
+            # Fast mode: Scalable-TCP increase.
+            self.cwnd += self.FAST_GAIN * ack.acked_bytes
+        else:
+            # Slow mode: Reno increase plus precautionary decongestion.
+            self.reno_ca_ack(ack)
+            if (
+                queue > self.Q_MAX
+                and self.latest_rtt is not None
+                and ack.now >= self._next_decongestion
+            ):
+                self.cwnd -= min(queue * self.mss / 2.0, self.cwnd / 2.0)
+                self.ssthresh = self.cwnd
+                self._next_decongestion = ack.now + self.latest_rtt
+
+    def _on_loss(self, loss: LossEvent) -> None:
+        if loss.kind == "timeout":
+            self.timeout_reset()
+            return
+        queue = self._queue_packets()
+        if queue > 0 and queue < self.Q_MAX:
+            # Shed exactly the estimated queue.
+            decrease = max(
+                1.0 - queue * self.mss / max(self.cwnd, 1.0), 0.5
+            )
+            self.multiplicative_decrease(decrease)
+        else:
+            self.multiplicative_decrease(0.5)

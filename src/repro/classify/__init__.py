@@ -1,0 +1,36 @@
+"""CCA classifiers: sub-DSL hints for the synthesizer (paper §3.3, §5.1).
+
+Abagnale consumes a classifier's label only to pick which family sub-DSL
+to search.  Two substitutes are provided, mirroring the tools the paper
+uses: a Gordon-style majority-vote classifier for TCP targets and a
+CCAnalyzer-style distance ranker that also reports the closest known CCA
+for Unknown targets.
+"""
+
+from repro.classify.base import (
+    PROBE_ENVIRONMENTS,
+    ClassifierVerdict,
+    ReferenceLibrary,
+    probe_config,
+)
+from repro.classify.ccanalyzer import CCANALYZER_KNOWN_CCAS, CcaAnalyzer
+from repro.classify.features import (
+    SIGNATURE_POINTS,
+    signature_distance,
+    trace_signature,
+)
+from repro.classify.gordon import GORDON_KNOWN_CCAS, GordonClassifier
+
+__all__ = [
+    "PROBE_ENVIRONMENTS",
+    "ClassifierVerdict",
+    "ReferenceLibrary",
+    "probe_config",
+    "CCANALYZER_KNOWN_CCAS",
+    "CcaAnalyzer",
+    "SIGNATURE_POINTS",
+    "signature_distance",
+    "trace_signature",
+    "GORDON_KNOWN_CCAS",
+    "GordonClassifier",
+]

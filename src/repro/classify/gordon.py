@@ -1,0 +1,81 @@
+"""Gordon-style CCA classifier (Mishra et al., SIGMETRICS '20).
+
+Gordon establishes multiple connections to a server and classifies each
+connection as one of its known CCAs, reporting the majority label — or
+"Unknown" when no label wins a majority of connections (paper §5.1,
+Table 3).  This substitute classifies each probe trace by its nearest
+reference signature, requires the winning vote to clear both a majority
+and a per-connection distance threshold, and reports the runner-up hint
+the way Table 3 does.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.classify.base import ClassifierVerdict, ReferenceLibrary
+from repro.trace.model import Trace
+
+__all__ = ["GordonClassifier", "GORDON_KNOWN_CCAS"]
+
+#: The CCAs Gordon recognizes (paper §5.1).
+GORDON_KNOWN_CCAS: tuple[str, ...] = (
+    "bbr",
+    "cubic",
+    "bic",
+    "htcp",
+    "scalable",
+    "yeah",
+    "vegas",
+    "veno",
+    "reno",
+    "illinois",
+    "westwood",
+)
+
+#: A connection whose nearest-reference distance exceeds this does not
+#: count as a confident vote.
+DISTANCE_THRESHOLD = 0.08
+
+
+class GordonClassifier:
+    """Majority-vote nearest-reference classifier over probe connections."""
+
+    def __init__(
+        self,
+        known_ccas: tuple[str, ...] = GORDON_KNOWN_CCAS,
+        *,
+        distance_threshold: float = DISTANCE_THRESHOLD,
+    ):
+        self.library = ReferenceLibrary(known_ccas)
+        self.distance_threshold = distance_threshold
+
+    def classify(self, traces: list[Trace]) -> ClassifierVerdict:
+        """Classify a set of probe connections from one target server."""
+        votes: Counter[str] = Counter()
+        confident_votes: Counter[str] = Counter()
+        best_overall = ("unknown", float("inf"))
+        for trace in traces:
+            name, distance = self.library.nearest(trace)
+            votes[name] += 1
+            if distance < best_overall[1]:
+                best_overall = (name, distance)
+            if distance <= self.distance_threshold:
+                confident_votes[name] += 1
+
+        closest = best_overall[0]
+        if confident_votes:
+            winner, count = confident_votes.most_common(1)[0]
+            if count * 2 > len(traces):  # strict majority of connections
+                return ClassifierVerdict(
+                    label=winner,
+                    closest=winner,
+                    distance=best_overall[1],
+                    votes=dict(votes),
+                )
+        return ClassifierVerdict(
+            label="unknown",
+            closest=closest,
+            distance=best_overall[1],
+            votes=dict(votes),
+        )

@@ -1,0 +1,284 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``collect``     simulate a named CCA over the environment matrix and
+                archive the traces as JSON (plus optional CSV export).
+``classify``    run a classifier on archived traces (or on a named CCA
+                probed live) and print the verdict.
+``synthesize``  reverse-engineer archived traces (or a named CCA) and
+                print the recovered handler with search telemetry.
+``race``        run two or more CCAs in competition over one bottleneck
+                and report goodput shares and Jain's fairness index.
+``stats``       summarize archived traces (goodput, RTT percentiles,
+                loss rate, window statistics).
+``zoo``         list every registered CCA.
+
+Examples
+--------
+::
+
+    python -m repro collect --cca reno --out reno.json
+    python -m repro classify --traces reno.json
+    python -m repro synthesize --traces reno.json --max-nodes 5
+    python -m repro synthesize --cca vegas --time-budget 120
+    python -m repro race --cca bbr reno
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.cca.registry import ALL_CCAS, cca_names
+from repro.dsl.families import FAMILIES, family, with_budget
+from repro.netsim.environments import Environment
+from repro.pipeline import reverse_engineer
+from repro.synth.refinement import SynthesisConfig
+from repro.trace.collect import CollectionConfig, collect_traces
+from repro.trace.io import export_csv, load_traces, save_traces
+from repro.trace.model import Trace
+from repro.trace.noise import NoiseModel
+
+__all__ = ["main", "build_parser"]
+
+
+def _collection_from_args(args: argparse.Namespace) -> CollectionConfig:
+    environments = tuple(
+        Environment(bandwidth_mbps=bw, rtt_ms=rtt)
+        for bw in args.bandwidth
+        for rtt in args.rtt
+    )
+    noise = NoiseModel(
+        jitter_std=args.jitter,
+        dropout=args.dropout,
+        cwnd_error=args.cwnd_error,
+        seed=args.seed,
+    )
+    return CollectionConfig(
+        duration=args.duration, environments=environments, noise=noise
+    )
+
+
+def _add_collection_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--bandwidth",
+        type=float,
+        nargs="+",
+        default=[5.0, 10.0, 15.0],
+        help="bottleneck bandwidths, Mbps (default: 5 10 15)",
+    )
+    parser.add_argument(
+        "--rtt",
+        type=float,
+        nargs="+",
+        default=[25.0, 50.0, 80.0],
+        help="base RTTs, ms (default: 25 50 80)",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=15.0, help="seconds per trace"
+    )
+    parser.add_argument("--jitter", type=float, default=0.0)
+    parser.add_argument("--dropout", type=float, default=0.0)
+    parser.add_argument("--cwnd-error", type=float, default=0.0)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _load_or_collect(args: argparse.Namespace) -> list[Trace]:
+    if getattr(args, "traces", None):
+        return load_traces(args.traces)
+    if getattr(args, "cca", None):
+        return collect_traces(args.cca, _collection_from_args(args))
+    raise SystemExit("error: provide --traces FILE or --cca NAME")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Abagnale: reverse-engineer CCA behavior from traces",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    collect = commands.add_parser("collect", help="simulate and archive traces")
+    collect.add_argument("--cca", required=True, choices=sorted(ALL_CCAS))
+    collect.add_argument("--out", required=True, help="output JSON path")
+    collect.add_argument("--csv", help="also export the first trace as CSV")
+    _add_collection_args(collect)
+
+    classify = commands.add_parser("classify", help="classify traces")
+    classify.add_argument("--traces", help="JSON archive from 'collect'")
+    classify.add_argument("--cca", choices=sorted(ALL_CCAS))
+    classify.add_argument(
+        "--classifier", choices=("gordon", "ccanalyzer"), default="gordon"
+    )
+    _add_collection_args(classify)
+
+    synthesize = commands.add_parser(
+        "synthesize", help="reverse-engineer a handler expression"
+    )
+    synthesize.add_argument("--traces", help="JSON archive from 'collect'")
+    synthesize.add_argument("--cca", choices=sorted(ALL_CCAS))
+    synthesize.add_argument(
+        "--classifier", choices=("gordon", "ccanalyzer"), default="gordon"
+    )
+    synthesize.add_argument(
+        "--dsl", choices=sorted(FAMILIES), help="skip the classifier"
+    )
+    synthesize.add_argument("--max-depth", type=int, default=3)
+    synthesize.add_argument("--max-nodes", type=int, default=5)
+    synthesize.add_argument("--metric", default="dtw")
+    synthesize.add_argument("--samples", type=int, default=8, help="initial N")
+    synthesize.add_argument("--keep", type=int, default=5, help="initial k")
+    synthesize.add_argument("--iterations", type=int, default=3)
+    synthesize.add_argument("--workers", type=int, default=1)
+    synthesize.add_argument(
+        "--time-budget", type=float, default=None, help="seconds"
+    )
+    _add_collection_args(synthesize)
+
+    race = commands.add_parser(
+        "race", help="run CCAs in competition and report fairness"
+    )
+    race.add_argument(
+        "--cca",
+        nargs="+",
+        required=True,
+        choices=sorted(ALL_CCAS),
+        help="two or more CCAs to race",
+    )
+    race.add_argument("--bandwidth-mbps", type=float, default=10.0)
+    race.add_argument("--rtt-ms", type=float, default=50.0)
+    race.add_argument("--queue-bdp", type=float, default=1.0)
+    race.add_argument("--duration", type=float, default=25.0)
+
+    stats = commands.add_parser("stats", help="summarize archived traces")
+    stats.add_argument("--traces", required=True, help="JSON archive")
+
+    commands.add_parser("zoo", help="list registered CCAs")
+    return parser
+
+
+def _cmd_collect(args: argparse.Namespace) -> int:
+    traces = collect_traces(args.cca, _collection_from_args(args))
+    save_traces(traces, args.out)
+    total_acks = sum(len(trace.acks) for trace in traces)
+    print(f"wrote {len(traces)} traces ({total_acks} acks) to {args.out}")
+    if args.csv:
+        export_csv(traces[0], args.csv)
+        print(f"wrote CSV of {traces[0].environment_label} to {args.csv}")
+    return 0
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    from repro.classify import CcaAnalyzer, GordonClassifier
+
+    traces = _load_or_collect(args)
+    tool = GordonClassifier() if args.classifier == "gordon" else CcaAnalyzer()
+    verdict = tool.classify(traces)
+    print(f"verdict:  {verdict.render()}")
+    print(f"closest:  {verdict.closest} (distance {verdict.distance:.3f})")
+    if verdict.votes:
+        print(f"votes:    {verdict.votes}")
+    return 0
+
+
+def _cmd_synthesize(args: argparse.Namespace) -> int:
+    traces = _load_or_collect(args)
+    config = SynthesisConfig(
+        metric=args.metric,
+        initial_samples=args.samples,
+        initial_keep=args.keep,
+        max_iterations=args.iterations,
+        workers=args.workers,
+        time_budget_seconds=args.time_budget,
+    )
+    dsl = None
+    if args.dsl:
+        dsl = with_budget(
+            family(args.dsl), max_depth=args.max_depth, max_nodes=args.max_nodes
+        )
+    report = reverse_engineer(
+        traces,
+        classifier=args.classifier,
+        dsl=dsl,
+        config=config,
+        max_depth=None if args.dsl else args.max_depth,
+        max_nodes=None if args.dsl else args.max_nodes,
+    )
+    print(report.summary())
+    return 0
+
+
+def _cmd_race(args: argparse.Namespace) -> int:
+    from repro.cca.registry import make_cca
+    from repro.netsim.multiflow import fairness_report, simulate_competition
+
+    env = Environment(
+        bandwidth_mbps=args.bandwidth_mbps,
+        rtt_ms=args.rtt_ms,
+        queue_bdp=args.queue_bdp,
+    )
+    traces = simulate_competition(
+        [make_cca(name) for name in args.cca], env, duration=args.duration
+    )
+    window = (args.duration / 2.0, args.duration)
+    report = fairness_report(traces, window=window)
+    print(f"racing {', '.join(args.cca)} over {env.label} "
+          f"({env.queue_capacity_bytes} B buffer)")
+    for key, value in report.items():
+        if key.startswith("share_"):
+            print(f"  {key}: {value:.1%}")
+    print(f"  jain_index: {report['jain_index']:.3f}")
+    print(f"  aggregate:  {report['total_rate'] * 8 / 1e6:.2f} Mbps")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.trace.stats import summarize
+
+    for trace in load_traces(args.traces):
+        stats = summarize(trace)
+        print(f"{trace.cca_name} @ {trace.environment_label}:")
+        print(
+            f"  goodput {stats.goodput_bps / 1e6:.2f} Mbps over "
+            f"{stats.duration:.1f}s ({stats.delivered_bytes} B)"
+        )
+        print(
+            f"  rtt min/p50/p95 {stats.rtt_min * 1e3:.1f}/"
+            f"{stats.rtt_p50 * 1e3:.1f}/{stats.rtt_p95 * 1e3:.1f} ms "
+            f"(inflation x{stats.rtt_inflation():.2f})"
+        )
+        print(
+            f"  losses {stats.loss_events} "
+            f"({stats.loss_rate_per_sec:.2f}/s), window mean "
+            f"{stats.cwnd_mean:.0f} B [{stats.cwnd_p10:.0f}"
+            f"..{stats.cwnd_p90:.0f}]"
+        )
+    return 0
+
+
+def _cmd_zoo(_: argparse.Namespace) -> int:
+    for name in cca_names():
+        cls = ALL_CCAS[name]
+        doc = (cls.__doc__ or "").strip().splitlines()[0]
+        print(f"{name:10s} {doc}")
+    return 0
+
+
+_COMMANDS = {
+    "collect": _cmd_collect,
+    "classify": _cmd_classify,
+    "synthesize": _cmd_synthesize,
+    "race": _cmd_race,
+    "stats": _cmd_stats,
+    "zoo": _cmd_zoo,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,54 @@
+"""Distance-metric registry.
+
+A metric is any callable ``(left, right) -> float`` over two 1-D numpy
+arrays.  The registry names the four metrics of the paper's §4.3 study so
+that configuration (and Figure 3's sweep) can select them by string.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+import numpy as np
+
+from repro.distance.dtw import dtw_distance
+from repro.distance.frechet import frechet_distance, lag_distance
+from repro.distance.pointwise import (
+    correlation_distance,
+    euclidean_distance,
+    manhattan_distance,
+)
+from repro.errors import ReproError
+
+__all__ = ["DistanceMetric", "METRICS", "get_metric", "DEFAULT_METRIC"]
+
+
+class DistanceMetric(Protocol):
+    """Signature every distance metric satisfies."""
+
+    def __call__(self, left: np.ndarray, right: np.ndarray) -> float: ...
+
+
+#: The named metrics: the four of the §4.3 comparison plus the two
+#: "additionally evaluated" alignment metrics (Fréchet, bounded-lag).
+METRICS: dict[str, Callable[[np.ndarray, np.ndarray], float]] = {
+    "dtw": dtw_distance,
+    "euclidean": euclidean_distance,
+    "manhattan": manhattan_distance,
+    "correlation": correlation_distance,
+    "frechet": frechet_distance,
+    "lag": lag_distance,
+}
+
+#: The paper configures Abagnale with DTW "unless otherwise described".
+DEFAULT_METRIC = "dtw"
+
+
+def get_metric(name: str) -> Callable[[np.ndarray, np.ndarray], float]:
+    """Look up a metric by name, raising on unknown names."""
+    try:
+        return METRICS[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown distance metric {name!r}; known: {sorted(METRICS)}"
+        ) from None

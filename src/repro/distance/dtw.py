@@ -1,0 +1,89 @@
+"""Dynamic Time Warping distance (Berndt & Clifford, KDD '94).
+
+DTW is Abagnale's primary metric (§4.3): it is alignment-based, so the
+temporal shifts that measurement noise introduces between a synthesized
+trace and an observed one do not dominate the score.  The paper finds DTW
+"remains correct for the widest range of constant error" among the
+metrics considered.
+
+The implementation is the classic O(n·m) dynamic program with an optional
+Sakoe-Chiba band, vectorized row-by-row with numpy.  Cost is absolute
+difference (L1 ground distance); the returned value is normalized by the
+warping-path-length bound (n + m) so segments of different lengths are
+comparable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distance.preprocess import SERIES_BUDGET, downsample
+
+__all__ = ["dtw_distance", "dtw_matrix"]
+
+_INF = float("inf")
+
+
+def dtw_matrix(
+    left: np.ndarray, right: np.ndarray, *, band: float | None = 0.2
+) -> np.ndarray:
+    """Return the (n+1)x(m+1) accumulated-cost matrix of the DTW DP.
+
+    ``band`` is the Sakoe-Chiba band half-width as a fraction of the
+    longer series; ``None`` disables banding.
+    """
+    left = np.asarray(left, dtype=float)
+    right = np.asarray(right, dtype=float)
+    n, m = left.size, right.size
+    if n == 0 or m == 0:
+        raise ValueError("DTW requires non-empty series")
+    width = max(n, m) if band is None else max(int(band * max(n, m)), 2)
+    # The band must at least cover the diagonal slope difference.
+    width = max(width, abs(n - m) + 1)
+
+    cost = np.full((n + 1, m + 1), _INF)
+    cost[0, 0] = 0.0
+    for i in range(1, n + 1):
+        lo = max(1, i - width)
+        hi = min(m, i + width)
+        row_cost = np.abs(left[i - 1] - right[lo - 1 : hi])
+        diag = cost[i - 1, lo - 1 : hi]
+        above = cost[i - 1, lo : hi + 1]
+        best_prev = np.minimum(diag, above)
+        # The row recurrence r_j = c_j + min(b_j, r_{j-1}) has the closed
+        # form r_j = S_j + min(r_lo, min_{k<=j} (b_k - S_{k-1})) with
+        # S the prefix sums of c — so the whole row vectorizes as a
+        # cumulative sum plus a running minimum (no Python inner loop).
+        prefix = np.cumsum(row_cost)
+        shifted = np.empty_like(prefix)
+        shifted[0] = 0.0
+        shifted[1:] = prefix[:-1]
+        with np.errstate(invalid="ignore"):
+            running = np.minimum.accumulate(best_prev - shifted)
+            boundary = cost[i, lo - 1]
+            cost[i, lo : hi + 1] = prefix + np.minimum(running, boundary)
+    return cost
+
+
+def dtw_distance(
+    left: np.ndarray,
+    right: np.ndarray,
+    *,
+    band: float | None = 0.2,
+    budget: int = SERIES_BUDGET,
+) -> float:
+    """Normalized DTW distance between two series.
+
+    Both series are down-sampled to *budget* points; the accumulated
+    warping cost is divided by the path-length bound so different segment
+    lengths score comparably.
+    """
+    left = downsample(left, budget)
+    right = downsample(right, budget)
+    cost = dtw_matrix(left, right, band=band)
+    total = cost[left.size, right.size]
+    if total == _INF:
+        # Band too narrow for these lengths; fall back to an exact pass.
+        cost = dtw_matrix(left, right, band=None)
+        total = cost[left.size, right.size]
+    return float(total / (left.size + right.size))

@@ -1,0 +1,78 @@
+"""Additional alignment-based metrics: discrete Fréchet and lag distance.
+
+The paper's §4.3 footnote notes it "additionally evaluated other distance
+metrics" beyond the four it plots; these two are the natural candidates
+for cwnd time series and round out the registry:
+
+* **discrete Fréchet** — like DTW an alignment distance, but scored by
+  the *maximum* ground cost along the best coupling rather than the sum:
+  sensitive to the single worst excursion, which makes it stricter on
+  pulse amplitude mismatches.
+* **lag distance** — the minimum Euclidean distance over bounded integer
+  shifts of one series against the other; a cheap shift-tolerant metric
+  that (unlike DTW) cannot warp time non-uniformly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distance.preprocess import SERIES_BUDGET, align_pair, downsample
+
+__all__ = ["frechet_distance", "lag_distance"]
+
+
+def frechet_distance(
+    left: np.ndarray,
+    right: np.ndarray,
+    *,
+    budget: int = SERIES_BUDGET,
+) -> float:
+    """Discrete Fréchet distance with |.| ground cost.
+
+    Classic Eiter-Mannila dynamic program, vectorized row-wise: the
+    coupling cost is ``max`` along the path, minimized over couplings.
+    """
+    a = downsample(np.asarray(left, dtype=float), budget)
+    b = downsample(np.asarray(right, dtype=float), budget)
+    if a.size == 0 or b.size == 0:
+        raise ValueError("Fréchet distance requires non-empty series")
+    m = b.size
+    previous = np.maximum.accumulate(np.abs(a[0] - b)).tolist()
+    for i in range(1, a.size):
+        cost = np.abs(a[i] - b).tolist()
+        current = [max(previous[0], cost[0])]
+        for j in range(1, m):
+            reachable = min(previous[j], previous[j - 1], current[j - 1])
+            current.append(max(cost[j], reachable))
+        previous = current
+    return float(previous[-1])
+
+
+def lag_distance(
+    left: np.ndarray,
+    right: np.ndarray,
+    *,
+    budget: int = SERIES_BUDGET,
+    max_lag_fraction: float = 0.2,
+) -> float:
+    """Minimum RMS difference over bounded integer shifts.
+
+    The two series are aligned to a common length; one is slid against
+    the other by up to ``max_lag_fraction`` of the length, and the best
+    overlap's root-mean-square difference is returned.
+    """
+    a, b = align_pair(left, right, budget)
+    n = a.size
+    max_lag = max(int(max_lag_fraction * n), 1)
+    best = float("inf")
+    for lag in range(-max_lag, max_lag + 1):
+        if lag >= 0:
+            left_part, right_part = a[lag:], b[: n - lag]
+        else:
+            left_part, right_part = a[: n + lag], b[-lag:]
+        if left_part.size < max(n // 2, 1):
+            continue
+        rms = float(np.sqrt(np.mean((left_part - right_part) ** 2)))
+        best = min(best, rms)
+    return best

@@ -1,0 +1,51 @@
+"""Point-wise distance metrics: Euclidean, Manhattan, correlation.
+
+These are the alternatives Abagnale evaluates against DTW in its
+distance-metric study (§4.3, Figure 3).  Each aligns the two series to a
+common length first; the Euclidean and Manhattan values are normalized by
+series length so segment size does not dominate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distance.preprocess import SERIES_BUDGET, align_pair
+
+__all__ = ["euclidean_distance", "manhattan_distance", "correlation_distance"]
+
+
+def euclidean_distance(
+    left: np.ndarray, right: np.ndarray, *, budget: int = SERIES_BUDGET
+) -> float:
+    """Root-mean-square point-wise difference."""
+    a, b = align_pair(left, right, budget)
+    return float(np.sqrt(np.mean((a - b) ** 2)))
+
+
+def manhattan_distance(
+    left: np.ndarray, right: np.ndarray, *, budget: int = SERIES_BUDGET
+) -> float:
+    """Mean absolute point-wise difference."""
+    a, b = align_pair(left, right, budget)
+    return float(np.mean(np.abs(a - b)))
+
+
+def correlation_distance(
+    left: np.ndarray, right: np.ndarray, *, budget: int = SERIES_BUDGET
+) -> float:
+    """``1 - Pearson correlation``, rescaled to [0, 2].
+
+    Shape-only: invariant to affine scaling of either series, so it
+    ignores constant-gain errors entirely but also cannot distinguish
+    handlers that differ only in magnitude.
+    """
+    a, b = align_pair(left, right, budget)
+    std_a = a.std()
+    std_b = b.std()
+    if std_a == 0.0 or std_b == 0.0:
+        # A flat series correlates with nothing; maximal distance unless
+        # both are flat at the same level.
+        return 0.0 if np.allclose(a, b) else 2.0
+    correlation = float(np.corrcoef(a, b)[0, 1])
+    return 1.0 - correlation

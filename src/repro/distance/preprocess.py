@@ -1,0 +1,53 @@
+"""Series preprocessing shared by the distance metrics.
+
+Distance metrics compare a *synthesized* cwnd series against the
+*observed* one.  The two series are aligned per-ACK (replay produces one
+value per trace ACK) but metrics such as Euclidean require equal lengths
+and benefit from bounded size; DTW cost grows quadratically.  This module
+provides down-sampling to a budget and scale normalization, both
+deterministic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["downsample", "align_pair", "normalize_scale", "SERIES_BUDGET"]
+
+#: Default maximum number of points a metric operates on.
+SERIES_BUDGET = 256
+
+
+def downsample(series: np.ndarray, budget: int = SERIES_BUDGET) -> np.ndarray:
+    """Reduce *series* to at most *budget* points by uniform picking.
+
+    Uniform index picking (rather than averaging) preserves the extremes
+    of sawtooth and pulse patterns that distinguish CCAs.
+    """
+    series = np.asarray(series, dtype=float)
+    if series.size <= budget:
+        return series
+    indices = np.linspace(0, series.size - 1, budget).round().astype(int)
+    return series[indices]
+
+
+def align_pair(
+    left: np.ndarray, right: np.ndarray, budget: int = SERIES_BUDGET
+) -> tuple[np.ndarray, np.ndarray]:
+    """Down-sample both series to a common length (the smaller of the
+    two lengths, capped at *budget*) for point-wise metrics."""
+    target = min(len(left), len(right), budget)
+    if target <= 0:
+        raise ValueError("cannot align empty series")
+    return downsample(np.asarray(left, float), target), downsample(
+        np.asarray(right, float), target
+    )
+
+
+def normalize_scale(series: np.ndarray, mss: float) -> np.ndarray:
+    """Express a cwnd series in segments (divide by MSS).
+
+    Distances in segment units keep reported values in the same ballpark
+    across environments, mirroring the paper's segment-scale plots.
+    """
+    return np.asarray(series, dtype=float) / float(mss)

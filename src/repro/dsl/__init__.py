@@ -1,0 +1,124 @@
+"""Abagnale's domain-specific language for cwnd-ack handlers.
+
+The public surface re-exports the AST node types, evaluation, parsing,
+printing, simplification, type/unit checking, macros and the curated
+family sub-DSLs.  Typical use::
+
+    from repro import dsl
+
+    handler = dsl.parse("cwnd + 0.7 * reno_inc")
+    dsl.check_handler(handler)
+    next_cwnd = dsl.evaluate(handler, {"cwnd": 30000, "mss": 1500,
+                                       "acked_bytes": 1500})
+    print(dsl.to_text(dsl.simplify(handler)))
+"""
+
+from repro.dsl.ast import (
+    ARITH_OPS,
+    CMP_OPS,
+    BinOp,
+    BoolExpr,
+    Cbrt,
+    Cmp,
+    Cond,
+    Const,
+    Cube,
+    Expr,
+    Macro,
+    ModEq,
+    NumExpr,
+    Signal,
+    children,
+    depth,
+    fill_holes,
+    holes,
+    macros_used,
+    node_count,
+    operators_used,
+    rename_holes,
+    signals_used,
+    walk,
+    with_children,
+)
+from repro.dsl.evaluate import Environment, evaluate, evaluate_bool
+from repro.dsl.families import (
+    CUBIC_DSL,
+    DEFAULT_CONSTANT_POOL,
+    DELAY_DSL,
+    FAMILIES,
+    RENO_DSL,
+    VEGAS_DSL,
+    DslSpec,
+    dsl_for_classifier_label,
+    family,
+    with_budget,
+)
+from repro.dsl.macros import MACROS, MacroDef, expand_macros, macro_definition
+from repro.dsl.parser import parse
+from repro.dsl.printer import to_text
+from repro.dsl.simplify import is_simplifiable, simplify
+from repro.dsl.typecheck import (
+    SIGNAL_UNITS,
+    check_handler,
+    infer_unit,
+    is_well_formed,
+)
+
+__all__ = [
+    # ast
+    "ARITH_OPS",
+    "CMP_OPS",
+    "BinOp",
+    "BoolExpr",
+    "Cbrt",
+    "Cmp",
+    "Cond",
+    "Const",
+    "Cube",
+    "Expr",
+    "Macro",
+    "ModEq",
+    "NumExpr",
+    "Signal",
+    "children",
+    "depth",
+    "fill_holes",
+    "holes",
+    "macros_used",
+    "node_count",
+    "operators_used",
+    "rename_holes",
+    "signals_used",
+    "walk",
+    "with_children",
+    # evaluation
+    "Environment",
+    "evaluate",
+    "evaluate_bool",
+    # families
+    "CUBIC_DSL",
+    "DEFAULT_CONSTANT_POOL",
+    "DELAY_DSL",
+    "FAMILIES",
+    "RENO_DSL",
+    "VEGAS_DSL",
+    "DslSpec",
+    "dsl_for_classifier_label",
+    "family",
+    "with_budget",
+    # macros
+    "MACROS",
+    "MacroDef",
+    "expand_macros",
+    "macro_definition",
+    # parsing / printing / simplification
+    "parse",
+    "to_text",
+    "is_simplifiable",
+    "simplify",
+    # checking
+    "SIGNAL_UNITS",
+    "check_handler",
+    "infer_unit",
+    "is_well_formed",
+]

@@ -1,0 +1,301 @@
+"""Abstract syntax trees for Abagnale's congestion-control DSL.
+
+The DSL (paper Listing 1) has two syntactic categories:
+
+``num``
+    congestion signals, the congestion window, constants, the four
+    arithmetic operators, conditionals, cube and cube-root.
+
+``bool``
+    comparisons between numbers and the modular test ``num % num = 0``.
+
+A *sketch* is an AST whose :class:`Const` leaves are **holes** — constants
+with no value yet (``value is None``).  The enumerator produces sketches;
+concretization (``repro.synth.concretize``) fills holes with values from a
+constant pool, producing a *handler*: a closed expression that maps a
+per-ack signal environment to the next congestion window in bytes.
+
+Macros (paper Table 1) are leaf nodes: per §6.1, "we encode reno-inc as a
+macro in Abagnale's DSL, so that sub-expression does not increase the
+depth".  Their expansions live in :mod:`repro.dsl.macros`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import Iterator
+
+__all__ = [
+    "Expr",
+    "NumExpr",
+    "BoolExpr",
+    "Const",
+    "Signal",
+    "Macro",
+    "BinOp",
+    "Cond",
+    "Cube",
+    "Cbrt",
+    "Cmp",
+    "ModEq",
+    "ARITH_OPS",
+    "CMP_OPS",
+    "children",
+    "with_children",
+    "walk",
+    "depth",
+    "node_count",
+    "holes",
+    "operators_used",
+    "signals_used",
+    "macros_used",
+    "fill_holes",
+    "rename_holes",
+]
+
+#: Binary arithmetic operator tokens accepted by :class:`BinOp`.
+ARITH_OPS = ("+", "-", "*", "/")
+#: Comparison operator tokens accepted by :class:`Cmp`.
+CMP_OPS = ("<", ">")
+
+
+@dataclass(frozen=True, slots=True)
+class Expr:
+    """Base class for every DSL AST node."""
+
+
+@dataclass(frozen=True, slots=True)
+class NumExpr(Expr):
+    """Base class for nodes of syntactic category ``num``."""
+
+
+@dataclass(frozen=True, slots=True)
+class BoolExpr(Expr):
+    """Base class for nodes of syntactic category ``bool``."""
+
+
+@dataclass(frozen=True, slots=True)
+class Const(NumExpr):
+    """A numeric constant, or a *hole* when ``value is None``.
+
+    ``hole_id`` distinguishes holes within one sketch so that
+    concretization can assign them independently (c1, c2, ... in the
+    paper's equation 2).
+    """
+
+    value: float | None = None
+    hole_id: int | None = None
+
+    @property
+    def is_hole(self) -> bool:
+        return self.value is None
+
+
+@dataclass(frozen=True, slots=True)
+class Signal(NumExpr):
+    """A congestion signal or state variable read from the environment.
+
+    Names follow the paper's Listing 1: ``cwnd``, ``mss``, ``acked_bytes``,
+    ``time_since_loss``, ``rtt``, ``min_rtt``, ``max_rtt``, ``ack_rate``,
+    ``rtt_gradient``, plus ``wmax`` for the Cubic DSL.
+    """
+
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class Macro(NumExpr):
+    """A named macro leaf (paper Table 1), e.g. ``reno_inc``.
+
+    Macros count as a single node / depth-1 leaf during enumeration; their
+    definitions are expanded only at evaluation time.
+    """
+
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class BinOp(NumExpr):
+    """One of the four arithmetic operators applied to two numbers."""
+
+    op: str
+    left: NumExpr
+    right: NumExpr
+
+    def __post_init__(self) -> None:
+        if self.op not in ARITH_OPS:
+            raise ValueError(f"unknown arithmetic operator {self.op!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class Cond(NumExpr):
+    """The ternary conditional ``bool ? num : num``."""
+
+    pred: BoolExpr
+    then: NumExpr
+    otherwise: NumExpr
+
+
+@dataclass(frozen=True, slots=True)
+class Cube(NumExpr):
+    """``num ** 3`` (Cubic-DSL extension)."""
+
+    arg: NumExpr
+
+
+@dataclass(frozen=True, slots=True)
+class Cbrt(NumExpr):
+    """``num ** (1/3)`` (Cubic-DSL extension)."""
+
+    arg: NumExpr
+
+
+@dataclass(frozen=True, slots=True)
+class Cmp(BoolExpr):
+    """``num < num`` or ``num > num``."""
+
+    op: str
+    left: NumExpr
+    right: NumExpr
+
+    def __post_init__(self) -> None:
+        if self.op not in CMP_OPS:
+            raise ValueError(f"unknown comparison operator {self.op!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class ModEq(BoolExpr):
+    """The modular test ``num % num = 0`` (used by pulsing handlers)."""
+
+    left: NumExpr
+    right: NumExpr
+
+
+def children(expr: Expr) -> tuple[Expr, ...]:
+    """Return the direct sub-expressions of *expr* in syntactic order."""
+    out: list[Expr] = []
+    for field in fields(expr):
+        value = getattr(expr, field.name)
+        if isinstance(value, Expr):
+            out.append(value)
+    return tuple(out)
+
+
+def with_children(expr: Expr, new_children: tuple[Expr, ...]) -> Expr:
+    """Return a copy of *expr* with its sub-expressions replaced in order."""
+    child_fields = [
+        field.name
+        for field in fields(expr)
+        if isinstance(getattr(expr, field.name), Expr)
+    ]
+    if len(child_fields) != len(new_children):
+        raise ValueError(
+            f"{type(expr).__name__} has {len(child_fields)} children, "
+            f"got {len(new_children)}"
+        )
+    updates = dict(zip(child_fields, new_children))
+    return replace(expr, **updates) if updates else expr
+
+
+def walk(expr: Expr) -> Iterator[Expr]:
+    """Yield *expr* and every descendant, pre-order."""
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(reversed(children(node)))
+
+
+def depth(expr: Expr) -> int:
+    """AST depth, counting leaves (including macros) as depth 1."""
+    kids = children(expr)
+    if not kids:
+        return 1
+    return 1 + max(depth(child) for child in kids)
+
+
+def node_count(expr: Expr) -> int:
+    """Total number of AST nodes, counting macros as one node."""
+    return sum(1 for _ in walk(expr))
+
+
+def holes(expr: Expr) -> tuple[Const, ...]:
+    """All hole constants in *expr*, in pre-order."""
+    return tuple(
+        node for node in walk(expr) if isinstance(node, Const) and node.is_hole
+    )
+
+
+def operators_used(expr: Expr) -> frozenset[str]:
+    """The set of operator names appearing in *expr*.
+
+    This is Abagnale's bucket discriminator (paper §4.4, option 2):
+    arithmetic operators by token, plus ``cond``, ``cube``, ``cbrt``,
+    ``cmp`` and ``modeq``.
+    """
+    ops: set[str] = set()
+    for node in walk(expr):
+        if isinstance(node, BinOp):
+            ops.add(node.op)
+        elif isinstance(node, Cond):
+            ops.add("cond")
+        elif isinstance(node, Cube):
+            ops.add("cube")
+        elif isinstance(node, Cbrt):
+            ops.add("cbrt")
+        elif isinstance(node, Cmp):
+            ops.add("cmp")
+        elif isinstance(node, ModEq):
+            ops.add("modeq")
+    return frozenset(ops)
+
+
+def signals_used(expr: Expr) -> frozenset[str]:
+    """The set of signal names appearing in *expr*."""
+    return frozenset(
+        node.name for node in walk(expr) if isinstance(node, Signal)
+    )
+
+
+def macros_used(expr: Expr) -> frozenset[str]:
+    """The set of macro names appearing in *expr*."""
+    return frozenset(node.name for node in walk(expr) if isinstance(node, Macro))
+
+
+def rename_holes(expr: Expr) -> Expr:
+    """Return *expr* with holes renumbered 0, 1, 2, ... in pre-order.
+
+    Enumeration may produce holes with arbitrary ids; canonical numbering
+    makes structurally identical sketches compare equal.
+    """
+    counter = 0
+
+    def rec(node: Expr) -> Expr:
+        nonlocal counter
+        if isinstance(node, Const) and node.is_hole:
+            renamed = Const(None, counter)
+            counter += 1
+            return renamed
+        kids = children(node)
+        if not kids:
+            return node
+        return with_children(node, tuple(rec(child) for child in kids))
+
+    return rec(expr)
+
+
+def fill_holes(expr: Expr, assignment: dict[int, float]) -> Expr:
+    """Return *expr* with each hole replaced by ``assignment[hole_id]``.
+
+    Raises :class:`KeyError` if a hole has no assigned value.
+    """
+
+    def rec(node: Expr) -> Expr:
+        if isinstance(node, Const) and node.is_hole:
+            return Const(assignment[node.hole_id], None)
+        kids = children(node)
+        if not kids:
+            return node
+        return with_children(node, tuple(rec(child) for child in kids))
+
+    return rec(expr)

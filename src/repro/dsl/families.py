@@ -1,0 +1,205 @@
+"""Curated sub-DSLs per CCA family (paper §3.3, Listing 1).
+
+Including every known congestion signal in one DSL makes the search space
+intractable, so Abagnale is invoked with a *family* sub-DSL chosen from a
+classifier hint.  The families mirror the paper:
+
+* ``reno``   — the base DSL: window/ack/loss-timing signals, arithmetic,
+  conditionals, and the ``reno_inc`` macro.
+* ``cubic``  — base DSL plus cube/cube-root and the ``wmax`` state signal
+  (teal extensions in Listing 1).  Unit checking is disabled, exactly as
+  the paper does for Cubic (§5.5).
+* ``delay``  — base DSL plus the rate/delay signals (olive extensions):
+  RTT, min/max RTT, ACK rate, RTT gradient, and the ``rtts_since_loss``
+  macro used by BBR-style handlers.
+* ``vegas``  — the delay DSL plus the ``vegas_diff`` and ``htcp_diff``
+  macros used by Vegas/Veno/YeAH/H-TCP/Illinois-style handlers.
+
+Depth/node-capped variants (``delay``-7, ``delay``-11, ``vegas``-11) back
+the Figure 6 experiment and are built with :func:`with_budget`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.dsl.macros import MACROS
+from repro.errors import DslError
+
+__all__ = [
+    "DslSpec",
+    "RENO_DSL",
+    "CUBIC_DSL",
+    "DELAY_DSL",
+    "VEGAS_DSL",
+    "FAMILIES",
+    "family",
+    "with_budget",
+    "dsl_for_classifier_label",
+    "DEFAULT_CONSTANT_POOL",
+]
+
+#: Default placeholder constant values for hole concretization (§4.2):
+#: a small set of values observed in known CCAs' increase/decrease rules.
+DEFAULT_CONSTANT_POOL: tuple[float, ...] = (
+    0.16,
+    0.2,
+    0.25,
+    0.3,
+    0.35,
+    0.37,
+    0.5,
+    0.68,
+    0.7,
+    1.0,
+    1.3,
+    2.0,
+    2.05,
+    2.6,
+    2.7,
+    3.0,
+    5.0,
+    8.0,
+)
+
+_BASE_SIGNALS = ("cwnd", "mss", "acked_bytes", "time_since_loss")
+_DELAY_SIGNALS = ("rtt", "min_rtt", "max_rtt", "ack_rate", "rtt_gradient")
+_BASE_OPERATORS = ("+", "-", "*", "/", "cond", "cmp", "modeq")
+
+
+@dataclass(frozen=True)
+class DslSpec:
+    """A sub-DSL: the component set and search budget for one invocation.
+
+    ``operators`` uses the discriminator tokens of
+    :func:`repro.dsl.ast.operators_used`: the four arithmetic tokens plus
+    ``cond``/``cmp``/``modeq``/``cube``/``cbrt``.
+    """
+
+    name: str
+    signals: tuple[str, ...]
+    operators: tuple[str, ...]
+    macros: tuple[str, ...]
+    constant_pool: tuple[float, ...] = DEFAULT_CONSTANT_POOL
+    max_depth: int = 4
+    max_nodes: int = 9
+    strict_units: bool = True
+
+    def __post_init__(self) -> None:
+        for macro in self.macros:
+            if macro not in MACROS:
+                raise DslError(f"DSL {self.name!r}: unknown macro {macro!r}")
+        if self.max_depth < 1 or self.max_nodes < 1:
+            raise DslError(f"DSL {self.name!r}: budgets must be positive")
+
+    @property
+    def component_count(self) -> int:
+        """Number of distinct DSL elements (paper counts ~11 for Reno)."""
+        return len(self.signals) + len(self.operators) + len(self.macros) + 1
+
+    @property
+    def leaves(self) -> tuple[str, ...]:
+        """All leaf component names: signals then macros."""
+        return self.signals + self.macros
+
+
+RENO_DSL = DslSpec(
+    name="reno",
+    signals=_BASE_SIGNALS,
+    operators=_BASE_OPERATORS,
+    macros=("reno_inc",),
+)
+
+CUBIC_DSL = DslSpec(
+    name="cubic",
+    signals=_BASE_SIGNALS + ("wmax",),
+    operators=_BASE_OPERATORS + ("cube", "cbrt"),
+    macros=("reno_inc",),
+    max_depth=5,
+    max_nodes=11,
+    # The paper runs Cubic with unit constraints disabled because the
+    # integer-unit encoding cannot check cube roots (§5.5).
+    strict_units=False,
+)
+
+DELAY_DSL = DslSpec(
+    name="delay",
+    signals=_BASE_SIGNALS + _DELAY_SIGNALS,
+    operators=_BASE_OPERATORS,
+    macros=("reno_inc", "rtts_since_loss"),
+    max_depth=4,
+    max_nodes=9,
+)
+
+VEGAS_DSL = DslSpec(
+    name="vegas",
+    signals=_BASE_SIGNALS + _DELAY_SIGNALS,
+    operators=_BASE_OPERATORS,
+    macros=("reno_inc", "rtts_since_loss", "vegas_diff", "htcp_diff"),
+    max_depth=5,
+    max_nodes=11,
+)
+
+#: Registry of the built-in families, keyed by family name.
+FAMILIES: dict[str, DslSpec] = {
+    spec.name: spec for spec in (RENO_DSL, CUBIC_DSL, DELAY_DSL, VEGAS_DSL)
+}
+
+
+def family(name: str) -> DslSpec:
+    """Look up a built-in family DSL by name."""
+    try:
+        return FAMILIES[name]
+    except KeyError:
+        raise DslError(
+            f"unknown DSL family {name!r}; known: {sorted(FAMILIES)}"
+        ) from None
+
+
+def with_budget(
+    spec: DslSpec, *, max_depth: int | None = None, max_nodes: int | None = None
+) -> DslSpec:
+    """Return *spec* with a different search budget (e.g. Delay-7, Vegas-11).
+
+    The paper names such variants by their node cap: ``Delay-11`` is the
+    delay DSL constrained to 11 AST nodes.
+    """
+    updates: dict[str, object] = {}
+    if max_depth is not None:
+        updates["max_depth"] = max_depth
+    if max_nodes is not None:
+        updates["max_nodes"] = max_nodes
+        updates["name"] = f"{spec.name}-{max_nodes}"
+    return replace(spec, **updates)
+
+
+#: Classifier label -> family DSL, following the paper's §5.1 methodology:
+#: Gordon/CCAnalyzer labels hint which family sub-DSL to search.
+_LABEL_TO_FAMILY: dict[str, str] = {
+    "reno": "reno",
+    "westwood": "reno",
+    "scalable": "reno",
+    "lp": "vegas",
+    "bbr": "delay",
+    "hybla": "delay",
+    "vegas": "vegas",
+    "veno": "vegas",
+    "nv": "vegas",
+    "yeah": "vegas",
+    "htcp": "vegas",
+    "illinois": "vegas",
+    "cdg": "vegas",
+    "cubic": "cubic",
+    "bic": "cubic",
+    "highspeed": "cubic",
+}
+
+
+def dsl_for_classifier_label(label: str, *, fallback: str = "delay") -> DslSpec:
+    """Map a classifier output label to the sub-DSL Abagnale should search.
+
+    Unknown labels fall back to the delay DSL, the most general family
+    (the paper similarly picks DSLs from the classifier's closest-CCA
+    hint when the output is "Unknown").
+    """
+    return family(_LABEL_TO_FAMILY.get(label.lower(), fallback))

@@ -1,0 +1,213 @@
+"""A recursive-descent parser for the DSL's textual syntax.
+
+The grammar mirrors Listing 1 of the paper, with conventional operator
+precedence (ternary < comparison < additive < multiplicative < atoms)::
+
+    num    := ternary
+    ternary:= bool '?' num ':' num | additive
+    bool   := additive ('<' | '>') additive
+            | additive '%' additive ('==' | '=') '0'
+    atom   := NUMBER | IDENT | 'cube' '(' num ')' | 'cbrt' '(' num ')'
+            | 'c' INT (a hole, e.g. ``c0``) | '(' num ')' | '-' atom
+
+Identifiers resolve to macros when registered in
+:mod:`repro.dsl.macros`, otherwise to signals.  The parser exists so that
+expert handlers (paper Table 2) and tests can be written legibly.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.dsl import ast
+from repro.dsl.macros import MACROS
+from repro.errors import ParseError
+
+__all__ = ["parse"]
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<number>\d+\.\d*|\.\d+|\d+)"
+    r"|(?P<ident>[A-Za-z_][A-Za-z_0-9]*)"
+    r"|(?P<op>==|[-+*/%<>?:()=]))"
+)
+
+
+@dataclass
+class _Token:
+    kind: str
+    text: str
+    position: int
+
+
+def _tokenize(source: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    position = 0
+    while position < len(source):
+        match = _TOKEN_RE.match(source, position)
+        if match is None:
+            if source[position:].strip() == "":
+                break
+            raise ParseError(
+                f"unexpected character {source[position]!r} at {position}"
+            )
+        position = match.end()
+        for kind in ("number", "ident", "op"):
+            text = match.group(kind)
+            if text is not None:
+                tokens.append(_Token(kind, text, match.start()))
+                break
+    return tokens
+
+
+class _Parser:
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.tokens = _tokenize(source)
+        self.index = 0
+
+    def peek(self) -> _Token | None:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def advance(self) -> _Token:
+        token = self.peek()
+        if token is None:
+            raise ParseError(f"unexpected end of input in {self.source!r}")
+        self.index += 1
+        return token
+
+    def expect(self, text: str) -> None:
+        token = self.advance()
+        if token.text != text:
+            raise ParseError(
+                f"expected {text!r} but found {token.text!r} "
+                f"at {token.position} in {self.source!r}"
+            )
+
+    def at(self, text: str) -> bool:
+        token = self.peek()
+        return token is not None and token.text == text
+
+    # Grammar ---------------------------------------------------------
+
+    def parse_num(self) -> ast.NumExpr:
+        return self.parse_ternary()
+
+    def parse_ternary(self) -> ast.NumExpr:
+        left = self.parse_additive()
+        token = self.peek()
+        if token is None or token.text not in ("<", ">", "%"):
+            return left
+        pred = self.parse_bool_tail(left)
+        self.expect("?")
+        then = self.parse_num()
+        self.expect(":")
+        otherwise = self.parse_num()
+        return ast.Cond(pred, then, otherwise)
+
+    def parse_bool_tail(self, left: ast.NumExpr) -> ast.BoolExpr:
+        token = self.advance()
+        if token.text in ("<", ">"):
+            right = self.parse_additive()
+            return ast.Cmp(token.text, left, right)
+        if token.text == "%":
+            modulus = self.parse_additive()
+            eq = self.advance()
+            if eq.text not in ("==", "="):
+                raise ParseError(f"expected '==' after '%', got {eq.text!r}")
+            zero = self.advance()
+            if zero.text != "0":
+                raise ParseError("the modular test must compare against 0")
+            return ast.ModEq(left, modulus)
+        raise ParseError(f"expected a boolean operator, got {token.text!r}")
+
+    def parse_additive(self) -> ast.NumExpr:
+        expr = self.parse_multiplicative()
+        while self.at("+") or self.at("-"):
+            op = self.advance().text
+            right = self.parse_multiplicative()
+            expr = ast.BinOp(op, expr, right)
+        return expr
+
+    def parse_multiplicative(self) -> ast.NumExpr:
+        expr = self.parse_atom()
+        while self.at("*") or self.at("/"):
+            op = self.advance().text
+            right = self.parse_atom()
+            expr = ast.BinOp(op, expr, right)
+        return expr
+
+    def parse_atom(self) -> ast.NumExpr:
+        token = self.advance()
+        if token.text == "(":
+            # Either a parenthesized number or a parenthesized boolean that
+            # heads a ternary, e.g. ``(a < b) ? x : y``.
+            inner = self.parse_ternary_or_bool_group()
+            return inner
+        if token.text == "-":
+            # A negated literal is a negative constant (so expressions
+            # like ``-0.7 * reno_inc`` stay irreducible); anything else
+            # desugars to ``0 - expr``.
+            follower = self.peek()
+            if follower is not None and follower.kind == "number":
+                self.advance()
+                return ast.Const(-float(follower.text))
+            inner = self.parse_atom()
+            return ast.BinOp("-", ast.Const(0.0), inner)
+        if token.kind == "number":
+            return ast.Const(float(token.text))
+        if token.kind == "ident":
+            name = token.text
+            if name in ("cube", "cbrt"):
+                self.expect("(")
+                arg = self.parse_num()
+                self.expect(")")
+                return ast.Cube(arg) if name == "cube" else ast.Cbrt(arg)
+            hole = re.fullmatch(r"c(\d+)", name)
+            if hole is not None:
+                return ast.Const(None, int(hole.group(1)))
+            if name in MACROS:
+                return ast.Macro(name)
+            return ast.Signal(name)
+        raise ParseError(
+            f"unexpected token {token.text!r} at {token.position} "
+            f"in {self.source!r}"
+        )
+
+    def parse_ternary_or_bool_group(self) -> ast.NumExpr:
+        """Parse the inside of '(...)', allowing a trailing '? a : b'."""
+        left = self.parse_additive()
+        token = self.peek()
+        if token is not None and token.text in ("<", ">", "%"):
+            pred = self.parse_bool_tail(left)
+            self.expect(")")
+            self.expect("?")
+            then = self.parse_num()
+            self.expect(":")
+            otherwise = self.parse_num()
+            return ast.Cond(pred, then, otherwise)
+        if token is not None and token.text == "?":
+            raise ParseError("'?' must follow a boolean, not a number")
+        self.expect(")")
+        # A parenthesized number may still start a ternary via an outer
+        # comparison, handled by the caller's precedence climbing.
+        return left
+
+
+def parse(source: str) -> ast.NumExpr:
+    """Parse *source* into a numeric DSL AST.
+
+    Raises :class:`~repro.errors.ParseError` on malformed input or
+    trailing tokens.
+    """
+    parser = _Parser(source)
+    expr = parser.parse_num()
+    leftover = parser.peek()
+    if leftover is not None:
+        raise ParseError(
+            f"trailing input at {leftover.position}: {leftover.text!r} "
+            f"in {source!r}"
+        )
+    return expr

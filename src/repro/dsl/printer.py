@@ -1,0 +1,62 @@
+"""Rendering DSL ASTs as readable, re-parseable text.
+
+The textual syntax round-trips through :mod:`repro.dsl.parser`::
+
+    cwnd + 0.7 * reno_inc
+    (vegas_diff < 1) ? cwnd + 0.7 * reno_inc : cwnd
+    wmax + cube(8 * time_since_loss - cbrt(24 * wmax))
+    (cwnd % 2.7 == 0) ? 2.05 * cwnd : mss
+"""
+
+from __future__ import annotations
+
+from repro.dsl import ast
+
+__all__ = ["to_text"]
+
+# Operator precedence levels; higher binds tighter.
+_PRECEDENCE = {"?:": 1, "+": 2, "-": 2, "*": 3, "/": 3}
+
+
+def _format_number(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(round(value, 10))
+
+
+def to_text(expr: ast.Expr) -> str:
+    """Render *expr* in the DSL's textual syntax."""
+    return _render(expr, parent_level=0)
+
+
+def _render(expr: ast.Expr, parent_level: int) -> str:
+    if isinstance(expr, ast.Const):
+        if expr.is_hole:
+            return f"c{expr.hole_id if expr.hole_id is not None else '?'}"
+        return _format_number(expr.value)
+    if isinstance(expr, (ast.Signal, ast.Macro)):
+        return expr.name
+    if isinstance(expr, ast.BinOp):
+        level = _PRECEDENCE[expr.op]
+        left = _render(expr.left, level)
+        # The grammar is left-associative, so a right operand at equal
+        # precedence always needs parentheses to round-trip structurally
+        # (``a + (b + c)`` must not print as ``a + b + c``).
+        right = _render(expr.right, level + 1)
+        text = f"{left} {expr.op} {right}"
+        return f"({text})" if level < parent_level else text
+    if isinstance(expr, ast.Cond):
+        pred = _render(expr.pred, 0)
+        then = _render(expr.then, _PRECEDENCE["?:"] + 1)
+        otherwise = _render(expr.otherwise, _PRECEDENCE["?:"])
+        text = f"({pred}) ? {then} : {otherwise}"
+        return f"({text})" if parent_level > _PRECEDENCE["?:"] else text
+    if isinstance(expr, ast.Cube):
+        return f"cube({_render(expr.arg, 0)})"
+    if isinstance(expr, ast.Cbrt):
+        return f"cbrt({_render(expr.arg, 0)})"
+    if isinstance(expr, ast.Cmp):
+        return f"{_render(expr.left, 2)} {expr.op} {_render(expr.right, 2)}"
+    if isinstance(expr, ast.ModEq):
+        return f"{_render(expr.left, 3)} % {_render(expr.right, 4)} == 0"
+    raise TypeError(f"cannot render {type(expr).__name__}")

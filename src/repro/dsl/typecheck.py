@@ -1,0 +1,160 @@
+"""Type and unit checking for DSL expressions (paper §4.1).
+
+Abagnale constrains enumerated sketches to be well-typed and to have the
+correct output unit (bytes, the unit of a congestion window).  We model
+units with the integer-exponent algebra of :mod:`repro.units`.
+
+Constants are *unit-polymorphic*: a hole such as the ``8`` in Hybla's
+``cwnd + 8 * rtt * reno_inc`` silently absorbs whatever unit makes the
+expression consistent (there, 1/seconds).  We implement this with a
+wildcard unit (``None``) that unifies with anything and is propagated
+conservatively: once a wildcard enters a product, the product's unit is
+unknown and every later constraint on it is satisfiable.
+
+As in the paper, the algebra has only integer exponents, so a cube root
+applied to an expression with a known non-cubic unit fails — the exact
+limitation reported for Cubic (§5.5).  Checkers accept
+``strict_units=False`` to disable unit checking, which is how the paper
+runs Cubic.
+"""
+
+from __future__ import annotations
+
+from repro.dsl import ast
+from repro.dsl.macros import macro_definition
+from repro.errors import TypeCheckError, UnitError
+from repro.units import (
+    BYTES,
+    BYTES_PER_SECOND,
+    DIMENSIONLESS,
+    SECONDS,
+    Unit,
+)
+
+__all__ = ["SIGNAL_UNITS", "infer_unit", "check_handler", "is_well_formed"]
+
+#: Units of every signal the trace environment can provide.
+SIGNAL_UNITS: dict[str, Unit] = {
+    "cwnd": BYTES,
+    "mss": BYTES,
+    "acked_bytes": BYTES,
+    "wmax": BYTES,
+    "inflight": BYTES,
+    "time_since_loss": SECONDS,
+    "rtt": SECONDS,
+    "min_rtt": SECONDS,
+    "max_rtt": SECONDS,
+    "ewma_rtt": SECONDS,
+    "ack_rate": BYTES_PER_SECOND,
+    # The RTT gradient is d(rtt)/dt: seconds per second, dimensionless.
+    "rtt_gradient": DIMENSIONLESS,
+    "delay_gradient": DIMENSIONLESS,
+}
+
+# A wildcard unit is represented by None.
+_MaybeUnit = Unit | None
+
+
+def _unify(left: _MaybeUnit, right: _MaybeUnit, context: str) -> _MaybeUnit:
+    """Unit of an additive combination or comparison of two quantities."""
+    if left is None:
+        return right
+    if right is None:
+        return left
+    if left != right:
+        raise UnitError(f"cannot apply {context!r} to units {left} and {right}")
+    return left
+
+
+def _mul(left: _MaybeUnit, right: _MaybeUnit) -> _MaybeUnit:
+    if left is None or right is None:
+        return None
+    return left * right
+
+
+def _div(left: _MaybeUnit, right: _MaybeUnit) -> _MaybeUnit:
+    if left is None or right is None:
+        return None
+    return left / right
+
+
+def infer_unit(expr: ast.Expr) -> _MaybeUnit:
+    """Infer the unit of *expr*, or ``None`` if it is unit-polymorphic.
+
+    Raises :class:`UnitError` on an inconsistency and
+    :class:`TypeCheckError` on an unknown signal name.
+    """
+    if isinstance(expr, ast.Const):
+        return None
+    if isinstance(expr, ast.Signal):
+        try:
+            return SIGNAL_UNITS[expr.name]
+        except KeyError:
+            raise TypeCheckError(f"unknown signal {expr.name!r}") from None
+    if isinstance(expr, ast.Macro):
+        return macro_definition(expr.name).unit
+    if isinstance(expr, ast.BinOp):
+        left = infer_unit(expr.left)
+        right = infer_unit(expr.right)
+        if expr.op in ("+", "-"):
+            return _unify(left, right, expr.op)
+        if expr.op == "*":
+            return _mul(left, right)
+        return _div(left, right)
+    if isinstance(expr, ast.Cond):
+        infer_unit(expr.pred)
+        return _unify(infer_unit(expr.then), infer_unit(expr.otherwise), "?:")
+    if isinstance(expr, ast.Cube):
+        inner = infer_unit(expr.arg)
+        return None if inner is None else inner**3
+    if isinstance(expr, ast.Cbrt):
+        inner = infer_unit(expr.arg)
+        return None if inner is None else inner.root(3)
+    if isinstance(expr, ast.Cmp):
+        _unify(infer_unit(expr.left), infer_unit(expr.right), expr.op)
+        return DIMENSIONLESS
+    if isinstance(expr, ast.ModEq):
+        _unify(infer_unit(expr.left), infer_unit(expr.right), "%")
+        return DIMENSIONLESS
+    raise TypeCheckError(f"unknown AST node {type(expr).__name__}")
+
+
+def check_handler(
+    expr: ast.NumExpr,
+    *,
+    strict_units: bool = True,
+    allowed_signals: frozenset[str] | None = None,
+) -> None:
+    """Validate *expr* as a cwnd-ack handler.
+
+    Checks that the expression is a number, uses only known (and, if given,
+    *allowed*) signals, and — when ``strict_units`` — that its unit unifies
+    with bytes.  Raises on failure, returns ``None`` on success.
+    """
+    if not isinstance(expr, ast.NumExpr):
+        raise TypeCheckError("a cwnd-ack handler must be a numeric expression")
+    for name in ast.signals_used(expr):
+        if name not in SIGNAL_UNITS:
+            raise TypeCheckError(f"unknown signal {name!r}")
+        if allowed_signals is not None and name not in allowed_signals:
+            raise TypeCheckError(f"signal {name!r} not allowed by this DSL")
+    if strict_units:
+        unit = infer_unit(expr)
+        if unit is not None and unit != BYTES:
+            raise UnitError(f"handler has unit {unit}, expected bytes")
+
+
+def is_well_formed(
+    expr: ast.NumExpr,
+    *,
+    strict_units: bool = True,
+    allowed_signals: frozenset[str] | None = None,
+) -> bool:
+    """Boolean form of :func:`check_handler` for use as an enumeration filter."""
+    try:
+        check_handler(
+            expr, strict_units=strict_units, allowed_signals=allowed_signals
+        )
+    except (TypeCheckError, UnitError):
+        return False
+    return True

@@ -1,0 +1,51 @@
+"""Exception taxonomy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class UnitError(ReproError):
+    """An expression combines quantities with incompatible physical units."""
+
+
+class TypeCheckError(ReproError):
+    """An expression is ill-typed (e.g. a boolean used where a number is needed)."""
+
+
+class DslError(ReproError):
+    """A DSL definition is inconsistent or references unknown components."""
+
+
+class ParseError(ReproError):
+    """A textual expression could not be parsed into a DSL AST."""
+
+
+class EvaluationError(ReproError):
+    """An expression could not be evaluated over a trace environment."""
+
+
+class EnumerationError(ReproError):
+    """The sketch enumerator was configured inconsistently."""
+
+
+class SimulationError(ReproError):
+    """The network simulator reached an inconsistent state."""
+
+
+class TraceError(ReproError):
+    """A trace is malformed or lacks the signals an operation requires."""
+
+
+class SynthesisError(ReproError):
+    """The synthesis pipeline could not produce a result."""
+
+
+class ClassificationError(ReproError):
+    """A classifier was asked to operate on unsupported input."""

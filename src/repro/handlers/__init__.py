@@ -1,0 +1,17 @@
+"""Expert handler expressions (paper Table 2)."""
+
+from repro.handlers.expressions import (
+    FINETUNED_TEXT,
+    PAPER_FAMILY,
+    SYNTHESIZED_TEXT,
+    finetuned_handler,
+    synthesized_reference,
+)
+
+__all__ = [
+    "FINETUNED_TEXT",
+    "PAPER_FAMILY",
+    "SYNTHESIZED_TEXT",
+    "finetuned_handler",
+    "synthesized_reference",
+]

@@ -1,0 +1,118 @@
+"""Expert handler expressions from the paper's Table 2.
+
+Two collections, both written in the DSL's textual syntax and parsed on
+demand:
+
+* ``SYNTHESIZED_TEXT`` — the expressions Abagnale's search returned in
+  the paper (column 2 of Table 2); useful as regression references and as
+  known-good handlers for the distance-metric study.
+* ``FINETUNED_TEXT`` — the domain expert's hand-written handlers
+  (column 3): same depth, same DSL, written from knowledge of each CCA's
+  implementation.  These are the "ground truth" that §6.2's accuracy
+  analysis measures the search against.
+
+``PAPER_FAMILY`` records which sub-DSL the paper searched per CCA (as
+hinted by the classifier outputs in Table 3).
+"""
+
+from __future__ import annotations
+
+from repro.dsl import ast
+from repro.dsl.parser import parse
+from repro.errors import ReproError
+
+__all__ = [
+    "SYNTHESIZED_TEXT",
+    "FINETUNED_TEXT",
+    "PAPER_FAMILY",
+    "synthesized_reference",
+    "finetuned_handler",
+]
+
+SYNTHESIZED_TEXT: dict[str, str] = {
+    "bbr": "2 * ack_rate * min_rtt + ((cwnd % 2.7 == 0) ? 2.05 * cwnd : mss)",
+    "reno": "cwnd + 0.7 * reno_inc",
+    "westwood": "cwnd + reno_inc",
+    "scalable": "cwnd + 0.37 * reno_inc",
+    "lp": "cwnd + 0.68 * reno_inc",
+    "hybla": "cwnd + 8 * rtt * reno_inc",
+    "htcp": "cwnd + reno_inc",
+    "illinois": "cwnd + 1.3 * reno_inc",
+    "vegas": "cwnd + ((vegas_diff < 1) ? 0.7 * reno_inc : 0)",
+    "veno": "cwnd + reno_inc * ((vegas_diff < 0.7) ? 0.35 : 0.16)",
+    "nv": "cwnd + ((vegas_diff < 1) ? 0.7 * reno_inc : 0)",
+    "yeah": "cwnd + reno_inc * ((vegas_diff > 5) ? 0.3 : 1)",
+    "cubic": "cwnd + cube(time_since_loss)",
+    "student1": "88",
+    "student2": "((vegas_diff / min_rtt < 5) ? cwnd + mss : mss)",
+    "student3": "0.8 * acked_bytes / min_rtt",
+    "student4": "mss",
+    "student5": "2 * mss",
+    "student6": "(cwnd + 150 * mss) / delay_gradient",
+    "student7": "cwnd + 2 * acked_bytes / rtt",
+}
+
+FINETUNED_TEXT: dict[str, str] = {
+    "bbr": "min_rtt * ack_rate * ((rtts_since_loss % 8 == 0) ? 2.6 : 2.05)",
+    "reno": "cwnd + 0.7 * reno_inc",
+    "westwood": "cwnd + 0.68 * reno_inc",
+    "scalable": "cwnd + 0.37 * reno_inc",
+    "lp": "cwnd * ((htcp_diff > 0.5) ? 0.5 : 1) + 0.68 * reno_inc",
+    "hybla": "cwnd + 8 * rtt * reno_inc",
+    "htcp": "cwnd + reno_inc * ((htcp_diff < 0.25) ? 1 : 0.2)",
+    "illinois": "cwnd + 0.3 * reno_inc + 5 * reno_inc * htcp_diff",
+    "vegas": (
+        "cwnd + ((vegas_diff < 1) ? 0.7 * reno_inc"
+        " : ((vegas_diff > 5) ? -0.7 * reno_inc : 0))"
+    ),
+    "veno": "cwnd + reno_inc * ((vegas_diff < 0.7) ? 0.35 : 0.16)",
+    "nv": (
+        "cwnd + ((vegas_diff > 1) ? 0.7 * reno_inc"
+        " : ((vegas_diff > 5) ? -0.7 * reno_inc : 0))"
+    ),
+    "yeah": "cwnd + reno_inc * ((vegas_diff > 5) ? 0.3 : 1)",
+    "cubic": "wmax + cube(8 * time_since_loss - cbrt(24 * wmax))",
+}
+
+#: The sub-DSL the paper searched per CCA (Table 3 classifier hints).
+PAPER_FAMILY: dict[str, str] = {
+    "bbr": "delay",
+    "reno": "reno",
+    "westwood": "reno",
+    "scalable": "reno",
+    "lp": "vegas",
+    "hybla": "delay",
+    "htcp": "vegas",
+    "illinois": "vegas",
+    "vegas": "vegas",
+    "veno": "vegas",
+    "nv": "vegas",
+    "yeah": "vegas",
+    "cubic": "cubic",
+    "bic": "cubic",
+    "student1": "vegas",
+    "student2": "vegas",
+    "student3": "delay",
+    "student4": "vegas",
+    "student5": "vegas",
+    "student6": "vegas",
+    "student7": "delay",
+}
+
+
+def synthesized_reference(name: str) -> ast.NumExpr:
+    """The paper-reported synthesized handler for *name*, parsed."""
+    try:
+        return parse(SYNTHESIZED_TEXT[name])
+    except KeyError:
+        raise ReproError(
+            f"no synthesized reference handler for {name!r}"
+        ) from None
+
+
+def finetuned_handler(name: str) -> ast.NumExpr:
+    """The expert fine-tuned handler for *name*, parsed."""
+    try:
+        return parse(FINETUNED_TEXT[name])
+    except KeyError:
+        raise ReproError(f"no fine-tuned handler for {name!r}") from None

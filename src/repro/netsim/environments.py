@@ -1,0 +1,86 @@
+"""Testbed environment matrix.
+
+The paper collects traces on a controlled testbed "with RTTs ranging
+between 10 to 100ms and bandwidth between 5 and 15Mbps" (§3.2).  An
+:class:`Environment` captures one network configuration; the default
+matrix spans the same ranges so that trace diversity — which the paper
+shows is necessary to synthesize Cubic at all — is reproduced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Environment", "default_matrix", "DEFAULT_MSS"]
+
+#: Maximum segment size used throughout the testbed, in bytes.
+DEFAULT_MSS = 1500
+
+
+@dataclass(frozen=True, slots=True)
+class Environment:
+    """A single virtual-network configuration.
+
+    ``bandwidth_mbps`` is the bottleneck rate; ``rtt_ms`` the base
+    (propagation-only) round-trip time; ``queue_bdp`` sizes the droptail
+    buffer as a multiple of the bandwidth-delay product.
+    """
+
+    bandwidth_mbps: float
+    rtt_ms: float
+    queue_bdp: float = 1.0
+    mss: int = DEFAULT_MSS
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_mbps <= 0 or self.rtt_ms <= 0 or self.queue_bdp <= 0:
+            raise ValueError("environment parameters must be positive")
+
+    @property
+    def bandwidth_bytes_per_sec(self) -> float:
+        return self.bandwidth_mbps * 1e6 / 8.0
+
+    @property
+    def base_rtt_sec(self) -> float:
+        return self.rtt_ms / 1e3
+
+    @property
+    def bdp_bytes(self) -> int:
+        """Bandwidth-delay product in bytes."""
+        return int(self.bandwidth_bytes_per_sec * self.base_rtt_sec)
+
+    @property
+    def queue_capacity_bytes(self) -> int:
+        """Droptail buffer size: ``queue_bdp`` BDPs, at least 4 segments."""
+        return max(int(self.queue_bdp * self.bdp_bytes), 4 * self.mss)
+
+    @property
+    def max_cwnd_bytes(self) -> int:
+        """Sender buffer cap, the kernel-sndbuf equivalent.
+
+        A real sender cannot hold more than its socket buffer in flight;
+        without this cap, aggressive CCAs (e.g. Hybla over long paths)
+        would grow nominal windows orders of magnitude past the pipe
+        before the first loss is even detected.
+        """
+        return 4 * (self.bdp_bytes + self.queue_capacity_bytes)
+
+    @property
+    def label(self) -> str:
+        return f"{self.bandwidth_mbps:g}mbps-{self.rtt_ms:g}ms"
+
+
+def default_matrix(
+    *,
+    bandwidths_mbps: tuple[float, ...] = (5.0, 10.0, 15.0),
+    rtts_ms: tuple[float, ...] = (10.0, 25.0, 50.0, 75.0, 100.0),
+    queue_bdp: float = 1.0,
+) -> list[Environment]:
+    """The cross-product environment matrix used for trace collection.
+
+    Defaults span the paper's testbed ranges (5–15 Mbps × 10–100 ms).
+    """
+    return [
+        Environment(bandwidth_mbps=bw, rtt_ms=rtt, queue_bdp=queue_bdp)
+        for bw in bandwidths_mbps
+        for rtt in rtts_ms
+    ]

@@ -1,0 +1,39 @@
+"""Packet and ACK records used by the discrete-event simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(slots=True)
+class Packet:
+    """A data segment in flight from sender to receiver.
+
+    ``seq`` is the byte offset of the segment's first byte; ``end``
+    (seq + size) is the cumulative ACK value the segment produces once
+    every earlier byte has also arrived.
+    """
+
+    seq: int
+    size: int
+    send_time: float
+    retransmit: bool = False
+
+    @property
+    def end(self) -> int:
+        return self.seq + self.size
+
+
+@dataclass(slots=True)
+class Ack:
+    """A cumulative acknowledgment travelling back to the sender.
+
+    ``ack`` is the next byte the receiver expects.  ``for_send_time`` is
+    the send timestamp of the segment that triggered this ACK, used for
+    RTT sampling (Karn's rule: retransmitted segments produce ACKs with
+    ``for_send_time = None`` and are not sampled).
+    """
+
+    ack: int
+    recv_time: float
+    for_send_time: float | None

@@ -1,0 +1,49 @@
+"""Droptail bottleneck queue.
+
+The queue holds packets awaiting transmission on the bottleneck link.  It
+is byte-capacitated: a packet whose size would push the backlog past
+``capacity_bytes`` is dropped (tail drop), which is the loss process that
+drives every loss-based CCA in the zoo.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.netsim.packet import Packet
+
+
+@dataclass
+class DropTailQueue:
+    """A FIFO, byte-limited droptail queue."""
+
+    capacity_bytes: int
+    _items: deque[Packet] = field(default_factory=deque, repr=False)
+    _backlog: int = 0
+    drops: int = 0
+
+    def offer(self, packet: Packet) -> bool:
+        """Enqueue *packet*; return False (and count a drop) on overflow."""
+        if self._backlog + packet.size > self.capacity_bytes:
+            self.drops += 1
+            return False
+        self._items.append(packet)
+        self._backlog += packet.size
+        return True
+
+    def pop(self) -> Packet:
+        packet = self._items.popleft()
+        self._backlog -= packet.size
+        return packet
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def backlog_bytes(self) -> int:
+        return self._backlog
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._items

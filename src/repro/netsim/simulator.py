@@ -1,0 +1,365 @@
+"""Discrete-event simulation of one flow over a droptail bottleneck.
+
+This module is the substitute for the paper's virtual-network testbed
+(§3.2): it runs a CCA over a configurable bottleneck (bandwidth, base
+RTT, droptail buffer) and records the per-ACK trace a sender-side
+measurement vantage point would see.
+
+Topology::
+
+    sender --> [droptail queue | bottleneck link] --> receiver
+       ^                                                 |
+       +------------------ ACK path (delay only) --------+
+
+The sender implements cumulative ACKs, triple-dupack fast retransmit with
+SACK-style recovery (on entering recovery the sender learns the exact set
+of holes, as a kernel sender with SACK would, and repairs them without
+waiting one RTT per hole), and an RFC 6298-style retransmission timer;
+the attached :class:`~repro.cca.base.CongestionControl` decides the
+window.
+Losses happen only by queue overflow, which is what drives the sawtooth
+and pulsing dynamics the synthesizer learns from.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.cca.base import AckEvent, CongestionControl, LossEvent
+from repro.errors import SimulationError
+from repro.netsim.environments import Environment
+from repro.netsim.packet import Ack, Packet
+from repro.netsim.queues import DropTailQueue
+from repro.trace.model import AckRecord, LossRecord, Trace
+
+__all__ = ["Simulator", "simulate"]
+
+#: Minimum retransmission timeout, seconds (lowered from RFC 6298's 1 s so
+#: short simulations recover quickly from full-window losses).
+MIN_RTO = 0.2
+#: RTT-variance multiplier in the RTO formula.
+RTO_VAR_GAIN = 4.0
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    order: int
+    action: Callable[[], None] = field(compare=False)
+
+
+class Simulator:
+    """One flow, one bottleneck, one CCA; produces a :class:`Trace`."""
+
+    def __init__(
+        self,
+        cca: CongestionControl,
+        env: Environment,
+        *,
+        duration: float = 30.0,
+        max_acks: int | None = None,
+    ):
+        if cca.mss != env.mss:
+            raise SimulationError(
+                f"CCA mss ({cca.mss}) differs from environment mss ({env.mss})"
+            )
+        self.cca = cca
+        self.env = env
+        self.duration = duration
+        self.max_acks = max_acks
+        self.now = 0.0
+
+        # Event queue.
+        self._events: list[_Event] = []
+        self._order = itertools.count()
+
+        # Bottleneck.
+        self.queue = DropTailQueue(env.queue_capacity_bytes)
+        self._link_busy = False
+        self._rate = env.bandwidth_bytes_per_sec
+        self._one_way = env.base_rtt_sec / 2.0
+
+        # Sender state.
+        self.snd_una = 0  # first unacknowledged byte
+        self.snd_nxt = 0  # next byte to send
+        self._dupacks = 0
+        self._in_recovery = False
+        self._recover_point = 0
+        self._rtx_sent: set[int] = set()
+        self._timer_deadline: float | None = None
+        self._srtt: float | None = None
+        self._rttvar = 0.0
+
+        # Receiver state: next expected byte + out-of-order segment starts.
+        self._rcv_nxt = 0
+        self._ooo: set[int] = set()
+
+        # Trace under construction.
+        self.trace = Trace(
+            cca_name=cca.name,
+            environment_label=env.label,
+            mss=env.mss,
+            meta={
+                "bandwidth_mbps": env.bandwidth_mbps,
+                "rtt_ms": env.rtt_ms,
+                "queue_bytes": env.queue_capacity_bytes,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Event machinery
+    # ------------------------------------------------------------------
+
+    def _schedule(self, delay: float, action: Callable[[], None]) -> None:
+        heapq.heappush(
+            self._events, _Event(self.now + delay, next(self._order), action)
+        )
+
+    def run(self) -> Trace:
+        """Run the flow to ``duration`` sim-seconds and return its trace."""
+        self._send_window()
+        self._arm_timer()
+        while self._events:
+            event = heapq.heappop(self._events)
+            if event.time > self.duration:
+                break
+            if (
+                self.max_acks is not None
+                and len(self.trace.acks) >= self.max_acks
+            ):
+                break
+            self.now = event.time
+            event.action()
+        return self.trace
+
+    # ------------------------------------------------------------------
+    # Sender
+    # ------------------------------------------------------------------
+
+    @property
+    def _pipe(self) -> int:
+        """Bytes believed to be in the network (SACK scoreboard estimate).
+
+        Outstanding bytes minus those the receiver holds out-of-order
+        (what SACK blocks would report).  Dropped originals keep counting
+        until repaired, which keeps the estimate conservative and avoids
+        bursting a full window into an already-overflowing queue.
+        """
+        outstanding = self.snd_nxt - self.snd_una
+        sacked = len(self._ooo) * self.env.mss
+        return max(outstanding - sacked, 0)
+
+    @property
+    def effective_cwnd(self) -> float:
+        """The CCA's window clamped by the sender's buffer (sndbuf)."""
+        return min(self.cca.cwnd, float(self.env.max_cwnd_bytes))
+
+    def _send_window(self) -> None:
+        """Transmit new segments while the window allows."""
+        mss = self.env.mss
+        while self._pipe + mss <= int(self.effective_cwnd):
+            self._transmit(Packet(self.snd_nxt, mss, self.now))
+            self.snd_nxt += mss
+
+    def _transmit(self, packet: Packet) -> None:
+        if not self.queue.offer(packet):
+            # Tail drop; the loss surfaces later as dupacks/RTO.  A dropped
+            # retransmission becomes eligible for retransmission again.
+            if packet.retransmit:
+                self._rtx_sent.discard(packet.seq)
+            return
+        if not self._link_busy:
+            self._start_service()
+
+    def _start_service(self) -> None:
+        packet = self.queue.pop()
+        self._link_busy = True
+        service_time = packet.size / self._rate
+        self._schedule(service_time, lambda: self._finish_service(packet))
+
+    def _finish_service(self, packet: Packet) -> None:
+        self._link_busy = False
+        self._schedule(self._one_way, lambda: self._deliver(packet))
+        if not self.queue.is_empty:
+            self._start_service()
+
+    # ------------------------------------------------------------------
+    # Receiver
+    # ------------------------------------------------------------------
+
+    def _deliver(self, packet: Packet) -> None:
+        if packet.seq == self._rcv_nxt:
+            self._rcv_nxt = packet.end
+            # Absorb any buffered contiguous segments.
+            while self._rcv_nxt in self._ooo:
+                self._ooo.discard(self._rcv_nxt)
+                self._rcv_nxt += self.env.mss
+        elif packet.seq > self._rcv_nxt:
+            self._ooo.add(packet.seq)
+        # Duplicate (seq < rcv_nxt): pure ACK refresh.
+        sample_time = None if packet.retransmit else packet.send_time
+        ack = Ack(self._rcv_nxt, self.now, sample_time)
+        self._schedule(self._one_way, lambda: self._handle_ack(ack))
+
+    # ------------------------------------------------------------------
+    # ACK processing at the sender
+    # ------------------------------------------------------------------
+
+    def _handle_ack(self, ack: Ack) -> None:
+        if ack.ack > self.snd_una:
+            self._process_new_ack(ack)
+        else:
+            self._process_dupack(ack)
+        self._send_window()
+
+    def _process_new_ack(self, ack: Ack) -> None:
+        acked = ack.ack - self.snd_una
+        self.snd_una = ack.ack
+        rtt_sample = (
+            self.now - ack.for_send_time
+            if ack.for_send_time is not None
+            else None
+        )
+        self._update_rto(rtt_sample)
+        self._rtx_sent = {seq for seq in self._rtx_sent if seq >= ack.ack}
+        if self._in_recovery:
+            if ack.ack >= self._recover_point:
+                self._in_recovery = False
+                self._dupacks = 0
+            else:
+                # Partial ACK: more holes remain; repair them (SACK view).
+                self._retransmit_missing()
+        else:
+            self._dupacks = 0
+        event = AckEvent(
+            now=self.now,
+            acked_bytes=acked,
+            rtt_sample=rtt_sample,
+            inflight_bytes=self.snd_nxt - self.snd_una,
+        )
+        self.cca.on_ack(event)
+        self.trace.acks.append(
+            AckRecord(
+                time=self.now,
+                ack_seq=ack.ack,
+                acked_bytes=acked,
+                rtt_sample=rtt_sample,
+                cwnd_bytes=self.effective_cwnd,
+                inflight_bytes=self.snd_nxt - self.snd_una,
+                dupack=False,
+            )
+        )
+        self._arm_timer()
+
+    def _process_dupack(self, ack: Ack) -> None:
+        self._dupacks += 1
+        self.trace.acks.append(
+            AckRecord(
+                time=self.now,
+                ack_seq=ack.ack,
+                acked_bytes=0,
+                rtt_sample=None,
+                cwnd_bytes=self.effective_cwnd,
+                inflight_bytes=self.snd_nxt - self.snd_una,
+                dupack=True,
+            )
+        )
+        if self._dupacks == 3 and not self._in_recovery:
+            self._enter_recovery()
+
+    def _enter_recovery(self) -> None:
+        self._in_recovery = True
+        self._recover_point = self.snd_nxt
+        self.cca.on_loss(
+            LossEvent(
+                now=self.now,
+                kind="dupack",
+                inflight_bytes=self.snd_nxt - self.snd_una,
+            )
+        )
+        self.trace.losses.append(LossRecord(self.now, "dupack"))
+        self._retransmit_missing()
+
+    def _retransmit_head(self) -> None:
+        self._rtx_sent.add(self.snd_una)
+        self._transmit(
+            Packet(self.snd_una, self.env.mss, self.now, retransmit=True)
+        )
+
+    def _retransmit_missing(self, limit: int = 64) -> None:
+        """Retransmit every unrepaired hole (SACK-informed recovery).
+
+        The sender consults the receiver's out-of-order set — the
+        information SACK blocks would carry — and resends the segments the
+        receiver is actually missing, at most *limit* per invocation.
+        """
+        mss = self.env.mss
+        sent = 0
+        for seq in range(self.snd_una, self.snd_nxt, mss):
+            if seq in self._ooo or seq in self._rtx_sent:
+                continue
+            self._rtx_sent.add(seq)
+            self._transmit(Packet(seq, mss, self.now, retransmit=True))
+            sent += 1
+            if sent >= limit:
+                break
+
+    # ------------------------------------------------------------------
+    # Retransmission timer (RFC 6298, simplified)
+    # ------------------------------------------------------------------
+
+    def _update_rto(self, rtt_sample: float | None) -> None:
+        if rtt_sample is None:
+            return
+        if self._srtt is None:
+            self._srtt = rtt_sample
+            self._rttvar = rtt_sample / 2.0
+        else:
+            self._rttvar += 0.25 * (abs(self._srtt - rtt_sample) - self._rttvar)
+            self._srtt += 0.125 * (rtt_sample - self._srtt)
+
+    @property
+    def _rto(self) -> float:
+        if self._srtt is None:
+            return max(4 * self.env.base_rtt_sec, MIN_RTO)
+        return max(self._srtt + RTO_VAR_GAIN * self._rttvar, MIN_RTO)
+
+    def _arm_timer(self) -> None:
+        deadline = self.now + self._rto
+        self._timer_deadline = deadline
+        snapshot = self.snd_una
+        self._schedule(self._rto, lambda: self._timer_fired(deadline, snapshot))
+
+    def _timer_fired(self, deadline: float, una_snapshot: int) -> None:
+        if self._timer_deadline != deadline:
+            return  # superseded by a later re-arm
+        if self.snd_una == una_snapshot and self.snd_nxt > self.snd_una:
+            # No progress for a full RTO with data outstanding: timeout.
+            self.cca.on_loss(
+                LossEvent(
+                    now=self.now,
+                    kind="timeout",
+                    inflight_bytes=self.snd_nxt - self.snd_una,
+                )
+            )
+            self.trace.losses.append(LossRecord(self.now, "timeout"))
+            self._in_recovery = False
+            self._dupacks = 0
+            self._rtx_sent.clear()
+            self._retransmit_head()
+            self._send_window()
+        self._arm_timer()
+
+
+def simulate(
+    cca: CongestionControl,
+    env: Environment,
+    *,
+    duration: float = 30.0,
+    max_acks: int | None = None,
+) -> Trace:
+    """Convenience wrapper: build a :class:`Simulator`, run it, return the trace."""
+    return Simulator(cca, env, duration=duration, max_acks=max_acks).run()

@@ -1,0 +1,122 @@
+"""The end-to-end Abagnale pipeline (paper Figure 1).
+
+Given packet traces of an unknown CCA:
+
+1. segment the traces at inferred loss events (§3.2);
+2. run a classifier on the traces to pick a family sub-DSL (§3.3);
+3. run the refinement-loop synthesis over that DSL (§4);
+4. report the winning handler with its distance and search telemetry.
+
+:func:`reverse_engineer` takes traces; :func:`reverse_engineer_cca` is the
+"lab" entry point that collects fresh traces for a named CCA first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.classify.base import ClassifierVerdict
+from repro.classify.ccanalyzer import CcaAnalyzer
+from repro.classify.gordon import GordonClassifier
+from repro.dsl.families import DslSpec, dsl_for_classifier_label, with_budget
+from repro.dsl.printer import to_text
+from repro.dsl.simplify import simplify
+from repro.errors import SynthesisError
+from repro.synth.refinement import SynthesisConfig, synthesize
+from repro.synth.result import SynthesisResult
+from repro.trace.collect import CollectionConfig, collect_traces
+from repro.trace.model import Trace, TraceSegment
+from repro.trace.segmentation import segment_trace
+
+__all__ = ["PipelineReport", "reverse_engineer", "reverse_engineer_cca"]
+
+
+@dataclass
+class PipelineReport:
+    """Everything one pipeline invocation produced."""
+
+    #: ``None`` when the caller supplied an explicit DSL (no classification).
+    verdict: ClassifierVerdict | None
+    dsl: DslSpec
+    result: SynthesisResult
+    segment_count: int
+
+    @property
+    def expression(self) -> str:
+        """The synthesized handler, arithmetically simplified for reading."""
+        return to_text(simplify(self.result.best.handler))
+
+    @property
+    def distance(self) -> float:
+        return self.result.distance
+
+    def summary(self) -> str:
+        label = self.verdict.render() if self.verdict else "(skipped)"
+        return (
+            f"classifier: {label}  ->  DSL {self.dsl.name!r}\n"
+            f"handler:    {self.expression}\n"
+            f"distance:   {self.distance:.2f} over {self.segment_count} segments "
+            f"({self.result.total_handlers_scored} handlers scored, "
+            f"{self.result.elapsed_seconds:.1f}s)"
+        )
+
+
+def _segments_from_traces(traces: list[Trace]) -> list[TraceSegment]:
+    segments: list[TraceSegment] = []
+    for trace in traces:
+        segments.extend(segment_trace(trace))
+    if not segments:
+        raise SynthesisError(
+            "no usable segments: traces are too short or carry no losses"
+        )
+    return segments
+
+
+def reverse_engineer(
+    traces: list[Trace],
+    *,
+    classifier: str = "gordon",
+    dsl: DslSpec | None = None,
+    config: SynthesisConfig | None = None,
+    max_depth: int | None = None,
+    max_nodes: int | None = None,
+) -> PipelineReport:
+    """Reverse-engineer the CCA behind *traces*.
+
+    ``classifier`` is ``"gordon"`` (TCP targets) or ``"ccanalyzer"``
+    (any transport); pass ``dsl`` to skip classification and search a
+    specific sub-DSL.  ``max_depth``/``max_nodes`` override the DSL's
+    search budget (the paper's Delay-7/Delay-11/Vegas-11 variants).
+    """
+    verdict: ClassifierVerdict | None = None
+    if dsl is None:
+        if classifier == "gordon":
+            verdict = GordonClassifier().classify(traces)
+        elif classifier == "ccanalyzer":
+            verdict = CcaAnalyzer().classify(traces)
+        else:
+            raise SynthesisError(f"unknown classifier {classifier!r}")
+        hint = verdict.label if not verdict.is_unknown else verdict.closest
+        dsl = dsl_for_classifier_label(hint)
+    if max_depth is not None or max_nodes is not None:
+        dsl = with_budget(dsl, max_depth=max_depth, max_nodes=max_nodes)
+
+    segments = _segments_from_traces(traces)
+    result = synthesize(segments, dsl, config)
+    return PipelineReport(
+        verdict=verdict,
+        dsl=dsl,
+        result=result,
+        segment_count=len(segments),
+    )
+
+
+def reverse_engineer_cca(
+    cca_name: str,
+    *,
+    collection: CollectionConfig | None = None,
+    **kwargs,
+) -> PipelineReport:
+    """Collect traces for a named CCA, then reverse-engineer them."""
+    traces = collect_traces(cca_name, collection)
+    return reverse_engineer(traces, **kwargs)

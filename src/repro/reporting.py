@@ -1,0 +1,69 @@
+"""Plain-text rendering of tables and series for benchmark output.
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report; these helpers keep that output aligned and readable in a
+terminal (and in ``bench_output.txt``).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "sparkline", "format_series"]
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], *, title: str = ""
+) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [
+        max(len(headers[column]), *(len(row[column]) for row in cells))
+        if cells
+        else len(headers[column])
+        for column in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(
+        header.ljust(width) for header, width in zip(headers, widths)
+    )
+    lines.append(header)
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in cells:
+        lines.append(
+            " | ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float], *, width: int = 60) -> str:
+    """A one-line unicode sparkline of *values* (resampled to *width*)."""
+    if not len(values):
+        return ""
+    data = list(values)
+    if len(data) > width:
+        step = len(data) / width
+        data = [data[int(index * step)] for index in range(width)]
+    lo = min(data)
+    hi = max(data)
+    span = hi - lo or 1.0
+    return "".join(
+        _SPARK_CHARS[int((value - lo) / span * (len(_SPARK_CHARS) - 1))]
+        for value in data
+    )
+
+
+def format_series(
+    label: str, values: Sequence[float], *, width: int = 60
+) -> str:
+    """A labelled sparkline with min/max annotations."""
+    if not len(values):
+        return f"{label}: (empty)"
+    return (
+        f"{label:24s} {sparkline(values, width=width)} "
+        f"[{min(values):.0f}..{max(values):.0f}]"
+    )

@@ -1,0 +1,73 @@
+"""Sketch concretization: filling holes with constant values (§4.2).
+
+Solving a real-valued optimization per sketch would be prohibitive, so
+Abagnale fills holes from a small pool of values observed in known CCAs
+(*approximate concretization*).  A sketch with ``k`` holes and a pool of
+``n`` values has ``n^k`` completions; beyond a cap we draw a seeded
+random sample of assignments instead of expanding the full product.
+This makes the search incomplete — the paper accepts the same trade.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+import zlib
+from typing import Iterator, Sequence
+
+from repro.dsl import ast
+from repro.synth.sketch import Sketch
+
+__all__ = ["concretizations", "concretize_all", "DEFAULT_COMPLETION_CAP"]
+
+#: Maximum completions expanded per sketch before sampling kicks in.
+DEFAULT_COMPLETION_CAP = 64
+
+
+def concretizations(
+    sketch: Sketch,
+    pool: Sequence[float],
+    *,
+    cap: int = DEFAULT_COMPLETION_CAP,
+    seed: int = 0,
+) -> Iterator[ast.NumExpr]:
+    """Yield concrete handlers obtained by filling *sketch*'s holes.
+
+    When the full assignment product fits within *cap* it is enumerated
+    exhaustively (deterministic order); otherwise *cap* assignments are
+    sampled without replacement-bias using a seeded RNG.
+    """
+    holes = ast.holes(sketch.expr)
+    if not holes:
+        yield sketch.expr
+        return
+    hole_ids = [hole.hole_id for hole in holes]
+    total = len(pool) ** len(hole_ids)
+    if total <= cap:
+        for values in itertools.product(pool, repeat=len(hole_ids)):
+            yield ast.fill_holes(sketch.expr, dict(zip(hole_ids, values)))
+        return
+    # repr + crc32 gives a process-stable per-sketch seed (dataclass
+    # hash() is randomized for the str fields inside).
+    sketch_hash = zlib.crc32(repr(sketch.expr).encode())
+    rng = random.Random(seed ^ (sketch_hash & 0xFFFFFFFF))
+    seen: set[tuple[float, ...]] = set()
+    attempts = 0
+    while len(seen) < cap and attempts < cap * 20:
+        attempts += 1
+        values = tuple(rng.choice(pool) for _ in hole_ids)
+        if values in seen:
+            continue
+        seen.add(values)
+        yield ast.fill_holes(sketch.expr, dict(zip(hole_ids, values)))
+
+
+def concretize_all(
+    sketch: Sketch,
+    pool: Sequence[float],
+    *,
+    cap: int = DEFAULT_COMPLETION_CAP,
+    seed: int = 0,
+) -> list[ast.NumExpr]:
+    """List form of :func:`concretizations`."""
+    return list(concretizations(sketch, pool, cap=cap, seed=seed))

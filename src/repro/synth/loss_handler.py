@@ -1,0 +1,179 @@
+"""Extension: synthesizing cwnd-on-*loss* handlers.
+
+The paper scopes Abagnale to the cwnd-on-ack handler but argues the
+technique "generalizes to synthesizing expressions to update other known
+state variables for other events" (§3, Model).  This module implements
+that generalization for the loss event.
+
+A loss reaction is a point decision, not a time series: at each loss the
+CCA maps its current window (plus congestion signals) to a new window —
+``0.5 * cwnd`` for Reno, ``ack_rate * min_rtt`` for Westwood, ``0.7 *
+cwnd`` for Cubic.  So instead of trace replay + DTW, candidates are
+scored by mean relative error over the observed *(state-at-loss →
+window-after-reaction)* pairs, and the same constraint enumerator and
+constant pool explore the same DSLs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.dsl import ast
+from repro.dsl.evaluate import evaluate
+from repro.dsl.families import DslSpec
+from repro.dsl.printer import to_text
+from repro.errors import EvaluationError, SynthesisError
+from repro.synth.concretize import concretizations
+from repro.synth.enumerator import enumerate_sketches
+from repro.trace.model import Trace
+from repro.trace.segmentation import segment_trace
+from repro.trace.signals import extract_signals
+
+__all__ = [
+    "LossSample",
+    "extract_loss_samples",
+    "LossSynthesisResult",
+    "synthesize_loss_handler",
+]
+
+
+@dataclass(frozen=True)
+class LossSample:
+    """One observed loss reaction.
+
+    ``env`` is the signal environment *at* the loss (with ``cwnd`` bound
+    to the pre-loss window); ``cwnd_after`` is the window observed once
+    the CCA has reacted (the first ACKs of the following segment).
+    """
+
+    env: dict[str, float]
+    cwnd_before: float
+    cwnd_after: float
+
+
+def extract_loss_samples(trace: Trace) -> list[LossSample]:
+    """Pair each loss-delimited segment boundary into a loss sample.
+
+    The pre-loss window is the last visible window of the segment before
+    the loss; the post-reaction window is the first visible window of the
+    segment after it.  Signals are taken from the end of the pre-loss
+    segment (what the CCA could observe when it reacted).
+    """
+    segments = segment_trace(trace)
+    samples: list[LossSample] = []
+    for before, after in itertools.pairwise(segments):
+        if after.preceding_loss_time <= before.preceding_loss_time:
+            continue
+        table = extract_signals(before)
+        if len(table) == 0:
+            continue
+        last = len(table) - 1
+        cwnd_before = float(table.observed_cwnd()[last])
+        env = table.environment_at(last, cwnd_before)
+        after_table = extract_signals(after)
+        cwnd_after = float(after_table.observed_cwnd()[0])
+        sample = LossSample(
+            env=env, cwnd_before=cwnd_before, cwnd_after=cwnd_after
+        )
+        # Back-to-back losses in one episode replicate near-identical
+        # (before, after) pairs; keep one per distinct reaction.
+        duplicate = samples and (
+            abs(samples[-1].cwnd_before - cwnd_before) < 1.0
+            and abs(samples[-1].cwnd_after - cwnd_after) < 1.0
+        )
+        if not duplicate:
+            samples.append(sample)
+    return samples
+
+
+def _loss_error(handler: ast.NumExpr, samples: list[LossSample]) -> float:
+    """Median relative error of the handler's predicted post-loss window.
+
+    The median, not the mean: a congestion episode with several
+    back-to-back losses produces outlier samples (the visible window
+    collapses through repeated reductions), and a mean would let those
+    episodes drag the search toward over-aggressive decrease factors.
+    """
+    errors: list[float] = []
+    for sample in samples:
+        try:
+            predicted = evaluate(handler, sample.env)
+        except EvaluationError:
+            return float("inf")
+        scale = max(sample.cwnd_after, sample.env["mss"])
+        errors.append(abs(predicted - sample.cwnd_after) / scale)
+    errors.sort()
+    middle = len(errors) // 2
+    if len(errors) % 2:
+        return errors[middle]
+    return 0.5 * (errors[middle - 1] + errors[middle])
+
+
+@dataclass
+class LossSynthesisResult:
+    """Outcome of a loss-handler search."""
+
+    handler: ast.NumExpr
+    error: float
+    samples: int
+    candidates_scored: int = 0
+    ranking: list[tuple[ast.NumExpr, float]] = field(default_factory=list)
+
+    @property
+    def expression(self) -> str:
+        return to_text(self.handler)
+
+
+def synthesize_loss_handler(
+    traces: list[Trace],
+    dsl: DslSpec,
+    *,
+    max_nodes: int = 3,
+    max_depth: int = 3,
+    completion_cap: int = 24,
+    max_sketches: int = 3000,
+    keep_top: int = 5,
+) -> LossSynthesisResult:
+    """Search *dsl* for the expression that best predicts loss reactions.
+
+    The space of useful loss handlers is small (they are depth-2/3
+    rescalings of state), so a direct enumerate-concretize-score sweep
+    within ``max_sketches`` suffices; no bucketized refinement is needed.
+    """
+    samples: list[LossSample] = []
+    for trace in traces:
+        samples.extend(extract_loss_samples(trace))
+    if len(samples) < 3:
+        raise SynthesisError(
+            f"need at least 3 loss samples, found {len(samples)}: "
+            "collect longer or lossier traces"
+        )
+
+    best: tuple[ast.NumExpr, float] | None = None
+    ranking: list[tuple[ast.NumExpr, float]] = []
+    scored = 0
+    sketch_stream = itertools.islice(
+        enumerate_sketches(dsl, max_nodes=max_nodes, max_depth=max_depth),
+        max_sketches,
+    )
+    for sketch in sketch_stream:
+        for handler in concretizations(
+            sketch, dsl.constant_pool, cap=completion_cap
+        ):
+            error = _loss_error(handler, samples)
+            scored += 1
+            if best is None or error < best[1]:
+                best = (handler, error)
+            ranking.append((handler, error))
+
+    if best is None:
+        raise SynthesisError(f"DSL {dsl.name!r} produced no loss candidates")
+    ranking.sort(key=lambda item: item[1])
+    return LossSynthesisResult(
+        handler=best[0],
+        error=best[1],
+        samples=len(samples),
+        candidates_scored=scored,
+        ranking=ranking[:keep_top],
+    )

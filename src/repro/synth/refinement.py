@@ -1,0 +1,192 @@
+"""Abagnale's refinement loop (Algorithm 1, §4.4).
+
+Each iteration samples ``N`` sketches from every surviving bucket, scores
+them over the current trace working set, assigns each bucket the minimum
+distance any of its sketches achieved, and keeps only the top-``k``
+buckets (including ties at the k-th score).  Between iterations the
+schedule deepens the search: ``N ← 8N``, ``k ← k/2``, and the working set
+grows by two segments.  The loop ends when a single bucket survives (it
+is then enumerated exhaustively, within a cap) or every surviving bucket
+has already been exhausted; the lowest-distance handler seen anywhere is
+returned, so interrupting early still yields the best-so-far.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+
+from repro.dsl.families import DslSpec
+from repro.errors import SynthesisError
+from repro.synth.pool import BucketPool
+from repro.synth.parallel import score_sketches
+from repro.synth.result import IterationRecord, SynthesisResult
+from repro.synth.scoring import ScoredHandler, Scorer
+from repro.trace.model import TraceSegment
+from repro.trace.selection import select_diverse_segments
+
+__all__ = ["SynthesisConfig", "synthesize"]
+
+
+@dataclass(frozen=True)
+class SynthesisConfig:
+    """Tunable parameters of the refinement loop.
+
+    Defaults follow the paper's schedule (N=16, k=5, N×8, k/2, +2
+    segments per iteration) with laptop-scale caps on completions and
+    the final exhaustive pass.
+    """
+
+    metric: str = "dtw"
+    initial_samples: int = 16
+    initial_keep: int = 5
+    sample_growth: int = 8
+    initial_segments: int = 2
+    segment_growth: int = 2
+    completion_cap: int = 32
+    max_iterations: int = 5
+    exhaustive_cap: int = 1500
+    workers: int = 1
+    seed: int = 0
+    #: Scoring cost knobs, forwarded to :class:`~repro.synth.scoring.Scorer`.
+    series_budget: int = 128
+    max_replay_rows: int = 384
+    #: Wall-clock budget; the loop stops (with best-so-far) when exceeded.
+    time_budget_seconds: float | None = None
+
+
+@dataclass
+class _LoopState:
+    best: ScoredHandler | None = None
+    handlers_scored: int = 0
+    sketches_drawn: int = 0
+    records: list[IterationRecord] = field(default_factory=list)
+
+    def observe(self, scored: ScoredHandler, completions: int) -> None:
+        self.handlers_scored += completions
+        if self.best is None or scored.distance < self.best.distance:
+            self.best = scored
+
+
+def _working_set(
+    segments: list[TraceSegment], count: int, seed: int
+) -> list[TraceSegment]:
+    return select_diverse_segments(
+        segments, min(count, len(segments)), rng=random.Random(seed)
+    )
+
+
+def synthesize(
+    segments: list[TraceSegment],
+    dsl: DslSpec,
+    config: SynthesisConfig | None = None,
+) -> SynthesisResult:
+    """Run the full refinement loop; return the best handler found."""
+    if not segments:
+        raise SynthesisError("synthesis requires at least one trace segment")
+    config = config or SynthesisConfig()
+    scorer = Scorer(
+        metric_name=config.metric,
+        constant_pool=dsl.constant_pool,
+        completion_cap=config.completion_cap,
+        seed=config.seed,
+        series_budget=config.series_budget,
+        max_replay_rows=config.max_replay_rows,
+    )
+    pool = BucketPool(dsl)
+    initial_bucket_count = len(pool.buckets)
+    state = _LoopState()
+    started = time.perf_counter()
+
+    def out_of_time() -> bool:
+        return (
+            config.time_budget_seconds is not None
+            and time.perf_counter() - started > config.time_budget_seconds
+        )
+
+    n_samples = config.initial_samples
+    keep = config.initial_keep
+    segment_count = config.initial_segments
+
+    for iteration in range(config.max_iterations):
+        working = _working_set(segments, segment_count, config.seed + iteration)
+        # Draw up to the cumulative sample size (one shared enumeration
+        # pass feeds all buckets) and score everything each bucket has
+        # drawn so far against the current working set (old samples must
+        # be re-scored: the working set changed).
+        pool.draw(n_samples)
+        state.sketches_drawn = pool.generated
+        buckets = [bucket for bucket in pool.live if bucket.drawn]
+        if not buckets:
+            raise SynthesisError(
+                f"DSL {dsl.name!r} produced no sketches within its budgets"
+            )
+        for bucket in buckets:
+            results = score_sketches(
+                scorer, bucket.drawn, working, workers=config.workers
+            )
+            bucket.score = min(result.distance for result in results)
+            pool_size = len(dsl.constant_pool)
+            for sketch, result in zip(bucket.drawn, results):
+                completions = min(
+                    sketch.completion_count(pool_size), config.completion_cap
+                )
+                state.observe(result, completions)
+        ranking = sorted(buckets, key=lambda bucket: bucket.score)
+        cutoff_index = min(keep, len(ranking)) - 1
+        cutoff = ranking[cutoff_index].score
+        survivors = [bucket for bucket in ranking if bucket.score <= cutoff]
+        state.records.append(
+            IterationRecord(
+                index=iteration + 1,
+                samples_per_bucket=n_samples,
+                segment_count=len(working),
+                ranking=tuple(
+                    (bucket.key, bucket.score) for bucket in ranking
+                ),
+                kept=tuple(bucket.key for bucket in survivors),
+                handlers_scored=state.handlers_scored,
+            )
+        )
+        pool.prune({bucket.key for bucket in survivors})
+        if out_of_time():
+            break
+        if len(pool.buckets) == 1 or pool.exhausted:
+            break
+        n_samples *= config.sample_growth
+        keep = max(keep // 2, 1)
+        segment_count += config.segment_growth
+
+    # Final exhaustive pass over the surviving bucket(s), within the cap.
+    if not out_of_time():
+        working = _working_set(
+            segments, segment_count, config.seed + config.max_iterations
+        )
+        already = {
+            bucket.key: len(bucket.drawn) for bucket in pool.live
+        }
+        pool.draw(config.exhaustive_cap, max_steps=40 * config.exhaustive_cap)
+        state.sketches_drawn = pool.generated
+        for bucket in pool.live:
+            fresh = bucket.drawn[already.get(bucket.key, 0) :]
+            if fresh:
+                results = score_sketches(
+                    scorer, fresh, working, workers=config.workers
+                )
+                for result in results:
+                    state.observe(result, 1)
+            if out_of_time():
+                break
+
+    if state.best is None:
+        raise SynthesisError("no handler was scored")
+    return SynthesisResult(
+        best=state.best,
+        dsl_name=dsl.name,
+        iterations=state.records,
+        initial_bucket_count=initial_bucket_count,
+        total_handlers_scored=state.handlers_scored,
+        total_sketches_drawn=state.sketches_drawn,
+        elapsed_seconds=time.perf_counter() - started,
+    )

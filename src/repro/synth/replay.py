@@ -1,0 +1,124 @@
+"""Candidate-handler replay over trace segments (§3.1).
+
+Given a concrete handler and a trace segment, replay executes the handler
+once per observed ACK, feeding it the *recorded* congestion signals but
+its **own** evolving window — the statefulness that defeats stateless PBE
+synthesizers (§2.2).  The output is the *synthesized trace*: the cwnd
+series that handler would have produced under the same inputs, which the
+distance metric then compares against the observed series.
+
+This is the synthesis hot loop, so handlers are compiled
+(:mod:`repro.dsl.compiled`) and trace columns are bound positionally;
+the tree-walking evaluator remains the semantic reference (property
+tests assert agreement).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.dsl import ast
+from repro.dsl.compiled import CompiledHandler, compile_handler
+from repro.errors import EvaluationError
+from repro.trace.signals import SignalTable, extract_signals
+from repro.trace.model import TraceSegment
+
+__all__ = ["replay_handler", "replay_on_segment", "CWND_CAP_FACTOR"]
+
+#: Candidate windows are clamped to this multiple of the largest observed
+#: window: a handler that diverges numerically should score terribly, not
+#: overflow or stall the arithmetic.
+CWND_CAP_FACTOR = 16.0
+
+
+def _bind_columns(
+    compiled: CompiledHandler, table: SignalTable
+) -> tuple[list, int | None]:
+    """Bind the handler's signals to per-row value sequences.
+
+    Returns the sequences (positionally matching ``compiled.signals``)
+    and the index of the ``cwnd`` parameter (replaced with the
+    candidate's own state each step), or ``None`` if the handler ignores
+    the window.
+    """
+    sequences: list = []
+    cwnd_index: int | None = None
+    for position, name in enumerate(compiled.signals):
+        if name == "cwnd":
+            cwnd_index = position
+            sequences.append(itertools.repeat(0.0))
+        elif name == "mss":
+            sequences.append(itertools.repeat(table.mss))
+        elif name == "wmax":
+            sequences.append(itertools.repeat(table.wmax))
+        elif name in table.columns:
+            sequences.append(table.columns[name].tolist())
+        else:
+            raise EvaluationError(f"signal {name!r} missing from trace table")
+    return sequences, cwnd_index
+
+
+def replay_handler(
+    handler: ast.NumExpr,
+    table: SignalTable,
+    *,
+    initial_cwnd: float | None = None,
+    compiled: CompiledHandler | None = None,
+) -> np.ndarray:
+    """Replay *handler* over *table*; return its cwnd series (bytes).
+
+    The handler expression computes the *next* window from the current
+    one plus the recorded signals.  The window is clamped to
+    ``[mss, CWND_CAP_FACTOR * max(observed)]``.  Pass *compiled* to reuse
+    a compilation across tables.
+    """
+    observed = table.observed_cwnd()
+    count = len(table)
+    if count == 0:
+        return np.empty(0)
+    mss = table.mss
+    cap = CWND_CAP_FACTOR * float(observed.max())
+    cwnd = float(observed[0]) if initial_cwnd is None else initial_cwnd
+    out = np.empty(count)
+    try:
+        if compiled is None:
+            compiled = compile_handler(handler)
+        sequences, cwnd_index = _bind_columns(compiled, table)
+    except EvaluationError:
+        # An uncompilable/unbindable candidate cannot match anything.
+        out[:] = cap
+        return out
+
+    fn = compiled.fn
+    rows = itertools.islice(zip(*sequences), count) if sequences else None
+    if rows is None:
+        # Signal-free handler (a bare constant): constant series.
+        value = min(max(fn(), mss), cap)
+        out[:] = value
+        return out
+    for index, values in enumerate(rows):
+        if cwnd_index is not None:
+            values = list(values)
+            values[cwnd_index] = cwnd
+        cwnd = fn(*values)
+        if cwnd < mss:
+            cwnd = mss
+        elif cwnd > cap:
+            cwnd = cap
+        out[index] = cwnd
+    return out
+
+
+def replay_on_segment(
+    handler: ast.NumExpr,
+    segment: TraceSegment,
+    *,
+    initial_cwnd: float | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Convenience: extract signals, replay, and return
+    ``(synthesized, observed)`` series for *segment*."""
+    table = extract_signals(segment)
+    synthesized = replay_handler(handler, table, initial_cwnd=initial_cwnd)
+    return synthesized, table.observed_cwnd()

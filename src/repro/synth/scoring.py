@@ -1,0 +1,116 @@
+"""Scoring handlers and sketches against trace segments.
+
+The score of a concrete handler is the sum, over the working set of
+segments, of the distance between its replayed cwnd series and the
+observed one (both expressed in segments, i.e. divided by the MSS, so
+values are comparable across environments).  The score of a *sketch* is
+the minimum score over its sampled concretizations — the best behavior
+the sketch can exhibit with pool constants (§4.2, §4.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.distance.base import DEFAULT_METRIC, get_metric
+from repro.dsl.compiled import compile_handler
+from repro.errors import EvaluationError
+from repro.dsl import ast
+from repro.dsl.families import DEFAULT_CONSTANT_POOL
+from repro.synth.concretize import DEFAULT_COMPLETION_CAP, concretizations
+from repro.synth.replay import replay_handler
+from repro.synth.sketch import Sketch
+from repro.trace.model import TraceSegment
+from repro.trace.signals import SignalTable, extract_signals
+
+__all__ = ["Scorer", "ScoredHandler"]
+
+
+@dataclass(frozen=True)
+class ScoredHandler:
+    """A concrete handler and its summed distance over the working set."""
+
+    handler: ast.NumExpr
+    distance: float
+
+    def __lt__(self, other: "ScoredHandler") -> bool:
+        return self.distance < other.distance
+
+
+@dataclass
+class Scorer:
+    """Caches signal tables and scores handlers/sketches against them."""
+
+    metric_name: str = DEFAULT_METRIC
+    constant_pool: Sequence[float] = DEFAULT_CONSTANT_POOL
+    completion_cap: int = DEFAULT_COMPLETION_CAP
+    seed: int = 0
+    #: Replay cost control: tables longer than this are coalesced
+    #: (delayed-ACK merging, see :meth:`SignalTable.coalesce`).
+    max_replay_rows: int = 384
+    #: Distance cost control: series are down-sampled to this many points
+    #: inside the metric.
+    series_budget: int = 128
+    _tables: dict[int, tuple[TraceSegment, SignalTable]] = field(
+        default_factory=dict, repr=False
+    )
+
+    def table_for(self, segment: TraceSegment) -> SignalTable:
+        """Extract (and cache) the signal table for *segment*.
+
+        The cache key is ``id(segment)``, so each entry keeps a strong
+        reference to its segment and verifies identity on lookup: without
+        that, a freed segment's id can be reused by a new object and the
+        lookup would silently return the *wrong* table.
+        """
+        key = id(segment)
+        entry = self._tables.get(key)
+        if entry is not None and entry[0] is segment:
+            return entry[1]
+        table = extract_signals(segment).coalesce(self.max_replay_rows)
+        self._tables[key] = (segment, table)
+        return table
+
+    def score_handler(
+        self, handler: ast.NumExpr, segments: Sequence[TraceSegment]
+    ) -> float:
+        """Mean distance of *handler* across *segments* (lower = better).
+
+        The mean (not the sum) keeps scores comparable across refinement
+        iterations, whose working sets grow by two segments each round;
+        the best-so-far handler the loop carries would otherwise always
+        come from the smallest working set.
+        """
+        metric = get_metric(self.metric_name)
+        try:
+            compiled = compile_handler(handler)
+        except EvaluationError:
+            return float("inf")
+        total = 0.0
+        for segment in segments:
+            table = self.table_for(segment)
+            observed = table.observed_cwnd() / table.mss
+            synthesized = (
+                replay_handler(handler, table, compiled=compiled) / table.mss
+            )
+            total += metric(synthesized, observed, budget=self.series_budget)
+        return total / len(segments) if segments else float("inf")
+
+    def score_sketch(
+        self, sketch: Sketch, segments: Sequence[TraceSegment]
+    ) -> ScoredHandler:
+        """Best (minimum-distance) concretization of *sketch*."""
+        best: ScoredHandler | None = None
+        for handler in concretizations(
+            sketch,
+            self.constant_pool,
+            cap=self.completion_cap,
+            seed=self.seed,
+        ):
+            distance = self.score_handler(handler, segments)
+            if best is None or distance < best.distance:
+                best = ScoredHandler(handler, distance)
+        if best is None:  # a sketch always has >= 1 concretization
+            raise AssertionError("sketch produced no concretizations")
+        return best

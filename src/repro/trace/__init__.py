@@ -1,0 +1,65 @@
+"""Trace collection, segmentation, signal extraction and serialization.
+
+This package owns everything between the simulator and the synthesizer:
+the trace data model, triple-dupack loss inference and segmentation
+(S3.2), per-ACK congestion-signal extraction for handler replay (S3.1),
+diversity-seeking segment selection, the collection harness over the
+environment matrix, and JSON/CSV serialization.
+"""
+
+from repro.trace.adapters import from_ack_log, from_packet_log
+from repro.trace.collect import (
+    CollectionConfig,
+    collect_segments,
+    collect_traces,
+)
+from repro.trace.io import (
+    export_csv,
+    load_trace,
+    load_traces,
+    save_trace,
+    save_traces,
+    trace_from_dict,
+    trace_to_dict,
+)
+from repro.trace.model import AckRecord, LossRecord, Trace, TraceSegment
+from repro.trace.noise import NoiseModel, apply_noise
+from repro.trace.segmentation import infer_loss_times, segment_trace
+from repro.trace.selection import (
+    segment_shape,
+    select_diverse_segments,
+    shape_distance,
+)
+from repro.trace.signals import SIGNAL_NAMES, SignalTable, extract_signals
+from repro.trace.stats import TraceStats, summarize
+
+__all__ = [
+    "CollectionConfig",
+    "from_ack_log",
+    "from_packet_log",
+    "collect_segments",
+    "collect_traces",
+    "export_csv",
+    "load_trace",
+    "load_traces",
+    "save_trace",
+    "save_traces",
+    "trace_from_dict",
+    "trace_to_dict",
+    "AckRecord",
+    "NoiseModel",
+    "apply_noise",
+    "LossRecord",
+    "Trace",
+    "TraceSegment",
+    "infer_loss_times",
+    "segment_trace",
+    "segment_shape",
+    "select_diverse_segments",
+    "shape_distance",
+    "SIGNAL_NAMES",
+    "TraceStats",
+    "summarize",
+    "SignalTable",
+    "extract_signals",
+]

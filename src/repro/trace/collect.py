@@ -1,0 +1,85 @@
+"""Trace-collection harness: run a CCA across the environment matrix.
+
+The substitute for the paper's testbed campaign (§3.2): for each network
+configuration in the matrix, simulate the CCA for a fixed duration and
+(optionally) pass the result through the measurement-noise model.  The
+harness also provides the segment pipeline — collect, segment, and select
+a diverse working set — used by the synthesizer and the benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.cca.registry import make_cca
+from repro.netsim.environments import Environment, default_matrix
+from repro.trace.noise import NoiseModel, apply_noise
+from repro.trace.model import Trace, TraceSegment
+from repro.trace.segmentation import segment_trace
+from repro.trace.selection import select_diverse_segments
+
+__all__ = ["CollectionConfig", "collect_traces", "collect_segments"]
+
+
+@dataclass(frozen=True)
+class CollectionConfig:
+    """Parameters of one collection campaign."""
+
+    duration: float = 20.0
+    environments: tuple[Environment, ...] = field(
+        default_factory=lambda: tuple(default_matrix())
+    )
+    noise: NoiseModel = field(default_factory=NoiseModel)
+    max_acks_per_trace: int | None = 20_000
+
+    def quick(self) -> "CollectionConfig":
+        """A scaled-down campaign for tests and examples."""
+        return CollectionConfig(
+            duration=min(self.duration, 8.0),
+            environments=tuple(self.environments[::4]) or self.environments,
+            noise=self.noise,
+            max_acks_per_trace=4_000,
+        )
+
+
+def collect_traces(
+    cca_name: str, config: CollectionConfig | None = None
+) -> list[Trace]:
+    """Simulate *cca_name* across the environment matrix; return traces."""
+    # Imported lazily: the simulator itself imports the trace data model,
+    # and a module-level import here would close an import cycle.
+    from repro.netsim.simulator import simulate
+
+    config = config or CollectionConfig()
+    traces: list[Trace] = []
+    for env in config.environments:
+        cca = make_cca(cca_name, mss=env.mss)
+        trace = simulate(
+            cca,
+            env,
+            duration=config.duration,
+            max_acks=config.max_acks_per_trace,
+        )
+        if not config.noise.is_noop:
+            trace = apply_noise(trace, config.noise)
+        traces.append(trace)
+    return traces
+
+
+def collect_segments(
+    cca_name: str,
+    config: CollectionConfig | None = None,
+    *,
+    max_segments: int | None = None,
+    seed: int = 0,
+) -> list[TraceSegment]:
+    """Collect traces, segment them, and pick a diverse working set."""
+    segments: list[TraceSegment] = []
+    for trace in collect_traces(cca_name, config):
+        segments.extend(segment_trace(trace))
+    if max_segments is not None and len(segments) > max_segments:
+        segments = select_diverse_segments(
+            segments, max_segments, rng=random.Random(seed)
+        )
+    return segments

@@ -1,0 +1,142 @@
+"""Trace serialization: JSON round-trips and CSV export.
+
+Traces are plain-data, so a JSON representation supports archiving
+collection campaigns and shipping fixtures into tests.  CSV export gives
+one row per ACK for ad-hoc plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import IO
+
+from repro.errors import TraceError
+from repro.trace.model import AckRecord, LossRecord, Trace
+
+__all__ = [
+    "trace_to_dict",
+    "trace_from_dict",
+    "save_trace",
+    "load_trace",
+    "save_traces",
+    "load_traces",
+    "export_csv",
+]
+
+_FORMAT_VERSION = 1
+
+
+def trace_to_dict(trace: Trace) -> dict:
+    """Convert *trace* to a JSON-serializable dict."""
+    return {
+        "version": _FORMAT_VERSION,
+        "cca_name": trace.cca_name,
+        "environment_label": trace.environment_label,
+        "mss": trace.mss,
+        "meta": dict(trace.meta),
+        "acks": [
+            [
+                ack.time,
+                ack.ack_seq,
+                ack.acked_bytes,
+                ack.rtt_sample,
+                ack.cwnd_bytes,
+                ack.inflight_bytes,
+                int(ack.dupack),
+            ]
+            for ack in trace.acks
+        ],
+        "losses": [[loss.time, loss.kind] for loss in trace.losses],
+    }
+
+
+def trace_from_dict(data: dict) -> Trace:
+    """Rebuild a :class:`Trace` from :func:`trace_to_dict` output."""
+    version = data.get("version")
+    if version != _FORMAT_VERSION:
+        raise TraceError(f"unsupported trace format version {version!r}")
+    return Trace(
+        cca_name=data["cca_name"],
+        environment_label=data["environment_label"],
+        mss=data["mss"],
+        meta=dict(data.get("meta", {})),
+        acks=[
+            AckRecord(
+                time=row[0],
+                ack_seq=row[1],
+                acked_bytes=row[2],
+                rtt_sample=row[3],
+                cwnd_bytes=row[4],
+                inflight_bytes=row[5],
+                dupack=bool(row[6]),
+            )
+            for row in data["acks"]
+        ],
+        losses=[LossRecord(time=row[0], kind=row[1]) for row in data["losses"]],
+    )
+
+
+def save_trace(trace: Trace, path: str | Path) -> None:
+    """Write one trace as JSON."""
+    Path(path).write_text(json.dumps(trace_to_dict(trace)))
+
+
+def load_trace(path: str | Path) -> Trace:
+    """Read one trace from JSON."""
+    return trace_from_dict(json.loads(Path(path).read_text()))
+
+
+def save_traces(traces: list[Trace], path: str | Path) -> None:
+    """Write a list of traces as one JSON document."""
+    Path(path).write_text(
+        json.dumps(
+            {
+                "version": _FORMAT_VERSION,
+                "traces": [trace_to_dict(trace) for trace in traces],
+            }
+        )
+    )
+
+
+def load_traces(path: str | Path) -> list[Trace]:
+    """Read a list of traces written by :func:`save_traces`."""
+    data = json.loads(Path(path).read_text())
+    if data.get("version") != _FORMAT_VERSION:
+        raise TraceError("unsupported trace bundle version")
+    return [trace_from_dict(item) for item in data["traces"]]
+
+
+def export_csv(trace: Trace, sink: IO[str] | str | Path) -> None:
+    """Write one row per ACK: time, ack, acked, rtt, cwnd, inflight, dup."""
+    own = isinstance(sink, (str, Path))
+    handle = open(sink, "w", newline="") if own else sink
+    try:
+        writer = csv.writer(handle)
+        writer.writerow(
+            [
+                "time",
+                "ack_seq",
+                "acked_bytes",
+                "rtt_sample",
+                "cwnd_bytes",
+                "inflight_bytes",
+                "dupack",
+            ]
+        )
+        for ack in trace.acks:
+            writer.writerow(
+                [
+                    f"{ack.time:.6f}",
+                    ack.ack_seq,
+                    ack.acked_bytes,
+                    "" if ack.rtt_sample is None else f"{ack.rtt_sample:.6f}",
+                    f"{ack.cwnd_bytes:.1f}",
+                    ack.inflight_bytes,
+                    int(ack.dupack),
+                ]
+            )
+    finally:
+        if own:
+            handle.close()

@@ -1,0 +1,148 @@
+"""Trace data model: what a measurement vantage point records.
+
+A :class:`Trace` is the per-ACK time series collected for one flow — the
+raw material both for classifiers and for Abagnale's synthesis.  Each
+:class:`AckRecord` holds what is observable at the sender-side vantage
+point: arrival time, cumulative ACK, bytes newly acknowledged, an RTT
+sample, the visible congestion window, and bytes in flight.
+
+:class:`TraceSegment` is a slice of a trace between loss events; the
+synthesizer scores candidate handlers per segment (§3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import TraceError
+
+__all__ = ["AckRecord", "LossRecord", "Trace", "TraceSegment"]
+
+
+@dataclass(slots=True)
+class AckRecord:
+    """One processed acknowledgment at the vantage point."""
+
+    time: float
+    ack_seq: int
+    acked_bytes: int
+    rtt_sample: float | None
+    cwnd_bytes: float
+    inflight_bytes: int
+    dupack: bool = False
+
+
+@dataclass(slots=True)
+class LossRecord:
+    """A loss event inferred or observed at the vantage point.
+
+    ``kind`` is ``"dupack"`` for fast-retransmit losses or ``"timeout"``
+    for RTO expirations.
+    """
+
+    time: float
+    kind: str = "dupack"
+
+
+@dataclass
+class Trace:
+    """A full per-flow packet trace."""
+
+    cca_name: str
+    environment_label: str
+    mss: int
+    acks: list[AckRecord] = field(default_factory=list)
+    losses: list[LossRecord] = field(default_factory=list)
+    meta: dict[str, float | str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.mss <= 0:
+            raise TraceError("mss must be positive")
+
+    def __len__(self) -> int:
+        return len(self.acks)
+
+    @property
+    def duration(self) -> float:
+        if not self.acks:
+            return 0.0
+        return self.acks[-1].time - self.acks[0].time
+
+    def times(self) -> np.ndarray:
+        return np.array([ack.time for ack in self.acks], dtype=float)
+
+    def cwnd_series(self) -> np.ndarray:
+        """The visible congestion window over time, in bytes."""
+        return np.array([ack.cwnd_bytes for ack in self.acks], dtype=float)
+
+    def rtt_series(self) -> np.ndarray:
+        """Per-ack RTT samples; gaps (dupacks) carry the previous sample."""
+        out = np.empty(len(self.acks), dtype=float)
+        last = float("nan")
+        for index, ack in enumerate(self.acks):
+            if ack.rtt_sample is not None:
+                last = ack.rtt_sample
+            out[index] = last
+        # Back-fill any leading NaNs with the first real sample.
+        if len(out) and np.isnan(out[0]):
+            real = out[~np.isnan(out)]
+            if real.size == 0:
+                raise TraceError("trace has no RTT samples")
+            out[np.isnan(out)] = real[0]
+        return out
+
+    def loss_times(self) -> np.ndarray:
+        return np.array([loss.time for loss in self.losses], dtype=float)
+
+
+@dataclass
+class TraceSegment:
+    """A slice of a trace between two loss events (§3.2).
+
+    ``start``/``stop`` index into ``trace.acks``; the segment covers
+    ``acks[start:stop]``.  ``preceding_loss_time`` is the timestamp of the
+    loss event that opened the segment (or the flow start), from which the
+    ``time_since_loss`` signal is measured.
+    """
+
+    trace: Trace
+    start: int
+    stop: int
+    preceding_loss_time: float
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.start < self.stop <= len(self.trace.acks)):
+            raise TraceError(
+                f"segment bounds [{self.start}, {self.stop}) out of range "
+                f"for trace of {len(self.trace.acks)} acks"
+            )
+
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+    @property
+    def acks(self) -> list[AckRecord]:
+        return self.trace.acks[self.start : self.stop]
+
+    @property
+    def mss(self) -> int:
+        return self.trace.mss
+
+    @property
+    def label(self) -> str:
+        return (
+            f"{self.trace.cca_name}/{self.trace.environment_label}"
+            f"[{self.start}:{self.stop}]"
+        )
+
+    def times(self) -> np.ndarray:
+        return np.array([ack.time for ack in self.acks], dtype=float)
+
+    def cwnd_series(self) -> np.ndarray:
+        return np.array([ack.cwnd_bytes for ack in self.acks], dtype=float)
+
+    def iter_acks(self) -> Iterator[AckRecord]:
+        return iter(self.acks)

@@ -1,0 +1,88 @@
+"""Physical-unit algebra for DSL expressions.
+
+Abagnale constrains enumerated sketches so that the synthesized cwnd-ack
+handler is *dimensionally consistent*: the output must be in bytes (§4.1).
+Units are modeled as integer exponent vectors over two base dimensions,
+``bytes`` and ``seconds`` — e.g. an ACK rate is bytes/second, i.e.
+``Unit(bytes=1, seconds=-1)``.
+
+Mirroring the paper, only integer exponents are representable; the cube
+root of a non-cube unit (such as Cubic's ``time³ → bytes`` trick) is a
+:class:`~repro.errors.UnitError`, which is exactly the limitation the paper
+reports for Cubic (§5.5). Unit checking can therefore be disabled per-DSL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import UnitError
+
+
+@dataclass(frozen=True, slots=True)
+class Unit:
+    """An integer-exponent unit vector over (bytes, seconds)."""
+
+    bytes: int = 0
+    seconds: int = 0
+
+    def __mul__(self, other: "Unit") -> "Unit":
+        return Unit(self.bytes + other.bytes, self.seconds + other.seconds)
+
+    def __truediv__(self, other: "Unit") -> "Unit":
+        return Unit(self.bytes - other.bytes, self.seconds - other.seconds)
+
+    def __pow__(self, exponent: int) -> "Unit":
+        return Unit(self.bytes * exponent, self.seconds * exponent)
+
+    def root(self, degree: int) -> "Unit":
+        """Return the unit of the degree-th root, or raise :class:`UnitError`.
+
+        Only exact integer roots exist in this algebra; that restriction is
+        what prevents the enumerator from unit-checking cube-root
+        expressions over non-cubic units (paper §5.5, Cubic discussion).
+        """
+        if self.bytes % degree or self.seconds % degree:
+            raise UnitError(
+                f"unit {self} has no exact {degree}-th root "
+                "(integer-exponent unit algebra)"
+            )
+        return Unit(self.bytes // degree, self.seconds // degree)
+
+    @property
+    def is_dimensionless(self) -> bool:
+        return self.bytes == 0 and self.seconds == 0
+
+    def __str__(self) -> str:
+        if self.is_dimensionless:
+            return "1"
+        parts = []
+        for name, exp in (("B", self.bytes), ("s", self.seconds)):
+            if exp == 1:
+                parts.append(name)
+            elif exp:
+                parts.append(f"{name}^{exp}")
+        return "*".join(parts)
+
+
+#: The unit of a congestion window and of MSS: plain bytes.
+BYTES = Unit(bytes=1)
+#: The unit of RTT measurements and of time-since-loss: seconds.
+SECONDS = Unit(seconds=1)
+#: The unit of an ACK rate or of estimated bandwidth: bytes per second.
+BYTES_PER_SECOND = Unit(bytes=1, seconds=-1)
+#: A pure number (constants, ratios such as vegas-diff).
+DIMENSIONLESS = Unit()
+
+
+def add_units(left: Unit, right: Unit, *, context: str = "+") -> Unit:
+    """Unit of ``left ± right``; both sides must agree."""
+    if left != right:
+        raise UnitError(f"cannot apply '{context}' to units {left} and {right}")
+    return left
+
+
+def compare_units(left: Unit, right: Unit, *, context: str = "<") -> None:
+    """Validate a comparison between two united quantities."""
+    if left != right:
+        raise UnitError(f"cannot compare ({context}) units {left} and {right}")

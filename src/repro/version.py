@@ -1,0 +1,3 @@
+"""Package version, single-sourced for pyproject and runtime."""
+
+__version__ = "1.0.0"

@@ -1,0 +1,113 @@
+"""CongestionControl base-class tests: shared statistics and helpers."""
+
+import pytest
+
+from repro.cca.base import AckEvent, CongestionControl, LossEvent
+
+
+class _Null(CongestionControl):
+    name = "null"
+
+    def _on_ack(self, ack):
+        pass
+
+    def _on_loss(self, loss):
+        pass
+
+
+def _ack(now, acked=1500, rtt=0.05, inflight=15000):
+    return AckEvent(now=now, acked_bytes=acked, rtt_sample=rtt, inflight_bytes=inflight)
+
+
+def test_initial_state():
+    cca = _Null(mss=1500, initial_cwnd_segments=10)
+    assert cca.cwnd == 15_000
+    assert cca.ssthresh == float("inf")
+    assert cca.in_slow_start
+
+
+def test_rtt_statistics_track_min_max():
+    cca = _Null()
+    cca.on_ack(_ack(0.0, rtt=0.05))
+    cca.on_ack(_ack(0.1, rtt=0.08))
+    cca.on_ack(_ack(0.2, rtt=0.04))
+    assert cca.min_rtt == 0.04
+    assert cca.max_rtt == 0.08
+    assert cca.latest_rtt == 0.04
+    assert 0.04 <= cca.srtt <= 0.08
+
+
+def test_srtt_is_ewma():
+    cca = _Null()
+    cca.on_ack(_ack(0.0, rtt=0.1))
+    assert cca.srtt == 0.1
+    cca.on_ack(_ack(0.1, rtt=0.2))
+    assert cca.srtt == pytest.approx(0.1 + 0.125 * 0.1)
+
+
+def test_none_rtt_sample_ignored():
+    cca = _Null()
+    cca.on_ack(_ack(0.0, rtt=None))
+    assert cca.latest_rtt is None
+    assert cca.min_rtt == float("inf")
+
+
+def test_ack_rate_sliding_window():
+    cca = _Null()
+    for step in range(20):
+        cca.on_ack(_ack(step * 0.01, acked=1500, rtt=0.05))
+    # 1500 bytes every 10 ms -> 150 kB/s.
+    assert cca.ack_rate == pytest.approx(150_000, rel=0.1)
+
+
+def test_ack_rate_robust_to_burst():
+    cca = _Null()
+    for step in range(20):
+        cca.on_ack(_ack(step * 0.01, acked=1500, rtt=0.05))
+    # One SACK-style cumulative jump must not blow up the estimate.
+    cca.on_ack(_ack(0.2001, acked=30_000, rtt=0.05))
+    assert cca.ack_rate < 600_000
+
+
+def test_loss_bookkeeping():
+    cca = _Null()
+    cca.on_loss(LossEvent(now=3.0, kind="dupack", inflight_bytes=10000))
+    assert cca.last_loss_time == 3.0
+    assert cca.losses_seen == 1
+
+
+def test_multiplicative_decrease_floor():
+    cca = _Null()
+    cca.cwnd = 2000.0
+    cca.multiplicative_decrease(0.5)
+    assert cca.cwnd == 2 * cca.mss  # floored at 2 MSS
+
+
+def test_timeout_reset():
+    cca = _Null()
+    cca.cwnd = 60_000.0
+    cca.timeout_reset()
+    assert cca.cwnd == cca.mss
+    assert cca.ssthresh == 30_000.0
+
+
+def test_cwnd_clamped_to_mss():
+    cca = _Null()
+    cca.cwnd = 10.0
+    cca.on_ack(_ack(0.0))
+    assert cca.cwnd >= cca.mss
+
+
+def test_reno_ca_ack_increment():
+    cca = _Null()
+    cca.ssthresh = 0.0  # force congestion avoidance
+    cca.cwnd = 15_000.0
+    cca.reno_ca_ack(_ack(0.0, acked=1500))
+    assert cca.cwnd == pytest.approx(15_000 + 1500 * 1500 / 15_000)
+
+
+def test_slow_start_ack_caps_at_mss_per_ack():
+    cca = _Null()
+    cca.cwnd = 15_000.0
+    cca.slow_start_ack(_ack(0.0, acked=4500))
+    assert cca.cwnd == 16_500.0

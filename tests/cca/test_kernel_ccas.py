@@ -1,0 +1,407 @@
+"""Behavioral tests for each kernel CCA port.
+
+Each test drives the algorithm with hand-built ACK/loss events and checks
+the signature behavior that distinguishes it (increase law, decrease law,
+delay reaction) — the same properties the paper's synthesized expressions
+capture in Table 2.
+"""
+
+import pytest
+
+from repro.cca import (
+    Bbr,
+    Bic,
+    Cdg,
+    Cubic,
+    HighSpeed,
+    Htcp,
+    Hybla,
+    Illinois,
+    LowPriority,
+    NewVegas,
+    Reno,
+    Scalable,
+    Vegas,
+    Veno,
+    Westwood,
+    Yeah,
+)
+from repro.cca.base import AckEvent, LossEvent
+from repro.cca.highspeed import aimd_gains
+
+
+def _ack(now, acked=1500, rtt=0.05, inflight=15000):
+    return AckEvent(now=now, acked_bytes=acked, rtt_sample=rtt, inflight_bytes=inflight)
+
+
+def _loss(now, kind="dupack"):
+    return LossEvent(now=now, kind=kind, inflight_bytes=15000)
+
+
+def _leave_slow_start(cca):
+    cca.ssthresh = cca.cwnd
+
+
+class TestReno:
+    def test_slow_start_doubles_per_window(self):
+        cca = Reno()
+        start = cca.cwnd
+        for index in range(10):
+            cca.on_ack(_ack(index * 0.01))
+        assert cca.cwnd == start + 10 * 1500
+
+    def test_ca_one_mss_per_window(self):
+        cca = Reno()
+        _leave_slow_start(cca)
+        window = cca.cwnd
+        acks = int(window / 1500)
+        for index in range(acks):
+            cca.on_ack(_ack(index * 0.01))
+        assert cca.cwnd == pytest.approx(window + 1500, rel=0.02)
+
+    def test_halves_on_dupack_loss(self):
+        cca = Reno()
+        cca.cwnd = 60_000.0
+        cca.on_loss(_loss(1.0))
+        assert cca.cwnd == 30_000.0
+
+    def test_timeout_resets_to_one_mss(self):
+        cca = Reno()
+        cca.cwnd = 60_000.0
+        cca.on_loss(_loss(1.0, kind="timeout"))
+        assert cca.cwnd == 1500.0
+
+
+class TestCubic:
+    def _settled(self):
+        cca = Cubic()
+        _leave_slow_start(cca)
+        cca.cwnd = 60_000.0
+        cca.on_loss(_loss(0.0))
+        return cca
+
+    def test_decrease_factor(self):
+        cca = Cubic()
+        cca.cwnd = 60_000.0
+        _leave_slow_start(cca)
+        cca.on_loss(_loss(0.0))
+        assert cca.cwnd == pytest.approx(42_000.0)
+        assert cca.wmax == 60_000.0
+
+    def test_concave_then_convex_growth(self):
+        """Cubic grows fast after the loss, plateaus near wmax, then
+        accelerates again — the defining inflection."""
+        cca = self._settled()
+        samples = {}
+        now = 0.0
+        for index in range(4000):
+            now = 0.01 * index
+            cca.on_ack(_ack(now))
+            samples[round(now, 2)] = cca.cwnd
+        # near-plateau around K: growth in the middle epoch is smaller
+        # than both the early epoch and the late epoch.
+        early = samples[2.0] - samples[0.5]
+        late = samples[float(round(now, 2))] - samples[float(round(now - 1.5, 2))]
+        k_time = ((cca.wmax - 42_000) / cca.mss / cca.C) ** (1 / 3)
+        mid_lo = round(max(k_time - 0.75, 0.01), 2)
+        mid = samples[round(mid_lo + 1.5, 2)] - samples[mid_lo]
+        assert mid < early
+        assert mid < late
+
+    def test_wmax_updated_on_loss(self):
+        cca = self._settled()
+        for index in range(100):
+            cca.on_ack(_ack(index * 0.01))
+        peak = cca.cwnd
+        cca.on_loss(_loss(2.0))
+        assert cca.wmax == pytest.approx(peak)
+
+
+class TestBbr:
+    def _warm(self, cca, rate_bps=1_250_000.0, rtt=0.05, n=400):
+        for index in range(n):
+            now = index * 0.01
+            cca.on_ack(_ack(now, acked=int(rate_bps * 0.01), rtt=rtt))
+
+    def test_window_tracks_bdp_multiple(self):
+        cca = Bbr()
+        self._warm(cca)
+        bdp = 1_250_000 * 0.05
+        assert cca.cwnd == pytest.approx(2.0 * bdp, rel=0.45)
+
+    def test_ignores_isolated_dupack_loss(self):
+        cca = Bbr()
+        self._warm(cca)
+        before = cca.cwnd
+        cca.on_loss(_loss(5.0))
+        assert cca.cwnd == before
+
+    def test_timeout_restarts(self):
+        cca = Bbr()
+        self._warm(cca)
+        cca.on_loss(_loss(5.0, kind="timeout"))
+        assert cca.cwnd == 4 * 1500
+
+    def test_gain_cycle_pulses(self):
+        cca = Bbr()
+        self._warm(cca)
+        windows = set()
+        for index in range(1600):
+            now = 4.0 + index * 0.005
+            cca.on_ack(_ack(now, acked=6250, rtt=0.05))
+            windows.add(round(cca.cwnd / 1000))
+        # Probing (1.25) and draining (0.75) phases give distinct levels.
+        assert len(windows) >= 2
+
+
+class TestVegasFamily:
+    def test_vegas_increases_when_uncongested(self):
+        cca = Vegas()
+        _leave_slow_start(cca)
+        start = cca.cwnd
+        for index in range(50):
+            cca.on_ack(_ack(index * 0.05, rtt=0.05))
+        assert cca.cwnd > start
+
+    def test_vegas_decreases_when_queueing(self):
+        cca = Vegas()
+        _leave_slow_start(cca)
+        cca.on_ack(_ack(0.0, rtt=0.05))  # establish min_rtt
+        cca.cwnd = 120_000.0
+        start = cca.cwnd
+        for index in range(50):
+            cca.on_ack(_ack(0.1 + index * 0.1, rtt=0.10))  # heavy queueing
+        assert cca.cwnd < start
+
+    def test_veno_loss_discrimination(self):
+        low, high = Veno(), Veno()
+        for cca, rtt in ((low, 0.05), (high, 0.12)):
+            _leave_slow_start(cca)
+            cca.on_ack(_ack(0.0, rtt=0.05))
+            cca.cwnd = 60_000.0
+            cca.on_ack(_ack(0.1, rtt=rtt))
+            cca.on_loss(_loss(0.2))
+        assert low.cwnd == pytest.approx(48_000.0, rel=0.01)   # random: x0.8
+        assert high.cwnd == pytest.approx(30_000.0, rel=0.01)  # congested: x0.5
+
+    def test_nv_matches_vegas_logic(self):
+        """NV adjusts like Vegas: grows while the measured rate shows an
+        empty queue."""
+        cca = NewVegas()
+        _leave_slow_start(cca)
+        start = cca.cwnd
+        # A delivery rate consistent with cwnd/rtt: no queueing measured.
+        for index in range(100):
+            cca.on_ack(_ack(index * 0.01, acked=3000, rtt=0.05))
+        assert cca.cwnd > start
+
+    def test_yeah_fast_mode_is_scalable(self):
+        cca = Yeah()
+        _leave_slow_start(cca)
+        window = cca.cwnd
+        cca.on_ack(_ack(0.0, rtt=0.05, acked=1500))
+        assert cca.cwnd == pytest.approx(window + 0.01 * 1500)
+
+
+class TestRenoVariants:
+    def test_westwood_backoff_uses_bandwidth_estimate(self):
+        cca = Westwood()
+        for index in range(100):
+            cca.on_ack(_ack(index * 0.01, acked=1500, rtt=0.05))
+        pipe = cca.ack_rate * cca.min_rtt
+        cca.cwnd = 90_000.0
+        cca.on_loss(_loss(1.0))
+        assert cca.cwnd == pytest.approx(max(pipe, 3000), rel=0.01)
+
+    def test_scalable_increase_proportional_to_acked(self):
+        cca = Scalable()
+        _leave_slow_start(cca)
+        window = cca.cwnd
+        cca.on_ack(_ack(0.0, acked=1500))
+        assert cca.cwnd == window + 0.01 * 1500
+
+    def test_scalable_gentle_decrease(self):
+        cca = Scalable()
+        cca.cwnd = 80_000.0
+        cca.on_loss(_loss(1.0))
+        assert cca.cwnd == pytest.approx(70_000.0)
+
+    def test_hybla_scales_with_rtt(self):
+        slow, fast = Hybla(), Hybla()
+        for cca, rtt in ((slow, 0.1), (fast, 0.025)):
+            _leave_slow_start(cca)
+            cca.on_ack(_ack(0.0, rtt=rtt))
+            window = cca.cwnd
+            cca.on_ack(_ack(0.05, rtt=rtt))
+            cca.gain = cca.cwnd - window
+        assert slow.gain > fast.gain * 4  # rho^2 scaling (rho=4 vs 1)
+
+    def test_lp_yields_on_delay(self):
+        cca = LowPriority()
+        _leave_slow_start(cca)
+        cca.on_ack(_ack(0.0, rtt=0.05))
+        cca.on_ack(_ack(0.1, rtt=0.20))  # grow the envelope
+        cca.cwnd = 60_000.0
+        cca.on_ack(_ack(0.2, rtt=0.18))  # well above 15% threshold
+        assert cca.cwnd <= 30_000.0
+
+
+class TestHtcpIllinois:
+    def test_htcp_alpha_grows_with_loss_age(self):
+        cca = Htcp()
+        assert cca._alpha(0.5) == 1.0
+        assert cca._alpha(2.0) > cca._alpha(1.5) > 1.0
+
+    def test_htcp_beta_rtt_ratio(self):
+        cca = Htcp()
+        cca.on_ack(_ack(0.0, rtt=0.05))
+        cca.on_ack(_ack(0.1, rtt=0.10))
+        assert cca._beta() == pytest.approx(0.5)
+
+    def test_illinois_alpha_falls_with_delay(self):
+        cca = Illinois()
+        for index in range(20):
+            cca.on_ack(_ack(index * 0.01, rtt=0.05))
+        low_delay_alpha = cca._alpha()
+        for index in range(200):
+            cca.on_ack(_ack(1.0 + index * 0.01, rtt=0.15))
+        high_delay_alpha = cca._alpha()
+        assert low_delay_alpha == pytest.approx(10.0)
+        assert high_delay_alpha < low_delay_alpha
+
+    def test_illinois_beta_rises_with_delay(self):
+        cca = Illinois()
+        for index in range(200):
+            cca.on_ack(_ack(index * 0.01, rtt=0.05 if index < 100 else 0.15))
+        assert cca._beta() > 0.125
+
+
+class TestBicCdgHighspeed:
+    def test_bic_binary_search_step(self):
+        cca = Bic()
+        _leave_slow_start(cca)
+        cca.last_max = 120_000.0
+        cca.cwnd = 60_000.0
+        step = cca._increment_segments()
+        assert step == pytest.approx(min((120_000 - 60_000) / 1500 / 2, 16.0))
+
+    def test_bic_linear_probe_past_max(self):
+        cca = Bic()
+        _leave_slow_start(cca)
+        cca.last_max = 60_000.0
+        cca.cwnd = 61_500.0
+        assert cca._increment_segments() == 2.0
+
+    def test_bic_fast_convergence(self):
+        cca = Bic()
+        cca.last_max = 120_000.0
+        cca.cwnd = 60_000.0
+        cca.on_loss(_loss(1.0))
+        assert cca.last_max == pytest.approx(60_000 * 0.9)
+
+    def test_cdg_is_seeded_deterministic(self):
+        def run(seed):
+            cca = Cdg(seed=seed)
+            _leave_slow_start(cca)
+            for index in range(300):
+                rtt = 0.05 + (index % 50) * 0.001  # rising delay rounds
+                cca.on_ack(_ack(index * 0.01, rtt=rtt))
+            return cca.cwnd
+
+        assert run(1) == run(1)
+
+    def test_highspeed_table_monotonic(self):
+        previous_a, previous_b = aimd_gains(10)
+        assert previous_a == 1 and previous_b == 0.5
+        for window in (100, 500, 2000, 10_000, 50_000):
+            a, b = aimd_gains(window)
+            assert a >= previous_a
+            assert b <= previous_b
+            previous_a, previous_b = a, b
+
+    def test_highspeed_aggressive_at_large_windows(self):
+        cca = HighSpeed()
+        _leave_slow_start(cca)
+        cca.cwnd = 1500 * 1000  # 1000 segments
+        window = cca.cwnd
+        cca.on_ack(_ack(0.0, acked=1500))
+        gain = cca.cwnd - window
+        assert gain > 5 * 1500 * 1500 / window  # >> Reno's increment
+
+
+class TestAdditionalBehaviors:
+    def test_lp_double_backoff_within_inference_window(self):
+        cca = LowPriority()
+        # Establish the delay envelope while still in slow start (the
+        # early-congestion path only applies in congestion avoidance).
+        cca.on_ack(_ack(0.0, rtt=0.05))
+        cca.on_ack(_ack(0.1, rtt=0.20))
+        _leave_slow_start(cca)
+        cca.cwnd = 80_000.0
+        cca.on_ack(_ack(5.0, rtt=0.18))  # first indication: halve
+        after_first = cca.cwnd
+        cca.on_ack(_ack(5.05, rtt=0.18))  # second, inside the window
+        assert after_first == pytest.approx(40_000.0)
+        assert cca.cwnd == cca.mss  # full yield
+
+    def test_hybla_slow_start_exponential_term(self):
+        cca = Hybla()
+        cca.on_ack(_ack(0.0, rtt=0.1))  # rho = 4
+        window = cca.cwnd
+        cca.on_ack(_ack(0.05, rtt=0.1))
+        # Slow-start increment is (2^rho - 1) * mss = 15 mss per ack.
+        assert cca.cwnd - window == pytest.approx((2**4 - 1) * 1500)
+
+    def test_illinois_beta_bounded(self):
+        cca = Illinois()
+        for index in range(300):
+            rtt = 0.05 + (0.15 if index > 150 else 0.0)
+            cca.on_ack(_ack(index * 0.01, rtt=rtt))
+        assert Illinois.BETA_MIN <= cca._beta() <= Illinois.BETA_MAX
+
+    def test_htcp_reset_after_loss(self):
+        cca = Htcp()
+        assert cca._alpha(5.0) > 30
+        cca.on_loss(_loss(5.0))
+        # Loss age resets: back to the low-speed regime.
+        assert cca._alpha(5.5) == 1.0
+
+    def test_cubic_tcp_friendly_floor(self):
+        """At tiny windows Cubic must not be slower than emulated Reno."""
+        cca = Cubic()
+        _leave_slow_start(cca)
+        cca.cwnd = 6_000.0
+        cca.wmax = 6_000.0
+        cca.on_loss(_loss(0.0))
+        floor = cca._tcp_cwnd
+        for index in range(200):
+            cca.on_ack(_ack(0.01 * index))
+        assert cca.cwnd >= cca._tcp_cwnd >= floor
+
+    def test_westwood_floor_at_two_mss(self):
+        cca = Westwood()
+        cca.cwnd = 30_000.0
+        cca.on_loss(_loss(0.1))  # no bandwidth estimate yet
+        assert cca.cwnd == 2 * cca.mss
+
+    def test_bbr_startup_exits(self):
+        cca = Bbr()
+        for index in range(400):
+            cca.on_ack(_ack(index * 0.01, acked=6250, rtt=0.05))
+        assert not cca._in_startup
+
+    def test_vegas_slow_start_half_rate(self):
+        cca = Vegas()
+        window = cca.cwnd
+        cca.on_ack(_ack(0.0, acked=1500, rtt=0.05))
+        assert cca.cwnd - window == pytest.approx(750.0)
+
+    def test_yeah_decongestion_sheds_queue(self):
+        cca = Yeah()
+        _leave_slow_start(cca)
+        cca.on_ack(_ack(0.0, rtt=0.05))  # min_rtt
+        cca.cwnd = 400_000.0
+        before = cca.cwnd
+        # Massive queueing: decongestion should shed window.
+        cca.on_ack(_ack(0.1, rtt=0.40))
+        assert cca.cwnd < before

@@ -1,0 +1,59 @@
+"""CCA registry tests."""
+
+import pytest
+
+from repro.cca import (
+    ALL_CCAS,
+    KERNEL_CCAS,
+    STUDENT_NAMES,
+    CongestionControl,
+    cca_names,
+    make_cca,
+)
+from repro.errors import ReproError
+
+
+def test_sixteen_kernel_ccas():
+    assert len(KERNEL_CCAS) == 16
+    expected = {
+        "bbr", "bic", "cdg", "cubic", "highspeed", "htcp", "hybla",
+        "illinois", "lp", "nv", "reno", "scalable", "vegas", "veno",
+        "westwood", "yeah",
+    }
+    assert set(KERNEL_CCAS) == expected
+
+
+def test_seven_students():
+    assert len(STUDENT_NAMES) == 7
+
+
+def test_all_is_union():
+    assert set(ALL_CCAS) == set(KERNEL_CCAS) | set(STUDENT_NAMES)
+
+
+def test_make_cca_instantiates_each():
+    for name in ALL_CCAS:
+        cca = make_cca(name)
+        assert isinstance(cca, CongestionControl)
+        assert cca.name == name
+        assert cca.mss == 1500
+
+
+def test_make_cca_custom_mss():
+    assert make_cca("reno", mss=9000).mss == 9000
+
+
+def test_make_cca_unknown():
+    with pytest.raises(ReproError):
+        make_cca("nonexistent")
+
+
+def test_cca_names_sorted():
+    names = cca_names()
+    assert list(names) == sorted(names)
+    assert len(cca_names(kernel_only=True)) == 16
+
+
+def test_registry_names_match_class_attribute():
+    for name, cls in ALL_CCAS.items():
+        assert cls.name == name

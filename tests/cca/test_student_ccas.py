@@ -1,0 +1,97 @@
+"""Behavioral tests for the synthetic student CCAs (paper §5.6)."""
+
+import pytest
+
+from repro.cca import (
+    Student1,
+    Student2,
+    Student3,
+    Student4,
+    Student5,
+    Student6,
+    Student7,
+    STUDENT_CCAS,
+)
+from repro.cca.base import AckEvent, LossEvent
+
+
+def _ack(now, acked=1500, rtt=0.05, inflight=15000):
+    return AckEvent(now=now, acked_bytes=acked, rtt_sample=rtt, inflight_bytes=inflight)
+
+
+def test_registry_has_seven():
+    assert len(STUDENT_CCAS) == 7
+    assert len({cls.name for cls in STUDENT_CCAS}) == 7
+
+
+def test_students_mostly_ignore_dupack_losses():
+    for cls in STUDENT_CCAS:
+        cca = cls()
+        cca.cwnd = 30_000.0
+        before = cca.cwnd
+        cca.on_loss(LossEvent(now=1.0, kind="dupack", inflight_bytes=1000))
+        assert cca.cwnd == before, cls.name
+
+
+def test_student1_triangle_ramp_and_reset():
+    cca = Student1()
+    # Flat RTT: no queue -> ramp.
+    for index in range(20):
+        cca.on_ack(_ack(index * 0.01, rtt=0.05))
+    ramped = cca.cwnd
+    assert ramped > 15_000
+    # Sustained queueing: hard reset to 8 MSS.
+    for index in range(60):
+        cca.on_ack(_ack(1.0 + index * 0.01, rtt=0.30))
+    assert cca.cwnd == 8 * 1500
+
+
+def test_student2_collapse_to_one_mss():
+    cca = Student2()
+    for index in range(10):
+        cca.on_ack(_ack(index * 0.01, rtt=0.05))
+    assert cca.cwnd > 15_000
+    for index in range(60):
+        cca.on_ack(_ack(1.0 + index * 0.01, rtt=0.40))
+    assert cca.cwnd == 1500.0
+
+
+def test_student3_tracks_rate():
+    cca = Student3()
+    for index in range(100):
+        cca.on_ack(_ack(index * 0.01, acked=3000, rtt=0.05))
+    # 3000 B / 10 ms = 300 kB/s; window ~ 0.8 * rate * min_rtt.
+    assert cca.cwnd == pytest.approx(0.8 * 300_000 * 0.05, rel=0.2)
+
+
+def test_student4_stop_and_wait():
+    cca = Student4()
+    for index in range(10):
+        cca.on_ack(_ack(index * 0.01))
+    assert cca.cwnd == 1500.0
+
+
+def test_student5_two_segments():
+    cca = Student5()
+    for index in range(10):
+        cca.on_ack(_ack(index * 0.01))
+    assert cca.cwnd == 3000.0
+
+
+def test_student6_contracts_on_rising_rtt():
+    grow, shrink = Student6(), Student6()
+    for index in range(50):
+        grow.on_ack(_ack(index * 0.05, rtt=0.05))
+        shrink.on_ack(_ack(index * 0.05, rtt=0.05 + index * 0.01))
+    assert grow.cwnd > shrink.cwnd
+
+
+def test_student7_increase_tempered_by_delay():
+    flat, queued = Student7(), Student7()
+    for cca, rtt in ((flat, 0.05), (queued, 0.25)):
+        cca.on_ack(_ack(0.0, rtt=0.05))  # set min_rtt
+        cca.cwnd = 30_000.0
+        window = cca.cwnd
+        cca.on_ack(_ack(0.1, rtt=rtt))
+        cca.gain = cca.cwnd - window
+    assert flat.gain > queued.gain

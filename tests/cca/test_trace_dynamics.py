@@ -1,0 +1,105 @@
+"""Trace-level dynamics: each CCA family's signature visible in traces.
+
+These are the behaviors the classifiers and the synthesizer key on —
+the sawtooth, the cubic plateau, BBR's pulses, delay-based flatness —
+verified on actual simulator output rather than hand-fed events.
+"""
+
+import numpy as np
+import pytest
+
+from repro.trace.segmentation import segment_trace
+from repro.trace.signals import extract_signals
+
+
+def _longest_segment_table(trace):
+    segments = segment_trace(trace)
+    assert segments, f"{trace.cca_name} produced no segments"
+    longest = max(segments, key=len)
+    return extract_signals(longest)
+
+
+class TestRenoDynamics:
+    def test_linear_growth_within_segment(self, reno_trace):
+        """Within a loss epoch Reno's window is near-linear in time:
+        a straight-line fit explains almost all variance."""
+        table = _longest_segment_table(reno_trace)
+        times = table.times()
+        cwnd = table.observed_cwnd()
+        if len(cwnd) < 30:
+            pytest.skip("segment too short for a fit")
+        slope, intercept = np.polyfit(times, cwnd, 1)
+        fitted = slope * times + intercept
+        residual = np.sqrt(np.mean((cwnd - fitted) ** 2))
+        assert residual < 0.05 * cwnd.mean()
+        assert slope > 0
+
+    def test_sawtooth_range(self, reno_trace):
+        """Post-slow-start, the window mostly oscillates within a ~2x
+        band (percentiles, so a brief multi-loss dip doesn't dominate)."""
+        cwnd = np.array(
+            [a.cwnd_bytes for a in reno_trace.acks[len(reno_trace.acks) // 2 :]]
+        )
+        low, high = np.percentile(cwnd, [10, 90])
+        assert high / max(low, 1) < 4.5
+
+
+class TestCubicDynamics:
+    def test_concave_segment_shape(self, cubic_trace):
+        """Early in a loss epoch Cubic grows faster than late (concave
+        approach to wmax): first-third growth exceeds middle-third."""
+        table = _longest_segment_table(cubic_trace)
+        cwnd = table.observed_cwnd()
+        if len(cwnd) < 60:
+            pytest.skip("segment too short")
+        third = len(cwnd) // 3
+        early = cwnd[third] - cwnd[0]
+        middle = cwnd[2 * third] - cwnd[third]
+        assert early > middle
+
+
+class TestBbrDynamics:
+    def test_rate_anchored_window(self, bbr_trace, small_env):
+        """BBR's window hovers around cwnd_gain x BDP, not the buffer
+        ceiling that loss-based CCAs ride."""
+        rows = [a.cwnd_bytes for a in bbr_trace.acks if not a.dupack]
+        tail = np.array(rows[len(rows) // 2 :])
+        bdp = small_env.bdp_bytes
+        assert np.median(tail) < 6 * bdp
+
+    def test_pulsing_visible(self, bbr_trace):
+        """PROBE_BW's gain cycle leaves periodic window oscillation."""
+        rows = np.array(
+            [a.cwnd_bytes for a in bbr_trace.acks if not a.dupack]
+        )
+        tail = rows[len(rows) // 2 :]
+        if len(tail) < 100:
+            pytest.skip("trace too short")
+        # Oscillation: repeated local ups and downs, not monotone drift.
+        diffs = np.diff(tail)
+        sign_changes = np.sum(np.diff(np.sign(diffs[diffs != 0])) != 0)
+        assert sign_changes > 10
+
+
+class TestVegasDynamics:
+    def test_flat_steady_state(self, vegas_trace):
+        """Vegas converges to a nearly constant window (its defining
+        contrast with loss-based sawtooths)."""
+        rows = np.array(
+            [a.cwnd_bytes for a in vegas_trace.acks if not a.dupack]
+        )
+        tail = rows[len(rows) // 2 :]
+        assert tail.std() / tail.mean() < 0.05
+
+    def test_rtt_stays_near_floor(self, vegas_trace, small_env):
+        """Delay-based control keeps the queue — and thus the RTT —
+        close to the propagation floor."""
+        samples = np.array(
+            [
+                a.rtt_sample
+                for a in vegas_trace.acks
+                if a.rtt_sample is not None
+            ]
+        )
+        tail = samples[len(samples) // 2 :]
+        assert np.median(tail) < 1.35 * small_env.base_rtt_sec

@@ -1,0 +1,80 @@
+"""Classifier tests with a reduced reference library (kept fast).
+
+Targets are collected with measurement noise so classification is not a
+trivial identity match against the deterministic reference traces.
+"""
+
+import pytest
+
+from repro.classify.base import probe_config
+from repro.classify.ccanalyzer import CcaAnalyzer
+from repro.classify.gordon import GordonClassifier
+from repro.trace.collect import CollectionConfig, collect_traces
+from repro.trace.noise import NoiseModel
+
+KNOWN = ("reno", "cubic", "bbr", "vegas")
+
+
+@pytest.fixture(scope="module")
+def gordon():
+    return GordonClassifier(known_ccas=KNOWN)
+
+
+@pytest.fixture(scope="module")
+def analyzer():
+    return CcaAnalyzer(known_ccas=KNOWN)
+
+
+def _noisy_probe(cca_name):
+    base = probe_config()
+    config = CollectionConfig(
+        duration=base.duration,
+        environments=base.environments,
+        noise=NoiseModel(jitter_std=0.002, dropout=0.03, cwnd_error=0.03, seed=5),
+        max_acks_per_trace=base.max_acks_per_trace,
+    )
+    return collect_traces(cca_name, config)
+
+
+@pytest.mark.parametrize("name", KNOWN)
+def test_gordon_recovers_known_ccas_under_noise(gordon, name):
+    verdict = gordon.classify(_noisy_probe(name))
+    assert verdict.label == name
+
+
+def test_gordon_unknown_for_foreign_cca(gordon):
+    verdict = gordon.classify(_noisy_probe("student2"))
+    assert verdict.is_unknown
+    assert verdict.closest in KNOWN
+    assert verdict.render().startswith("Unknown (")
+
+
+def test_gordon_votes_counted(gordon):
+    verdict = gordon.classify(_noisy_probe("reno"))
+    assert sum(verdict.votes.values()) == 3  # one per probe environment
+
+
+def test_ccanalyzer_recovers_reno(analyzer):
+    verdict = analyzer.classify(_noisy_probe("reno"))
+    assert verdict.label == "reno"
+
+
+def test_ccanalyzer_ranking_sorted(analyzer):
+    ranking = analyzer.rank(_noisy_probe("cubic"))
+    distances = [distance for _, distance in ranking]
+    assert distances == sorted(distances)
+    assert ranking[0][0] == "cubic"
+
+
+def test_ccanalyzer_unknown_reports_closest(analyzer):
+    verdict = analyzer.classify(_noisy_probe("student4"))
+    # A fixed 1-MSS window resembles nothing in the reduced library.
+    assert verdict.is_unknown
+    assert verdict.closest in KNOWN
+
+
+def test_verdict_render_known():
+    from repro.classify.base import ClassifierVerdict
+
+    verdict = ClassifierVerdict(label="reno", closest="reno", distance=0.01)
+    assert verdict.render() == "reno"

@@ -1,0 +1,63 @@
+"""Trace-signature tests."""
+
+import numpy as np
+import pytest
+
+from repro.classify.features import (
+    SIGNATURE_POINTS,
+    signature_distance,
+    trace_signature,
+)
+from repro.errors import ClassificationError
+from repro.trace.model import Trace
+
+
+def test_signature_shape(reno_trace):
+    signature = trace_signature(reno_trace)
+    assert signature.shape == (2 * SIGNATURE_POINTS,)
+    assert np.isfinite(signature).all()
+
+
+def test_signature_scale_invariance(reno_trace):
+    """Doubling all windows leaves the shape half unchanged."""
+    import copy
+
+    doubled = copy.deepcopy(reno_trace)
+    for ack in doubled.acks:
+        ack.cwnd_bytes *= 2
+    original = trace_signature(reno_trace)
+    scaled = trace_signature(doubled)
+    assert np.allclose(
+        original[:SIGNATURE_POINTS], scaled[:SIGNATURE_POINTS]
+    )
+
+
+def test_distinct_ccas_have_distinct_signatures(reno_trace, vegas_trace):
+    distance = signature_distance(
+        trace_signature(reno_trace), trace_signature(vegas_trace)
+    )
+    assert distance > 0.05
+
+
+def test_same_cca_noisy_signature_is_close(reno_trace):
+    from repro.trace.noise import NoiseModel, apply_noise
+
+    noisy = apply_noise(
+        reno_trace, NoiseModel(jitter_std=0.002, dropout=0.05, seed=11)
+    )
+    distance = signature_distance(
+        trace_signature(reno_trace), trace_signature(noisy)
+    )
+    assert distance < 0.05
+
+
+def test_short_trace_rejected():
+    with pytest.raises(ClassificationError):
+        trace_signature(Trace("x", "y", 1500))
+
+
+def test_distance_symmetry(reno_trace, bbr_trace):
+    a = trace_signature(reno_trace)
+    b = trace_signature(bbr_trace)
+    assert signature_distance(a, b) == pytest.approx(signature_distance(b, a))
+    assert signature_distance(a, a) == 0.0

@@ -1,0 +1,54 @@
+"""Shared fixtures: small simulated traces reused across the suite.
+
+Simulation is deterministic, so session-scoped fixtures keep the suite
+fast without coupling tests: treat the returned objects as read-only.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cca import make_cca
+from repro.netsim import Environment, simulate
+from repro.trace import Trace, TraceSegment, segment_trace
+
+
+@pytest.fixture(scope="session")
+def small_env() -> Environment:
+    return Environment(bandwidth_mbps=10.0, rtt_ms=50.0)
+
+
+@pytest.fixture(scope="session")
+def reno_trace(small_env) -> Trace:
+    return simulate(make_cca("reno"), small_env, duration=20.0)
+
+
+@pytest.fixture(scope="session")
+def vegas_trace(small_env) -> Trace:
+    return simulate(make_cca("vegas"), small_env, duration=20.0)
+
+
+@pytest.fixture(scope="session")
+def bbr_trace(small_env) -> Trace:
+    return simulate(make_cca("bbr"), small_env, duration=20.0)
+
+
+@pytest.fixture(scope="session")
+def cubic_trace(small_env) -> Trace:
+    return simulate(make_cca("cubic"), small_env, duration=20.0)
+
+
+@pytest.fixture(scope="session")
+def reno_segments(reno_trace) -> list[TraceSegment]:
+    segments = segment_trace(reno_trace)
+    assert segments, "reno trace must yield segments"
+    return segments
+
+
+@pytest.fixture(scope="session")
+def env_matrix() -> tuple[Environment, ...]:
+    return (
+        Environment(bandwidth_mbps=5.0, rtt_ms=25.0),
+        Environment(bandwidth_mbps=10.0, rtt_ms=50.0),
+        Environment(bandwidth_mbps=15.0, rtt_ms=80.0),
+    )

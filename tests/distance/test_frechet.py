@@ -1,0 +1,86 @@
+"""Discrete Fréchet and lag-distance tests."""
+
+import numpy as np
+import pytest
+
+from repro.distance.frechet import frechet_distance, lag_distance
+
+
+def _reference_frechet(a, b):
+    """Textbook Eiter-Mannila recursion (memoized), to pin the DP."""
+    import functools
+
+    @functools.lru_cache(maxsize=None)
+    def ca(i, j):
+        d = abs(a[i] - b[j])
+        if i == 0 and j == 0:
+            return d
+        if i == 0:
+            return max(ca(0, j - 1), d)
+        if j == 0:
+            return max(ca(i - 1, 0), d)
+        return max(min(ca(i - 1, j), ca(i - 1, j - 1), ca(i, j - 1)), d)
+
+    return ca(len(a) - 1, len(b) - 1)
+
+
+class TestFrechet:
+    def test_identity(self):
+        series = np.sin(np.linspace(0, 10, 50))
+        assert frechet_distance(series, series) == 0.0
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.random(30), rng.random(40)
+        assert frechet_distance(a, b) == pytest.approx(
+            frechet_distance(b, a)
+        )
+
+    def test_matches_reference(self):
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            a = tuple(rng.normal(size=int(rng.integers(2, 15))))
+            b = tuple(rng.normal(size=int(rng.integers(2, 15))))
+            assert frechet_distance(np.array(a), np.array(b)) == pytest.approx(
+                _reference_frechet(a, b)
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            frechet_distance(np.array([]), np.array([1.0]))
+
+    def test_constant_offset(self):
+        a = np.zeros(20)
+        assert frechet_distance(a, a + 3.0) == pytest.approx(3.0)
+
+    def test_bounded_below_by_endpoint_gap(self):
+        a = np.array([0.0, 0.0, 0.0])
+        b = np.array([0.0, 0.0, 5.0])
+        assert frechet_distance(a, b) >= 5.0
+
+
+class TestLag:
+    def test_identity(self):
+        series = np.sin(np.linspace(0, 10, 100))
+        assert lag_distance(series, series) == 0.0
+
+    def test_tolerates_small_shift(self):
+        # A shifted ramp is non-periodic, so only true lag absorption
+        # (not aliasing) can make the distance vanish.
+        ramp = np.arange(200.0)
+        assert lag_distance(ramp[10:110], ramp[0:100]) == pytest.approx(0.0)
+
+    def test_large_shift_not_absorbed(self):
+        ramp = np.arange(200.0)
+        # Shift of 50 samples with a 20% (=20-sample) lag bound leaves a
+        # residual offset of >= 30 units on a unit-slope ramp.
+        assert lag_distance(ramp[50:150], ramp[0:100]) >= 30.0
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(3)
+        a, b = rng.random(60), rng.random(60)
+        assert lag_distance(a, b) == pytest.approx(lag_distance(b, a))
+
+    def test_scale_sensitive(self):
+        series = np.sin(np.linspace(0, 10, 80)) + 2
+        assert lag_distance(series, 3 * series) > lag_distance(series, series)

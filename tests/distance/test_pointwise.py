@@ -1,0 +1,89 @@
+"""Point-wise metric and preprocessing tests."""
+
+import numpy as np
+import pytest
+
+from repro.distance.pointwise import (
+    correlation_distance,
+    euclidean_distance,
+    manhattan_distance,
+)
+from repro.distance.preprocess import align_pair, downsample, normalize_scale
+
+
+class TestPreprocess:
+    def test_downsample_noop_when_small(self):
+        series = np.arange(10.0)
+        assert np.array_equal(downsample(series, 20), series)
+
+    def test_downsample_keeps_endpoints(self):
+        series = np.arange(1000.0)
+        out = downsample(series, 100)
+        assert out[0] == 0.0 and out[-1] == 999.0
+        assert len(out) == 100
+
+    def test_downsample_preserves_extremes_of_sawtooth(self):
+        t = np.arange(1024.0)
+        saw = np.abs((t % 128) - 64)
+        out = downsample(saw, 256)
+        assert out.max() >= 0.9 * saw.max()
+
+    def test_align_pair_common_length(self):
+        a, b = align_pair(np.arange(100.0), np.arange(37.0))
+        assert len(a) == len(b) == 37
+
+    def test_align_pair_empty_rejected(self):
+        with pytest.raises(ValueError):
+            align_pair(np.array([]), np.array([1.0]))
+
+    def test_normalize_scale(self):
+        assert np.array_equal(
+            normalize_scale(np.array([1500.0, 3000.0]), 1500), [1.0, 2.0]
+        )
+
+
+class TestMetrics:
+    def test_euclidean_identity(self):
+        series = np.arange(50.0)
+        assert euclidean_distance(series, series) == 0.0
+
+    def test_euclidean_known_value(self):
+        a = np.zeros(4)
+        b = np.full(4, 2.0)
+        assert euclidean_distance(a, b) == pytest.approx(2.0)
+
+    def test_manhattan_known_value(self):
+        a = np.zeros(4)
+        b = np.array([1.0, -1.0, 3.0, -3.0])
+        assert manhattan_distance(a, b) == pytest.approx(2.0)
+
+    def test_correlation_scale_invariant(self):
+        series = np.sin(np.linspace(0, 10, 80))
+        assert correlation_distance(series, 5 * series) == pytest.approx(0.0)
+
+    def test_correlation_anticorrelated(self):
+        series = np.sin(np.linspace(0, 10, 80))
+        assert correlation_distance(series, -series) == pytest.approx(2.0)
+
+    def test_correlation_flat_series(self):
+        flat = np.full(20, 3.0)
+        wiggly = np.sin(np.linspace(0, 5, 20))
+        assert correlation_distance(flat, flat) == 0.0
+        assert correlation_distance(flat, wiggly) == 2.0
+
+    def test_metric_registry(self):
+        from repro.distance import DEFAULT_METRIC, METRICS, get_metric
+        from repro.errors import ReproError
+
+        assert DEFAULT_METRIC == "dtw"
+        assert set(METRICS) == {
+            "dtw",
+            "euclidean",
+            "manhattan",
+            "correlation",
+            "frechet",
+            "lag",
+        }
+        assert get_metric("euclidean") is euclidean_distance
+        with pytest.raises(ReproError):
+            get_metric("hamming")

@@ -1,0 +1,69 @@
+"""Property-based tests on the distance metrics' algebraic structure."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distance.dtw import dtw_distance
+from repro.distance.pointwise import euclidean_distance, manhattan_distance
+
+_series = st.lists(
+    st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+    min_size=3,
+    max_size=50,
+).map(np.array)
+
+_positive = st.floats(min_value=0.1, max_value=50.0, allow_nan=False)
+_offset = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False)
+
+
+@given(_series, _series, _offset)
+@settings(max_examples=60, deadline=None)
+def test_dtw_translation_invariance(a, b, c):
+    """Shifting both series by a constant leaves DTW unchanged (its
+    ground cost is |ai - bj|)."""
+    assert dtw_distance(a + c, b + c) == pytest.approx(
+        dtw_distance(a, b), rel=1e-9, abs=1e-9
+    )
+
+
+@given(_series, _series, _positive)
+@settings(max_examples=60, deadline=None)
+def test_dtw_positive_homogeneity(a, b, k):
+    """Scaling both series scales DTW by the same factor — this is what
+    makes normalizing cwnd by the MSS a pure unit change."""
+    assert dtw_distance(k * a, k * b) == pytest.approx(
+        k * dtw_distance(a, b), rel=1e-6, abs=1e-9
+    )
+
+
+@given(_series, _series)
+@settings(max_examples=60, deadline=None)
+def test_dtw_below_pointwise_when_aligned(a, b):
+    """With equal lengths, the diagonal path is available, so normalized
+    DTW never exceeds half the Manhattan (mean-L1) distance scaled by the
+    path-length normalization."""
+    if len(a) != len(b):
+        return
+    diagonal_cost = np.abs(a - b).sum() / (len(a) + len(b))
+    assert dtw_distance(a, b) <= diagonal_cost + 1e-9
+
+
+@given(_series, _positive)
+@settings(max_examples=40, deadline=None)
+def test_euclidean_homogeneity(a, k):
+    b = a[::-1].copy()
+    assert euclidean_distance(k * a, k * b) == pytest.approx(
+        k * euclidean_distance(a, b), rel=1e-9, abs=1e-9
+    )
+
+
+@given(_series)
+@settings(max_examples=40, deadline=None)
+def test_manhattan_nonnegative_and_symmetric(a):
+    b = np.roll(a, 1)
+    d1 = manhattan_distance(a, b)
+    d2 = manhattan_distance(b, a)
+    assert d1 >= 0
+    assert d1 == pytest.approx(d2)

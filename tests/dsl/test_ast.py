@@ -1,0 +1,112 @@
+"""Unit tests for the DSL AST node types and tree utilities."""
+
+import pytest
+
+from repro.dsl import ast
+from repro.dsl.parser import parse
+
+
+def test_const_hole_detection():
+    assert ast.Const(None, 0).is_hole
+    assert not ast.Const(1.5).is_hole
+
+
+def test_binop_rejects_unknown_operator():
+    with pytest.raises(ValueError):
+        ast.BinOp("^", ast.Const(1.0), ast.Const(2.0))
+
+
+def test_cmp_rejects_unknown_operator():
+    with pytest.raises(ValueError):
+        ast.Cmp("<=", ast.Const(1.0), ast.Const(2.0))
+
+
+def test_children_order_binop():
+    expr = ast.BinOp("+", ast.Signal("cwnd"), ast.Const(1.0))
+    assert ast.children(expr) == (ast.Signal("cwnd"), ast.Const(1.0))
+
+
+def test_children_order_cond():
+    pred = ast.Cmp("<", ast.Signal("rtt"), ast.Signal("min_rtt"))
+    expr = ast.Cond(pred, ast.Const(1.0), ast.Const(2.0))
+    assert ast.children(expr) == (pred, ast.Const(1.0), ast.Const(2.0))
+
+
+def test_with_children_replaces_in_order():
+    expr = ast.BinOp("*", ast.Signal("cwnd"), ast.Const(2.0))
+    replaced = ast.with_children(expr, (ast.Signal("mss"), ast.Const(3.0)))
+    assert replaced == ast.BinOp("*", ast.Signal("mss"), ast.Const(3.0))
+
+
+def test_with_children_arity_mismatch():
+    expr = ast.BinOp("*", ast.Signal("cwnd"), ast.Const(2.0))
+    with pytest.raises(ValueError):
+        ast.with_children(expr, (ast.Signal("mss"),))
+
+
+def test_walk_preorder():
+    expr = parse("cwnd + mss * acked_bytes")
+    names = [
+        node.name for node in ast.walk(expr) if isinstance(node, ast.Signal)
+    ]
+    assert names == ["cwnd", "mss", "acked_bytes"]
+
+
+def test_depth_counts_leaves_as_one():
+    assert ast.depth(ast.Signal("cwnd")) == 1
+    assert ast.depth(parse("cwnd + mss")) == 2
+    assert ast.depth(parse("cwnd + mss * acked_bytes")) == 3
+
+
+def test_macro_counts_as_single_leaf():
+    expr = parse("cwnd + reno_inc")
+    assert ast.depth(expr) == 2
+    assert ast.node_count(expr) == 3
+
+
+def test_node_count():
+    assert ast.node_count(parse("cwnd")) == 1
+    assert ast.node_count(parse("(rtt < min_rtt) ? cwnd : mss")) == 6
+
+
+def test_holes_preorder_and_rename():
+    expr = parse("c3 * cwnd + c7")
+    renamed = ast.rename_holes(expr)
+    ids = [hole.hole_id for hole in ast.holes(renamed)]
+    assert ids == [0, 1]
+
+
+def test_fill_holes():
+    expr = ast.rename_holes(parse("c0 * cwnd + c1"))
+    filled = ast.fill_holes(expr, {0: 0.5, 1: 2.0})
+    assert not ast.holes(filled)
+    assert filled == parse("0.5 * cwnd + 2")
+
+
+def test_fill_holes_missing_assignment():
+    expr = ast.rename_holes(parse("c0 * cwnd"))
+    with pytest.raises(KeyError):
+        ast.fill_holes(expr, {})
+
+
+def test_operators_used_tokens():
+    expr = parse("(vegas_diff < 1) ? cwnd + 0.7 * reno_inc : cwnd / 2")
+    assert ast.operators_used(expr) == frozenset(
+        {"cond", "cmp", "+", "*", "/"}
+    )
+
+
+def test_operators_used_modeq_and_cube():
+    expr = parse("(cwnd % 2.7 == 0) ? cube(time_since_loss) : mss")
+    assert ast.operators_used(expr) == frozenset({"cond", "modeq", "cube"})
+
+
+def test_signals_and_macros_used():
+    expr = parse("cwnd + reno_inc * rtt")
+    assert ast.signals_used(expr) == frozenset({"cwnd", "rtt"})
+    assert ast.macros_used(expr) == frozenset({"reno_inc"})
+
+
+def test_expr_equality_is_structural():
+    assert parse("cwnd + mss") == parse("cwnd + mss")
+    assert parse("cwnd + mss") != parse("mss + cwnd")

@@ -1,0 +1,123 @@
+"""Evaluator tests: semantics, totality, and corner-case saturation."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsl import ast
+from repro.dsl.evaluate import MODEQ_TOLERANCE, evaluate, evaluate_bool
+from repro.dsl.parser import parse
+from repro.errors import EvaluationError
+
+ENV = {
+    "cwnd": 30000.0,
+    "mss": 1500.0,
+    "acked_bytes": 1500.0,
+    "rtt": 0.05,
+    "min_rtt": 0.04,
+    "max_rtt": 0.08,
+    "ack_rate": 300000.0,
+    "time_since_loss": 2.0,
+}
+
+
+def test_constant():
+    assert evaluate(parse("2.5"), ENV) == 2.5
+
+
+def test_signal_lookup():
+    assert evaluate(parse("cwnd"), ENV) == 30000.0
+
+
+def test_missing_signal_raises():
+    with pytest.raises(EvaluationError):
+        evaluate(parse("wmax"), ENV)
+
+
+def test_hole_raises():
+    with pytest.raises(EvaluationError):
+        evaluate(parse("c0 * cwnd"), ENV)
+
+
+def test_arithmetic():
+    assert evaluate(parse("cwnd + mss"), ENV) == 31500.0
+    assert evaluate(parse("cwnd - mss"), ENV) == 28500.0
+    assert evaluate(parse("mss * 2"), ENV) == 3000.0
+    assert evaluate(parse("cwnd / mss"), ENV) == 20.0
+
+
+def test_macro_expansion_reno_inc():
+    # acked * mss / cwnd = 1500 * 1500 / 30000 = 75
+    assert evaluate(parse("reno_inc"), ENV) == 75.0
+
+
+def test_macro_expansion_vegas_diff():
+    # (0.05 - 0.04) * 300000 / 1500 = 2 packets queued
+    assert evaluate(parse("vegas_diff"), ENV) == pytest.approx(2.0)
+
+
+def test_division_by_zero_saturates():
+    env = dict(ENV, mss=0.0)
+    value = evaluate(parse("cwnd / mss"), env)
+    assert math.isfinite(value) and value > 1e17
+
+
+def test_overflow_clamps():
+    value = evaluate(parse("cube(cube(cwnd))"), ENV)
+    assert math.isfinite(value)
+
+
+def test_cbrt_of_negative():
+    env = dict(ENV, cwnd=-27.0)
+    assert evaluate(parse("cbrt(cwnd)"), env) == pytest.approx(-3.0)
+
+
+def test_cube_cbrt_inverse():
+    assert evaluate(parse("cbrt(cube(mss))"), ENV) == pytest.approx(1500.0)
+
+
+def test_conditional_branches():
+    assert evaluate(parse("(rtt < min_rtt) ? 1 : 2"), ENV) == 2.0
+    assert evaluate(parse("(rtt > min_rtt) ? 1 : 2"), ENV) == 1.0
+
+
+def test_modeq_exact_multiple():
+    env = dict(ENV, cwnd=27.0)
+    assert evaluate_bool(parse("(cwnd % 2.7 == 0) ? 1 : 0").pred, env)
+
+
+def test_modeq_tolerance_band():
+    modulus = 2.7
+    near = 27.0 + 0.9 * MODEQ_TOLERANCE * modulus
+    env = dict(ENV, cwnd=near)
+    assert evaluate_bool(ast.ModEq(ast.Signal("cwnd"), ast.Const(modulus)), env)
+
+
+def test_modeq_far_from_multiple():
+    env = dict(ENV, cwnd=27.0 + 1.35)  # half-way between multiples
+    assert not evaluate_bool(
+        ast.ModEq(ast.Signal("cwnd"), ast.Const(2.7)), env
+    )
+
+
+def test_modeq_zero_modulus_is_false():
+    assert not evaluate_bool(
+        ast.ModEq(ast.Signal("cwnd"), ast.Const(0.0)), ENV
+    )
+
+
+@given(
+    st.floats(min_value=1.0, max_value=1e6, allow_nan=False),
+    st.floats(min_value=1.0, max_value=1e6, allow_nan=False),
+)
+@settings(max_examples=100, deadline=None)
+def test_evaluation_total_on_positive_envs(cwnd, rate):
+    """Any Table 2 handler evaluates to a finite float on sane inputs."""
+    from repro.handlers import FINETUNED_TEXT
+
+    env = dict(ENV, cwnd=cwnd, ack_rate=rate, wmax=cwnd)
+    for text in FINETUNED_TEXT.values():
+        value = evaluate(parse(text), env)
+        assert math.isfinite(value)

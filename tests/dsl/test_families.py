@@ -1,0 +1,128 @@
+"""Family sub-DSL definition tests (§3.3, Listing 1)."""
+
+import pytest
+
+from repro.dsl.families import (
+    CUBIC_DSL,
+    DEFAULT_CONSTANT_POOL,
+    DELAY_DSL,
+    FAMILIES,
+    RENO_DSL,
+    VEGAS_DSL,
+    DslSpec,
+    dsl_for_classifier_label,
+    family,
+    with_budget,
+)
+from repro.errors import DslError
+
+
+def test_four_builtin_families():
+    assert set(FAMILIES) == {"reno", "cubic", "delay", "vegas"}
+
+
+def test_reno_is_base_dsl():
+    assert set(RENO_DSL.signals) == {
+        "cwnd",
+        "mss",
+        "acked_bytes",
+        "time_since_loss",
+    }
+    assert "reno_inc" in RENO_DSL.macros
+    assert "cube" not in RENO_DSL.operators
+
+
+def test_cubic_extends_with_cube_ops_and_wmax():
+    assert "cube" in CUBIC_DSL.operators
+    assert "cbrt" in CUBIC_DSL.operators
+    assert "wmax" in CUBIC_DSL.signals
+    assert not CUBIC_DSL.strict_units  # §5.5
+
+
+def test_delay_adds_rate_signals():
+    for signal in ("rtt", "min_rtt", "max_rtt", "ack_rate", "rtt_gradient"):
+        assert signal in DELAY_DSL.signals
+    assert "rtts_since_loss" in DELAY_DSL.macros
+
+
+def test_vegas_adds_macros():
+    assert "vegas_diff" in VEGAS_DSL.macros
+    assert "htcp_diff" in VEGAS_DSL.macros
+
+
+def test_all_strict_except_cubic():
+    for name, spec in FAMILIES.items():
+        assert spec.strict_units == (name != "cubic")
+
+
+def test_family_lookup():
+    assert family("reno") is RENO_DSL
+    with pytest.raises(DslError):
+        family("quic")
+
+
+def test_with_budget_renames():
+    delayed = with_budget(DELAY_DSL, max_nodes=11)
+    assert delayed.name == "delay-11"
+    assert delayed.max_nodes == 11
+    assert delayed.signals == DELAY_DSL.signals
+
+
+def test_with_budget_depth_only_keeps_name():
+    spec = with_budget(RENO_DSL, max_depth=3)
+    assert spec.name == "reno"
+    assert spec.max_depth == 3
+
+
+def test_unknown_macro_rejected():
+    with pytest.raises(DslError):
+        DslSpec(
+            name="broken",
+            signals=("cwnd",),
+            operators=("+",),
+            macros=("nonexistent_macro",),
+        )
+
+
+def test_invalid_budgets_rejected():
+    with pytest.raises(DslError):
+        DslSpec(
+            name="broken",
+            signals=("cwnd",),
+            operators=("+",),
+            macros=(),
+            max_depth=0,
+        )
+
+
+def test_component_count():
+    # 4 signals + 7 operators + 1 macro + constants = 13 for the base DSL.
+    assert RENO_DSL.component_count == 13
+
+
+def test_leaves():
+    assert RENO_DSL.leaves == RENO_DSL.signals + RENO_DSL.macros
+
+
+def test_constant_pool_values_positive():
+    assert all(value > 0 for value in DEFAULT_CONSTANT_POOL)
+    assert len(DEFAULT_CONSTANT_POOL) == len(set(DEFAULT_CONSTANT_POOL))
+
+
+@pytest.mark.parametrize(
+    "label,expected",
+    [
+        ("reno", "reno"),
+        ("westwood", "reno"),
+        ("bbr", "delay"),
+        ("hybla", "delay"),
+        ("vegas", "vegas"),
+        ("htcp", "vegas"),
+        ("cubic", "cubic"),
+        ("bic", "cubic"),
+        ("RENO", "reno"),  # case-insensitive
+        ("completely-unknown", "delay"),  # fallback
+    ],
+)
+def test_classifier_label_mapping(label, expected):
+    assert dsl_for_classifier_label(label).name == expected

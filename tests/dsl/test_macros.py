@@ -1,0 +1,99 @@
+"""Macro definition tests (Table 1)."""
+
+import pytest
+
+from repro.dsl import ast
+from repro.dsl.macros import MACROS, expand_macros, macro_definition
+from repro.dsl.evaluate import evaluate
+from repro.dsl.parser import parse
+from repro.dsl.typecheck import infer_unit
+from repro.errors import DslError
+from repro.units import BYTES, DIMENSIONLESS, SECONDS
+
+ENV = {
+    "cwnd": 30000.0,
+    "mss": 1500.0,
+    "acked_bytes": 1500.0,
+    "rtt": 0.06,
+    "min_rtt": 0.04,
+    "max_rtt": 0.08,
+    "ack_rate": 300000.0,
+    "time_since_loss": 0.6,
+    "ewma_rtt": 0.05,
+}
+
+
+def test_table1_macros_registered():
+    assert set(MACROS) == {
+        "reno_inc",
+        "vegas_diff",
+        "htcp_diff",
+        "rtts_since_loss",
+        "ewma_rtt",
+    }
+
+
+def test_macro_units():
+    assert macro_definition("reno_inc").unit == BYTES
+    assert macro_definition("vegas_diff").unit == DIMENSIONLESS
+    assert macro_definition("htcp_diff").unit == DIMENSIONLESS
+    assert macro_definition("rtts_since_loss").unit == DIMENSIONLESS
+    assert macro_definition("ewma_rtt").unit == SECONDS
+
+
+def test_macro_expansion_units_agree():
+    """Each macro's declared unit matches its expansion's inferred unit."""
+    for name, definition in MACROS.items():
+        inferred = infer_unit(definition.expansion)
+        assert inferred == definition.unit, name
+
+
+def test_macro_signals_match_expansion():
+    for name, definition in MACROS.items():
+        used = ast.signals_used(definition.expansion)
+        assert used == definition.signals, name
+
+
+def test_macro_evaluates_like_expansion():
+    for name, definition in MACROS.items():
+        direct = evaluate(ast.Macro(name), ENV)
+        expanded = evaluate(definition.expansion, ENV)
+        assert direct == pytest.approx(expanded), name
+
+
+def test_table1_values():
+    # reno_inc = acked * mss / cwnd = 75 B
+    assert evaluate(ast.Macro("reno_inc"), ENV) == pytest.approx(75.0)
+    # vegas_diff = (rtt - min) * rate / mss = 0.02 * 300000 / 1500 = 4
+    assert evaluate(ast.Macro("vegas_diff"), ENV) == pytest.approx(4.0)
+    # htcp_diff = (rtt - min) / max = 0.25
+    assert evaluate(ast.Macro("htcp_diff"), ENV) == pytest.approx(0.25)
+    # rtts_since_loss = 0.6 / 0.06 = 10
+    assert evaluate(ast.Macro("rtts_since_loss"), ENV) == pytest.approx(10.0)
+
+
+def test_expand_macros_removes_all_macro_nodes():
+    expr = parse("cwnd + 0.7 * reno_inc + vegas_diff * mss")
+    expanded = expand_macros(expr)
+    assert not ast.macros_used(expanded)
+    assert evaluate(expr, ENV) == pytest.approx(evaluate(expanded, ENV))
+
+
+def test_expand_macros_inside_conditionals():
+    expr = parse("(vegas_diff < 1) ? reno_inc : 0")
+    expanded = expand_macros(expr)
+    assert not ast.macros_used(expanded)
+
+
+def test_unknown_macro():
+    with pytest.raises(DslError):
+        macro_definition("bogus")
+
+
+def test_macro_counts_one_node_in_enumeration():
+    """§6.1: 'we encode reno-inc as a macro ... so that sub-expression
+    does not increase the depth'."""
+    with_macro = parse("cwnd + c0 * reno_inc")
+    expanded = expand_macros(with_macro)
+    assert ast.depth(with_macro) == 3
+    assert ast.depth(expanded) > ast.depth(with_macro)

@@ -1,0 +1,158 @@
+"""Parser and printer tests, including a hypothesis round-trip property."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsl import ast
+from repro.dsl.parser import parse
+from repro.dsl.printer import to_text
+from repro.errors import ParseError
+
+
+class TestParseBasics:
+    def test_signal(self):
+        assert parse("cwnd") == ast.Signal("cwnd")
+
+    def test_macro(self):
+        assert parse("reno_inc") == ast.Macro("reno_inc")
+
+    def test_number(self):
+        assert parse("2.5") == ast.Const(2.5)
+
+    def test_hole(self):
+        assert parse("c4") == ast.Const(None, 4)
+
+    def test_precedence_mul_over_add(self):
+        assert parse("cwnd + 2 * mss") == ast.BinOp(
+            "+",
+            ast.Signal("cwnd"),
+            ast.BinOp("*", ast.Const(2.0), ast.Signal("mss")),
+        )
+
+    def test_left_associativity(self):
+        assert parse("8 - 3 - 2") == ast.BinOp(
+            "-", ast.BinOp("-", ast.Const(8.0), ast.Const(3.0)), ast.Const(2.0)
+        )
+
+    def test_parenthesized_grouping(self):
+        assert parse("(cwnd + mss) * 2") == ast.BinOp(
+            "*",
+            ast.BinOp("+", ast.Signal("cwnd"), ast.Signal("mss")),
+            ast.Const(2.0),
+        )
+
+    def test_negative_literal(self):
+        assert parse("-0.7 * reno_inc") == ast.BinOp(
+            "*", ast.Const(-0.7), ast.Macro("reno_inc")
+        )
+
+    def test_unary_minus_on_expression(self):
+        assert parse("-cwnd") == ast.BinOp(
+            "-", ast.Const(0.0), ast.Signal("cwnd")
+        )
+
+    def test_negative_literal_roundtrip(self):
+        expr = parse("cwnd + -0.7 * reno_inc")
+        from repro.dsl.printer import to_text
+
+        assert parse(to_text(expr)) == expr
+
+    def test_cube_and_cbrt(self):
+        expr = parse("cube(cbrt(cwnd))")
+        assert expr == ast.Cube(ast.Cbrt(ast.Signal("cwnd")))
+
+    def test_ternary(self):
+        expr = parse("(rtt < min_rtt) ? cwnd : mss")
+        assert isinstance(expr, ast.Cond)
+        assert expr.pred == ast.Cmp("<", ast.Signal("rtt"), ast.Signal("min_rtt"))
+
+    def test_ternary_without_parens(self):
+        expr = parse("vegas_diff > 5 ? 0.3 : 1")
+        assert isinstance(expr, ast.Cond)
+        assert expr.pred.op == ">"
+
+    def test_modeq(self):
+        expr = parse("(cwnd % 2.7 == 0) ? cwnd : mss")
+        assert isinstance(expr.pred, ast.ModEq)
+
+    def test_modeq_single_equals(self):
+        expr = parse("(cwnd % 8 = 0) ? cwnd : mss")
+        assert isinstance(expr.pred, ast.ModEq)
+
+    def test_nested_ternary(self):
+        expr = parse("(a < 1) ? mss : ((a > 5) ? cwnd : 0)".replace("a", "vegas_diff"))
+        assert isinstance(expr.otherwise, ast.Cond)
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "cwnd +",
+            "(cwnd",
+            "cwnd)",
+            "cwnd ? 1 : 2",  # number used as predicate
+            "cwnd % 3 == 1",  # modular test must compare to 0
+            "1 @ 2",
+            "cube(cwnd",
+            "(a < b ? 1 : 2",
+        ],
+    )
+    def test_rejects(self, text):
+        with pytest.raises(ParseError):
+            parse(text.replace("a", "rtt").replace("b", "min_rtt"))
+
+    def test_trailing_tokens(self):
+        with pytest.raises(ParseError):
+            parse("cwnd + mss extra")
+
+
+# Hypothesis: generated ASTs survive print -> parse round trips.
+
+_signals = st.sampled_from(["cwnd", "mss", "rtt", "min_rtt", "acked_bytes"])
+_leaves = st.one_of(
+    _signals.map(ast.Signal),
+    st.sampled_from(["reno_inc", "vegas_diff"]).map(ast.Macro),
+    st.floats(
+        min_value=0.01, max_value=100, allow_nan=False, allow_infinity=False
+    ).map(lambda value: ast.Const(round(value, 4))),
+    st.integers(min_value=0, max_value=5).map(lambda i: ast.Const(None, i)),
+)
+
+
+def _exprs(children):
+    ops = st.sampled_from(["+", "-", "*", "/"])
+    bools = st.one_of(
+        st.tuples(st.sampled_from(["<", ">"]), children, children).map(
+            lambda t: ast.Cmp(t[0], t[1], t[2])
+        ),
+        st.tuples(children, children).map(lambda t: ast.ModEq(t[0], t[1])),
+    )
+    return st.one_of(
+        st.tuples(ops, children, children).map(
+            lambda t: ast.BinOp(t[0], t[1], t[2])
+        ),
+        st.tuples(bools, children, children).map(
+            lambda t: ast.Cond(t[0], t[1], t[2])
+        ),
+        children.map(ast.Cube),
+        children.map(ast.Cbrt),
+    )
+
+
+_ast_strategy = st.recursive(_leaves, _exprs, max_leaves=12)
+
+
+@given(_ast_strategy)
+@settings(max_examples=200, deadline=None)
+def test_roundtrip_property(expr):
+    assert parse(to_text(expr)) == expr
+
+
+@given(_ast_strategy)
+@settings(max_examples=100, deadline=None)
+def test_printer_total(expr):
+    text = to_text(expr)
+    assert isinstance(text, str) and text

@@ -1,0 +1,131 @@
+"""Simplifier tests: rewrite rules and the enumeration-filter predicate."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.dsl import ast
+from repro.dsl.parser import parse
+from repro.dsl.printer import to_text
+from repro.dsl.simplify import is_simplifiable, simplify
+
+
+@pytest.mark.parametrize(
+    "source,expected",
+    [
+        ("cwnd * 1", "cwnd"),
+        ("1 * cwnd", "cwnd"),
+        ("cwnd + 0", "cwnd"),
+        ("0 + cwnd", "cwnd"),
+        ("cwnd - 0", "cwnd"),
+        ("cwnd / 1", "cwnd"),
+        ("cwnd * 0", "0"),
+        ("0 / cwnd", "0"),
+        ("cwnd / cwnd", "1"),
+        ("cwnd - cwnd", "0"),
+        ("cwnd + cwnd", "2 * cwnd"),
+        ("2 + 3", "5"),
+        ("2 * 3 + 1", "7"),
+        ("cbrt(cube(cwnd))", "cwnd"),
+        ("cube(cbrt(mss))", "mss"),
+        ("cube(2)", "8"),
+        ("(1 < 2) ? cwnd : mss", "cwnd"),
+        ("(2 < 1) ? cwnd : mss", "mss"),
+        ("(rtt < min_rtt) ? cwnd : cwnd", "cwnd"),
+    ],
+)
+def test_rewrites(source, expected):
+    assert to_text(simplify(parse(source))) == expected
+
+
+def test_nested_rewrite_cascades():
+    assert to_text(simplify(parse("(cwnd * 1 + 0) / 1"))) == "cwnd"
+
+
+def test_simplify_fixpoint():
+    expr = simplify(parse("(cwnd + 0) * (1 * mss) / mss"))
+    assert simplify(expr) == expr
+
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        "c0 + c1",
+        "c0 * c1",
+        "c0 * (c1 * cwnd)",
+        "cwnd + c0 + c1",
+        "cube(c0)",
+        "cbrt(c0)",
+        "(c0 < c1) ? cwnd : mss",
+        "(c0 % c1 == 0) ? cwnd : mss",
+        "cwnd * 1",
+        "(rtt < min_rtt) ? mss : mss",
+    ],
+)
+def test_simplifiable_detected(source):
+    assert is_simplifiable(parse(source))
+
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        "cwnd + c0 * reno_inc",
+        "cwnd + reno_inc",
+        "(vegas_diff < c0) ? cwnd + mss : cwnd",
+        "c0 * ack_rate * min_rtt",
+        "cwnd + 8 * rtt * reno_inc",
+        "mss",
+        "c0",
+    ],
+)
+def test_not_simplifiable(source):
+    assert not is_simplifiable(parse(source))
+
+
+def test_paper_handlers_are_irreducible():
+    """Table 2 outputs should be fixed points — the paper presents them
+    after arithmetic simplification."""
+    from repro.handlers import SYNTHESIZED_TEXT
+
+    for name, text in SYNTHESIZED_TEXT.items():
+        expr = parse(text)
+        assert simplify(expr) == expr, name
+
+
+# Property: simplification preserves evaluation semantics.
+from tests.dsl.test_parser_printer import _ast_strategy  # noqa: E402
+
+
+@given(_ast_strategy)
+@settings(max_examples=150, deadline=None)
+def test_simplify_preserves_semantics(expr):
+    import math
+
+    from repro.dsl.evaluate import evaluate
+    from repro.errors import EvaluationError
+
+    env = {
+        "cwnd": 30000.0,
+        "mss": 1500.0,
+        "rtt": 0.05,
+        "min_rtt": 0.04,
+        "max_rtt": 0.08,
+        "acked_bytes": 1500.0,
+        "ack_rate": 300000.0,
+    }
+    simplified = simplify(expr)
+    try:
+        # The evaluator saturates at ~1e18; rewriting can legitimately
+        # change results once any *sub*-expression hits the clamp (e.g.
+        # cbrt(cube(x)) is only an identity below the cap), so the
+        # property is restricted to expressions whose every intermediate
+        # value stays well inside the representable range.
+        for node in ast.walk(expr):
+            if isinstance(node, ast.NumExpr):
+                if abs(evaluate(node, env)) >= 1e15:
+                    return
+        before = evaluate(expr, env)
+        after = evaluate(simplified, env)
+    except EvaluationError:
+        return  # holes: nothing to compare
+    if math.isfinite(before) and math.isfinite(after) and abs(after) < 1e15:
+        assert after == pytest.approx(before, rel=1e-6, abs=1e-9)

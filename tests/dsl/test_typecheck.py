@@ -1,0 +1,97 @@
+"""Type/unit checker tests, including the paper's Cubic limitation."""
+
+import pytest
+
+from repro.dsl.parser import parse
+from repro.dsl.typecheck import check_handler, infer_unit, is_well_formed
+from repro.errors import TypeCheckError, UnitError
+from repro.units import BYTES, DIMENSIONLESS, SECONDS
+
+
+def test_signal_units():
+    assert infer_unit(parse("cwnd")) == BYTES
+    assert infer_unit(parse("rtt")) == SECONDS
+    assert infer_unit(parse("vegas_diff")) == DIMENSIONLESS
+
+
+def test_constant_is_polymorphic():
+    assert infer_unit(parse("2.5")) is None
+
+
+def test_addition_requires_matching_units():
+    with pytest.raises(UnitError):
+        infer_unit(parse("cwnd + rtt"))
+
+
+def test_constant_absorbs_any_unit():
+    # Hybla's 8 * rtt * reno_inc: the 8 absorbs 1/seconds.
+    assert check_handler(parse("cwnd + 8 * rtt * reno_inc")) is None
+
+
+def test_rate_times_rtt_is_bytes():
+    assert infer_unit(parse("ack_rate * min_rtt")) == BYTES
+
+
+def test_handler_must_be_bytes():
+    with pytest.raises(UnitError):
+        check_handler(parse("rtt + min_rtt"))
+
+
+def test_cubic_cube_root_limitation():
+    """§5.5: the synthesized Cubic handler has inconsistent units (time³
+    added to bytes) and must be rejected under strict checking; the
+    fine-tuned handler only survives because its constants absorb units
+    (wildcards), which is why the Cubic DSL disables strict units."""
+    synthesized = parse("cwnd + cube(time_since_loss)")
+    with pytest.raises(UnitError):
+        check_handler(synthesized, strict_units=True)
+    assert check_handler(synthesized, strict_units=False) is None
+
+    finetuned = parse("wmax + cube(8 * time_since_loss - cbrt(24 * wmax))")
+    # Unit-polymorphic constants make this checkable in our algebra; the
+    # paper's integer-only SMT encoding could not express it at all.
+    assert check_handler(finetuned, strict_units=True) is None
+
+
+def test_cbrt_of_known_noncubic_unit_rejected():
+    with pytest.raises(UnitError):
+        infer_unit(parse("cbrt(cwnd)"))
+
+
+def test_cube_of_time_is_not_bytes():
+    with pytest.raises(UnitError):
+        check_handler(parse("cwnd + cube(time_since_loss)"))
+
+
+def test_unknown_signal_rejected():
+    with pytest.raises(TypeCheckError):
+        check_handler(parse("cwnd + bogus_signal"))
+
+
+def test_allowed_signals_restriction():
+    expr = parse("cwnd + rtt * ack_rate * 1")
+    assert is_well_formed(expr, allowed_signals=frozenset({"cwnd", "rtt", "ack_rate"}))
+    assert not is_well_formed(expr, allowed_signals=frozenset({"cwnd"}))
+
+
+def test_comparison_unit_consistency():
+    with pytest.raises(UnitError):
+        infer_unit(parse("(rtt < cwnd) ? mss : mss * 2"))
+
+
+def test_cond_branches_must_unify():
+    with pytest.raises(UnitError):
+        infer_unit(parse("(rtt < min_rtt) ? cwnd : rtt"))
+
+
+def test_cond_branch_with_constant_unifies():
+    assert infer_unit(parse("(rtt < min_rtt) ? cwnd : 0")) == BYTES
+
+
+def test_table2_finetuned_handlers_type_check():
+    """Every fine-tuned handler except Cubic passes strict unit checking."""
+    from repro.handlers import FINETUNED_TEXT
+
+    for name, text in FINETUNED_TEXT.items():
+        strict = name != "cubic"
+        assert is_well_formed(parse(text), strict_units=strict), name

@@ -1,0 +1,85 @@
+"""Integration: the full pipeline recovers family structure end-to-end.
+
+Scaled-down versions of the paper's §5 headline results: synthesis over
+real (simulated) traces recovers handlers with the right *ingredients* —
+Reno-family rows produce additive `reno_inc`-style growth; degenerate
+constant-window CCAs produce constant handlers.
+"""
+
+import pytest
+
+from repro.dsl import ast
+from repro.dsl.families import RENO_DSL, VEGAS_DSL, with_budget
+from repro.netsim import Environment
+from repro.synth.refinement import SynthesisConfig, synthesize
+from repro.synth.scoring import Scorer
+from repro.trace.collect import CollectionConfig, collect_segments
+
+FAST = SynthesisConfig(
+    initial_samples=8,
+    initial_keep=4,
+    completion_cap=12,
+    max_iterations=2,
+    exhaustive_cap=200,
+    series_budget=96,
+)
+
+
+def _segments(cca_name):
+    config = CollectionConfig(
+        duration=12.0,
+        environments=(
+            Environment(bandwidth_mbps=5, rtt_ms=25),
+            Environment(bandwidth_mbps=10, rtt_ms=50),
+        ),
+        max_acks_per_trace=8000,
+    )
+    return collect_segments(cca_name, config, max_segments=5)
+
+
+@pytest.mark.slow
+def test_reno_synthesis_recovers_additive_structure():
+    segments = _segments("reno")
+    dsl = with_budget(RENO_DSL, max_depth=3, max_nodes=5)
+    result = synthesize(segments, dsl, FAST)
+    handler = result.best.handler
+    # The window must appear (stateful growth), and the handler must beat
+    # both a flat window and an over-aggressive strawman.
+    used = ast.signals_used(handler) | ast.macros_used(handler)
+    assert "cwnd" in used
+    scorer = Scorer(series_budget=96)
+    from repro.dsl.parser import parse
+
+    assert result.distance < scorer.score_handler(parse("2 * mss"), segments)
+    assert result.distance < scorer.score_handler(
+        parse("cwnd + acked_bytes"), segments
+    )
+
+
+@pytest.mark.slow
+def test_constant_window_cca_synthesizes_constant():
+    segments = _segments("student5")
+    dsl = with_budget(VEGAS_DSL, max_depth=3, max_nodes=5)
+    result = synthesize(segments, dsl, FAST)
+    # The paper's result for student 5 was `2 * mss`: a constant handler
+    # with essentially zero distance.
+    assert result.distance < 1.0
+    assert ast.depth(result.best.handler) <= 3
+
+
+@pytest.mark.slow
+def test_interrupted_search_returns_best_so_far():
+    segments = _segments("reno")
+    dsl = with_budget(RENO_DSL, max_depth=3, max_nodes=5)
+    config = SynthesisConfig(
+        initial_samples=8,
+        initial_keep=4,
+        completion_cap=8,
+        max_iterations=5,
+        exhaustive_cap=50,
+        time_budget_seconds=3.0,
+        series_budget=96,
+    )
+    result = synthesize(segments, dsl, config)
+    assert result.best.distance < float("inf")
+    assert result.elapsed_seconds < 60

@@ -1,0 +1,50 @@
+"""Environment matrix tests."""
+
+import pytest
+
+from repro.netsim.environments import Environment, default_matrix
+
+
+def test_derived_quantities():
+    env = Environment(bandwidth_mbps=10.0, rtt_ms=50.0)
+    assert env.bandwidth_bytes_per_sec == 1.25e6
+    assert env.base_rtt_sec == 0.05
+    assert env.bdp_bytes == 62_500
+    assert env.queue_capacity_bytes == 62_500  # 1 BDP
+
+
+def test_queue_floor_of_four_segments():
+    env = Environment(bandwidth_mbps=1.0, rtt_ms=2.0, queue_bdp=0.5)
+    assert env.queue_capacity_bytes == 4 * env.mss
+
+
+def test_max_cwnd_cap():
+    env = Environment(bandwidth_mbps=10.0, rtt_ms=50.0)
+    assert env.max_cwnd_bytes == 4 * (env.bdp_bytes + env.queue_capacity_bytes)
+
+
+def test_label():
+    assert Environment(5.0, 25.0).label == "5mbps-25ms"
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        Environment(bandwidth_mbps=0.0, rtt_ms=50.0)
+    with pytest.raises(ValueError):
+        Environment(bandwidth_mbps=5.0, rtt_ms=-1.0)
+    with pytest.raises(ValueError):
+        Environment(bandwidth_mbps=5.0, rtt_ms=50.0, queue_bdp=0.0)
+
+
+def test_default_matrix_spans_paper_ranges():
+    matrix = default_matrix()
+    bandwidths = {env.bandwidth_mbps for env in matrix}
+    rtts = {env.rtt_ms for env in matrix}
+    assert min(bandwidths) >= 5.0 and max(bandwidths) <= 15.0
+    assert min(rtts) >= 10.0 and max(rtts) <= 100.0
+    assert len(matrix) == len(bandwidths) * len(rtts)
+
+
+def test_default_matrix_custom_axes():
+    matrix = default_matrix(bandwidths_mbps=(8.0,), rtts_ms=(20.0, 40.0))
+    assert [env.label for env in matrix] == ["8mbps-20ms", "8mbps-40ms"]

@@ -1,0 +1,109 @@
+"""Multi-flow simulator tests: sharing, fairness, known pathologies."""
+
+import pytest
+
+from repro.cca import make_cca
+from repro.errors import SimulationError
+from repro.netsim import Environment, fairness_report, simulate_competition
+
+
+@pytest.fixture(scope="module")
+def env():
+    return Environment(bandwidth_mbps=10, rtt_ms=50, queue_bdp=1.0)
+
+
+@pytest.fixture(scope="module")
+def reno_pair(env):
+    return simulate_competition(
+        [make_cca("reno"), make_cca("reno")], env, duration=25.0
+    )
+
+
+def test_requires_flows(env):
+    with pytest.raises(SimulationError):
+        simulate_competition([], env)
+
+
+def test_mss_mismatch(env):
+    with pytest.raises(SimulationError):
+        simulate_competition([make_cca("reno", mss=9000)], env)
+
+
+def test_start_times_length_checked(env):
+    with pytest.raises(SimulationError):
+        simulate_competition(
+            [make_cca("reno")], env, start_times=[0.0, 1.0]
+        )
+
+
+def test_one_trace_per_flow(reno_pair):
+    assert len(reno_pair) == 2
+    assert all(trace.cca_name == "reno" for trace in reno_pair)
+    assert all(len(trace.acks) > 100 for trace in reno_pair)
+
+
+def test_total_throughput_bounded(reno_pair, env):
+    total = sum(trace.acks[-1].ack_seq for trace in reno_pair)
+    elapsed = max(trace.acks[-1].time for trace in reno_pair)
+    assert total / elapsed <= env.bandwidth_bytes_per_sec * 1.01
+
+
+def test_link_shared_not_duplicated(reno_pair, env):
+    """Two flows together cannot exceed the link; each alone gets less
+    than the whole."""
+    for trace in reno_pair:
+        rate = trace.acks[-1].ack_seq / trace.acks[-1].time
+        assert rate < env.bandwidth_bytes_per_sec
+
+
+def test_reno_vs_reno_is_fair(reno_pair):
+    report = fairness_report(reno_pair, window=(10.0, 25.0))
+    assert report["jain_index"] > 0.9
+
+
+def test_bbr_starves_reno(env):
+    """The Ware et al. result the paper cites: BBRv1 takes a grossly
+    unfair share against loss-based flows at shallow buffers."""
+    traces = simulate_competition(
+        [make_cca("bbr"), make_cca("reno")], env, duration=25.0
+    )
+    report = fairness_report(traces, window=(10.0, 25.0))
+    assert report["share_0_bbr"] > 0.65
+    assert report["jain_index"] < 0.9
+
+
+def test_late_start_converges(env):
+    traces = simulate_competition(
+        [make_cca("reno"), make_cca("reno")],
+        env,
+        duration=30.0,
+        start_times=[0.0, 5.0],
+    )
+    report = fairness_report(traces, window=(20.0, 30.0))
+    assert report["jain_index"] > 0.8
+
+
+def test_fairness_report_structure(reno_pair):
+    report = fairness_report(reno_pair)
+    assert set(report) == {
+        "jain_index",
+        "total_rate",
+        "share_0_reno",
+        "share_1_reno",
+    }
+    assert report["share_0_reno"] + report["share_1_reno"] == pytest.approx(
+        1.0
+    )
+
+
+def test_three_flows(env):
+    traces = simulate_competition(
+        [make_cca("reno"), make_cca("cubic"), make_cca("vegas")],
+        env,
+        duration=20.0,
+    )
+    assert len(traces) == 3
+    report = fairness_report(traces, window=(8.0, 20.0))
+    assert 0.0 < report["jain_index"] <= 1.0
+    # Delay-based Vegas famously loses to loss-based competition.
+    assert report["share_2_vegas"] <= report["share_1_cubic"] + 0.05

@@ -1,0 +1,74 @@
+"""Measurement-noise model tests."""
+
+import pytest
+
+from repro.trace.noise import NoiseModel, apply_noise
+
+
+def test_noop_returns_same_object(reno_trace):
+    assert apply_noise(reno_trace, NoiseModel()) is reno_trace
+
+
+def test_input_not_mutated(reno_trace):
+    before = len(reno_trace.acks)
+    first_time = reno_trace.acks[0].time
+    apply_noise(reno_trace, NoiseModel(jitter_std=0.01, dropout=0.2, seed=1))
+    assert len(reno_trace.acks) == before
+    assert reno_trace.acks[0].time == first_time
+
+
+def test_dropout_removes_records(reno_trace):
+    noisy = apply_noise(reno_trace, NoiseModel(dropout=0.3, seed=2))
+    ratio = len(noisy.acks) / len(reno_trace.acks)
+    assert 0.6 < ratio < 0.8
+
+
+def test_jitter_keeps_time_monotonic(reno_trace):
+    noisy = apply_noise(reno_trace, NoiseModel(jitter_std=0.005, seed=3))
+    times = [ack.time for ack in noisy.acks]
+    assert all(b >= a for a, b in zip(times, times[1:]))
+
+
+def test_cwnd_error_perturbs_but_stays_positive(reno_trace):
+    noisy = apply_noise(reno_trace, NoiseModel(cwnd_error=0.1, seed=4))
+    assert all(ack.cwnd_bytes > 0 for ack in noisy.acks)
+    changed = sum(
+        1
+        for a, b in zip(reno_trace.acks, noisy.acks)
+        if a.cwnd_bytes != b.cwnd_bytes
+    )
+    assert changed > len(noisy.acks) * 0.9
+
+
+def test_loss_dropout_hides_losses(reno_trace):
+    noisy = apply_noise(reno_trace, NoiseModel(loss_dropout=1.0, seed=5))
+    assert not noisy.losses
+    partial = apply_noise(reno_trace, NoiseModel(loss_dropout=0.5, seed=5))
+    assert 0 < len(partial.losses) <= len(reno_trace.losses)
+
+
+def test_seeded_determinism(reno_trace):
+    model = NoiseModel(jitter_std=0.01, dropout=0.1, seed=7)
+    first = apply_noise(reno_trace, model)
+    second = apply_noise(reno_trace, model)
+    assert [a.time for a in first.acks] == [a.time for a in second.acks]
+
+
+def test_meta_marks_noisy(reno_trace):
+    noisy = apply_noise(reno_trace, NoiseModel(dropout=0.1, seed=1))
+    assert noisy.meta.get("noisy") == 1.0
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"dropout": 1.0},
+        {"dropout": -0.1},
+        {"loss_dropout": 1.5},
+        {"jitter_std": -1.0},
+        {"cwnd_error": -0.5},
+    ],
+)
+def test_invalid_parameters(kwargs):
+    with pytest.raises(ValueError):
+        NoiseModel(**kwargs)

@@ -1,0 +1,58 @@
+"""Droptail queue unit tests."""
+
+from repro.netsim.packet import Packet
+from repro.netsim.queues import DropTailQueue
+
+
+def _packet(seq=0, size=1500):
+    return Packet(seq=seq, size=size, send_time=0.0)
+
+
+def test_fifo_order():
+    queue = DropTailQueue(10_000)
+    first, second = _packet(0), _packet(1500)
+    assert queue.offer(first) and queue.offer(second)
+    assert queue.pop() is first
+    assert queue.pop() is second
+
+
+def test_backlog_accounting():
+    queue = DropTailQueue(10_000)
+    queue.offer(_packet())
+    assert queue.backlog_bytes == 1500
+    queue.offer(_packet(1500))
+    assert queue.backlog_bytes == 3000
+    queue.pop()
+    assert queue.backlog_bytes == 1500
+
+
+def test_tail_drop_on_overflow():
+    queue = DropTailQueue(3000)
+    assert queue.offer(_packet(0))
+    assert queue.offer(_packet(1500))
+    assert not queue.offer(_packet(3000))
+    assert queue.drops == 1
+    assert len(queue) == 2
+
+
+def test_exact_fit_is_accepted():
+    queue = DropTailQueue(1500)
+    assert queue.offer(_packet())
+    assert queue.backlog_bytes == 1500
+
+
+def test_is_empty():
+    queue = DropTailQueue(3000)
+    assert queue.is_empty
+    queue.offer(_packet())
+    assert not queue.is_empty
+    queue.pop()
+    assert queue.is_empty
+
+
+def test_drop_then_space_frees():
+    queue = DropTailQueue(1500)
+    queue.offer(_packet(0))
+    assert not queue.offer(_packet(1500))
+    queue.pop()
+    assert queue.offer(_packet(3000))

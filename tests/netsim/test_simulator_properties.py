@@ -1,0 +1,96 @@
+"""Cross-environment invariants of the simulator (short runs)."""
+
+import pytest
+
+from repro.cca import make_cca
+from repro.netsim import Environment, simulate
+
+
+def _delivered(cca_name, env, duration=6.0):
+    trace = simulate(make_cca(cca_name), env, duration=duration)
+    return trace.acks[-1].ack_seq if trace.acks else 0
+
+
+def test_more_bandwidth_more_bytes():
+    slow = _delivered("reno", Environment(5, 50))
+    fast = _delivered("reno", Environment(15, 50))
+    assert fast > slow
+
+
+def test_shorter_rtt_ramps_faster():
+    short = _delivered("reno", Environment(10, 10))
+    long = _delivered("reno", Environment(10, 100))
+    assert short > long
+
+
+def test_deeper_buffer_fewer_losses():
+    shallow = simulate(
+        make_cca("reno"), Environment(10, 50, queue_bdp=0.5), duration=10.0
+    )
+    deep = simulate(
+        make_cca("reno"), Environment(10, 50, queue_bdp=4.0), duration=10.0
+    )
+    assert len(deep.losses) <= len(shallow.losses)
+
+
+def test_deeper_buffer_higher_max_rtt():
+    shallow = simulate(
+        make_cca("reno"), Environment(10, 50, queue_bdp=0.5), duration=10.0
+    )
+    deep = simulate(
+        make_cca("reno"), Environment(10, 50, queue_bdp=4.0), duration=10.0
+    )
+
+    def max_rtt(trace):
+        return max(
+            ack.rtt_sample for ack in trace.acks if ack.rtt_sample is not None
+        )
+
+    assert max_rtt(deep) > max_rtt(shallow)
+
+
+@pytest.mark.parametrize("cca_name", ["reno", "cubic", "vegas", "bbr"])
+def test_no_ack_for_unsent_data(cca_name):
+    env = Environment(10, 50)
+    trace = simulate(make_cca(cca_name), env, duration=6.0)
+    max_possible = env.bandwidth_bytes_per_sec * 6.0 + env.max_cwnd_bytes
+    assert trace.acks[-1].ack_seq <= max_possible
+
+
+@pytest.mark.parametrize("cca_name", ["reno", "vegas"])
+def test_inflight_never_negative(cca_name):
+    trace = simulate(make_cca(cca_name), Environment(10, 50), duration=6.0)
+    assert all(ack.inflight_bytes >= 0 for ack in trace.acks)
+
+
+def test_cwnd_records_positive_everywhere():
+    for cca_name in ("reno", "cubic", "bbr", "student4"):
+        trace = simulate(make_cca(cca_name), Environment(5, 25), duration=6.0)
+        assert all(ack.cwnd_bytes >= trace.mss for ack in trace.acks)
+
+
+# Hypothesis sweep: core conservation invariants hold across the whole
+# environment envelope the paper's testbed spans.
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+
+@given(
+    bandwidth=st.floats(min_value=5.0, max_value=15.0),
+    rtt=st.floats(min_value=10.0, max_value=100.0),
+    queue=st.floats(min_value=0.5, max_value=4.0),
+)
+@settings(max_examples=10, deadline=None)
+def test_invariants_across_environment_envelope(bandwidth, rtt, queue):
+    env = Environment(bandwidth_mbps=bandwidth, rtt_ms=rtt, queue_bdp=queue)
+    trace = simulate(make_cca("reno"), env, duration=4.0)
+    assert trace.acks, env.label
+    times = [ack.time for ack in trace.acks]
+    assert all(b >= a for a, b in zip(times, times[1:]))
+    seqs = [ack.ack_seq for ack in trace.acks]
+    assert all(b >= a for a, b in zip(seqs, seqs[1:]))
+    # Delivery never exceeds what the link could carry.
+    assert seqs[-1] <= env.bandwidth_bytes_per_sec * 4.0 + env.max_cwnd_bytes
+    # RTT samples never undercut the propagation floor.
+    samples = [a.rtt_sample for a in trace.acks if a.rtt_sample is not None]
+    assert min(samples) >= env.base_rtt_sec * 0.999

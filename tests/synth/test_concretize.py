@@ -1,0 +1,69 @@
+"""Concretization tests (§4.2)."""
+
+from repro.dsl import ast
+from repro.dsl.parser import parse
+from repro.synth.concretize import concretize_all, concretizations
+from repro.synth.sketch import Sketch
+
+POOL = (0.5, 1.0, 2.0)
+
+
+def _sketch(text):
+    return Sketch.from_expr(parse(text))
+
+
+def test_no_holes_yields_self():
+    sketch = _sketch("cwnd + reno_inc")
+    handlers = concretize_all(sketch, POOL)
+    assert handlers == [sketch.expr]
+
+
+def test_single_hole_full_product():
+    handlers = concretize_all(_sketch("cwnd + c0 * reno_inc"), POOL)
+    assert len(handlers) == 3
+    constants = {
+        node.value
+        for handler in handlers
+        for node in ast.walk(handler)
+        if isinstance(node, ast.Const)
+    }
+    assert constants == set(POOL)
+
+
+def test_two_holes_cartesian():
+    handlers = concretize_all(_sketch("c0 * cwnd + c1 * mss"), POOL)
+    assert len(handlers) == 9
+    assert len(set(handlers)) == 9
+
+
+def test_no_holes_remain():
+    for handler in concretize_all(_sketch("c0 * cwnd + c1 * mss"), POOL):
+        assert not ast.holes(handler)
+
+
+def test_cap_triggers_sampling():
+    pool = tuple(float(v) for v in range(10))
+    sketch = _sketch("(c0 < c1) ? c2 * cwnd : c3 * cwnd")
+    handlers = concretize_all(sketch, pool, cap=20, seed=1)
+    assert len(handlers) == 20
+    assert len(set(handlers)) == 20  # sampled without duplicates
+
+
+def test_sampling_deterministic():
+    pool = tuple(float(v) for v in range(10))
+    sketch = _sketch("(c0 < c1) ? c2 * cwnd : c3 * cwnd")
+    first = concretize_all(sketch, pool, cap=15, seed=7)
+    second = concretize_all(sketch, pool, cap=15, seed=7)
+    assert first == second
+
+
+def test_completion_count():
+    assert _sketch("cwnd + c0 * reno_inc").completion_count(10) == 10
+    assert _sketch("c0 * cwnd + c1").completion_count(10) == 100
+    assert _sketch("cwnd + mss").completion_count(10) == 1
+
+
+def test_lazy_generator():
+    gen = concretizations(_sketch("cwnd + c0 * reno_inc"), POOL)
+    first = next(gen)
+    assert not ast.holes(first)

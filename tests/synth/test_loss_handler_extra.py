@@ -1,0 +1,61 @@
+"""Additional loss-handler extension tests: sample extraction details."""
+
+import pytest
+
+from repro.cca import make_cca
+from repro.dsl import RENO_DSL, with_budget
+from repro.netsim import Environment, simulate
+from repro.synth.loss_handler import (
+    LossSample,
+    extract_loss_samples,
+    synthesize_loss_handler,
+)
+
+DSL = with_budget(RENO_DSL, max_depth=2, max_nodes=3)
+
+
+def test_samples_deduplicate_consecutive_episodes(env_matrix):
+    """Back-to-back identical reactions collapse to one sample (a
+    periodic sawtooth may legitimately repeat the same levels later)."""
+    trace = simulate(make_cca("reno"), env_matrix[1], duration=20.0)
+    samples = extract_loss_samples(trace)
+    assert samples
+    for left, right in zip(samples, samples[1:]):
+        same = (
+            abs(left.cwnd_before - right.cwnd_before) < 1.0
+            and abs(left.cwnd_after - right.cwnd_after) < 1.0
+        )
+        assert not same
+
+
+def test_sample_env_contains_dsl_signals(env_matrix):
+    trace = simulate(make_cca("reno"), env_matrix[1], duration=20.0)
+    samples = extract_loss_samples(trace)
+    assert samples
+    for signal in ("cwnd", "mss", "acked_bytes", "time_since_loss"):
+        assert signal in samples[0].env
+
+
+def test_loss_sample_is_frozen():
+    sample = LossSample(env={"cwnd": 1.0}, cwnd_before=1.0, cwnd_after=0.5)
+    with pytest.raises(AttributeError):
+        sample.cwnd_before = 2.0
+
+
+def test_keep_top_respected(env_matrix):
+    traces = [
+        simulate(make_cca("reno"), env, duration=15.0)
+        for env in env_matrix[:2]
+    ]
+    result = synthesize_loss_handler(traces, DSL, keep_top=2)
+    assert len(result.ranking) == 2
+
+
+def test_vegas_low_loss_rejected(env_matrix):
+    """Vegas rarely loses; a short trace should not yield enough loss
+    samples, and the extension must say so instead of fitting noise."""
+    from repro.errors import SynthesisError
+
+    traces = [simulate(make_cca("vegas"), env_matrix[1], duration=10.0)]
+    with pytest.raises(SynthesisError):
+        synthesize_loss_handler(traces, DSL)

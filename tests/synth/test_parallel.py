@@ -1,0 +1,54 @@
+"""Parallel-scoring tests: worker results must match serial results."""
+
+import pytest
+
+from repro.dsl.parser import parse
+from repro.synth.parallel import score_sketches
+from repro.synth.scoring import Scorer
+from repro.synth.sketch import Sketch
+
+SKETCH_TEXTS = [
+    "cwnd + c0 * reno_inc",
+    "cwnd + reno_inc",
+    "c0 * mss",
+    "cwnd + mss",
+    "(c0 < c1) ? cwnd + mss : cwnd",
+]
+
+
+@pytest.fixture(scope="module")
+def sketches():
+    return [Sketch.from_expr(parse(text)) for text in SKETCH_TEXTS]
+
+
+@pytest.fixture(scope="module")
+def scorer():
+    return Scorer(constant_pool=(0.5, 1.0), completion_cap=8)
+
+
+def test_serial_alignment(scorer, sketches, reno_segments):
+    working = reno_segments[:2]
+    results = score_sketches(scorer, sketches, working, workers=1)
+    assert len(results) == len(sketches)
+    for sketch, result in zip(sketches, results):
+        assert scorer.score_sketch(sketch, working).distance == pytest.approx(
+            result.distance
+        )
+
+
+def test_parallel_matches_serial(scorer, sketches, reno_segments):
+    working = reno_segments[:2]
+    serial = score_sketches(scorer, sketches, working, workers=1)
+    parallel = score_sketches(scorer, sketches, working, workers=2)
+    assert [r.distance for r in parallel] == pytest.approx(
+        [r.distance for r in serial]
+    )
+    assert [r.handler for r in parallel] == [r.handler for r in serial]
+
+
+def test_small_batches_stay_serial(scorer, sketches, reno_segments):
+    # Fewer than 4 sketches never forks (pure serial path).
+    results = score_sketches(
+        scorer, sketches[:2], reno_segments[:1], workers=8
+    )
+    assert len(results) == 2

@@ -1,0 +1,112 @@
+"""BucketPool tests: shared-stream routing, pruning, step caps."""
+
+from repro.dsl import RENO_DSL, ast, with_budget
+from repro.synth.pool import BucketPool
+
+SMALL = with_budget(RENO_DSL, max_depth=3, max_nodes=5)
+
+
+def test_routing_matches_discriminator():
+    pool = BucketPool(SMALL)
+    pool.draw(4)
+    for bucket in pool.live:
+        for sketch in bucket.drawn:
+            assert ast.operators_used(sketch.expr) == bucket.key
+
+
+def test_draw_is_cumulative():
+    pool = BucketPool(SMALL)
+    pool.draw(2)
+    snapshot = {
+        bucket.key: list(bucket.drawn) for bucket in pool.live if bucket.drawn
+    }
+    pool.draw(5)
+    for bucket in pool.live:
+        if bucket.key in snapshot:
+            assert bucket.drawn[: len(snapshot[bucket.key])] == snapshot[
+                bucket.key
+            ]
+
+
+def test_no_duplicate_sketches_across_buckets():
+    pool = BucketPool(SMALL)
+    pool.draw(6)
+    seen = set()
+    for bucket in pool.live:
+        for sketch in bucket.drawn:
+            assert sketch.expr not in seen
+            seen.add(sketch.expr)
+
+
+def test_step_cap_bounds_work():
+    pool = BucketPool(SMALL)
+    pool.draw(10_000, max_steps=50)
+    # The shared stream respects the cap; directed probes for buckets the
+    # stream has not reached add a bounded amount on top.
+    assert pool.generated < 50 + 4 * len(pool.buckets)
+    assert not pool.exhausted
+
+
+def test_exhaustion_marks_all_buckets():
+    pool = BucketPool(SMALL)
+    pool.draw(10**9, max_steps=10**9)
+    assert pool.exhausted
+    assert all(bucket.exhausted for bucket in pool.live)
+
+
+def test_prune_drops_buckets_and_restricts_stream():
+    pool = BucketPool(SMALL)
+    pool.draw(3)
+    keep = {frozenset({"+"}), frozenset({"+", "*"})}
+    pool.prune(keep)
+    assert set(pool.buckets) == keep
+    before = pool.generated
+    pool.draw(50)
+    # Everything generated after the prune uses only the kept operators.
+    for bucket in pool.live:
+        for sketch in bucket.drawn:
+            assert sketch.operators <= frozenset({"+", "*"})
+    assert pool.generated >= before
+
+
+def test_prune_does_not_redraw_seen_sketches():
+    pool = BucketPool(SMALL)
+    pool.draw(3)
+    plus_bucket = pool.buckets[frozenset({"+"})]
+    drawn_before = list(plus_bucket.drawn)
+    pool.prune({frozenset({"+"})})
+    pool.draw(len(drawn_before) + 5)
+    exprs = [sketch.expr for sketch in plus_bucket.drawn]
+    assert len(exprs) == len(set(exprs))
+    assert exprs[: len(drawn_before)] == [s.expr for s in drawn_before]
+
+
+def test_generated_counts_routed_and_discarded():
+    pool = BucketPool(SMALL)
+    pool.draw(2)
+    routed = sum(len(bucket.drawn) for bucket in pool.live)
+    assert pool.generated >= routed
+
+
+def test_directed_probe_reaches_large_min_size_buckets():
+    """A bucket whose smallest member exceeds the shared stream's early
+    sizes must still receive samples (the Table 4 requirement)."""
+    from repro.dsl import VEGAS_DSL
+
+    dsl = with_budget(VEGAS_DSL, max_depth=5, max_nodes=10)
+    pool = BucketPool(dsl)
+    pool.draw(8)
+    key = frozenset({"*", "+", "cmp", "cond"})
+    bucket = pool.buckets[key]
+    assert bucket.drawn, "directed probe must populate the bucket"
+    for sketch in bucket.drawn:
+        assert sketch.operators == key
+
+
+def test_min_feasible_size_bounds():
+    from repro.synth.enumerator import min_feasible_size
+
+    assert min_feasible_size(frozenset()) == 1
+    assert min_feasible_size(frozenset({"+"})) == 3
+    assert min_feasible_size(frozenset({"cond", "cmp"})) == 6
+    assert min_feasible_size(frozenset({"*", "+", "cmp", "cond"})) == 10

@@ -1,0 +1,90 @@
+"""Handler-replay tests (§3.1): statefulness and fidelity."""
+
+import numpy as np
+import pytest
+
+from repro.dsl.parser import parse
+from repro.synth.replay import CWND_CAP_FACTOR, replay_handler, replay_on_segment
+from repro.trace.segmentation import segment_trace
+from repro.trace.signals import extract_signals
+
+
+@pytest.fixture(scope="module")
+def table(reno_trace):
+    return extract_signals(segment_trace(reno_trace)[1])
+
+
+def test_output_length_matches(table):
+    series = replay_handler(parse("cwnd + reno_inc"), table)
+    assert len(series) == len(table)
+
+
+def test_statefulness_compounds(table):
+    """cwnd + mss grows linearly from the initial window — each step reads
+    the candidate's own previous output, not the trace's."""
+    series = replay_handler(parse("cwnd + mss"), table)
+    start = table.observed_cwnd()[0]
+    assert series[0] == pytest.approx(start + table.mss)
+    diffs = np.diff(series)
+    capped = series >= series.max()
+    assert np.all(diffs[~capped[1:]] >= 0)
+
+
+def test_constant_handler_is_flat(table):
+    series = replay_handler(parse("2 * mss"), table)
+    assert np.all(series == 2 * table.mss)
+
+
+def test_floor_at_mss(table):
+    series = replay_handler(parse("cwnd - cwnd + 1"), table)
+    assert np.all(series >= table.mss)
+
+
+def test_cap_at_multiple_of_observed(table):
+    series = replay_handler(parse("cwnd * 8"), table)
+    cap = CWND_CAP_FACTOR * table.observed_cwnd().max()
+    assert series.max() <= cap
+
+
+def test_initial_cwnd_override(table):
+    default = replay_handler(parse("cwnd + mss"), table)
+    overridden = replay_handler(
+        parse("cwnd + mss"), table, initial_cwnd=50_000.0
+    )
+    assert overridden[0] == pytest.approx(50_000.0 + table.mss)
+    assert overridden[0] != default[0]
+
+
+def test_unknown_signal_saturates_not_raises(table):
+    # 'inflight' is present; 'wmax' is present; an out-of-table signal
+    # would only arise from a foreign DSL — replay must not crash.
+    series = replay_handler(parse("cwnd + ewma_rtt * ack_rate * 0.001"), table)
+    assert np.all(np.isfinite(series))
+
+
+def test_reno_handler_tracks_reno_trace(table):
+    """The paper's Reno handler replayed on a Reno segment should stay
+    close to the observed window; a wildly different handler should not."""
+    from repro.distance import dtw_distance
+
+    observed = table.observed_cwnd() / table.mss
+    good = replay_handler(parse("cwnd + 0.7 * reno_inc"), table) / table.mss
+    bad = replay_handler(parse("2 * mss"), table) / table.mss
+    assert dtw_distance(good, observed) < dtw_distance(bad, observed)
+
+
+def test_replay_on_segment_wrapper(reno_trace):
+    segment = segment_trace(reno_trace)[1]
+    synthesized, observed = replay_on_segment(
+        parse("cwnd + reno_inc"), segment
+    )
+    assert len(synthesized) == len(observed)
+
+
+def test_empty_table_returns_empty():
+    from repro.trace.signals import SignalTable
+
+    empty = SignalTable(
+        mss=1500.0, columns={"time": np.empty(0), "cwnd": np.empty(0)}
+    )
+    assert len(replay_handler(parse("cwnd"), empty)) == 0

@@ -1,0 +1,35 @@
+"""Sketch metadata tests."""
+
+from repro.dsl import ast
+from repro.dsl.parser import parse
+from repro.synth.sketch import Sketch
+
+
+def test_from_expr_metadata():
+    sketch = Sketch.from_expr(parse("cwnd + c0 * reno_inc"))
+    assert sketch.size == 5
+    assert sketch.depth == 3
+    assert sketch.hole_count == 1
+    assert sketch.operators == frozenset({"+", "*"})
+
+
+def test_holes_canonically_renumbered():
+    sketch = Sketch.from_expr(parse("c9 * cwnd + c4"))
+    ids = [hole.hole_id for hole in ast.holes(sketch.expr)]
+    assert ids == [0, 1]
+
+
+def test_str_renders_expression():
+    sketch = Sketch.from_expr(parse("cwnd + reno_inc"))
+    assert str(sketch) == "cwnd + reno_inc"
+
+
+def test_completion_count():
+    sketch = Sketch.from_expr(parse("(c0 < c1) ? cwnd : mss"))
+    assert sketch.completion_count(7) == 49
+
+
+def test_equality_after_canonicalization():
+    first = Sketch.from_expr(parse("c3 * cwnd"))
+    second = Sketch.from_expr(parse("c8 * cwnd"))
+    assert first == second

@@ -1,0 +1,68 @@
+"""Tests for constructive bucket witnesses (the SMT-model analogue)."""
+
+import pytest
+
+from repro.dsl import RENO_DSL, VEGAS_DSL, ast, is_simplifiable, with_budget
+from repro.dsl.typecheck import infer_unit
+from repro.synth.buckets import coherent_op_sets
+from repro.synth.enumerator import bucket_witnesses, min_feasible_size
+from repro.units import BYTES
+
+DSL = with_budget(VEGAS_DSL, max_depth=5, max_nodes=17)
+
+
+def test_witnesses_use_exact_operator_set():
+    key = frozenset({"*", "+", "cmp", "cond"})
+    witnesses = bucket_witnesses(DSL, key, count=4)
+    assert witnesses
+    for sketch in witnesses:
+        assert sketch.operators == key
+
+
+def test_witnesses_satisfy_all_enumeration_constraints():
+    for key in (
+        frozenset({"+", "cmp", "cond"}),
+        frozenset({"*", "/", "modeq", "cond"}),
+        frozenset({"+", "-"}),
+    ):
+        for sketch in bucket_witnesses(DSL, key, count=4):
+            assert sketch.size <= DSL.max_nodes
+            assert sketch.depth <= DSL.max_depth
+            assert not is_simplifiable(sketch.expr), str(sketch)
+            unit = infer_unit(sketch.expr)
+            assert unit is None or unit == BYTES
+
+
+def test_witnesses_unique():
+    key = frozenset({"+", "cmp", "cond"})
+    witnesses = bucket_witnesses(DSL, key, count=4)
+    exprs = [sketch.expr for sketch in witnesses]
+    assert len(exprs) == len(set(exprs))
+
+
+def test_incoherent_key_yields_nothing():
+    assert bucket_witnesses(DSL, frozenset({"cond"})) == []
+    assert bucket_witnesses(DSL, frozenset({"cmp"})) == []
+
+
+def test_most_coherent_buckets_get_witnesses():
+    """Across all coherent keys, only a small minority (infeasible under
+    the node budget or witness-shape limitations) may come back empty."""
+    empty = 0
+    feasible = 0
+    for key in coherent_op_sets(DSL):
+        if min_feasible_size(key) > DSL.max_nodes:
+            continue
+        feasible += 1
+        if not bucket_witnesses(DSL, key, count=2):
+            empty += 1
+    assert feasible > 30
+    assert empty <= 0.25 * feasible
+
+
+def test_reno_dsl_witnesses():
+    dsl = with_budget(RENO_DSL, max_depth=4, max_nodes=9)
+    witnesses = bucket_witnesses(dsl, frozenset({"+", "cmp", "cond"}), count=3)
+    assert witnesses
+    for sketch in witnesses:
+        assert ast.signals_used(sketch.expr) <= set(dsl.signals)

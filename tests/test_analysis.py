@@ -1,0 +1,147 @@
+"""Handler-analysis tests (§5.3's aggressiveness / structure claims)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    REFERENCE_ENV,
+    aggressiveness_ranking,
+    growth_per_rtt,
+    handlers_equivalent,
+    response_curve,
+    signal_sensitivity,
+)
+from repro.dsl.parser import parse
+from repro.handlers import SYNTHESIZED_TEXT
+
+
+def test_reno_growth_is_one_mss_per_rtt():
+    assert growth_per_rtt(parse("cwnd + reno_inc")) == pytest.approx(
+        1.0, rel=0.05
+    )
+
+
+def test_scaled_growth():
+    assert growth_per_rtt(parse("cwnd + 0.37 * reno_inc")) == pytest.approx(
+        0.37, rel=0.05
+    )
+
+
+def test_constant_handler_growth():
+    # `2*mss` from a 62.5 kB window is a huge *decrease*.
+    assert growth_per_rtt(parse("2 * mss")) < -30
+
+
+def test_aggressiveness_ranking_matches_coefficients():
+    """§5.3: the synthesized Reno-family handlers expose each CCA's
+    relative aggressiveness via their reno_inc coefficients."""
+    handlers = {
+        name: parse(SYNTHESIZED_TEXT[name])
+        for name in ("reno", "westwood", "scalable", "lp")
+    }
+    ranking = aggressiveness_ranking(handlers)
+    order = [name for name, _ in ranking]
+    # westwood (1.0) > reno (0.7) ~ lp (0.68) > scalable (0.37)
+    assert order[0] == "westwood"
+    assert order[-1] == "scalable"
+    values = dict(ranking)
+    assert values["reno"] == pytest.approx(0.7, rel=0.05)
+    assert values["lp"] == pytest.approx(0.68, rel=0.05)
+
+
+def test_response_curve_sweeps_signal():
+    handler = parse("(vegas_diff < 1) ? cwnd + mss : cwnd")
+    # Sweep RTT: below ~min_rtt + 1 queued packet the branch adds an MSS.
+    rtts = np.linspace(0.05, 0.2, 10)
+    curve = response_curve(handler, "rtt", rtts)
+    assert curve[0] == REFERENCE_ENV["cwnd"] + REFERENCE_ENV["mss"]
+    assert curve[-1] == REFERENCE_ENV["cwnd"]
+    assert len(curve) == 10
+
+
+def test_signal_sensitivity_detects_live_signals():
+    sensitivity = signal_sensitivity(parse("cwnd + 8 * rtt * reno_inc"))
+    assert sensitivity["rtt"] > 0
+    assert sensitivity["cwnd"] > 0
+
+
+def test_signal_sensitivity_detects_inert_signals():
+    # time_since_loss appears only in an untaken branch at the reference
+    # state (rtts_since_loss % 8 != 0 there is irrelevant: pick explicit).
+    handler = parse("(rtt > max_rtt) ? time_since_loss * ack_rate : cwnd + mss")
+    sensitivity = signal_sensitivity(handler)
+    assert sensitivity["time_since_loss"] == 0.0
+
+
+def test_equivalence_of_identical_structures():
+    first = parse("cwnd + 0.7 * reno_inc")
+    second = parse("cwnd + 0.35 * (2 * reno_inc)")
+    assert handlers_equivalent(first, second)
+
+
+def test_non_equivalence_of_different_gains():
+    assert not handlers_equivalent(
+        parse("cwnd + 0.7 * reno_inc"), parse("cwnd + 1.4 * reno_inc")
+    )
+
+
+def test_vegas_nv_identical_outputs():
+    """§5.4: Abagnale's output for NV is identical to its output for
+    Vegas — verify the published expressions really are one algorithm."""
+    assert handlers_equivalent(
+        parse(SYNTHESIZED_TEXT["vegas"]), parse(SYNTHESIZED_TEXT["nv"])
+    )
+
+
+def test_vegas_vs_veno_differ():
+    assert not handlers_equivalent(
+        parse(SYNTHESIZED_TEXT["vegas"]), parse(SYNTHESIZED_TEXT["veno"])
+    )
+
+
+def test_response_curve_custom_base_env():
+    handler = parse("cwnd + mss")
+    curve = response_curve(
+        handler,
+        "cwnd",
+        [10_000.0, 20_000.0],
+        base_env=dict(REFERENCE_ENV, mss=1000.0),
+    )
+    assert list(curve) == [11_000.0, 21_000.0]
+
+
+def test_growth_env_override_changes_result():
+    handler = parse("cwnd + reno_inc")
+    small = growth_per_rtt(
+        handler, env=dict(REFERENCE_ENV, cwnd=15_000.0, inflight=15_000.0)
+    )
+    # One MSS per RTT regardless of window size: Reno's invariant.
+    assert small == pytest.approx(1.0, rel=0.1)
+
+
+def test_equivalence_growth_tolerance_knob():
+    first = parse("cwnd + 0.7 * reno_inc")
+    second = parse("cwnd + 1.0 * reno_inc")
+    assert not handlers_equivalent(first, second)
+    assert handlers_equivalent(first, second, growth_tolerance_mss=0.5)
+
+
+def test_ranking_is_sorted_descending():
+    handlers = {
+        "slow": parse("cwnd + 0.2 * reno_inc"),
+        "fast": parse("cwnd + 2 * reno_inc"),
+        "mid": parse("cwnd + reno_inc"),
+    }
+    ranking = aggressiveness_ranking(handlers)
+    values = [value for _, value in ranking]
+    assert values == sorted(values, reverse=True)
+    assert [name for name, _ in ranking] == ["fast", "mid", "slow"]
+
+
+def test_sensitivity_of_pulsing_handler():
+    """The BBR fine-tuned handler is rate- and rtt-driven."""
+    from repro.handlers import FINETUNED_TEXT
+
+    sensitivity = signal_sensitivity(parse(FINETUNED_TEXT["bbr"]))
+    assert sensitivity["ack_rate"] > 0.1
+    assert sensitivity["min_rtt"] > 0.1

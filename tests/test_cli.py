@@ -1,0 +1,138 @@
+"""CLI tests: argument plumbing and the collect/classify/zoo commands.
+
+Synthesize is exercised with a tiny budget; classify reuses a reduced
+scope via the traces file produced by collect.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_zoo_lists_all(capsys):
+    assert main(["zoo"]) == 0
+    out = capsys.readouterr().out
+    for name in ("reno", "cubic", "bbr", "student7"):
+        assert name in out
+
+
+def test_collect_writes_archive(tmp_path, capsys):
+    out = tmp_path / "reno.json"
+    csv = tmp_path / "reno.csv"
+    code = main(
+        [
+            "collect",
+            "--cca",
+            "reno",
+            "--out",
+            str(out),
+            "--csv",
+            str(csv),
+            "--bandwidth",
+            "10",
+            "--rtt",
+            "50",
+            "--duration",
+            "6",
+        ]
+    )
+    assert code == 0
+    data = json.loads(out.read_text())
+    assert len(data["traces"]) == 1
+    assert csv.read_text().startswith("time,ack_seq")
+    assert "wrote 1 traces" in capsys.readouterr().out
+
+
+def test_collect_with_noise(tmp_path):
+    out = tmp_path / "noisy.json"
+    main(
+        [
+            "collect", "--cca", "reno", "--out", str(out),
+            "--bandwidth", "10", "--rtt", "50", "--duration", "6",
+            "--dropout", "0.1", "--seed", "3",
+        ]
+    )
+    data = json.loads(out.read_text())
+    assert data["traces"][0]["meta"].get("noisy") == 1.0
+
+
+def test_synthesize_from_archive(tmp_path, capsys):
+    out = tmp_path / "reno.json"
+    main(
+        [
+            "collect", "--cca", "reno", "--out", str(out),
+            "--bandwidth", "10", "--rtt", "50", "--duration", "10",
+        ]
+    )
+    code = main(
+        [
+            "synthesize",
+            "--traces",
+            str(out),
+            "--dsl",
+            "reno",
+            "--max-depth",
+            "2",
+            "--max-nodes",
+            "3",
+            "--samples",
+            "4",
+            "--iterations",
+            "1",
+            "--time-budget",
+            "30",
+        ]
+    )
+    assert code == 0
+    text = capsys.readouterr().out
+    assert "handler:" in text
+    assert "DSL 'reno-3'" in text
+
+
+def test_missing_input_errors():
+    with pytest.raises(SystemExit):
+        main(["synthesize", "--dsl", "reno"])
+
+
+def test_unknown_cca_rejected_by_parser():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["collect", "--cca", "nope", "--out", "x"])
+
+
+def test_race_reports_shares(capsys):
+    code = main(
+        [
+            "race", "--cca", "reno", "reno",
+            "--bandwidth-mbps", "10", "--rtt-ms", "40", "--duration", "10",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "share_0_reno" in out
+    assert "jain_index" in out
+
+
+def test_race_rejects_unknown_cca():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["race", "--cca", "notacca"])
+
+
+def test_stats_command(tmp_path, capsys):
+    out = tmp_path / "t.json"
+    main(
+        [
+            "collect", "--cca", "reno", "--out", str(out),
+            "--bandwidth", "10", "--rtt", "50", "--duration", "8",
+        ]
+    )
+    capsys.readouterr()
+    assert main(["stats", "--traces", str(out)]) == 0
+    text = capsys.readouterr().out
+    assert "goodput" in text and "rtt min/p50/p95" in text

@@ -1,0 +1,38 @@
+"""Exception-taxonomy tests: every library error is a ReproError."""
+
+import pytest
+
+from repro import errors
+
+
+ALL_ERRORS = (
+    errors.UnitError,
+    errors.TypeCheckError,
+    errors.DslError,
+    errors.ParseError,
+    errors.EvaluationError,
+    errors.EnumerationError,
+    errors.SimulationError,
+    errors.TraceError,
+    errors.SynthesisError,
+    errors.ClassificationError,
+)
+
+
+@pytest.mark.parametrize("exc", ALL_ERRORS)
+def test_subclass_of_repro_error(exc):
+    assert issubclass(exc, errors.ReproError)
+    assert issubclass(exc, Exception)
+
+
+def test_catchable_as_base():
+    with pytest.raises(errors.ReproError):
+        raise errors.ParseError("boom")
+
+
+def test_version_exposed():
+    import repro
+
+    parts = repro.__version__.split(".")
+    assert len(parts) == 3
+    assert all(part.isdigit() for part in parts)

@@ -1,0 +1,95 @@
+"""Tests for the Table 2 expert-handler tables."""
+
+import pytest
+
+from repro.cca.registry import ALL_CCAS
+from repro.dsl import ast, depth, is_simplifiable
+from repro.errors import ReproError
+from repro.handlers import (
+    FINETUNED_TEXT,
+    PAPER_FAMILY,
+    SYNTHESIZED_TEXT,
+    finetuned_handler,
+    synthesized_reference,
+)
+
+
+def test_synthesized_covers_table2_rows():
+    # 13 kernel CCAs (CDG/HighSpeed/BIC were not synthesized) + 7 students.
+    assert len(SYNTHESIZED_TEXT) == 20
+    assert "cdg" not in SYNTHESIZED_TEXT
+    assert "highspeed" not in SYNTHESIZED_TEXT
+    assert "bic" not in SYNTHESIZED_TEXT
+
+
+def test_finetuned_covers_kernel_rows_only():
+    assert len(FINETUNED_TEXT) == 13
+    assert all(not name.startswith("student") for name in FINETUNED_TEXT)
+
+
+def test_all_names_are_registered_ccas():
+    for name in list(SYNTHESIZED_TEXT) + list(FINETUNED_TEXT):
+        assert name in ALL_CCAS
+
+
+def test_expressions_parse():
+    for name in SYNTHESIZED_TEXT:
+        expr = synthesized_reference(name)
+        assert isinstance(expr, ast.NumExpr)
+    for name in FINETUNED_TEXT:
+        assert isinstance(finetuned_handler(name), ast.NumExpr)
+
+
+def test_expressions_have_no_holes():
+    for name in SYNTHESIZED_TEXT:
+        assert not ast.holes(synthesized_reference(name)), name
+
+
+def test_max_depth_bounded():
+    """Abagnale produces 'arithmetically simple expressions, with a
+    maximum AST depth of 5' (§5) — macros count as leaves."""
+    for name in SYNTHESIZED_TEXT:
+        assert depth(synthesized_reference(name)) <= 5, name
+
+
+def test_expressions_irreducible():
+    for name, getter in (
+        ("synth", synthesized_reference),
+        ("fine", finetuned_handler),
+    ):
+        table = SYNTHESIZED_TEXT if name == "synth" else FINETUNED_TEXT
+        for cca in table:
+            assert not is_simplifiable(getter(cca)), (name, cca)
+
+
+def test_unknown_name_raises():
+    with pytest.raises(ReproError):
+        synthesized_reference("bogus")
+    with pytest.raises(ReproError):
+        finetuned_handler("student1")
+
+
+def test_family_map_covers_all_rows():
+    for name in SYNTHESIZED_TEXT:
+        assert name in PAPER_FAMILY
+    from repro.dsl.families import FAMILIES
+
+    assert set(PAPER_FAMILY.values()) <= set(FAMILIES)
+
+
+def test_reno_variants_share_structure():
+    """§5.3: Reno, Westwood, Scalable, LP synthesize to the same shape."""
+    shapes = set()
+    for name in ("reno", "westwood", "scalable", "lp"):
+        expr = synthesized_reference(name)
+        ops = ast.operators_used(expr)
+        shapes.add(ops)
+    assert all(ops <= {"+", "*"} for ops in shapes)
+
+
+def test_vegas_variants_use_conditionals():
+    """§5.4: Vegas-family handlers branch on vegas_diff."""
+    for name in ("vegas", "veno", "nv", "yeah"):
+        expr = synthesized_reference(name)
+        assert "cond" in ast.operators_used(expr), name
+        assert "vegas_diff" in ast.macros_used(expr), name

@@ -1,0 +1,79 @@
+"""End-to-end pipeline tests (scaled down to stay fast)."""
+
+import pytest
+
+from repro.dsl import RENO_DSL, with_budget
+from repro.errors import SynthesisError
+from repro.pipeline import reverse_engineer, reverse_engineer_cca
+from repro.synth.refinement import SynthesisConfig
+from repro.trace.collect import CollectionConfig
+
+FAST = SynthesisConfig(
+    initial_samples=6,
+    initial_keep=3,
+    completion_cap=8,
+    max_iterations=2,
+    exhaustive_cap=100,
+)
+
+TINY_DSL = with_budget(RENO_DSL, max_depth=3, max_nodes=5)
+
+
+@pytest.fixture(scope="module")
+def reno_traces(env_matrix):
+    from repro.trace.collect import collect_traces
+
+    return collect_traces(
+        "reno",
+        CollectionConfig(
+            duration=10.0, environments=env_matrix, max_acks_per_trace=6000
+        ),
+    )
+
+
+def test_explicit_dsl_skips_classifier_choice(reno_traces):
+    report = reverse_engineer(reno_traces, dsl=TINY_DSL, config=FAST)
+    assert report.dsl.name == TINY_DSL.name
+    assert report.distance < float("inf")
+    assert report.expression
+    assert report.segment_count > 0
+
+
+def test_report_summary_renders(reno_traces):
+    report = reverse_engineer(reno_traces, dsl=TINY_DSL, config=FAST)
+    summary = report.summary()
+    assert "handler:" in summary
+    assert "classifier:" in summary
+
+
+def test_budget_overrides(reno_traces):
+    report = reverse_engineer(
+        reno_traces, dsl=RENO_DSL, config=FAST, max_depth=3, max_nodes=4
+    )
+    assert report.dsl.max_nodes == 4
+    assert report.dsl.name.endswith("-4")
+
+
+def test_unknown_classifier_rejected(reno_traces):
+    with pytest.raises(SynthesisError):
+        reverse_engineer(reno_traces, classifier="bogus")
+
+
+def test_lossless_traces_rejected(env_matrix):
+    """A trace with no losses and too few ACKs yields no segments."""
+    from repro.trace.model import Trace
+
+    with pytest.raises(SynthesisError):
+        reverse_engineer([Trace("x", "y", 1500)], dsl=TINY_DSL, config=FAST)
+
+
+def test_reverse_engineer_cca_wrapper(env_matrix):
+    report = reverse_engineer_cca(
+        "reno",
+        collection=CollectionConfig(
+            duration=8.0, environments=env_matrix[:2], max_acks_per_trace=4000
+        ),
+        dsl=TINY_DSL,
+        config=FAST,
+    )
+    assert report.result.total_handlers_scored > 0

@@ -1,0 +1,51 @@
+"""PipelineReport unit tests (no synthesis run needed)."""
+
+from repro.classify.base import ClassifierVerdict
+from repro.dsl import with_budget
+from repro.dsl.families import RENO_DSL
+from repro.dsl.parser import parse
+from repro.pipeline import PipelineReport
+from repro.synth.result import SynthesisResult
+from repro.synth.scoring import ScoredHandler
+
+
+def _report(handler_text: str, verdict=None) -> PipelineReport:
+    result = SynthesisResult(
+        best=ScoredHandler(parse(handler_text), 1.23),
+        dsl_name="reno-5",
+        initial_bucket_count=64,
+        total_handlers_scored=100,
+        elapsed_seconds=2.0,
+    )
+    return PipelineReport(
+        verdict=verdict,
+        dsl=with_budget(RENO_DSL, max_nodes=5),
+        result=result,
+        segment_count=7,
+    )
+
+
+def test_expression_is_simplified():
+    report = _report("cwnd + (1 * reno_inc) + 0")
+    assert report.expression == "cwnd + reno_inc"
+
+
+def test_distance_passthrough():
+    assert _report("cwnd + reno_inc").distance == 1.23
+
+
+def test_summary_with_verdict():
+    verdict = ClassifierVerdict(label="reno", closest="reno", distance=0.01)
+    summary = _report("cwnd + reno_inc", verdict).summary()
+    assert "classifier: reno" in summary
+    assert "DSL 'reno-5'" in summary
+    assert "1.23" in summary
+
+
+def test_summary_without_verdict():
+    summary = _report("cwnd + reno_inc").summary()
+    assert "(skipped)" in summary
+
+
+def test_summary_mentions_segments():
+    assert "7 segments" in _report("cwnd + reno_inc").summary()

@@ -1,0 +1,51 @@
+"""Reporting-helper tests."""
+
+from repro.reporting import format_table, format_series, sparkline
+
+
+def test_format_table_alignment():
+    text = format_table(
+        ["cca", "distance"],
+        [["reno", 18.84], ["bbr", 195.21]],
+        title="Table 2",
+    )
+    lines = text.splitlines()
+    assert lines[0] == "Table 2"
+    assert lines[1].startswith("cca ")
+    assert set(lines[2]) <= {"-", "+"}
+    assert "reno" in lines[3] and "18.84" in lines[3]
+    # Columns align: header and row pipes at the same offsets.
+    assert lines[1].index("|") == lines[3].index("|")
+
+
+def test_format_table_empty_rows():
+    text = format_table(["a", "b"], [])
+    assert "a" in text and "b" in text
+
+
+def test_sparkline_range():
+    line = sparkline([0, 1, 2, 3, 4, 5])
+    assert len(line) == 6
+    assert line[0] == "▁" and line[-1] == "█"
+
+
+def test_sparkline_resamples_to_width():
+    assert len(sparkline(list(range(1000)), width=40)) == 40
+
+
+def test_sparkline_flat_series():
+    assert sparkline([5.0, 5.0, 5.0]) == "▁▁▁"
+
+
+def test_sparkline_empty():
+    assert sparkline([]) == ""
+
+
+def test_format_series():
+    text = format_series("cwnd", [10.0, 20.0, 30.0])
+    assert text.startswith("cwnd")
+    assert "[10..30]" in text
+
+
+def test_format_series_empty():
+    assert "(empty)" in format_series("x", [])

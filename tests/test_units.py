@@ -1,0 +1,98 @@
+"""Unit-algebra tests, including hypothesis group-law properties."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import UnitError
+from repro.units import (
+    BYTES,
+    BYTES_PER_SECOND,
+    DIMENSIONLESS,
+    SECONDS,
+    Unit,
+    add_units,
+    compare_units,
+)
+
+
+def test_multiplication():
+    assert BYTES_PER_SECOND * SECONDS == BYTES
+
+
+def test_division():
+    assert BYTES / SECONDS == BYTES_PER_SECOND
+    assert BYTES / BYTES == DIMENSIONLESS
+
+
+def test_power():
+    assert SECONDS**3 == Unit(seconds=3)
+    assert (BYTES_PER_SECOND**2) == Unit(bytes=2, seconds=-2)
+
+
+def test_exact_root():
+    assert Unit(seconds=3).root(3) == SECONDS
+    assert Unit(bytes=3, seconds=-3).root(3) == BYTES_PER_SECOND
+
+
+def test_inexact_root_raises():
+    with pytest.raises(UnitError):
+        BYTES.root(3)
+    with pytest.raises(UnitError):
+        Unit(bytes=2).root(3)
+
+
+def test_dimensionless_flag():
+    assert DIMENSIONLESS.is_dimensionless
+    assert not BYTES.is_dimensionless
+
+
+def test_add_units_agreement():
+    assert add_units(BYTES, BYTES) == BYTES
+    with pytest.raises(UnitError):
+        add_units(BYTES, SECONDS)
+
+
+def test_compare_units():
+    compare_units(SECONDS, SECONDS)
+    with pytest.raises(UnitError):
+        compare_units(BYTES, SECONDS, context=">")
+
+
+def test_str_forms():
+    assert str(DIMENSIONLESS) == "1"
+    assert str(BYTES) == "B"
+    assert str(BYTES_PER_SECOND) == "B*s^-1"
+
+
+_units = st.builds(
+    Unit,
+    bytes=st.integers(min_value=-4, max_value=4),
+    seconds=st.integers(min_value=-4, max_value=4),
+)
+
+
+@given(_units, _units)
+def test_mul_commutative(a, b):
+    assert a * b == b * a
+
+
+@given(_units, _units, _units)
+def test_mul_associative(a, b, c):
+    assert (a * b) * c == a * (b * c)
+
+
+@given(_units)
+def test_identity(a):
+    assert a * DIMENSIONLESS == a
+    assert a / DIMENSIONLESS == a
+
+
+@given(_units)
+def test_self_division(a):
+    assert a / a == DIMENSIONLESS
+
+
+@given(_units)
+def test_cube_then_root(a):
+    assert (a**3).root(3) == a

@@ -1,0 +1,114 @@
+"""External-log adapter tests: imported traces feed the full pipeline."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.adapters import from_ack_log, from_packet_log
+from repro.trace.segmentation import infer_loss_times, segment_trace
+from repro.trace.signals import extract_signals
+
+
+def _synthetic_capture(n_segments=200, mss=1500, rtt=0.05, drop_at=120):
+    """A hand-built capture: steady clocked transfer with one drop."""
+    data = []
+    acks = []
+    t = 0.0
+    for index in range(n_segments):
+        t = index * 0.01
+        end = (index + 1) * mss
+        data.append((t, end))
+        if index == drop_at:
+            continue  # this segment is lost in the network
+        ack_value = end if index < drop_at else drop_at * mss
+        if index > drop_at + 2 and index < drop_at + 10:
+            ack_value = drop_at * mss  # dupacks while the hole persists
+        elif index >= drop_at + 10:
+            ack_value = end  # retransmission repaired the hole
+        acks.append((t + rtt, ack_value))
+    return data, acks
+
+
+class TestPacketLog:
+    def test_roundtrip_structure(self):
+        data, acks = _synthetic_capture()
+        trace = from_packet_log(data, acks, cca_name="mystery")
+        assert trace.cca_name == "mystery"
+        assert len(trace.acks) == len(acks)
+        times = [ack.time for ack in trace.acks]
+        assert times == sorted(times)
+
+    def test_rtt_recovered(self):
+        data, acks = _synthetic_capture()
+        trace = from_packet_log(data, acks)
+        samples = [
+            ack.rtt_sample
+            for ack in trace.acks
+            if ack.rtt_sample is not None
+        ]
+        assert samples
+        assert all(abs(sample - 0.05) < 1e-9 for sample in samples)
+
+    def test_dupacks_marked(self):
+        data, acks = _synthetic_capture()
+        trace = from_packet_log(data, acks)
+        assert any(ack.dupack for ack in trace.acks)
+
+    def test_loss_inferred_from_import(self):
+        data, acks = _synthetic_capture()
+        trace = from_packet_log(data, acks)
+        assert len(infer_loss_times(trace)) >= 1
+
+    def test_segmentation_pipeline_works(self):
+        data, acks = _synthetic_capture(n_segments=400, drop_at=200)
+        trace = from_packet_log(data, acks)
+        segments = segment_trace(trace)
+        assert segments
+        table = extract_signals(segments[0])
+        assert len(table) > 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(TraceError):
+            from_packet_log([], [(0.1, 1500)])
+        with pytest.raises(TraceError):
+            from_packet_log([(0.0, 1500)], [])
+
+    def test_inflight_window_estimate(self):
+        # Send 4 segments, ack the first: 3 remain in flight.
+        data = [(0.00, 1500), (0.01, 3000), (0.02, 4500), (0.03, 6000)]
+        acks = [(0.05, 1500)]
+        trace = from_packet_log(data, acks)
+        assert trace.acks[0].cwnd_bytes == 4500.0
+
+
+class TestAckLog:
+    def test_basic_rows(self):
+        rows = [
+            (0.05 * (index + 1), 1500 * (index + 1), 0.05)
+            for index in range(30)
+        ]
+        trace = from_ack_log(rows)
+        assert len(trace.acks) == 30
+        assert all(not ack.dupack for ack in trace.acks)
+
+    def test_explicit_cwnd_column(self):
+        rows = [(0.05, 1500, 0.05), (0.10, 3000, 0.05)]
+        trace = from_ack_log(rows, cwnd=[10_000.0, 12_000.0])
+        assert [ack.cwnd_bytes for ack in trace.acks] == [10_000.0, 12_000.0]
+
+    def test_cwnd_length_checked(self):
+        with pytest.raises(TraceError):
+            from_ack_log([(0.05, 1500, 0.05)], cwnd=[1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(TraceError):
+            from_ack_log([])
+
+    def test_rate_window_estimate(self):
+        # 1500 B every 10 ms with 50 ms RTT -> ~7.5 kB windows.
+        rows = [
+            (0.01 * (index + 1), 1500 * (index + 1), 0.05)
+            for index in range(50)
+        ]
+        trace = from_ack_log(rows)
+        tail = [ack.cwnd_bytes for ack in trace.acks[20:]]
+        assert all(6000 <= value <= 9000 for value in tail)

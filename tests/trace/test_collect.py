@@ -1,0 +1,65 @@
+"""Collection-harness tests."""
+
+import pytest
+
+from repro.netsim import Environment
+from repro.trace.collect import (
+    CollectionConfig,
+    collect_segments,
+    collect_traces,
+)
+from repro.trace.noise import NoiseModel
+
+
+@pytest.fixture(scope="module")
+def quick_config(env_matrix):
+    return CollectionConfig(
+        duration=8.0, environments=env_matrix, max_acks_per_trace=4000
+    )
+
+
+def test_one_trace_per_environment(quick_config, env_matrix):
+    traces = collect_traces("reno", quick_config)
+    assert len(traces) == len(env_matrix)
+    assert [t.environment_label for t in traces] == [
+        env.label for env in env_matrix
+    ]
+
+
+def test_default_config_spans_matrix():
+    config = CollectionConfig()
+    assert len(config.environments) == 15
+
+
+def test_quick_variant_is_smaller():
+    config = CollectionConfig()
+    quick = config.quick()
+    assert quick.duration <= config.duration
+    assert len(quick.environments) <= len(config.environments)
+
+
+def test_noise_applied(env_matrix):
+    config = CollectionConfig(
+        duration=6.0,
+        environments=env_matrix[:1],
+        noise=NoiseModel(dropout=0.2, seed=3),
+    )
+    noisy = collect_traces("reno", config)[0]
+    clean = collect_traces(
+        "reno", CollectionConfig(duration=6.0, environments=env_matrix[:1])
+    )[0]
+    assert len(noisy.acks) < len(clean.acks)
+    assert noisy.meta.get("noisy") == 1.0
+
+
+def test_collect_segments_caps(quick_config):
+    segments = collect_segments("reno", quick_config, max_segments=4)
+    assert 0 < len(segments) <= 4
+
+
+def test_max_acks_cap(env_matrix):
+    config = CollectionConfig(
+        duration=30.0, environments=env_matrix[:1], max_acks_per_trace=500
+    )
+    trace = collect_traces("reno", config)[0]
+    assert len(trace.acks) <= 500

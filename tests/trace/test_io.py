@@ -1,0 +1,63 @@
+"""Trace serialization tests."""
+
+import io
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.io import (
+    export_csv,
+    load_trace,
+    load_traces,
+    save_trace,
+    save_traces,
+    trace_from_dict,
+    trace_to_dict,
+)
+
+
+def test_dict_roundtrip(reno_trace):
+    rebuilt = trace_from_dict(trace_to_dict(reno_trace))
+    assert rebuilt.cca_name == reno_trace.cca_name
+    assert rebuilt.mss == reno_trace.mss
+    assert len(rebuilt.acks) == len(reno_trace.acks)
+    assert rebuilt.acks[5] == reno_trace.acks[5]
+    assert rebuilt.losses == reno_trace.losses
+    assert rebuilt.meta == reno_trace.meta
+
+
+def test_file_roundtrip(reno_trace, tmp_path):
+    path = tmp_path / "trace.json"
+    save_trace(reno_trace, path)
+    loaded = load_trace(path)
+    assert loaded.acks[-1] == reno_trace.acks[-1]
+
+
+def test_bundle_roundtrip(reno_trace, vegas_trace, tmp_path):
+    path = tmp_path / "bundle.json"
+    save_traces([reno_trace, vegas_trace], path)
+    loaded = load_traces(path)
+    assert [t.cca_name for t in loaded] == ["reno", "vegas"]
+
+
+def test_version_check():
+    with pytest.raises(TraceError):
+        trace_from_dict({"version": 99})
+
+
+def test_csv_export(reno_trace, tmp_path):
+    sink = io.StringIO()
+    export_csv(reno_trace, sink)
+    lines = sink.getvalue().splitlines()
+    assert lines[0].startswith("time,ack_seq")
+    assert len(lines) == len(reno_trace.acks) + 1
+    # File-path variant too.
+    path = tmp_path / "trace.csv"
+    export_csv(reno_trace, path)
+    assert path.read_text().splitlines()[0] == lines[0]
+
+
+def test_dupack_flag_survives(reno_trace):
+    rebuilt = trace_from_dict(trace_to_dict(reno_trace))
+    originals = [ack.dupack for ack in reno_trace.acks]
+    assert [ack.dupack for ack in rebuilt.acks] == originals

@@ -1,0 +1,81 @@
+"""Loss-inference and segmentation tests."""
+
+from repro.trace.model import AckRecord, LossRecord, Trace
+from repro.trace.segmentation import (
+    DUPACK_THRESHOLD,
+    infer_loss_times,
+    segment_trace,
+)
+
+
+def _dupack_trace():
+    """A hand-built trace: 30 good ACKs, a triple-dupack episode, 30 more."""
+    acks = []
+    t = 0.0
+    seq = 0
+    for _ in range(30):
+        t += 0.01
+        seq += 1500
+        acks.append(AckRecord(t, seq, 1500, 0.05, 30_000.0, 30_000))
+    for _ in range(DUPACK_THRESHOLD + 1):
+        t += 0.01
+        acks.append(AckRecord(t, seq, 0, None, 30_000.0, 30_000, dupack=True))
+    for _ in range(30):
+        t += 0.01
+        seq += 1500
+        acks.append(AckRecord(t, seq, 1500, 0.05, 15_000.0, 15_000))
+    return Trace("hand", "env", 1500, acks=acks)
+
+
+def test_infer_from_triple_dupacks():
+    trace = _dupack_trace()
+    losses = infer_loss_times(trace)
+    assert len(losses) == 1
+    assert 0.30 < losses[0] < 0.36
+
+
+def test_explicit_records_merged():
+    trace = _dupack_trace()
+    trace.losses.append(LossRecord(0.33, "dupack"))  # same event, recorded
+    assert len(infer_loss_times(trace)) == 1
+    trace.losses.append(LossRecord(0.55, "timeout"))  # distinct event
+    assert len(infer_loss_times(trace)) == 2
+
+
+def test_two_dupacks_not_a_loss():
+    trace = _dupack_trace()
+    # Strip one dupack so the run is below threshold.
+    dupack_rows = [a for a in trace.acks if a.dupack]
+    trace.acks.remove(dupack_rows[0])
+    trace.acks.remove(dupack_rows[1])
+    assert infer_loss_times(trace) == []
+
+
+def test_segments_split_at_loss():
+    segments = segment_trace(_dupack_trace(), min_acks=5)
+    assert len(segments) == 2
+    first, second = segments
+    assert first.stop <= second.start
+    # Segment ACK ranges do not include dupacks' zero-progress rows.
+    assert all(not ack.dupack for ack in first.acks if ack.acked_bytes)
+
+
+def test_min_acks_filter():
+    segments = segment_trace(_dupack_trace(), min_acks=31)
+    assert segments == []
+
+
+def test_real_trace_segments(reno_trace):
+    segments = segment_trace(reno_trace)
+    assert segments
+    losses = infer_loss_times(reno_trace)
+    assert len(losses) >= len(reno_trace.losses)
+    for segment in segments:
+        assert len(segment) >= 12
+        assert segment.start < segment.stop
+
+
+def test_segments_ordered_and_disjoint(reno_trace):
+    segments = segment_trace(reno_trace)
+    for left, right in zip(segments, segments[1:]):
+        assert left.stop <= right.start

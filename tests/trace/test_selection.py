@@ -1,0 +1,62 @@
+"""Diverse segment-selection tests (§3.2 strategy)."""
+
+import random
+
+import numpy as np
+
+from repro.trace.selection import (
+    segment_shape,
+    select_diverse_segments,
+    shape_distance,
+)
+
+
+def test_shape_is_fixed_length(reno_segments):
+    shape = segment_shape(reno_segments[0])
+    assert shape.shape == (64,)
+    assert np.isfinite(shape).all()
+
+
+def test_shape_scale_invariance(reno_segments):
+    """The signature divides by the mean, so absolute window size drops out."""
+    shape = segment_shape(reno_segments[1])
+    assert shape.mean() == 1.0 or abs(shape.mean() - 1.0) < 1e-9
+
+
+def test_shape_distance_identity(reno_segments):
+    shape = segment_shape(reno_segments[0])
+    assert shape_distance(shape, shape) == 0.0
+
+
+def test_select_all_when_count_exceeds(reno_segments):
+    picked = select_diverse_segments(reno_segments, len(reno_segments) + 5)
+    assert picked == list(reno_segments)
+
+
+def test_select_exact_count(reno_segments):
+    if len(reno_segments) < 5:
+        return
+    picked = select_diverse_segments(reno_segments, 4, rng=random.Random(1))
+    assert len(picked) == 4
+    assert len({id(segment) for segment in picked}) == 4
+
+
+def test_selection_deterministic_with_seed(reno_segments):
+    if len(reno_segments) < 5:
+        return
+    first = select_diverse_segments(reno_segments, 4, rng=random.Random(9))
+    second = select_diverse_segments(reno_segments, 4, rng=random.Random(9))
+    assert [id(s) for s in first] == [id(s) for s in second]
+
+
+def test_selection_prefers_diversity(reno_segments):
+    """The farthest-pairing half must include at least one segment far
+    from its anchor, compared to uniform sampling of the same size."""
+    if len(reno_segments) < 6:
+        return
+    picked = select_diverse_segments(reno_segments, 4, rng=random.Random(3))
+    shapes = [segment_shape(segment) for segment in picked]
+    spread = max(
+        shape_distance(a, b) for a in shapes for b in shapes
+    )
+    assert spread > 0.0

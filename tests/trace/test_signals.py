@@ -1,0 +1,80 @@
+"""Congestion-signal extraction tests."""
+
+import numpy as np
+import pytest
+
+from repro.trace.segmentation import segment_trace
+from repro.trace.signals import SIGNAL_NAMES, extract_signals
+
+
+@pytest.fixture(scope="module")
+def table(reno_trace):
+    segments = segment_trace(reno_trace)
+    return extract_signals(segments[1])
+
+
+def test_all_columns_present(table):
+    for name in SIGNAL_NAMES:
+        assert name in table.columns
+        assert len(table.columns[name]) == len(table)
+
+
+def test_time_monotonic(table):
+    assert np.all(np.diff(table["time"]) >= 0)
+
+
+def test_min_max_rtt_envelope(table):
+    assert np.all(table["min_rtt"] <= table["rtt"] + 1e-12)
+    assert np.all(table["max_rtt"] >= table["rtt"] - 1e-12)
+    # Running min never increases; running max never decreases.
+    assert np.all(np.diff(table["min_rtt"]) <= 1e-12)
+    assert np.all(np.diff(table["max_rtt"]) >= -1e-12)
+
+
+def test_rates_positive(table):
+    assert np.all(table["ack_rate"] > 0)
+
+
+def test_time_since_loss_resets_at_losses(reno_trace):
+    segments = segment_trace(reno_trace)
+    inner = [s for s in segments if s.preceding_loss_time > 0]
+    assert inner, "need a post-loss segment"
+    table = extract_signals(inner[0])
+    # First ACK after a loss: small loss age; grows along the segment.
+    assert table["time_since_loss"][0] < table["time_since_loss"][-1]
+    assert np.all(table["time_since_loss"] > 0)
+
+
+def test_environment_at_uses_candidate_cwnd(table):
+    env = table.environment_at(0, cwnd=123456.0)
+    assert env["cwnd"] == 123456.0
+    assert env["mss"] == table.mss
+    assert set(env) >= {"rtt", "min_rtt", "max_rtt", "ack_rate", "wmax"}
+
+
+def test_ewma_smoother_than_raw(table):
+    raw_var = np.var(np.diff(table["rtt"]))
+    smooth_var = np.var(np.diff(table["ewma_rtt"]))
+    assert smooth_var <= raw_var + 1e-15
+
+
+def test_coalesce_preserves_acked_total(table):
+    merged = table.coalesce(max_rows=32)
+    assert len(merged) == 32
+    assert merged["acked_bytes"].sum() == pytest.approx(
+        table["acked_bytes"].sum()
+    )
+
+
+def test_coalesce_noop_when_short(table):
+    assert table.coalesce(max_rows=10**6) is table
+
+
+def test_coalesce_keeps_cwnd_range(table):
+    merged = table.coalesce(max_rows=32)
+    assert merged["cwnd"].min() >= table["cwnd"].min() - 1e-9
+    assert merged["cwnd"].max() <= table["cwnd"].max() + 1e-9
+
+
+def test_wmax_estimate(table):
+    assert table.wmax == pytest.approx(table["cwnd"][0] / 0.7)
