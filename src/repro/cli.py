@@ -22,18 +22,30 @@ Examples
     python -m repro classify --traces reno.json
     python -m repro synthesize --traces reno.json --max-nodes 5
     python -m repro synthesize --cca vegas --time-budget 120
+    python -m repro synthesize --traces reno.json --workers 4 \\
+        --progress --run-log run.jsonl --report json
     python -m repro race --cca bbr reno
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.cca.registry import ALL_CCAS, cca_names
 from repro.dsl.families import FAMILIES, family, with_budget
 from repro.netsim.environments import Environment
 from repro.pipeline import reverse_engineer
+from repro.reporting import format_run_summary
+from repro.runtime import (
+    CacheStats,
+    CollectorSink,
+    ConsoleProgressSink,
+    IterationFinished,
+    JsonlSink,
+    RunContext,
+)
 from repro.synth.refinement import SynthesisConfig
 from repro.trace.collect import CollectionConfig, collect_traces
 from repro.trace.io import export_csv, load_traces, save_traces
@@ -130,9 +142,35 @@ def build_parser() -> argparse.ArgumentParser:
     synthesize.add_argument("--samples", type=int, default=8, help="initial N")
     synthesize.add_argument("--keep", type=int, default=5, help="initial k")
     synthesize.add_argument("--iterations", type=int, default=3)
-    synthesize.add_argument("--workers", type=int, default=1)
+    synthesize.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="scoring processes (1 = serial; >1 spawns one pool per run)",
+    )
     synthesize.add_argument(
         "--time-budget", type=float, default=None, help="seconds"
+    )
+    synthesize.add_argument(
+        "--progress",
+        action="store_true",
+        help="print a progress line per iteration (stderr)",
+    )
+    synthesize.add_argument(
+        "--run-log",
+        metavar="PATH",
+        help="write the run's telemetry as JSONL events to PATH",
+    )
+    synthesize.add_argument(
+        "--report",
+        choices=("text", "json"),
+        default="text",
+        help="result format: human-readable summary or a JSON document",
+    )
+    synthesize.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the cross-iteration score cache",
     )
     _add_collection_args(synthesize)
 
@@ -191,22 +229,77 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
         max_iterations=args.iterations,
         workers=args.workers,
         time_budget_seconds=args.time_budget,
+        cache_scores=not args.no_cache,
     )
     dsl = None
     if args.dsl:
         dsl = with_budget(
             family(args.dsl), max_depth=args.max_depth, max_nodes=args.max_nodes
         )
-    report = reverse_engineer(
-        traces,
-        classifier=args.classifier,
-        dsl=dsl,
-        config=config,
-        max_depth=None if args.dsl else args.max_depth,
-        max_nodes=None if args.dsl else args.max_nodes,
-    )
-    print(report.summary())
+    collector = CollectorSink()
+    sinks: list = [collector]
+    if args.run_log:
+        try:
+            open(args.run_log, "w", encoding="utf-8").close()
+        except OSError as exc:
+            print(f"error: cannot write --run-log: {exc}", file=sys.stderr)
+            return 2
+        sinks.append(JsonlSink(args.run_log))
+    if args.progress:
+        sinks.append(ConsoleProgressSink())
+    with RunContext(sinks) as context:
+        report = reverse_engineer(
+            traces,
+            classifier=args.classifier,
+            dsl=dsl,
+            config=config,
+            max_depth=None if args.dsl else args.max_depth,
+            max_nodes=None if args.dsl else args.max_nodes,
+            context=context,
+        )
+    if args.report == "json":
+        print(json.dumps(_json_report(report, collector, context)))
+    else:
+        print(report.summary())
+        print(format_run_summary(collector.events))
     return 0
+
+
+def _json_report(report, collector: CollectorSink, context: RunContext) -> dict:
+    """The machine-readable synthesis report (``--report json``)."""
+    cache = collector.last_of_kind(CacheStats.kind)
+    return {
+        "dsl": report.dsl.name,
+        "classifier": report.verdict.render() if report.verdict else None,
+        "handler": report.expression,
+        "distance": report.distance,
+        "segments": report.segment_count,
+        "handlers_scored": report.result.total_handlers_scored,
+        "sketches_drawn": report.result.total_sketches_drawn,
+        "elapsed_seconds": report.result.elapsed_seconds,
+        "iterations": [
+            {
+                "index": event.index,
+                "samples_per_bucket": event.samples_per_bucket,
+                "segment_count": event.segment_count,
+                "buckets": event.bucket_count,
+                "kept": event.kept,
+                "best_distance": event.best_distance,
+            }
+            for event in collector.of_kind(IterationFinished.kind)
+        ],
+        "cache": (
+            {
+                "hits": cache.hits,
+                "misses": cache.misses,
+                "hit_rate": cache.hit_rate,
+                "entries": cache.entries,
+            }
+            if cache is not None
+            else None
+        ),
+        "phase_seconds": dict(context.phase_seconds),
+    }
 
 
 def _cmd_race(args: argparse.Namespace) -> int:

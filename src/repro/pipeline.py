@@ -22,6 +22,7 @@ from repro.dsl.families import DslSpec, dsl_for_classifier_label, with_budget
 from repro.dsl.printer import to_text
 from repro.dsl.simplify import simplify
 from repro.errors import SynthesisError
+from repro.runtime.context import RunContext
 from repro.synth.refinement import SynthesisConfig, synthesize
 from repro.synth.result import SynthesisResult
 from repro.trace.collect import CollectionConfig, collect_traces
@@ -80,6 +81,7 @@ def reverse_engineer(
     config: SynthesisConfig | None = None,
     max_depth: int | None = None,
     max_nodes: int | None = None,
+    context: RunContext | None = None,
 ) -> PipelineReport:
     """Reverse-engineer the CCA behind *traces*.
 
@@ -87,22 +89,28 @@ def reverse_engineer(
     (any transport); pass ``dsl`` to skip classification and search a
     specific sub-DSL.  ``max_depth``/``max_nodes`` override the DSL's
     search budget (the paper's Delay-7/Delay-11/Vegas-11 variants).
+    ``context`` (a :class:`~repro.runtime.context.RunContext`) receives
+    the run's telemetry — classification and segmentation phase timers
+    plus every synthesis event.
     """
+    ctx = context if context is not None else RunContext()
     verdict: ClassifierVerdict | None = None
     if dsl is None:
-        if classifier == "gordon":
-            verdict = GordonClassifier().classify(traces)
-        elif classifier == "ccanalyzer":
-            verdict = CcaAnalyzer().classify(traces)
-        else:
-            raise SynthesisError(f"unknown classifier {classifier!r}")
+        with ctx.timer("classify"):
+            if classifier == "gordon":
+                verdict = GordonClassifier().classify(traces)
+            elif classifier == "ccanalyzer":
+                verdict = CcaAnalyzer().classify(traces)
+            else:
+                raise SynthesisError(f"unknown classifier {classifier!r}")
         hint = verdict.label if not verdict.is_unknown else verdict.closest
         dsl = dsl_for_classifier_label(hint)
     if max_depth is not None or max_nodes is not None:
         dsl = with_budget(dsl, max_depth=max_depth, max_nodes=max_nodes)
 
-    segments = _segments_from_traces(traces)
-    result = synthesize(segments, dsl, config)
+    with ctx.timer("segment"):
+        segments = _segments_from_traces(traces)
+    result = synthesize(segments, dsl, config, context=ctx)
     return PipelineReport(
         verdict=verdict,
         dsl=dsl,

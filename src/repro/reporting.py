@@ -2,14 +2,31 @@
 
 The benchmark harness prints the same rows/series the paper's tables and
 figures report; these helpers keep that output aligned and readable in a
-terminal (and in ``bench_output.txt``).
+terminal (and in ``bench_output.txt``).  :func:`format_run_summary`
+renders the telemetry a :class:`~repro.runtime.sinks.CollectorSink`
+gathered over one synthesis run as the post-run summary table the CLI
+prints.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Iterable, Sequence
 
-__all__ = ["format_table", "sparkline", "format_series"]
+from repro.runtime.events import (
+    CacheStats,
+    Event,
+    IterationFinished,
+    PoolSpawned,
+    RunFinished,
+    SegmentsPrimed,
+)
+
+__all__ = [
+    "format_table",
+    "sparkline",
+    "format_series",
+    "format_run_summary",
+]
 
 _SPARK_CHARS = "▁▂▃▄▅▆▇█"
 
@@ -67,3 +84,61 @@ def format_series(
         f"{label:24s} {sparkline(values, width=width)} "
         f"[{min(values):.0f}..{max(values):.0f}]"
     )
+
+
+def format_run_summary(events: Iterable[Event]) -> str:
+    """Render one run's event stream as a terminal summary.
+
+    Shows the per-iteration schedule (samples, working set, surviving
+    buckets, best distance), then one line each for the execution
+    substrate (pools spawned, segment primes), the score cache, and the
+    per-phase wall-clock split — everything a multi-minute search used
+    to keep to itself.
+    """
+    events = list(events)
+    iterations = [e for e in events if isinstance(e, IterationFinished)]
+    lines: list[str] = []
+    if iterations:
+        rows = [
+            (
+                record.index,
+                record.samples_per_bucket,
+                record.segment_count,
+                record.bucket_count,
+                record.kept,
+                f"{record.best_distance:.3f}",
+                record.handlers_scored,
+            )
+            for record in iterations
+        ]
+        lines.append(
+            format_table(
+                ("iter", "N/bucket", "segments", "buckets", "kept",
+                 "best", "handlers"),
+                rows,
+                title="run summary",
+            )
+        )
+    pools = [e for e in events if isinstance(e, PoolSpawned)]
+    primes = [e for e in events if isinstance(e, SegmentsPrimed)]
+    if pools:
+        lines.append(
+            f"pools:  {len(pools)} spawned "
+            f"({pools[0].workers} workers), "
+            f"{len(primes)} segment prime(s)"
+        )
+    caches = [e for e in events if isinstance(e, CacheStats)]
+    if caches:
+        final = caches[-1]
+        lines.append(
+            f"cache:  {final.hits} hits / {final.lookups} lookups "
+            f"({final.hit_rate:.0%}), {final.entries} entries"
+        )
+    finals = [e for e in events if isinstance(e, RunFinished)]
+    if finals and finals[-1].phase_seconds:
+        split = ", ".join(
+            f"{phase} {seconds:.2f}s"
+            for phase, seconds in finals[-1].phase_seconds.items()
+        )
+        lines.append(f"phases: {split}")
+    return "\n".join(lines) if lines else "(no run telemetry collected)"

@@ -1,0 +1,68 @@
+"""Shared execution substrate for synthesis runs.
+
+``repro.runtime`` factors the *how* of a search out of the *what*: the
+refinement loop and the loss-handler sweep describe the work, and this
+package supplies the executors that run it (serial or a persistent
+process pool), the cross-iteration score cache that deduplicates it, and
+the typed run telemetry that makes a multi-minute search observable
+(events -> sinks -> JSONL run log / console progress / in-memory
+collector).  See ``docs/RUNTIME.md`` for the event schema and cache
+keying.
+"""
+
+from repro.runtime.cache import DEFAULT_CACHE_ENTRIES, ScoreCache
+from repro.runtime.context import RunContext
+from repro.runtime.events import (
+    BucketScored,
+    BudgetExceeded,
+    CacheStats,
+    Event,
+    IterationFinished,
+    PoolSpawned,
+    RunFinished,
+    RunStarted,
+    SegmentsPrimed,
+    SketchesDrawn,
+    bucket_label,
+    event_payload,
+)
+from repro.runtime.executors import (
+    PooledExecutor,
+    ScoringExecutor,
+    SerialExecutor,
+    derive_chunksize,
+    make_executor,
+)
+from repro.runtime.sinks import (
+    CollectorSink,
+    ConsoleProgressSink,
+    EventSink,
+    JsonlSink,
+)
+
+__all__ = [
+    "DEFAULT_CACHE_ENTRIES",
+    "ScoreCache",
+    "RunContext",
+    "Event",
+    "RunStarted",
+    "PoolSpawned",
+    "SegmentsPrimed",
+    "SketchesDrawn",
+    "BucketScored",
+    "IterationFinished",
+    "CacheStats",
+    "BudgetExceeded",
+    "RunFinished",
+    "bucket_label",
+    "event_payload",
+    "ScoringExecutor",
+    "SerialExecutor",
+    "PooledExecutor",
+    "make_executor",
+    "derive_chunksize",
+    "EventSink",
+    "CollectorSink",
+    "JsonlSink",
+    "ConsoleProgressSink",
+]

@@ -1,0 +1,79 @@
+"""The run context: one object threaded through a whole synthesis run.
+
+A :class:`RunContext` owns the event sinks and the per-phase wall-clock
+timers.  Emitting with no sinks configured is a no-op loop over an empty
+list, so the default context adds nothing measurable to the serial path
+— the property the bit-identical acceptance criterion rests on.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterable, Iterator
+
+from repro.runtime.events import Event
+from repro.runtime.sinks import EventSink
+
+__all__ = ["RunContext"]
+
+
+class RunContext:
+    """Event emission + phase timing for one run.
+
+    Usable as a context manager; ``close()`` flushes every sink.  The
+    clock is injectable for tests.
+    """
+
+    def __init__(
+        self,
+        sinks: Iterable[EventSink] = (),
+        *,
+        clock=time.perf_counter,
+    ) -> None:
+        self.sinks: list[EventSink] = list(sinks)
+        self._clock = clock
+        self._t0 = clock()
+        self.phase_seconds: dict[str, float] = {}
+        self.events_emitted = 0
+
+    # ------------------------------------------------------------------
+
+    def elapsed(self) -> float:
+        """Seconds since this context was created."""
+        return self._clock() - self._t0
+
+    def emit(self, event: Event) -> None:
+        """Stamp *event* with the run-relative time and fan it out."""
+        self.events_emitted += 1
+        if not self.sinks:
+            return
+        t = self.elapsed()
+        for sink in self.sinks:
+            sink.handle(event, t)
+
+    @contextmanager
+    def timer(self, phase: str) -> Iterator[None]:
+        """Accumulate wall-clock seconds spent in *phase*.
+
+        Re-entering a phase name adds to its total, so a phase split
+        across loop iterations still reports one number.
+        """
+        started = self._clock()
+        try:
+            yield
+        finally:
+            elapsed = self._clock() - started
+            self.phase_seconds[phase] = (
+                self.phase_seconds.get(phase, 0.0) + elapsed
+            )
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()
+
+    def __enter__(self) -> "RunContext":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,171 @@
+"""Typed run-telemetry events.
+
+Every observable moment of a synthesis run is a small frozen dataclass
+with a stable ``kind`` string.  Events carry *payload only*; the
+:class:`~repro.runtime.context.RunContext` stamps each one with the
+seconds elapsed since the run started when it fans the event out to the
+configured sinks.  :func:`event_payload` renders any event as a plain
+JSON-serializable dict (frozensets become sorted lists), which is the
+schema the JSONL run log writes one line per event.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, ClassVar
+
+__all__ = [
+    "Event",
+    "RunStarted",
+    "PoolSpawned",
+    "SegmentsPrimed",
+    "SketchesDrawn",
+    "BucketScored",
+    "IterationFinished",
+    "CacheStats",
+    "BudgetExceeded",
+    "RunFinished",
+    "bucket_label",
+    "event_payload",
+]
+
+
+def bucket_label(key: frozenset[str] | tuple[str, ...] | str) -> str:
+    """Render a bucket's operator-set key as a stable, readable string."""
+    if isinstance(key, str):
+        return key
+    return "+".join(sorted(key)) or "(empty)"
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base class: every event names its ``kind``."""
+
+    kind: ClassVar[str] = "event"
+
+
+@dataclass(frozen=True)
+class RunStarted(Event):
+    """A synthesis (or loss-handler) search began."""
+
+    kind: ClassVar[str] = "run_started"
+    run: str  # "synthesis" | "loss"
+    dsl_name: str
+    bucket_count: int
+    segment_count: int
+    workers: int
+
+
+@dataclass(frozen=True)
+class PoolSpawned(Event):
+    """A process pool was created (at most once per run by design)."""
+
+    kind: ClassVar[str] = "pool_spawned"
+    workers: int
+
+
+@dataclass(frozen=True)
+class SegmentsPrimed(Event):
+    """Workers received a new segment working set (epoch bumped)."""
+
+    kind: ClassVar[str] = "segments_primed"
+    epoch: int
+    segment_count: int
+
+
+@dataclass(frozen=True)
+class SketchesDrawn(Event):
+    """The bucket pool advanced its shared enumeration stream."""
+
+    kind: ClassVar[str] = "sketches_drawn"
+    target: int
+    generated: int
+    live_buckets: int
+
+
+@dataclass(frozen=True)
+class BucketScored(Event):
+    """One bucket's sample wave finished scoring."""
+
+    kind: ClassVar[str] = "bucket_scored"
+    iteration: int
+    bucket: str
+    score: float
+    sketches: int
+
+
+@dataclass(frozen=True)
+class IterationFinished(Event):
+    """One refinement-loop iteration completed (ranking + top-k cut)."""
+
+    kind: ClassVar[str] = "iteration_finished"
+    index: int
+    samples_per_bucket: int
+    segment_count: int
+    bucket_count: int
+    kept: int
+    best_distance: float
+    handlers_scored: int
+    elapsed_seconds: float
+
+
+@dataclass(frozen=True)
+class CacheStats(Event):
+    """Score-cache counters at a point in time (cumulative for the run)."""
+
+    kind: ClassVar[str] = "cache_stats"
+    hits: int
+    misses: int
+    entries: int
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+@dataclass(frozen=True)
+class BudgetExceeded(Event):
+    """The wall-clock budget tripped (possibly mid-wave)."""
+
+    kind: ClassVar[str] = "budget_exceeded"
+    phase: str
+    budget_seconds: float
+    elapsed_seconds: float
+
+
+@dataclass(frozen=True)
+class RunFinished(Event):
+    """The search returned; carries the headline result and phase timers."""
+
+    kind: ClassVar[str] = "run_finished"
+    run: str
+    best_distance: float
+    expression: str
+    handlers_scored: int
+    elapsed_seconds: float
+    phase_seconds: dict[str, float]
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, frozenset):
+        return sorted(value)
+    if isinstance(value, (set, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    return value
+
+
+def event_payload(event: Event) -> dict[str, Any]:
+    """The event as a JSON-serializable dict, ``kind`` included."""
+    payload: dict[str, Any] = {"event": event.kind}
+    for field in dataclasses.fields(event):
+        payload[field.name] = _jsonable(getattr(event, field.name))
+    if isinstance(event, CacheStats):
+        payload["hit_rate"] = round(event.hit_rate, 4)
+    return payload

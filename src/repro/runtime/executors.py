@@ -1,0 +1,421 @@
+"""Scoring executors: the shared execution substrate for synthesis.
+
+The paper distributes candidate scoring with Ray across a cluster (§5);
+locally the same embarrassing parallelism maps onto a process pool.  The
+pre-runtime code forked a fresh ``ProcessPoolExecutor`` — and re-shipped
+the whole segment working set — *per bucket per iteration*; here the
+substrate is explicit:
+
+:class:`SerialExecutor`
+    scores in the calling process (deterministic, zero overhead; the
+    default everywhere).
+
+:class:`PooledExecutor`
+    creates the process pool **once per synthesis run**, primes workers
+    with the scorer configuration at spawn, and re-primes the segment
+    working set only when it actually changes.  Re-priming is a
+    broadcast: one barrier-synchronized task per worker, so every worker
+    installs the new segments exactly once (the barrier keeps the pool
+    from handing all the priming tasks to a single worker).  The barrier
+    rides into workers through fork inheritance; on platforms without
+    ``fork`` the executor degrades to rebuilding the pool per working
+    set — still at most one pool per *working set* rather than per wave.
+
+Both enforce a wall-clock ``deadline`` *inside* a scoring wave: the
+serial path checks it between sketches, the pooled path bounds how long
+it waits on each future and cancels the rest, so a single large bucket
+can no longer overshoot ``time_budget_seconds`` unboundedly.
+``min_results`` sketches are always scored even past the deadline (the
+refinement loop needs every live bucket to receive at least one score to
+produce a ranking).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from typing import TYPE_CHECKING, Protocol, Sequence
+
+from repro.runtime.cache import ScoreCache
+from repro.runtime.context import RunContext
+from repro.runtime.events import CacheStats, PoolSpawned, SegmentsPrimed
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
+    from repro.synth.scoring import ScoredHandler, Scorer
+    from repro.synth.sketch import Sketch
+    from repro.trace.model import TraceSegment
+
+__all__ = [
+    "ScoringExecutor",
+    "SerialExecutor",
+    "PooledExecutor",
+    "make_executor",
+    "derive_chunksize",
+]
+
+#: Waves smaller than this never leave the calling process: the IPC cost
+#: of shipping a task exceeds scoring it inline.
+MIN_PARALLEL_SKETCHES = 4
+
+#: How long a priming broadcast may take before the pool is declared
+#: wedged and rebuilt.
+_PRIME_TIMEOUT_SECONDS = 120.0
+
+
+def derive_chunksize(tasks: int, workers: int) -> int:
+    """Chunk size for ``pool.map``: ~4 chunks per worker.
+
+    A fixed chunk size (the old code hardcoded 8) serializes small waves
+    onto one worker: 10 tasks in chunks of 8 is two chunks, so at most
+    two workers ever run.  Deriving it from the wave keeps every worker
+    busy while still amortizing IPC on large waves.
+    """
+    if tasks <= 0 or workers <= 0:
+        return 1
+    return max(1, -(-tasks // (workers * 4)))
+
+
+class ScoringExecutor(Protocol):
+    """Scores sketch waves against a segment working set."""
+
+    def score(
+        self,
+        sketches: Sequence[Sketch],
+        segments: Sequence[TraceSegment],
+        *,
+        deadline: float | None = None,
+        min_results: int = 0,
+    ) -> list[ScoredHandler]:
+        """Score *sketches*; results align positionally with a prefix of
+        *sketches* (the full wave unless *deadline* cut it short)."""
+        ...
+
+    def cache_stats(self) -> CacheStats | None:
+        """Cumulative score-cache counters, if caching is enabled."""
+        ...
+
+    def close(self) -> None: ...
+
+
+def _score_serially(
+    scorer: Scorer,
+    sketches: Sequence[Sketch],
+    segments: Sequence[TraceSegment],
+    deadline: float | None,
+    min_results: int,
+) -> list[ScoredHandler]:
+    results: list[ScoredHandler] = []
+    for index, sketch in enumerate(sketches):
+        if (
+            deadline is not None
+            and index >= min_results
+            and time.perf_counter() >= deadline
+        ):
+            break
+        results.append(scorer.score_sketch(sketch, segments))
+    return results
+
+
+class SerialExecutor:
+    """In-process scoring; the deterministic default."""
+
+    def __init__(self, scorer: Scorer, context: RunContext | None = None):
+        self.scorer = scorer
+        self.context = context
+
+    def score(
+        self,
+        sketches: Sequence[Sketch],
+        segments: Sequence[TraceSegment],
+        *,
+        deadline: float | None = None,
+        min_results: int = 0,
+    ) -> list[ScoredHandler]:
+        return _score_serially(
+            self.scorer, sketches, segments, deadline, min_results
+        )
+
+    def cache_stats(self) -> CacheStats | None:
+        cache = self.scorer.cache
+        return cache.stats() if cache is not None else None
+
+    def close(self) -> None:
+        pass
+
+
+# ----------------------------------------------------------------------
+# Worker-side state for PooledExecutor.  Installed by the initializer at
+# pool spawn; segments are refreshed by _broadcast_segments.
+
+_worker_scorer: "Scorer | None" = None
+_worker_segments: "Sequence[TraceSegment] | None" = None
+_worker_barrier = None
+
+
+def _init_worker(
+    barrier,
+    scorer_config: tuple,
+    cache_entries: int | None,
+    segments: "Sequence[TraceSegment] | None",
+) -> None:
+    from repro.synth.scoring import Scorer
+
+    global _worker_scorer, _worker_segments, _worker_barrier
+    (
+        metric_name,
+        constant_pool,
+        completion_cap,
+        seed,
+        max_replay_rows,
+        series_budget,
+    ) = scorer_config
+    _worker_scorer = Scorer(
+        metric_name=metric_name,
+        constant_pool=constant_pool,
+        completion_cap=completion_cap,
+        seed=seed,
+        max_replay_rows=max_replay_rows,
+        series_budget=series_budget,
+        cache=ScoreCache(cache_entries) if cache_entries else None,
+    )
+    _worker_segments = segments
+    _worker_barrier = barrier
+
+
+def _worker_cache_counts() -> tuple[int, int, int]:
+    cache = _worker_scorer.cache if _worker_scorer is not None else None
+    if cache is None:
+        return (0, 0, 0)
+    return (cache.hits, cache.misses, len(cache))
+
+
+def _broadcast_segments(
+    segments: Sequence[TraceSegment] | None,
+) -> tuple[int, int, int, int]:
+    """Install a new working set (or just report stats when ``None``).
+
+    Returns ``(pid, cache_hits, cache_misses, cache_entries)`` so the
+    parent can aggregate run-wide cache telemetry.  The barrier wait is
+    what guarantees each worker executes exactly one broadcast task: a
+    worker that finished its task blocks until every sibling has one,
+    so the pool cannot route two broadcasts to the same worker.
+    """
+    global _worker_segments
+    if segments is not None:
+        _worker_segments = segments
+    if _worker_barrier is not None:
+        _worker_barrier.wait(timeout=_PRIME_TIMEOUT_SECONDS)
+    return (os.getpid(), *_worker_cache_counts())
+
+
+def _score_one(sketch: Sketch) -> ScoredHandler:
+    assert _worker_scorer is not None and _worker_segments is not None
+    return _worker_scorer.score_sketch(sketch, _worker_segments)
+
+
+class PooledExecutor:
+    """Persistent process-pool scoring with working-set re-priming."""
+
+    def __init__(
+        self,
+        scorer: Scorer,
+        workers: int,
+        *,
+        context: RunContext | None = None,
+        min_parallel: int = MIN_PARALLEL_SKETCHES,
+    ):
+        if workers < 2:
+            raise ValueError("PooledExecutor needs workers >= 2")
+        self.scorer = scorer
+        self.workers = workers
+        self.context = context
+        self.min_parallel = min_parallel
+        self._pool: ProcessPoolExecutor | None = None
+        self._barrier = None
+        self._segments_token: tuple[int, ...] | None = None
+        self._segments: list[TraceSegment] | None = None
+        self._epoch = -1
+        self.pools_spawned = 0
+        #: Latest cumulative cache counters per worker pid.
+        self._worker_cache: dict[int, tuple[int, int, int]] = {}
+        methods = multiprocessing.get_all_start_methods()
+        self._mp_context = (
+            multiprocessing.get_context("fork") if "fork" in methods else None
+        )
+
+    # ------------------------------------------------------------------
+
+    def _emit(self, event) -> None:
+        if self.context is not None:
+            self.context.emit(event)
+
+    def _scorer_config(self) -> tuple:
+        scorer = self.scorer
+        return (
+            scorer.metric_name,
+            tuple(scorer.constant_pool),
+            scorer.completion_cap,
+            scorer.seed,
+            scorer.max_replay_rows,
+            scorer.series_budget,
+        )
+
+    def _cache_entries(self) -> int | None:
+        cache = self.scorer.cache
+        return cache.max_entries if cache is not None else None
+
+    def _spawn_pool(self, segments: Sequence[TraceSegment] | None) -> None:
+        if self._mp_context is not None:
+            self._barrier = self._mp_context.Barrier(self.workers)
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=self._mp_context,
+            initializer=_init_worker,
+            initargs=(
+                self._barrier,
+                self._scorer_config(),
+                self._cache_entries(),
+                list(segments) if segments is not None else None,
+            ),
+        )
+        self.pools_spawned += 1
+        self._emit(PoolSpawned(workers=self.workers))
+
+    def _shutdown_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+            self._barrier = None
+
+    def _broadcast(
+        self, segments: Sequence[TraceSegment] | None
+    ) -> None:
+        """Run one barrier-synchronized task on every worker."""
+        assert self._pool is not None
+        futures = [
+            self._pool.submit(_broadcast_segments, segments)
+            for _ in range(self.workers)
+        ]
+        for future in futures:
+            pid, hits, misses, entries = future.result(
+                timeout=_PRIME_TIMEOUT_SECONDS * 2
+            )
+            self._worker_cache[pid] = (hits, misses, entries)
+
+    def _prime(self, segments: Sequence[TraceSegment]) -> None:
+        token = tuple(id(segment) for segment in segments)
+        if self._pool is not None and token == self._segments_token:
+            return
+        segments = list(segments)
+        if self._pool is None:
+            if self._mp_context is not None:
+                # Barrier path: spawn empty, broadcast the working set.
+                self._spawn_pool(None)
+                self._broadcast(segments)
+            else:
+                # No fork: bake segments into the initializer instead.
+                self._spawn_pool(segments)
+        elif self._mp_context is not None:
+            try:
+                self._broadcast(segments)
+            except Exception:
+                # A wedged/dead worker broke the barrier: rebuild once.
+                self._shutdown_pool()
+                self._spawn_pool(segments if self._mp_context is None else None)
+                if self._mp_context is not None:
+                    self._broadcast(segments)
+        else:
+            self._shutdown_pool()
+            self._spawn_pool(segments)
+        self._segments = segments
+        self._segments_token = token
+        self._epoch += 1
+        self._emit(
+            SegmentsPrimed(epoch=self._epoch, segment_count=len(segments))
+        )
+
+    # ------------------------------------------------------------------
+
+    def score(
+        self,
+        sketches: Sequence[Sketch],
+        segments: Sequence[TraceSegment],
+        *,
+        deadline: float | None = None,
+        min_results: int = 0,
+    ) -> list[ScoredHandler]:
+        if len(sketches) < self.min_parallel:
+            # Tiny waves stay in-process (shares the parent-side cache).
+            return _score_serially(
+                self.scorer, sketches, segments, deadline, min_results
+            )
+        self._prime(segments)
+        assert self._pool is not None
+        if deadline is None:
+            chunk = derive_chunksize(len(sketches), self.workers)
+            return list(
+                self._pool.map(_score_one, sketches, chunksize=chunk)
+            )
+        futures = [self._pool.submit(_score_one, s) for s in sketches]
+        results: list[ScoredHandler] = []
+        cut_short = False
+        for index, future in enumerate(futures):
+            if cut_short:
+                future.cancel()
+                continue
+            if index < min_results:
+                results.append(future.result())
+                continue
+            remaining = deadline - time.perf_counter()
+            if remaining <= 0:
+                cut_short = True
+                future.cancel()
+                continue
+            try:
+                results.append(future.result(timeout=remaining))
+            except FutureTimeoutError:
+                cut_short = True
+                future.cancel()
+        return results
+
+    def cache_stats(self) -> CacheStats | None:
+        """Aggregate cache counters: workers (as last reported) + parent."""
+        if self.scorer.cache is None:
+            return None
+        if self._pool is not None and self._mp_context is not None:
+            try:
+                self._broadcast(None)  # refresh per-worker counters
+            except Exception:
+                pass  # stale counters are better than a crashed run
+        hits = sum(entry[0] for entry in self._worker_cache.values())
+        misses = sum(entry[1] for entry in self._worker_cache.values())
+        entries = sum(entry[2] for entry in self._worker_cache.values())
+        parent = self.scorer.cache.stats()
+        return CacheStats(
+            hits=hits + parent.hits,
+            misses=misses + parent.misses,
+            entries=entries + parent.entries,
+        )
+
+    def close(self) -> None:
+        self._shutdown_pool()
+
+    def __enter__(self) -> "PooledExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def make_executor(
+    scorer: Scorer,
+    workers: int,
+    context: RunContext | None = None,
+) -> ScoringExecutor:
+    """The executor for a run: pooled when ``workers > 1``."""
+    if workers > 1:
+        return PooledExecutor(scorer, workers, context=context)
+    return SerialExecutor(scorer, context=context)

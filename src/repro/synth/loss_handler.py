@@ -24,6 +24,8 @@ from repro.dsl.evaluate import evaluate
 from repro.dsl.families import DslSpec
 from repro.dsl.printer import to_text
 from repro.errors import EvaluationError, SynthesisError
+from repro.runtime.context import RunContext
+from repro.runtime.events import RunFinished, RunStarted
 from repro.synth.concretize import concretizations
 from repro.synth.enumerator import enumerate_sketches
 from repro.trace.model import Trace
@@ -134,46 +136,73 @@ def synthesize_loss_handler(
     completion_cap: int = 24,
     max_sketches: int = 3000,
     keep_top: int = 5,
+    context: RunContext | None = None,
 ) -> LossSynthesisResult:
     """Search *dsl* for the expression that best predicts loss reactions.
 
     The space of useful loss handlers is small (they are depth-2/3
     rescalings of state), so a direct enumerate-concretize-score sweep
     within ``max_sketches`` suffices; no bucketized refinement is needed.
+    *context* receives ``run_started``/``run_finished`` telemetry like
+    the main synthesis loop.
     """
+    ctx = context if context is not None else RunContext()
     samples: list[LossSample] = []
-    for trace in traces:
-        samples.extend(extract_loss_samples(trace))
+    with ctx.timer("extract-loss-samples"):
+        for trace in traces:
+            samples.extend(extract_loss_samples(trace))
     if len(samples) < 3:
         raise SynthesisError(
             f"need at least 3 loss samples, found {len(samples)}: "
             "collect longer or lossier traces"
         )
+    ctx.emit(
+        RunStarted(
+            run="loss",
+            dsl_name=dsl.name,
+            bucket_count=0,
+            segment_count=len(samples),
+            workers=1,
+        )
+    )
 
     best: tuple[ast.NumExpr, float] | None = None
     ranking: list[tuple[ast.NumExpr, float]] = []
     scored = 0
-    sketch_stream = itertools.islice(
-        enumerate_sketches(dsl, max_nodes=max_nodes, max_depth=max_depth),
-        max_sketches,
-    )
-    for sketch in sketch_stream:
-        for handler in concretizations(
-            sketch, dsl.constant_pool, cap=completion_cap
-        ):
-            error = _loss_error(handler, samples)
-            scored += 1
-            if best is None or error < best[1]:
-                best = (handler, error)
-            ranking.append((handler, error))
+    started = ctx.elapsed()
+    with ctx.timer("loss-sweep"):
+        sketch_stream = itertools.islice(
+            enumerate_sketches(dsl, max_nodes=max_nodes, max_depth=max_depth),
+            max_sketches,
+        )
+        for sketch in sketch_stream:
+            for handler in concretizations(
+                sketch, dsl.constant_pool, cap=completion_cap
+            ):
+                error = _loss_error(handler, samples)
+                scored += 1
+                if best is None or error < best[1]:
+                    best = (handler, error)
+                ranking.append((handler, error))
 
     if best is None:
         raise SynthesisError(f"DSL {dsl.name!r} produced no loss candidates")
     ranking.sort(key=lambda item: item[1])
-    return LossSynthesisResult(
+    result = LossSynthesisResult(
         handler=best[0],
         error=best[1],
         samples=len(samples),
         candidates_scored=scored,
         ranking=ranking[:keep_top],
     )
+    ctx.emit(
+        RunFinished(
+            run="loss",
+            best_distance=result.error,
+            expression=result.expression,
+            handlers_scored=scored,
+            elapsed_seconds=ctx.elapsed() - started,
+            phase_seconds=dict(ctx.phase_seconds),
+        )
+    )
+    return result

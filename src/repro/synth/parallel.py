@@ -1,10 +1,12 @@
-"""Parallel sketch scoring.
+"""Parallel sketch scoring (compatibility front-end).
 
-The paper distributes scoring with Ray across a cluster (§5); here the
-same embarrassing parallelism maps onto a local
-:class:`~concurrent.futures.ProcessPoolExecutor`.  Workers are primed
-once per scoring wave with the scorer configuration and the segment
-working set (shipping segments per-task would dominate runtime).
+The actual execution substrate lives in :mod:`repro.runtime.executors`:
+a :class:`~repro.runtime.executors.PooledExecutor` owns a persistent
+process pool that is primed once with the scorer configuration and
+re-primed with segments only when the working set changes.  The
+refinement loop holds one executor for a whole run; this module keeps
+the historical one-shot :func:`score_sketches` entry point for callers
+that score a single wave.
 
 Serial execution (``workers <= 1``) is the default everywhere: it is
 deterministic, has no fork overhead, and is fast enough for the scaled
@@ -13,44 +15,18 @@ benchmarks.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
 from typing import Sequence
 
+from repro.runtime.executors import (
+    MIN_PARALLEL_SKETCHES,
+    PooledExecutor,
+    derive_chunksize,
+)
 from repro.synth.scoring import ScoredHandler, Scorer
 from repro.synth.sketch import Sketch
 from repro.trace.model import TraceSegment
 
-__all__ = ["score_sketches"]
-
-# Per-worker state installed by the pool initializer.
-_worker_scorer: Scorer | None = None
-_worker_segments: Sequence[TraceSegment] | None = None
-
-
-def _init_worker(
-    metric_name: str,
-    constant_pool: tuple[float, ...],
-    completion_cap: int,
-    seed: int,
-    max_replay_rows: int,
-    series_budget: int,
-    segments: Sequence[TraceSegment],
-) -> None:
-    global _worker_scorer, _worker_segments
-    _worker_scorer = Scorer(
-        metric_name=metric_name,
-        constant_pool=constant_pool,
-        completion_cap=completion_cap,
-        seed=seed,
-        max_replay_rows=max_replay_rows,
-        series_budget=series_budget,
-    )
-    _worker_segments = segments
-
-
-def _score_one(sketch: Sketch) -> ScoredHandler:
-    assert _worker_scorer is not None and _worker_segments is not None
-    return _worker_scorer.score_sketch(sketch, _worker_segments)
+__all__ = ["score_sketches", "derive_chunksize"]
 
 
 def score_sketches(
@@ -62,21 +38,10 @@ def score_sketches(
 ) -> list[ScoredHandler]:
     """Score *sketches* against *segments*, optionally in parallel.
 
-    Results align positionally with *sketches*.
+    Results align positionally with *sketches*.  Waves smaller than
+    :data:`~repro.runtime.executors.MIN_PARALLEL_SKETCHES` never fork.
     """
-    if workers <= 1 or len(sketches) < 4:
+    if workers <= 1 or len(sketches) < MIN_PARALLEL_SKETCHES:
         return [scorer.score_sketch(sketch, segments) for sketch in sketches]
-    with ProcessPoolExecutor(
-        max_workers=workers,
-        initializer=_init_worker,
-        initargs=(
-            scorer.metric_name,
-            tuple(scorer.constant_pool),
-            scorer.completion_cap,
-            scorer.seed,
-            scorer.max_replay_rows,
-            scorer.series_budget,
-            list(segments),
-        ),
-    ) as pool:
-        return list(pool.map(_score_one, sketches, chunksize=8))
+    with PooledExecutor(scorer, workers) as executor:
+        return executor.score(sketches, segments)

@@ -22,6 +22,8 @@ from typing import Iterator
 
 from repro.dsl import ast
 from repro.dsl.families import DslSpec
+from repro.runtime.context import RunContext
+from repro.runtime.events import SketchesDrawn
 from repro.synth.buckets import Bucket, coherent_op_sets
 from repro.synth.enumerator import (
     bucket_witnesses,
@@ -34,10 +36,16 @@ __all__ = ["BucketPool"]
 
 
 class BucketPool:
-    """All live buckets of one search, fed from a shared sketch stream."""
+    """All live buckets of one search, fed from a shared sketch stream.
 
-    def __init__(self, dsl: DslSpec):
+    An optional :class:`RunContext` receives a
+    :class:`~repro.runtime.events.SketchesDrawn` event per ``draw`` so
+    run logs show how far the shared enumeration stream advanced.
+    """
+
+    def __init__(self, dsl: DslSpec, *, context: RunContext | None = None):
         self.dsl = dsl
+        self.context = context
         self.buckets: dict[frozenset[str], Bucket] = {
             key: Bucket(dsl=dsl, key=key) for key in coherent_op_sets(dsl)
         }
@@ -74,6 +82,18 @@ class BucketPool:
         return False
 
     def draw(self, target: int, *, max_steps: int | None = None) -> None:
+        """Advance the stream (see :meth:`_draw`), then report progress."""
+        self._draw(target, max_steps=max_steps)
+        if self.context is not None:
+            self.context.emit(
+                SketchesDrawn(
+                    target=target,
+                    generated=self.generated,
+                    live_buckets=len(self.buckets),
+                )
+            )
+
+    def _draw(self, target: int, *, max_steps: int | None = None) -> None:
         """Advance the stream until every live bucket holds *target*
         sketches, the stream ends, or *max_steps* sketches were generated.
 

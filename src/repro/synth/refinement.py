@@ -9,6 +9,19 @@ grows by two segments.  The loop ends when a single bucket survives (it
 is then enumerated exhaustively, within a cap) or every surviving bucket
 has already been exhausted; the lowest-distance handler seen anywhere is
 returned, so interrupting early still yields the best-so-far.
+
+Execution rides on :mod:`repro.runtime`: one scoring executor per run
+(a persistent process pool when ``workers > 1``), an optional
+cross-iteration score cache, and typed telemetry through a
+:class:`~repro.runtime.context.RunContext`.  With ``workers=1``, no
+sinks and the cache returning exact floats, results are bit-identical
+to the pre-runtime implementation.
+
+``time_budget_seconds`` is enforced *inside* scoring waves, not just
+between iterations: the deadline is passed down to the executor, which
+stops dispatching once it trips (while still scoring at least one
+sketch per live bucket so a ranking always exists), so a single large
+bucket cannot overshoot the budget unboundedly.
 """
 
 from __future__ import annotations
@@ -19,8 +32,18 @@ from dataclasses import dataclass, field
 
 from repro.dsl.families import DslSpec
 from repro.errors import SynthesisError
+from repro.runtime.cache import DEFAULT_CACHE_ENTRIES, ScoreCache
+from repro.runtime.context import RunContext
+from repro.runtime.events import (
+    BucketScored,
+    BudgetExceeded,
+    IterationFinished,
+    RunFinished,
+    RunStarted,
+    bucket_label,
+)
+from repro.runtime.executors import make_executor
 from repro.synth.pool import BucketPool
-from repro.synth.parallel import score_sketches
 from repro.synth.result import IterationRecord, SynthesisResult
 from repro.synth.scoring import ScoredHandler, Scorer
 from repro.trace.model import TraceSegment
@@ -52,8 +75,13 @@ class SynthesisConfig:
     #: Scoring cost knobs, forwarded to :class:`~repro.synth.scoring.Scorer`.
     series_budget: int = 128
     max_replay_rows: int = 384
-    #: Wall-clock budget; the loop stops (with best-so-far) when exceeded.
+    #: Wall-clock budget; enforced inside scoring waves (best-so-far wins).
     time_budget_seconds: float | None = None
+    #: Cross-iteration (handler, segment) score memoization.  Cached
+    #: values are the exact floats a cold scorer computes, so disabling
+    #: this changes runtime, never results.
+    cache_scores: bool = True
+    cache_max_entries: int = DEFAULT_CACHE_ENTRIES
 
 
 @dataclass
@@ -81,11 +109,18 @@ def synthesize(
     segments: list[TraceSegment],
     dsl: DslSpec,
     config: SynthesisConfig | None = None,
+    *,
+    context: RunContext | None = None,
 ) -> SynthesisResult:
-    """Run the full refinement loop; return the best handler found."""
+    """Run the full refinement loop; return the best handler found.
+
+    *context* receives the run's telemetry; omitting it runs silently
+    (a fresh sink-less :class:`RunContext` is used for phase timing).
+    """
     if not segments:
         raise SynthesisError("synthesis requires at least one trace segment")
     config = config or SynthesisConfig()
+    ctx = context if context is not None else RunContext()
     scorer = Scorer(
         metric_name=config.metric,
         constant_pool=dsl.constant_pool,
@@ -93,95 +128,173 @@ def synthesize(
         seed=config.seed,
         series_budget=config.series_budget,
         max_replay_rows=config.max_replay_rows,
+        cache=(
+            ScoreCache(config.cache_max_entries)
+            if config.cache_scores
+            else None
+        ),
     )
-    pool = BucketPool(dsl)
+    pool = BucketPool(dsl, context=ctx)
     initial_bucket_count = len(pool.buckets)
     state = _LoopState()
     started = time.perf_counter()
+    deadline = (
+        started + config.time_budget_seconds
+        if config.time_budget_seconds is not None
+        else None
+    )
+
+    ctx.emit(
+        RunStarted(
+            run="synthesis",
+            dsl_name=dsl.name,
+            bucket_count=initial_bucket_count,
+            segment_count=len(segments),
+            workers=config.workers,
+        )
+    )
 
     def out_of_time() -> bool:
-        return (
-            config.time_budget_seconds is not None
-            and time.perf_counter() - started > config.time_budget_seconds
+        return deadline is not None and time.perf_counter() >= deadline
+
+    def note_budget(phase: str) -> None:
+        assert config.time_budget_seconds is not None
+        ctx.emit(
+            BudgetExceeded(
+                phase=phase,
+                budget_seconds=config.time_budget_seconds,
+                elapsed_seconds=time.perf_counter() - started,
+            )
         )
 
-    n_samples = config.initial_samples
-    keep = config.initial_keep
-    segment_count = config.initial_segments
+    executor = make_executor(scorer, config.workers, context=ctx)
+    try:
+        n_samples = config.initial_samples
+        keep = config.initial_keep
+        segment_count = config.initial_segments
 
-    for iteration in range(config.max_iterations):
-        working = _working_set(segments, segment_count, config.seed + iteration)
-        # Draw up to the cumulative sample size (one shared enumeration
-        # pass feeds all buckets) and score everything each bucket has
-        # drawn so far against the current working set (old samples must
-        # be re-scored: the working set changed).
-        pool.draw(n_samples)
-        state.sketches_drawn = pool.generated
-        buckets = [bucket for bucket in pool.live if bucket.drawn]
-        if not buckets:
-            raise SynthesisError(
-                f"DSL {dsl.name!r} produced no sketches within its budgets"
-            )
-        for bucket in buckets:
-            results = score_sketches(
-                scorer, bucket.drawn, working, workers=config.workers
-            )
-            bucket.score = min(result.distance for result in results)
-            pool_size = len(dsl.constant_pool)
-            for sketch, result in zip(bucket.drawn, results):
-                completions = min(
-                    sketch.completion_count(pool_size), config.completion_cap
+        with ctx.timer("refinement"):
+            for iteration in range(config.max_iterations):
+                working = _working_set(
+                    segments, segment_count, config.seed + iteration
                 )
-                state.observe(result, completions)
-        ranking = sorted(buckets, key=lambda bucket: bucket.score)
-        cutoff_index = min(keep, len(ranking)) - 1
-        cutoff = ranking[cutoff_index].score
-        survivors = [bucket for bucket in ranking if bucket.score <= cutoff]
-        state.records.append(
-            IterationRecord(
-                index=iteration + 1,
-                samples_per_bucket=n_samples,
-                segment_count=len(working),
-                ranking=tuple(
-                    (bucket.key, bucket.score) for bucket in ranking
-                ),
-                kept=tuple(bucket.key for bucket in survivors),
-                handlers_scored=state.handlers_scored,
-            )
-        )
-        pool.prune({bucket.key for bucket in survivors})
-        if out_of_time():
-            break
-        if len(pool.buckets) == 1 or pool.exhausted:
-            break
-        n_samples *= config.sample_growth
-        keep = max(keep // 2, 1)
-        segment_count += config.segment_growth
-
-    # Final exhaustive pass over the surviving bucket(s), within the cap.
-    if not out_of_time():
-        working = _working_set(
-            segments, segment_count, config.seed + config.max_iterations
-        )
-        already = {
-            bucket.key: len(bucket.drawn) for bucket in pool.live
-        }
-        pool.draw(config.exhaustive_cap, max_steps=40 * config.exhaustive_cap)
-        state.sketches_drawn = pool.generated
-        for bucket in pool.live:
-            fresh = bucket.drawn[already.get(bucket.key, 0) :]
-            if fresh:
-                results = score_sketches(
-                    scorer, fresh, working, workers=config.workers
+                # Draw up to the cumulative sample size (one shared
+                # enumeration pass feeds all buckets) and score everything
+                # each bucket has drawn so far against the current working
+                # set (old samples must be re-scored: the working set
+                # changed — that re-scoring is what the score cache
+                # deduplicates on the overlapping segments).
+                pool.draw(n_samples)
+                state.sketches_drawn = pool.generated
+                buckets = [bucket for bucket in pool.live if bucket.drawn]
+                if not buckets:
+                    raise SynthesisError(
+                        f"DSL {dsl.name!r} produced no sketches within its"
+                        " budgets"
+                    )
+                for bucket in buckets:
+                    results = executor.score(
+                        bucket.drawn, working, deadline=deadline, min_results=1
+                    )
+                    bucket.score = min(
+                        result.distance for result in results
+                    )
+                    pool_size = len(dsl.constant_pool)
+                    for sketch, result in zip(bucket.drawn, results):
+                        completions = min(
+                            sketch.completion_count(pool_size),
+                            config.completion_cap,
+                        )
+                        state.observe(result, completions)
+                    ctx.emit(
+                        BucketScored(
+                            iteration=iteration + 1,
+                            bucket=bucket_label(bucket.key),
+                            score=bucket.score,
+                            sketches=len(results),
+                        )
+                    )
+                ranking = sorted(buckets, key=lambda bucket: bucket.score)
+                cutoff_index = min(keep, len(ranking)) - 1
+                cutoff = ranking[cutoff_index].score
+                survivors = [
+                    bucket for bucket in ranking if bucket.score <= cutoff
+                ]
+                state.records.append(
+                    IterationRecord(
+                        index=iteration + 1,
+                        samples_per_bucket=n_samples,
+                        segment_count=len(working),
+                        ranking=tuple(
+                            (bucket.key, bucket.score) for bucket in ranking
+                        ),
+                        kept=tuple(bucket.key for bucket in survivors),
+                        handlers_scored=state.handlers_scored,
+                    )
                 )
-                for result in results:
-                    state.observe(result, 1)
-            if out_of_time():
-                break
+                pool.prune({bucket.key for bucket in survivors})
+                stats = executor.cache_stats()
+                if stats is not None:
+                    ctx.emit(stats)
+                ctx.emit(
+                    IterationFinished(
+                        index=iteration + 1,
+                        samples_per_bucket=n_samples,
+                        segment_count=len(working),
+                        bucket_count=len(ranking),
+                        kept=len(survivors),
+                        best_distance=(
+                            state.best.distance
+                            if state.best is not None
+                            else float("inf")
+                        ),
+                        handlers_scored=state.handlers_scored,
+                        elapsed_seconds=time.perf_counter() - started,
+                    )
+                )
+                if out_of_time():
+                    note_budget("refinement")
+                    break
+                if len(pool.buckets) == 1 or pool.exhausted:
+                    break
+                n_samples *= config.sample_growth
+                keep = max(keep // 2, 1)
+                segment_count += config.segment_growth
+
+        # Final exhaustive pass over the surviving bucket(s), within the cap.
+        if not out_of_time():
+            with ctx.timer("exhaustive"):
+                working = _working_set(
+                    segments, segment_count, config.seed + config.max_iterations
+                )
+                already = {
+                    bucket.key: len(bucket.drawn) for bucket in pool.live
+                }
+                pool.draw(
+                    config.exhaustive_cap,
+                    max_steps=40 * config.exhaustive_cap,
+                )
+                state.sketches_drawn = pool.generated
+                for bucket in pool.live:
+                    fresh = bucket.drawn[already.get(bucket.key, 0) :]
+                    if fresh:
+                        results = executor.score(
+                            fresh, working, deadline=deadline
+                        )
+                        for result in results:
+                            state.observe(result, 1)
+                    if out_of_time():
+                        note_budget("exhaustive")
+                        break
+    finally:
+        final_stats = executor.cache_stats()
+        executor.close()
 
     if state.best is None:
         raise SynthesisError("no handler was scored")
-    return SynthesisResult(
+    if final_stats is not None:
+        ctx.emit(final_stats)
+    result = SynthesisResult(
         best=state.best,
         dsl_name=dsl.name,
         iterations=state.records,
@@ -190,3 +303,14 @@ def synthesize(
         total_sketches_drawn=state.sketches_drawn,
         elapsed_seconds=time.perf_counter() - started,
     )
+    ctx.emit(
+        RunFinished(
+            run="synthesis",
+            best_distance=result.distance,
+            expression=result.expression,
+            handlers_scored=result.total_handlers_scored,
+            elapsed_seconds=result.elapsed_seconds,
+            phase_seconds=dict(ctx.phase_seconds),
+        )
+    )
+    return result

@@ -11,10 +11,11 @@ the sketch can exhibit with pool constants (§4.2, §4.4).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.distance.base import DEFAULT_METRIC, get_metric
 from repro.dsl.compiled import compile_handler
+from repro.dsl.printer import to_text
 from repro.errors import EvaluationError
 from repro.dsl import ast
 from repro.dsl.families import DEFAULT_CONSTANT_POOL
@@ -23,6 +24,9 @@ from repro.synth.replay import replay_handler
 from repro.synth.sketch import Sketch
 from repro.trace.model import TraceSegment
 from repro.trace.signals import SignalTable, extract_signals
+
+if TYPE_CHECKING:  # type-only: repro.runtime is not imported at runtime
+    from repro.runtime.cache import ScoreCache
 
 __all__ = ["Scorer", "ScoredHandler"]
 
@@ -52,6 +56,11 @@ class Scorer:
     #: Distance cost control: series are down-sampled to this many points
     #: inside the metric.
     series_budget: int = 128
+    #: Optional cross-iteration memo of per-(handler, segment) distances
+    #: (:class:`repro.runtime.cache.ScoreCache`).  ``None`` disables
+    #: caching; cached values are the exact floats a cold scorer would
+    #: compute, so results are bit-identical either way.
+    cache: "ScoreCache | None" = None
     _tables: dict[int, tuple[TraceSegment, SignalTable]] = field(
         default_factory=dict, repr=False
     )
@@ -87,14 +96,31 @@ class Scorer:
             compiled = compile_handler(handler)
         except EvaluationError:
             return float("inf")
+        cache = self.cache
+        text = to_text(handler) if cache is not None else ""
         total = 0.0
         for segment in segments:
+            if cache is not None:
+                key = cache.key(
+                    text,
+                    segment,
+                    self.metric_name,
+                    self.max_replay_rows,
+                    self.series_budget,
+                )
+                cached = cache.get(key, segment)
+                if cached is not None:
+                    total += cached
+                    continue
             table = self.table_for(segment)
             observed = table.observed_cwnd() / table.mss
             synthesized = (
                 replay_handler(handler, table, compiled=compiled) / table.mss
             )
-            total += metric(synthesized, observed, budget=self.series_budget)
+            distance = metric(synthesized, observed, budget=self.series_budget)
+            if cache is not None:
+                cache.put(key, segment, distance)
+            total += distance
         return total / len(segments) if segments else float("inf")
 
     def score_sketch(

@@ -1,0 +1,97 @@
+"""ScoreCache: keying, identity safety, LRU bound, counters."""
+
+import pytest
+
+from repro.runtime.cache import ScoreCache
+
+
+def _key(cache, text, segment, metric="dtw"):
+    return cache.key(text, segment, metric, 384, 128)
+
+
+def test_miss_then_hit(reno_segments):
+    cache = ScoreCache()
+    segment = reno_segments[0]
+    key = _key(cache, "cwnd + mss", segment)
+    assert cache.get(key, segment) is None
+    cache.put(key, segment, 1.25)
+    assert cache.get(key, segment) == 1.25
+    assert (cache.hits, cache.misses) == (1, 1)
+    assert cache.hit_rate == 0.5
+    assert len(cache) == 1
+
+
+def test_distinct_segments_do_not_collide(reno_segments):
+    cache = ScoreCache()
+    first, second = reno_segments[0], reno_segments[1]
+    cache.put(_key(cache, "cwnd", first), first, 1.0)
+    assert cache.get(_key(cache, "cwnd", second), second) is None
+
+
+def test_metric_and_budgets_are_part_of_the_key(reno_segments):
+    cache = ScoreCache()
+    segment = reno_segments[0]
+    cache.put(cache.key("cwnd", segment, "dtw", 384, 128), segment, 1.0)
+    assert cache.get(
+        cache.key("cwnd", segment, "euclidean", 384, 128), segment
+    ) is None
+    assert cache.get(
+        cache.key("cwnd", segment, "dtw", 384, 64), segment
+    ) is None
+
+
+def test_identity_verified_on_lookup(reno_segments):
+    """A key built from a *different* object with a recycled id must not
+    return the stale entry (the cache stores the segment and checks
+    identity, like Scorer.table_for)."""
+    cache = ScoreCache()
+    segment = reno_segments[0]
+    key = _key(cache, "cwnd", segment)
+    cache.put(key, segment, 1.0)
+    impostor = reno_segments[1]
+    # Forge a key claiming the impostor has the original's id.
+    assert cache.get(key, impostor) is None
+    assert cache.misses == 1
+    # The poisoned entry was dropped entirely.
+    assert len(cache) == 0
+
+
+def test_lru_bound_evicts_oldest(reno_segments):
+    cache = ScoreCache(max_entries=2)
+    segment = reno_segments[0]
+    keys = [_key(cache, f"expr{i}", segment) for i in range(3)]
+    for index, key in enumerate(keys):
+        cache.put(key, segment, float(index))
+    assert len(cache) == 2
+    assert cache.get(keys[0], segment) is None  # evicted
+    assert cache.get(keys[2], segment) == 2.0
+
+
+def test_lru_touch_on_hit(reno_segments):
+    cache = ScoreCache(max_entries=2)
+    segment = reno_segments[0]
+    a, b, c = (_key(cache, t, segment) for t in ("a", "b", "c"))
+    cache.put(a, segment, 0.0)
+    cache.put(b, segment, 1.0)
+    assert cache.get(a, segment) == 0.0  # refresh a
+    cache.put(c, segment, 2.0)  # evicts b, not a
+    assert cache.get(a, segment) == 0.0
+    assert cache.get(b, segment) is None
+
+
+def test_stats_event(reno_segments):
+    cache = ScoreCache()
+    segment = reno_segments[0]
+    key = _key(cache, "cwnd", segment)
+    cache.get(key, segment)
+    cache.put(key, segment, 3.0)
+    cache.get(key, segment)
+    stats = cache.stats()
+    assert (stats.hits, stats.misses, stats.entries) == (1, 1, 1)
+    cache.clear()
+    assert len(cache) == 0
+
+
+def test_rejects_nonpositive_bound():
+    with pytest.raises(ValueError):
+        ScoreCache(max_entries=0)

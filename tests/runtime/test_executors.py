@@ -1,0 +1,153 @@
+"""Executor tests: serial/pooled agreement, priming, deadlines, chunking."""
+
+import time
+
+import pytest
+
+from repro.dsl.parser import parse
+from repro.runtime.cache import ScoreCache
+from repro.runtime.context import RunContext
+from repro.runtime.executors import (
+    PooledExecutor,
+    SerialExecutor,
+    derive_chunksize,
+    make_executor,
+)
+from repro.runtime.sinks import CollectorSink
+from repro.synth.scoring import Scorer
+from repro.synth.sketch import Sketch
+
+SKETCH_TEXTS = [
+    "cwnd + c0 * reno_inc",
+    "cwnd + reno_inc",
+    "c0 * mss",
+    "cwnd + mss",
+    "(c0 < c1) ? cwnd + mss : cwnd",
+]
+
+
+@pytest.fixture(scope="module")
+def sketches():
+    return [Sketch.from_expr(parse(text)) for text in SKETCH_TEXTS]
+
+
+def _scorer(cache=None):
+    return Scorer(constant_pool=(0.5, 1.0), completion_cap=8, cache=cache)
+
+
+# ----------------------------------------------------------------- chunking
+
+
+def test_derive_chunksize_spreads_small_waves():
+    # The old hardcoded chunksize=8 put 10 tasks on at most 2 workers.
+    assert derive_chunksize(10, 4) == 1
+    assert derive_chunksize(3, 8) == 1
+    assert derive_chunksize(1000, 4) == 63
+    assert derive_chunksize(0, 4) == 1
+
+
+# ------------------------------------------------------------------- serial
+
+
+def test_serial_matches_direct_scoring(sketches, reno_segments):
+    scorer = _scorer()
+    executor = SerialExecutor(scorer)
+    working = reno_segments[:2]
+    results = executor.score(sketches, working)
+    assert len(results) == len(sketches)
+    fresh = _scorer()
+    for sketch, result in zip(sketches, results):
+        assert fresh.score_sketch(sketch, working).distance == pytest.approx(
+            result.distance
+        )
+    assert executor.cache_stats() is None
+
+
+def test_serial_deadline_cuts_wave_short(sketches, reno_segments):
+    executor = SerialExecutor(_scorer())
+    expired = time.perf_counter() - 1.0
+    assert (
+        executor.score(sketches, reno_segments[:1], deadline=expired) == []
+    )
+    partial = executor.score(
+        sketches, reno_segments[:1], deadline=expired, min_results=2
+    )
+    assert len(partial) == 2
+
+
+def test_serial_cache_stats_reported(sketches, reno_segments):
+    executor = SerialExecutor(_scorer(cache=ScoreCache()))
+    executor.score(sketches, reno_segments[:1])
+    stats = executor.cache_stats()
+    assert stats is not None
+    assert stats.lookups > 0
+
+
+# ------------------------------------------------------------------- pooled
+
+
+def test_pooled_matches_serial(sketches, reno_segments):
+    working = reno_segments[:2]
+    serial = SerialExecutor(_scorer()).score(sketches, working)
+    with PooledExecutor(_scorer(), 2) as pooled:
+        parallel = pooled.score(sketches, working)
+    assert [r.distance for r in parallel] == pytest.approx(
+        [r.distance for r in serial]
+    )
+    assert [r.handler for r in parallel] == [r.handler for r in serial]
+
+
+def test_pooled_spawns_one_pool_and_reprimes_on_change(
+    sketches, reno_segments
+):
+    collector = CollectorSink()
+    ctx = RunContext([collector])
+    with PooledExecutor(_scorer(), 2, context=ctx) as pooled:
+        first = reno_segments[:2]
+        second = reno_segments[:3]
+        pooled.score(sketches, first)
+        pooled.score(sketches, first)  # unchanged set: no re-prime
+        pooled.score(sketches, second)
+        pooled.score(sketches, second)
+    assert len(collector.of_kind("pool_spawned")) == 1
+    primes = collector.of_kind("segments_primed")
+    assert [p.segment_count for p in primes] == [2, 3]
+    assert pooled.pools_spawned == 1
+
+
+def test_pooled_tiny_wave_stays_in_process(sketches, reno_segments):
+    collector = CollectorSink()
+    ctx = RunContext([collector])
+    with PooledExecutor(_scorer(), 2, context=ctx) as pooled:
+        results = pooled.score(sketches[:2], reno_segments[:1])
+    assert len(results) == 2
+    assert collector.of_kind("pool_spawned") == []  # never forked
+
+
+def test_pooled_deadline_respects_min_results(sketches, reno_segments):
+    with PooledExecutor(_scorer(), 2) as pooled:
+        expired = time.perf_counter() - 1.0
+        results = pooled.score(
+            sketches, reno_segments[:1], deadline=expired, min_results=1
+        )
+    assert len(results) == 1
+
+
+def test_pooled_aggregates_worker_cache_stats(sketches, reno_segments):
+    with PooledExecutor(_scorer(cache=ScoreCache()), 2) as pooled:
+        pooled.score(sketches, reno_segments[:2])
+        stats = pooled.cache_stats()
+    assert stats is not None
+    assert stats.lookups > 0
+
+
+def test_pooled_rejects_single_worker():
+    with pytest.raises(ValueError):
+        PooledExecutor(_scorer(), 1)
+
+
+def test_make_executor_picks_by_workers():
+    assert isinstance(make_executor(_scorer(), 1), SerialExecutor)
+    pooled = make_executor(_scorer(), 3)
+    assert isinstance(pooled, PooledExecutor)
+    pooled.close()

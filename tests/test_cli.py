@@ -96,6 +96,80 @@ def test_synthesize_from_archive(tmp_path, capsys):
     assert "DSL 'reno-3'" in text
 
 
+def test_synthesize_run_log_and_json_report(tmp_path, capsys):
+    """--run-log writes parseable JSONL covering every iteration, and
+    --report json emits a machine-readable result document."""
+    archive = tmp_path / "reno.json"
+    main(
+        [
+            "collect", "--cca", "reno", "--out", str(archive),
+            "--bandwidth", "10", "--rtt", "50", "--duration", "10",
+        ]
+    )
+    capsys.readouterr()
+    run_log = tmp_path / "run.jsonl"
+    code = main(
+        [
+            "synthesize",
+            "--traces", str(archive),
+            "--dsl", "reno",
+            "--max-depth", "2",
+            "--max-nodes", "3",
+            "--samples", "4",
+            "--iterations", "1",
+            "--run-log", str(run_log),
+            "--report", "json",
+        ]
+    )
+    assert code == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["dsl"] == "reno-3"
+    assert report["handler"]
+    assert report["iterations"]
+    assert report["cache"]["hits"] >= 0
+    assert "phase_seconds" in report
+
+    events = [
+        json.loads(line) for line in run_log.read_text().splitlines()
+    ]
+    kinds = [event["event"] for event in events]
+    assert kinds[0] == "run_started"
+    assert kinds[-1] == "run_finished"
+    iteration_events = [e for e in events if e["event"] == "iteration_finished"]
+    assert len(iteration_events) == len(report["iterations"])
+    assert all("t" in event for event in events)
+
+
+def test_synthesize_progress_and_summary_table(tmp_path, capsys):
+    archive = tmp_path / "reno.json"
+    main(
+        [
+            "collect", "--cca", "reno", "--out", str(archive),
+            "--bandwidth", "10", "--rtt", "50", "--duration", "10",
+        ]
+    )
+    capsys.readouterr()
+    code = main(
+        [
+            "synthesize",
+            "--traces", str(archive),
+            "--dsl", "reno",
+            "--max-depth", "2",
+            "--max-nodes", "3",
+            "--samples", "4",
+            "--iterations", "1",
+            "--progress",
+            "--no-cache",
+        ]
+    )
+    assert code == 0
+    captured = capsys.readouterr()
+    assert "handler:" in captured.out
+    assert "run summary" in captured.out  # the telemetry table
+    assert "iter 1" in captured.err  # --progress writes to stderr
+    assert "cache:" not in captured.out  # --no-cache drops cache stats
+
+
 def test_missing_input_errors():
     with pytest.raises(SystemExit):
         main(["synthesize", "--dsl", "reno"])
