@@ -172,6 +172,33 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the cross-iteration score cache",
     )
+    synthesize.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        help="write atomic JSONL refinement checkpoints to PATH at "
+        "iteration boundaries",
+    )
+    synthesize.add_argument(
+        "--resume",
+        metavar="PATH",
+        help="resume a killed run from its checkpoint file "
+        "(may equal --checkpoint to continue appending)",
+    )
+    synthesize.add_argument(
+        "--max-pool-rebuilds",
+        type=int,
+        default=3,
+        help="consecutive pool failures tolerated before degrading to "
+        "serial scoring (default: 3)",
+    )
+    synthesize.add_argument(
+        "--watchdog",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-sketch scoring watchdog: candidates exceeding this "
+        "are quarantined with a worst-case score (default: off)",
+    )
     _add_collection_args(synthesize)
 
     race = commands.add_parser(
@@ -230,6 +257,10 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
         workers=args.workers,
         time_budget_seconds=args.time_budget,
         cache_scores=not args.no_cache,
+        checkpoint_path=args.checkpoint,
+        resume_path=args.resume,
+        max_pool_rebuilds=args.max_pool_rebuilds,
+        watchdog_seconds=args.watchdog,
     )
     dsl = None
     if args.dsl:
@@ -277,6 +308,14 @@ def _json_report(report, collector: CollectorSink, context: RunContext) -> dict:
         "handlers_scored": report.result.total_handlers_scored,
         "sketches_drawn": report.result.total_sketches_drawn,
         "elapsed_seconds": report.result.elapsed_seconds,
+        "faults": {
+            "quarantined": [
+                {"sketch": q.sketch, "reason": q.reason, "detail": q.detail}
+                for q in report.result.quarantined
+            ],
+            "pool_rebuilds": report.result.pool_rebuilds,
+            "degraded": report.result.degraded,
+        },
         "iterations": [
             {
                 "index": event.index,

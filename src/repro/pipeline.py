@@ -53,13 +53,22 @@ class PipelineReport:
 
     def summary(self) -> str:
         label = self.verdict.render() if self.verdict else "(skipped)"
-        return (
+        text = (
             f"classifier: {label}  ->  DSL {self.dsl.name!r}\n"
             f"handler:    {self.expression}\n"
             f"distance:   {self.distance:.2f} over {self.segment_count} segments "
             f"({self.result.total_handlers_scored} handlers scored, "
             f"{self.result.elapsed_seconds:.1f}s)"
         )
+        result = self.result
+        if result.quarantined or result.pool_rebuilds or result.degraded:
+            notes = [f"{len(result.quarantined)} quarantined"]
+            if result.pool_rebuilds:
+                notes.append(f"{result.pool_rebuilds} pool rebuild(s)")
+            if result.degraded:
+                notes.append("degraded to serial")
+            text += f"\nfaults:     {', '.join(notes)}"
+        return text
 
 
 def _segments_from_traces(traces: list[Trace]) -> list[TraceSegment]:

@@ -14,11 +14,15 @@ from typing import Iterable, Sequence
 
 from repro.runtime.events import (
     CacheStats,
+    DegradedToSerial,
     Event,
     IterationFinished,
+    PoolRebuilt,
     PoolSpawned,
     RunFinished,
     SegmentsPrimed,
+    SketchQuarantined,
+    WorkerCrashed,
 )
 
 __all__ = [
@@ -126,6 +130,27 @@ def format_run_summary(events: Iterable[Event]) -> str:
             f"pools:  {len(pools)} spawned "
             f"({pools[0].workers} workers), "
             f"{len(primes)} segment prime(s)"
+        )
+    crashes = [e for e in events if isinstance(e, WorkerCrashed)]
+    rebuilds = [e for e in events if isinstance(e, PoolRebuilt)]
+    degraded = [e for e in events if isinstance(e, DegradedToSerial)]
+    quarantines = [e for e in events if isinstance(e, SketchQuarantined)]
+    if crashes or rebuilds or degraded or quarantines:
+        parts = [
+            f"{len(crashes)} worker crash(es)",
+            f"{len(rebuilds)} pool rebuild(s)",
+            f"{len(quarantines)} sketch(es) quarantined",
+        ]
+        if degraded:
+            parts.append(f"degraded to serial ({degraded[-1].reason})")
+        lines.append(f"faults: {', '.join(parts)}")
+    if quarantines:
+        lines.append(
+            format_table(
+                ("sketch", "reason", "detail"),
+                [(q.sketch, q.reason, q.detail) for q in quarantines],
+                title="quarantined sketches",
+            )
         )
     caches = [e for e in events if isinstance(e, CacheStats)]
     if caches:

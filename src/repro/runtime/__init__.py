@@ -11,18 +11,29 @@ keying.
 """
 
 from repro.runtime.cache import DEFAULT_CACHE_ENTRIES, ScoreCache
+from repro.runtime.checkpoint import (
+    CheckpointWriter,
+    RefinementCheckpoint,
+    load_checkpoint,
+)
 from repro.runtime.context import RunContext
 from repro.runtime.events import (
     BucketScored,
     BudgetExceeded,
     CacheStats,
+    CheckpointSaved,
+    DegradedToSerial,
     Event,
     IterationFinished,
+    PoolRebuilt,
     PoolSpawned,
     RunFinished,
+    RunResumed,
     RunStarted,
     SegmentsPrimed,
+    SketchQuarantined,
     SketchesDrawn,
+    WorkerCrashed,
     bucket_label,
     event_payload,
 )
@@ -32,6 +43,15 @@ from repro.runtime.executors import (
     SerialExecutor,
     derive_chunksize,
     make_executor,
+)
+from repro.runtime.faults import FaultInjected, FaultPlan, apply_sketch_faults
+from repro.runtime.supervise import (
+    WORST_DISTANCE,
+    Quarantined,
+    SketchTimeout,
+    SupervisionPolicy,
+    Supervisor,
+    watchdog,
 )
 from repro.runtime.sinks import (
     CollectorSink,
@@ -43,7 +63,25 @@ from repro.runtime.sinks import (
 __all__ = [
     "DEFAULT_CACHE_ENTRIES",
     "ScoreCache",
+    "CheckpointWriter",
+    "RefinementCheckpoint",
+    "load_checkpoint",
     "RunContext",
+    "WorkerCrashed",
+    "PoolRebuilt",
+    "DegradedToSerial",
+    "SketchQuarantined",
+    "CheckpointSaved",
+    "RunResumed",
+    "FaultInjected",
+    "FaultPlan",
+    "apply_sketch_faults",
+    "WORST_DISTANCE",
+    "Quarantined",
+    "SketchTimeout",
+    "SupervisionPolicy",
+    "Supervisor",
+    "watchdog",
     "Event",
     "RunStarted",
     "PoolSpawned",

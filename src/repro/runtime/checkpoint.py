@@ -1,0 +1,208 @@
+"""Atomic JSONL checkpoints of refinement-loop state.
+
+A synthesis run is hours of scoring whose *decisions* — which buckets
+survived each top-k cut — compress to a few hundred bytes.  Everything
+else about the loop is deterministic: the sketch stream enumerates in a
+fixed order, working sets derive from ``(seed, iteration)``, and scores
+are pure functions of (handler, segment).  So a checkpoint does not
+persist sketches or scores at all; it records the decision log (the
+:class:`~repro.synth.result.IterationRecord` per completed iteration)
+plus the loop's scalar state, and resume *replays* the decisions against
+a fresh bucket pool — draw the same targets, prune to the recorded
+survivors — which reconstructs the exact pool state scoring left behind.
+A killed run resumed this way converges to the same final ranking as an
+uninterrupted one.
+
+File format: JSON Lines, one complete checkpoint per line, newest last.
+Every write rewrites the file through a temp-file + ``os.replace`` so a
+kill mid-write can never produce a torn tail; the loader takes the last
+line that parses, so even a hand-truncated file degrades to an older
+checkpoint instead of an error.  A ``fingerprint`` of the run
+configuration is stored and verified on resume — resuming with a
+different DSL, seed, or schedule is refused rather than silently
+diverging.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Sequence
+
+from repro.runtime.supervise import Quarantined
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
+    from repro.synth.result import IterationRecord
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "RefinementCheckpoint",
+    "CheckpointWriter",
+    "load_checkpoint",
+]
+
+CHECKPOINT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class RefinementCheckpoint:
+    """Everything needed to resume a refinement loop at a boundary."""
+
+    fingerprint: dict[str, Any]
+    records: tuple  #: IterationRecord per completed iteration
+    best_expression: str | None
+    best_distance: float
+    handlers_scored: int
+    #: True when the loop's own stop condition (single bucket / stream
+    #: exhausted) had already fired — resume skips straight to the
+    #: exhaustive pass.
+    loop_done: bool
+    #: Schedule values for the *next* iteration (unchanged when
+    #: ``loop_done``; the exhaustive pass reads ``next_segment_count``).
+    next_samples: int
+    next_keep: int
+    next_segment_count: int
+    quarantined: tuple[Quarantined, ...] = ()
+    version: int = CHECKPOINT_VERSION
+
+
+def _record_payload(record: "IterationRecord") -> dict[str, Any]:
+    return {
+        "index": record.index,
+        "samples_per_bucket": record.samples_per_bucket,
+        "segment_count": record.segment_count,
+        "ranking": [[sorted(key), score] for key, score in record.ranking],
+        "kept": [sorted(key) for key in record.kept],
+        "handlers_scored": record.handlers_scored,
+    }
+
+
+def _record_from_payload(payload: dict[str, Any]) -> "IterationRecord":
+    from repro.synth.result import IterationRecord
+
+    return IterationRecord(
+        index=int(payload["index"]),
+        samples_per_bucket=int(payload["samples_per_bucket"]),
+        segment_count=int(payload["segment_count"]),
+        ranking=tuple(
+            (frozenset(key), float(score))
+            for key, score in payload["ranking"]
+        ),
+        kept=tuple(frozenset(key) for key in payload["kept"]),
+        handlers_scored=int(payload["handlers_scored"]),
+    )
+
+
+def checkpoint_payload(checkpoint: RefinementCheckpoint) -> dict[str, Any]:
+    """The checkpoint as one JSON-serializable dict (one JSONL line)."""
+    return {
+        "version": checkpoint.version,
+        "fingerprint": checkpoint.fingerprint,
+        "records": [_record_payload(r) for r in checkpoint.records],
+        "best_expression": checkpoint.best_expression,
+        "best_distance": (
+            checkpoint.best_distance
+            if checkpoint.best_distance == checkpoint.best_distance
+            and abs(checkpoint.best_distance) != float("inf")
+            else repr(checkpoint.best_distance)
+        ),
+        "handlers_scored": checkpoint.handlers_scored,
+        "loop_done": checkpoint.loop_done,
+        "next_samples": checkpoint.next_samples,
+        "next_keep": checkpoint.next_keep,
+        "next_segment_count": checkpoint.next_segment_count,
+        "quarantined": [
+            {"sketch": q.sketch, "reason": q.reason, "detail": q.detail}
+            for q in checkpoint.quarantined
+        ],
+    }
+
+
+def checkpoint_from_payload(payload: dict[str, Any]) -> RefinementCheckpoint:
+    distance = payload["best_distance"]
+    if isinstance(distance, str):  # "inf" / "-inf" / "nan" round-trip
+        distance = float(distance)
+    return RefinementCheckpoint(
+        version=int(payload.get("version", CHECKPOINT_VERSION)),
+        fingerprint=dict(payload["fingerprint"]),
+        records=tuple(
+            _record_from_payload(r) for r in payload["records"]
+        ),
+        best_expression=payload["best_expression"],
+        best_distance=float(distance),
+        handlers_scored=int(payload["handlers_scored"]),
+        loop_done=bool(payload["loop_done"]),
+        next_samples=int(payload["next_samples"]),
+        next_keep=int(payload["next_keep"]),
+        next_segment_count=int(payload["next_segment_count"]),
+        quarantined=tuple(
+            Quarantined(
+                sketch=q["sketch"],
+                reason=q["reason"],
+                detail=q.get("detail", ""),
+            )
+            for q in payload.get("quarantined", [])
+        ),
+    )
+
+
+class CheckpointWriter:
+    """Appends checkpoints to a JSONL file, atomically.
+
+    The whole file is rewritten through ``<path>.tmp`` + ``os.replace``
+    on every write: checkpoint lines are tiny, and atomic replacement is
+    the property that matters — a SIGKILL at any instant leaves either
+    the previous complete file or the new complete file, never a torn
+    line.  An existing file at *path* is extended, so ``--checkpoint X
+    --resume X`` keeps one continuous history across restarts.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._lines: list[str] = []
+        if os.path.exists(path):
+            with open(path, "r", encoding="utf-8") as handle:
+                self._lines = [
+                    line.rstrip("\n") for line in handle if line.strip()
+                ]
+        self.writes = 0
+
+    def write(self, checkpoint: RefinementCheckpoint) -> None:
+        self._lines.append(
+            json.dumps(checkpoint_payload(checkpoint), sort_keys=True)
+        )
+        tmp = f"{self.path}.tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(self._lines) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.path)
+        self.writes += 1
+
+
+def load_checkpoint(path: str) -> RefinementCheckpoint | None:
+    """The newest usable checkpoint in *path*, or ``None``.
+
+    Scans every line and keeps the last one that parses and carries the
+    current schema version, so a corrupt or truncated tail falls back to
+    the previous boundary instead of failing the resume.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+    except OSError:
+        return None
+    newest: RefinementCheckpoint | None = None
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            payload = json.loads(line)
+            candidate = checkpoint_from_payload(payload)
+        except (ValueError, KeyError, TypeError):
+            continue
+        if candidate.version == CHECKPOINT_VERSION:
+            newest = candidate
+    return newest

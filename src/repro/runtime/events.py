@@ -26,6 +26,12 @@ __all__ = [
     "CacheStats",
     "BudgetExceeded",
     "RunFinished",
+    "WorkerCrashed",
+    "PoolRebuilt",
+    "DegradedToSerial",
+    "SketchQuarantined",
+    "CheckpointSaved",
+    "RunResumed",
     "bucket_label",
     "event_payload",
 ]
@@ -136,6 +142,60 @@ class BudgetExceeded(Event):
     phase: str
     budget_seconds: float
     elapsed_seconds: float
+
+
+@dataclass(frozen=True)
+class WorkerCrashed(Event):
+    """The scoring pool lost a worker (or a priming broadcast failed)."""
+
+    kind: ClassVar[str] = "worker_crashed"
+    reason: str  # "worker-crash" | "hang" | "broadcast"
+    detail: str
+
+
+@dataclass(frozen=True)
+class PoolRebuilt(Event):
+    """Supervision replaced a broken pool (after backoff)."""
+
+    kind: ClassVar[str] = "pool_rebuilt"
+    rebuilds: int  #: cumulative rebuild count for the run
+    backoff_seconds: float
+
+
+@dataclass(frozen=True)
+class DegradedToSerial(Event):
+    """Too many consecutive pool failures: the run fell back to serial."""
+
+    kind: ClassVar[str] = "degraded_to_serial"
+    reason: str
+
+
+@dataclass(frozen=True)
+class SketchQuarantined(Event):
+    """A candidate hung/raised/crashed and was scored worst-case instead."""
+
+    kind: ClassVar[str] = "sketch_quarantined"
+    sketch: str
+    reason: str  # "timeout" | "exception" | "worker-crash"
+    detail: str
+
+
+@dataclass(frozen=True)
+class CheckpointSaved(Event):
+    """Refinement state was persisted at an iteration boundary."""
+
+    kind: ClassVar[str] = "checkpoint_saved"
+    path: str
+    iteration: int
+
+
+@dataclass(frozen=True)
+class RunResumed(Event):
+    """A run restored refinement state from a checkpoint before looping."""
+
+    kind: ClassVar[str] = "run_resumed"
+    path: str
+    iterations_restored: int
 
 
 @dataclass(frozen=True)

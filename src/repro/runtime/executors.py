@@ -28,6 +28,24 @@ can no longer overshoot ``time_budget_seconds`` unboundedly.
 ``min_results`` sketches are always scored even past the deadline (the
 refinement loop needs every live bucket to receive at least one score to
 produce a ranking).
+
+Fault tolerance (``docs/RESILIENCE.md``) is layered on top:
+
+* **Quarantine** — a candidate that raises, hangs past the per-sketch
+  ``watchdog_seconds``, or crashes its worker is assigned
+  :data:`~repro.runtime.supervise.WORST_DISTANCE` and recorded on the
+  executor's ``quarantined`` list instead of killing the run.  In
+  workers the watchdog is an in-process SIGALRM, so even the pool stays
+  healthy through a hang; the parent keeps a generous backstop timeout
+  for hangs the alarm cannot interrupt.
+* **Supervision** — ``PooledExecutor.score`` survives
+  ``BrokenProcessPool``: it keeps the contiguous prefix of completed
+  results, rebuilds the pool with exponential backoff, re-scores only
+  the not-yet-completed suffix, blames (and, on a second strike,
+  quarantines) the sketch at the head of the suffix, and degrades
+  gracefully to serial scoring after ``max_pool_rebuilds`` consecutive
+  failures.  Priming broadcasts get one rebuild, then the same serial
+  degradation — a wedged pool never propagates out of the executor.
 """
 
 from __future__ import annotations
@@ -37,11 +55,30 @@ import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
-from typing import TYPE_CHECKING, Protocol, Sequence
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Protocol, Sequence
 
 from repro.runtime.cache import ScoreCache
 from repro.runtime.context import RunContext
-from repro.runtime.events import CacheStats, PoolSpawned, SegmentsPrimed
+from repro.runtime.events import (
+    CacheStats,
+    DegradedToSerial,
+    PoolRebuilt,
+    PoolSpawned,
+    SegmentsPrimed,
+    SketchQuarantined,
+    WorkerCrashed,
+)
+from repro.runtime.faults import FaultInjected, FaultPlan, apply_sketch_faults
+from repro.runtime.supervise import (
+    WORST_DISTANCE,
+    Quarantined,
+    SketchTimeout,
+    SupervisionPolicy,
+    Supervisor,
+    watchdog,
+)
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
     from repro.synth.scoring import ScoredHandler, Scorer
@@ -64,6 +101,10 @@ MIN_PARALLEL_SKETCHES = 4
 #: wedged and rebuilt.
 _PRIME_TIMEOUT_SECONDS = 120.0
 
+#: Pool breaks tolerated with the same sketch at the head of the
+#: incomplete suffix before that sketch is quarantined as the culprit.
+_CRASH_STRIKES = 2
+
 
 def derive_chunksize(tasks: int, workers: int) -> int:
     """Chunk size for ``pool.map``: ~4 chunks per worker.
@@ -80,6 +121,9 @@ def derive_chunksize(tasks: int, workers: int) -> int:
 
 class ScoringExecutor(Protocol):
     """Scores sketch waves against a segment working set."""
+
+    #: Candidates removed from the run (worst-case scored) so far.
+    quarantined: list[Quarantined]
 
     def score(
         self,
@@ -106,7 +150,17 @@ def _score_serially(
     segments: Sequence[TraceSegment],
     deadline: float | None,
     min_results: int,
+    *,
+    watchdog_seconds: float | None = None,
+    fault_plan: FaultPlan | None = None,
+    quarantine: Callable[[Sketch, str, str], "ScoredHandler"] | None = None,
 ) -> list[ScoredHandler]:
+    """In-process scoring with per-sketch guarding.
+
+    Exceptions and watchdog timeouts route through *quarantine* (when
+    given) so a poisoned candidate costs one worst-case score, not the
+    run; with no recorder they propagate, preserving the bare behavior.
+    """
     results: list[ScoredHandler] = []
     for index, sketch in enumerate(sketches):
         if (
@@ -115,16 +169,59 @@ def _score_serially(
             and time.perf_counter() >= deadline
         ):
             break
-        results.append(scorer.score_sketch(sketch, segments))
+        try:
+            with watchdog(watchdog_seconds):
+                apply_sketch_faults(
+                    fault_plan, str(sketch), in_worker=False
+                )
+                scored = scorer.score_sketch(sketch, segments)
+        except SketchTimeout:
+            if quarantine is None:
+                raise
+            scored = quarantine(
+                sketch, "timeout", f"exceeded {watchdog_seconds:.3g}s watchdog"
+            )
+        except Exception as exc:
+            if quarantine is None:
+                raise
+            scored = quarantine(
+                sketch, "exception", f"{type(exc).__name__}: {exc}"
+            )
+        results.append(scored)
     return results
 
 
 class SerialExecutor:
     """In-process scoring; the deterministic default."""
 
-    def __init__(self, scorer: Scorer, context: RunContext | None = None):
+    def __init__(
+        self,
+        scorer: Scorer,
+        context: RunContext | None = None,
+        *,
+        watchdog_seconds: float | None = None,
+        fault_plan: FaultPlan | None = None,
+    ):
         self.scorer = scorer
         self.context = context
+        self.watchdog_seconds = watchdog_seconds
+        self.fault_plan = fault_plan
+        self.quarantined: list[Quarantined] = []
+
+    def _quarantine(
+        self, sketch: Sketch, reason: str, detail: str
+    ) -> ScoredHandler:
+        from repro.synth.scoring import ScoredHandler
+
+        record = Quarantined(sketch=str(sketch), reason=reason, detail=detail)
+        self.quarantined.append(record)
+        if self.context is not None:
+            self.context.emit(
+                SketchQuarantined(
+                    sketch=record.sketch, reason=reason, detail=detail
+                )
+            )
+        return ScoredHandler(sketch.expr, WORST_DISTANCE)
 
     def score(
         self,
@@ -135,7 +232,14 @@ class SerialExecutor:
         min_results: int = 0,
     ) -> list[ScoredHandler]:
         return _score_serially(
-            self.scorer, sketches, segments, deadline, min_results
+            self.scorer,
+            sketches,
+            segments,
+            deadline,
+            min_results,
+            watchdog_seconds=self.watchdog_seconds,
+            fault_plan=self.fault_plan,
+            quarantine=self._quarantine,
         )
 
     def cache_stats(self) -> CacheStats | None:
@@ -153,6 +257,23 @@ class SerialExecutor:
 _worker_scorer: "Scorer | None" = None
 _worker_segments: "Sequence[TraceSegment] | None" = None
 _worker_barrier = None
+_worker_faults: FaultPlan | None = None
+_worker_generation = 0
+_worker_watchdog: float | None = None
+
+
+@dataclass(frozen=True)
+class _WorkerFailure:
+    """Picklable marker a worker returns instead of raising.
+
+    Keeping candidate failures *inside* the task result means one bad
+    sketch never disturbs the pool machinery — the parent converts the
+    marker into a quarantine record and a worst-case score.
+    """
+
+    sketch: str
+    reason: str  # "timeout" | "exception"
+    detail: str
 
 
 def _init_worker(
@@ -160,10 +281,14 @@ def _init_worker(
     scorer_config: tuple,
     cache_entries: int | None,
     segments: "Sequence[TraceSegment] | None",
+    fault_plan: FaultPlan | None,
+    generation: int,
+    watchdog_seconds: float | None,
 ) -> None:
     from repro.synth.scoring import Scorer
 
     global _worker_scorer, _worker_segments, _worker_barrier
+    global _worker_faults, _worker_generation, _worker_watchdog
     (
         metric_name,
         constant_pool,
@@ -183,6 +308,9 @@ def _init_worker(
     )
     _worker_segments = segments
     _worker_barrier = barrier
+    _worker_faults = fault_plan
+    _worker_generation = generation
+    _worker_watchdog = watchdog_seconds
 
 
 def _worker_cache_counts() -> tuple[int, int, int]:
@@ -211,13 +339,48 @@ def _broadcast_segments(
     return (os.getpid(), *_worker_cache_counts())
 
 
-def _score_one(sketch: Sketch) -> ScoredHandler:
+def _score_one(sketch: Sketch) -> "ScoredHandler | _WorkerFailure":
     assert _worker_scorer is not None and _worker_segments is not None
-    return _worker_scorer.score_sketch(sketch, _worker_segments)
+    text = str(sketch)
+    try:
+        with watchdog(_worker_watchdog):
+            apply_sketch_faults(
+                _worker_faults,
+                text,
+                in_worker=True,
+                generation=_worker_generation,
+            )
+            return _worker_scorer.score_sketch(sketch, _worker_segments)
+    except SketchTimeout:
+        return _WorkerFailure(
+            text, "timeout", f"exceeded {_worker_watchdog:.3g}s watchdog"
+        )
+    except Exception as exc:
+        return _WorkerFailure(text, "exception", f"{type(exc).__name__}: {exc}")
+
+
+class _PoolBroken(Exception):
+    """Internal: a wave died mid-flight; carries the completed prefix."""
+
+    def __init__(
+        self,
+        completed: list,
+        reason: str,
+        detail: str,
+        *,
+        blame_next: bool,
+    ) -> None:
+        super().__init__(detail)
+        self.completed = completed
+        self.reason = reason  # "worker-crash" | "hang"
+        self.detail = detail
+        #: Whether the first incomplete sketch is the likely culprit
+        #: (crashes: yes; hangs: the hung sketch was already quarantined).
+        self.blame_next = blame_next
 
 
 class PooledExecutor:
-    """Persistent process-pool scoring with working-set re-priming."""
+    """Persistent process-pool scoring with re-priming and supervision."""
 
     def __init__(
         self,
@@ -226,6 +389,9 @@ class PooledExecutor:
         *,
         context: RunContext | None = None,
         min_parallel: int = MIN_PARALLEL_SKETCHES,
+        policy: SupervisionPolicy | None = None,
+        watchdog_seconds: float | None = None,
+        fault_plan: FaultPlan | None = None,
     ):
         if workers < 2:
             raise ValueError("PooledExecutor needs workers >= 2")
@@ -233,11 +399,20 @@ class PooledExecutor:
         self.workers = workers
         self.context = context
         self.min_parallel = min_parallel
+        self.watchdog_seconds = watchdog_seconds
+        self.fault_plan = fault_plan
+        self.supervisor = Supervisor(policy)
+        self.quarantined: list[Quarantined] = []
         self._pool: ProcessPoolExecutor | None = None
         self._barrier = None
         self._segments_token: tuple[int, ...] | None = None
         self._segments: list[TraceSegment] | None = None
         self._epoch = -1
+        self._degraded = False
+        self._crash_strikes: dict[str, int] = {}
+        self._broadcast_faults_left = (
+            fault_plan.broadcast_failures if fault_plan is not None else 0
+        )
         self.pools_spawned = 0
         #: Latest cumulative cache counters per worker pid.
         self._worker_cache: dict[int, tuple[int, int, int]] = {}
@@ -251,6 +426,16 @@ class PooledExecutor:
     def _emit(self, event) -> None:
         if self.context is not None:
             self.context.emit(event)
+
+    @property
+    def degraded(self) -> bool:
+        """True once supervision has fallen back to serial scoring."""
+        return self._degraded
+
+    @property
+    def pool_rebuilds(self) -> int:
+        """Pools spawned beyond the first (the run's rebuild count)."""
+        return max(0, self.pools_spawned - 1)
 
     def _scorer_config(self) -> tuple:
         scorer = self.scorer
@@ -279,6 +464,9 @@ class PooledExecutor:
                 self._scorer_config(),
                 self._cache_entries(),
                 list(segments) if segments is not None else None,
+                self.fault_plan,
+                self.pools_spawned + 1,  # pool generation, 1-based
+                self.watchdog_seconds,
             ),
         )
         self.pools_spawned += 1
@@ -289,12 +477,41 @@ class PooledExecutor:
             self._pool.shutdown(wait=False, cancel_futures=True)
             self._pool = None
             self._barrier = None
+        self._segments_token = None
+
+    def _degrade(self, reason: str) -> None:
+        """Give up on pooled scoring for the rest of the run."""
+        self._shutdown_pool()
+        self._degraded = True
+        self._emit(DegradedToSerial(reason=reason))
+
+    def _quarantine(
+        self, sketch: Sketch, reason: str, detail: str
+    ) -> ScoredHandler:
+        from repro.synth.scoring import ScoredHandler
+
+        record = Quarantined(sketch=str(sketch), reason=reason, detail=detail)
+        self.quarantined.append(record)
+        self._emit(
+            SketchQuarantined(sketch=record.sketch, reason=reason, detail=detail)
+        )
+        return ScoredHandler(sketch.expr, WORST_DISTANCE)
+
+    def _resolve_outcome(self, sketch: Sketch, outcome) -> ScoredHandler:
+        if isinstance(outcome, _WorkerFailure):
+            return self._quarantine(sketch, outcome.reason, outcome.detail)
+        return outcome
+
+    # ------------------------------------------------------------------
 
     def _broadcast(
         self, segments: Sequence[TraceSegment] | None
     ) -> None:
         """Run one barrier-synchronized task on every worker."""
         assert self._pool is not None
+        if segments is not None and self._broadcast_faults_left > 0:
+            self._broadcast_faults_left -= 1
+            raise FaultInjected("injected broadcast failure")
         futures = [
             self._pool.submit(_broadcast_segments, segments)
             for _ in range(self.workers)
@@ -306,30 +523,50 @@ class PooledExecutor:
             self._worker_cache[pid] = (hits, misses, entries)
 
     def _prime(self, segments: Sequence[TraceSegment]) -> None:
+        """Install *segments* in the pool, surviving broadcast failures.
+
+        A failed broadcast (wedged worker, broken barrier) gets exactly
+        one pool rebuild; a second consecutive failure means the pool
+        cannot be kept alive on this host, and the executor degrades to
+        serial instead of propagating — the run continues either way.
+        """
+        if self._degraded:
+            return
         token = tuple(id(segment) for segment in segments)
         if self._pool is not None and token == self._segments_token:
             return
         segments = list(segments)
-        if self._pool is None:
-            if self._mp_context is not None:
-                # Barrier path: spawn empty, broadcast the working set.
-                self._spawn_pool(None)
-                self._broadcast(segments)
-            else:
-                # No fork: bake segments into the initializer instead.
-                self._spawn_pool(segments)
-        elif self._mp_context is not None:
-            try:
-                self._broadcast(segments)
-            except Exception:
-                # A wedged/dead worker broke the barrier: rebuild once.
-                self._shutdown_pool()
-                self._spawn_pool(segments if self._mp_context is None else None)
-                if self._mp_context is not None:
-                    self._broadcast(segments)
-        else:
+        if self._mp_context is None:
+            # No fork: bake segments into the initializer instead.
             self._shutdown_pool()
             self._spawn_pool(segments)
+        else:
+            if self._pool is None:
+                self._spawn_pool(None)
+            rebuilt = False
+            while True:
+                try:
+                    self._broadcast(segments)
+                    break
+                except Exception as exc:
+                    # A wedged/dead worker broke the barrier.
+                    self._shutdown_pool()
+                    self._emit(
+                        WorkerCrashed(
+                            reason="broadcast",
+                            detail=f"{type(exc).__name__}: {exc}",
+                        )
+                    )
+                    if rebuilt:
+                        self._degrade("segment broadcast failed twice")
+                        return
+                    rebuilt = True
+                    self._spawn_pool(None)
+                    self._emit(
+                        PoolRebuilt(
+                            rebuilds=self.pool_rebuilds, backoff_seconds=0.0
+                        )
+                    )
         self._segments = segments
         self._segments_token = token
         self._epoch += 1
@@ -339,6 +576,132 @@ class PooledExecutor:
 
     # ------------------------------------------------------------------
 
+    def _score_degraded(
+        self,
+        sketches: Sequence[Sketch],
+        segments: Sequence[TraceSegment],
+        deadline: float | None,
+        min_results: int,
+    ) -> list[ScoredHandler]:
+        """Serial fallback (tiny waves and post-degradation scoring)."""
+        return _score_serially(
+            self.scorer,
+            sketches,
+            segments,
+            deadline,
+            min_results,
+            watchdog_seconds=self.watchdog_seconds,
+            fault_plan=self.fault_plan,
+            quarantine=self._quarantine,
+        )
+
+    def _backstop_seconds(self) -> float | None:
+        """Parent-side bound on one future when a watchdog is configured.
+
+        The in-worker SIGALRM normally fires first; the backstop only
+        trips for hangs the alarm cannot interrupt (e.g. C code holding
+        the GIL), and is sized so queueing behind busy siblings never
+        false-positives: results are consumed in submission order, so by
+        the time future *i* is awaited it is running or next in line.
+        """
+        if self.watchdog_seconds is None:
+            return None
+        return self.watchdog_seconds * 4.0 + 10.0
+
+    def _wait_bound(
+        self,
+        index: int,
+        min_results: int,
+        deadline: float | None,
+        backstop: float | None,
+    ) -> tuple[float | None, str | None]:
+        """``(timeout, binding)`` for one future; binding names which
+        limit would fire ("deadline" cuts the wave, "backstop" means a
+        wedged worker)."""
+        if index < min_results:
+            # min_results sketches must be scored even past the deadline,
+            # but a configured watchdog still bounds the wait — this is
+            # the path that used to block forever on a hung worker.
+            return (backstop, "backstop" if backstop is not None else None)
+        if deadline is not None:
+            remaining = deadline - time.perf_counter()
+            if backstop is None or remaining <= backstop:
+                return (remaining, "deadline")
+            return (backstop, "backstop")
+        return (backstop, "backstop" if backstop is not None else None)
+
+    def _score_wave(
+        self,
+        sketches: Sequence[Sketch],
+        deadline: float | None,
+        min_results: int,
+    ) -> list[ScoredHandler]:
+        """Score one wave on the live pool; raise :class:`_PoolBroken`
+        (carrying the completed prefix) if the pool dies under it."""
+        assert self._pool is not None
+        completed: list[ScoredHandler] = []
+        backstop = self._backstop_seconds()
+        if deadline is None and backstop is None:
+            # Fast path: chunked map, results in submission order.
+            chunk = derive_chunksize(len(sketches), self.workers)
+            iterator = self._pool.map(_score_one, sketches, chunksize=chunk)
+            try:
+                for sketch in sketches:
+                    outcome = next(iterator)
+                    completed.append(self._resolve_outcome(sketch, outcome))
+            except StopIteration:  # pragma: no cover - map yields len(sketches)
+                pass
+            except BrokenProcessPool as exc:
+                raise _PoolBroken(
+                    completed, "worker-crash", str(exc) or "pool broken",
+                    blame_next=True,
+                ) from exc
+            return completed
+        futures = [self._pool.submit(_score_one, s) for s in sketches]
+        cut_short = False
+        for index, (sketch, future) in enumerate(zip(sketches, futures)):
+            if cut_short:
+                future.cancel()
+                continue
+            timeout, binding = self._wait_bound(
+                index, min_results, deadline, backstop
+            )
+            if timeout is not None and timeout <= 0 and binding == "deadline":
+                cut_short = True
+                future.cancel()
+                continue
+            try:
+                outcome = future.result(timeout=timeout)
+            except FutureTimeoutError:
+                if binding == "deadline":
+                    cut_short = True
+                    future.cancel()
+                    continue
+                # Backstop: the worker escaped its in-process watchdog —
+                # quarantine the sketch and declare the pool wedged.
+                completed.append(
+                    self._quarantine(
+                        sketch,
+                        "timeout",
+                        f"no result within {timeout:.3g}s backstop",
+                    )
+                )
+                for later in futures[index + 1 :]:
+                    later.cancel()
+                raise _PoolBroken(
+                    completed, "hang", f"worker hung on {sketch}",
+                    blame_next=False,
+                )
+            except BrokenProcessPool as exc:
+                for later in futures[index + 1 :]:
+                    later.cancel()
+                raise _PoolBroken(
+                    completed, "worker-crash", str(exc) or "pool broken",
+                    blame_next=True,
+                ) from exc
+            completed.append(self._resolve_outcome(sketch, outcome))
+        return completed
+
     def score(
         self,
         sketches: Sequence[Sketch],
@@ -347,39 +710,75 @@ class PooledExecutor:
         deadline: float | None = None,
         min_results: int = 0,
     ) -> list[ScoredHandler]:
-        if len(sketches) < self.min_parallel:
+        if self._degraded or len(sketches) < self.min_parallel:
             # Tiny waves stay in-process (shares the parent-side cache).
-            return _score_serially(
-                self.scorer, sketches, segments, deadline, min_results
+            return self._score_degraded(
+                sketches, segments, deadline, min_results
             )
-        self._prime(segments)
-        assert self._pool is not None
-        if deadline is None:
-            chunk = derive_chunksize(len(sketches), self.workers)
-            return list(
-                self._pool.map(_score_one, sketches, chunksize=chunk)
-            )
-        futures = [self._pool.submit(_score_one, s) for s in sketches]
         results: list[ScoredHandler] = []
-        cut_short = False
-        for index, future in enumerate(futures):
-            if cut_short:
-                future.cancel()
-                continue
-            if index < min_results:
-                results.append(future.result())
-                continue
-            remaining = deadline - time.perf_counter()
-            if remaining <= 0:
-                cut_short = True
-                future.cancel()
-                continue
+        offset = 0
+        while True:
+            remaining = sketches[offset:]
+            if len(remaining) == 0:
+                return results
+            self._prime(segments)
+            if self._degraded:
+                results.extend(
+                    self._score_degraded(
+                        remaining,
+                        segments,
+                        deadline,
+                        max(0, min_results - len(results)),
+                    )
+                )
+                return results
             try:
-                results.append(future.result(timeout=remaining))
-            except FutureTimeoutError:
-                cut_short = True
-                future.cancel()
-        return results
+                results.extend(
+                    self._score_wave(
+                        remaining, deadline, max(0, min_results - len(results))
+                    )
+                )
+                self.supervisor.record_success()
+                return results
+            except _PoolBroken as broken:
+                # Keep the contiguous completed prefix; only the suffix
+                # is re-scored after recovery.
+                results.extend(broken.completed)
+                offset = len(results)
+                self._emit(
+                    WorkerCrashed(reason=broken.reason, detail=broken.detail)
+                )
+                if broken.blame_next and offset < len(sketches):
+                    culprit = sketches[offset]
+                    text = str(culprit)
+                    strikes = self._crash_strikes.get(text, 0) + 1
+                    self._crash_strikes[text] = strikes
+                    if strikes >= _CRASH_STRIKES:
+                        # The pool died twice with this sketch first in
+                        # line: treat it as poison and skip it.
+                        results.append(
+                            self._quarantine(
+                                culprit,
+                                "worker-crash",
+                                f"pool broke {strikes}x scoring this sketch",
+                            )
+                        )
+                        offset += 1
+                if self.supervisor.next_action() == "degrade":
+                    self._degrade(
+                        f"{self.supervisor.consecutive_failures} consecutive"
+                        " pool failures"
+                    )
+                    continue
+                backoff = self.supervisor.backoff()
+                self._shutdown_pool()
+                self._emit(
+                    PoolRebuilt(
+                        rebuilds=self.supervisor.rebuilds,
+                        backoff_seconds=backoff,
+                    )
+                )
+                # Loop: _prime respawns the pool and re-primes segments.
 
     def cache_stats(self) -> CacheStats | None:
         """Aggregate cache counters: workers (as last reported) + parent."""
@@ -401,6 +800,7 @@ class PooledExecutor:
         )
 
     def close(self) -> None:
+        """Shut the pool down; safe to call any number of times."""
         self._shutdown_pool()
 
     def __enter__(self) -> "PooledExecutor":
@@ -414,8 +814,24 @@ def make_executor(
     scorer: Scorer,
     workers: int,
     context: RunContext | None = None,
+    *,
+    policy: SupervisionPolicy | None = None,
+    watchdog_seconds: float | None = None,
+    fault_plan: FaultPlan | None = None,
 ) -> ScoringExecutor:
     """The executor for a run: pooled when ``workers > 1``."""
     if workers > 1:
-        return PooledExecutor(scorer, workers, context=context)
-    return SerialExecutor(scorer, context=context)
+        return PooledExecutor(
+            scorer,
+            workers,
+            context=context,
+            policy=policy,
+            watchdog_seconds=watchdog_seconds,
+            fault_plan=fault_plan,
+        )
+    return SerialExecutor(
+        scorer,
+        context=context,
+        watchdog_seconds=watchdog_seconds,
+        fault_plan=fault_plan,
+    )

@@ -1,0 +1,111 @@
+"""Deterministic fault injection for the scoring runtime.
+
+Recovery code that only runs when the cluster misbehaves is recovery
+code that never runs in CI.  A :class:`FaultPlan` makes every failure
+mode the executors guard against *injectable on demand*, keyed by the
+canonical text of the sketch being scored, so tests can crash a specific
+worker on a specific task, hang a specific candidate, or raise from the
+scorer — deterministically, under both executors.
+
+The plan is a frozen, picklable value: :class:`PooledExecutor` ships it
+to workers through the pool initializer, and the serial path consults it
+inline.  Production runs simply pass ``None`` (the default everywhere);
+the checks compile down to one ``is None`` test per sketch.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Iterable
+
+__all__ = ["FaultInjected", "FaultPlan", "apply_sketch_faults"]
+
+
+class FaultInjected(RuntimeError):
+    """An injected fault fired (raised for ``raise_on`` and serial crashes)."""
+
+
+def _texts(sketches: Iterable) -> frozenset[str]:
+    return frozenset(str(sketch) for sketch in sketches)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """What to break, and where.
+
+    Sketch-keyed faults match on the sketch's canonical text
+    (``str(sketch)``).  ``crash_on`` hard-kills the worker process
+    scoring the sketch (``os._exit``), which the parent observes as a
+    ``BrokenProcessPool``; in serial mode — where a process cannot
+    survive its own crash — it raises :class:`FaultInjected` instead and
+    exercises the quarantine path.  ``crash_generations`` restricts
+    crashes to specific pool generations (the first pool a run spawns is
+    generation 1), so a test can model a *transient* crash: the rebuilt
+    pool scores the same sketch cleanly.  ``broadcast_failures`` fails
+    the first N segment-priming broadcasts in the parent, exercising the
+    pool-rebuild branch of ``_prime``.
+    """
+
+    crash_on: frozenset[str] = frozenset()
+    hang_on: frozenset[str] = frozenset()
+    raise_on: frozenset[str] = frozenset()
+    crash_generations: frozenset[int] | None = None
+    hang_seconds: float = 3600.0
+    broadcast_failures: int = 0
+
+    @classmethod
+    def make(
+        cls,
+        *,
+        crash_on: Iterable = (),
+        hang_on: Iterable = (),
+        raise_on: Iterable = (),
+        crash_generations: Iterable[int] | None = None,
+        hang_seconds: float = 3600.0,
+        broadcast_failures: int = 0,
+    ) -> "FaultPlan":
+        """Build a plan from sketches (or their texts) directly."""
+        return cls(
+            crash_on=_texts(crash_on),
+            hang_on=_texts(hang_on),
+            raise_on=_texts(raise_on),
+            crash_generations=(
+                frozenset(crash_generations)
+                if crash_generations is not None
+                else None
+            ),
+            hang_seconds=hang_seconds,
+            broadcast_failures=broadcast_failures,
+        )
+
+    def is_empty(self) -> bool:
+        return not (self.crash_on or self.hang_on or self.raise_on)
+
+
+def apply_sketch_faults(
+    plan: FaultPlan | None,
+    sketch_text: str,
+    *,
+    in_worker: bool,
+    generation: int = 0,
+) -> None:
+    """Fire whatever fault *plan* holds for *sketch_text* (if any).
+
+    Called at the top of every guarded scoring call, inside the watchdog
+    window — an injected hang is interruptible exactly like a real one.
+    """
+    if plan is None:
+        return
+    if sketch_text in plan.crash_on and (
+        plan.crash_generations is None
+        or generation in plan.crash_generations
+    ):
+        if in_worker:
+            os._exit(86)
+        raise FaultInjected(f"injected crash for {sketch_text!r}")
+    if sketch_text in plan.hang_on:
+        time.sleep(plan.hang_seconds)
+    if sketch_text in plan.raise_on:
+        raise FaultInjected(f"injected scorer failure for {sketch_text!r}")

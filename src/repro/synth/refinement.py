@@ -22,6 +22,16 @@ between iterations: the deadline is passed down to the executor, which
 stops dispatching once it trips (while still scoring at least one
 sketch per live bucket so a ranking always exists), so a single large
 bucket cannot overshoot the budget unboundedly.
+
+Fault tolerance (``docs/RESILIENCE.md``): the executor quarantines
+candidates that hang, raise, or crash their worker (worst-case score
+instead of a dead run), supervision rebuilds crashed pools and degrades
+to serial when they cannot be kept alive, and ``checkpoint_path`` /
+``resume_path`` persist the loop's decision log at iteration boundaries
+so a killed run resumed from its last checkpoint converges to the same
+final ranking as an uninterrupted one.  Resume *replays* the recorded
+draw/prune decisions against a fresh bucket pool — the enumeration
+stream is deterministic, so no sketch or score needs to be persisted.
 """
 
 from __future__ import annotations
@@ -29,20 +39,32 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.dsl.families import DslSpec
+from repro.dsl.parser import parse
+from repro.dsl.printer import to_text
 from repro.errors import SynthesisError
 from repro.runtime.cache import DEFAULT_CACHE_ENTRIES, ScoreCache
+from repro.runtime.checkpoint import (
+    CheckpointWriter,
+    RefinementCheckpoint,
+    load_checkpoint,
+)
 from repro.runtime.context import RunContext
 from repro.runtime.events import (
     BucketScored,
     BudgetExceeded,
+    CheckpointSaved,
     IterationFinished,
     RunFinished,
+    RunResumed,
     RunStarted,
     bucket_label,
 )
 from repro.runtime.executors import make_executor
+from repro.runtime.faults import FaultPlan
+from repro.runtime.supervise import Quarantined, SupervisionPolicy
 from repro.synth.pool import BucketPool
 from repro.synth.result import IterationRecord, SynthesisResult
 from repro.synth.scoring import ScoredHandler, Scorer
@@ -82,6 +104,24 @@ class SynthesisConfig:
     #: this changes runtime, never results.
     cache_scores: bool = True
     cache_max_entries: int = DEFAULT_CACHE_ENTRIES
+    #: Per-sketch watchdog: a candidate scoring longer than this is
+    #: quarantined (worst-case score) instead of wedging the run.
+    #: ``None`` disables the watchdog (the bit-identical default).
+    watchdog_seconds: float | None = None
+    #: Consecutive pool failures tolerated (each one triggers a rebuild
+    #: with backoff) before scoring degrades to serial for the rest of
+    #: the run.
+    max_pool_rebuilds: int = 3
+    #: Persist refinement state to this JSONL file at iteration
+    #: boundaries (atomic writes; see ``docs/RESILIENCE.md``).
+    checkpoint_path: str | None = None
+    #: Checkpoint every N iteration boundaries (the last boundary before
+    #: the loop exits is always written).
+    checkpoint_every: int = 1
+    #: Restore refinement state from this checkpoint file before looping.
+    resume_path: str | None = None
+    #: Deterministic fault injection (tests only; ``None`` in production).
+    fault_plan: FaultPlan | None = None
 
 
 @dataclass
@@ -103,6 +143,35 @@ def _working_set(
     return select_diverse_segments(
         segments, min(count, len(segments)), rng=random.Random(seed)
     )
+
+
+def _run_fingerprint(
+    dsl: DslSpec, config: SynthesisConfig, segment_count: int
+) -> dict[str, Any]:
+    """Everything a checkpoint must agree on to be resumable.
+
+    Only inputs that shape the search's *decisions* belong here: the
+    DSL, the schedule, the scoring knobs, and the trace corpus size.
+    Execution knobs (workers, cache, watchdog, budgets) change wall
+    clock, never results, so a run checkpointed with 4 workers can be
+    resumed with 1 — or vice versa.
+    """
+    return {
+        "dsl": dsl.name,
+        "segments": segment_count,
+        "metric": config.metric,
+        "initial_samples": config.initial_samples,
+        "initial_keep": config.initial_keep,
+        "sample_growth": config.sample_growth,
+        "initial_segments": config.initial_segments,
+        "segment_growth": config.segment_growth,
+        "completion_cap": config.completion_cap,
+        "max_iterations": config.max_iterations,
+        "exhaustive_cap": config.exhaustive_cap,
+        "seed": config.seed,
+        "series_budget": config.series_budget,
+        "max_replay_rows": config.max_replay_rows,
+    }
 
 
 def synthesize(
@@ -167,14 +236,115 @@ def synthesize(
             )
         )
 
-    executor = make_executor(scorer, config.workers, context=ctx)
+    fingerprint = _run_fingerprint(dsl, config, len(segments))
+    prior_quarantine: list[Quarantined] = []
+    start_iteration = 0
+    loop_done = False
+    resume_state: RefinementCheckpoint | None = None
+    if config.resume_path is not None:
+        resume_state = load_checkpoint(config.resume_path)
+        if resume_state is None:
+            raise SynthesisError(
+                f"no usable checkpoint found at {config.resume_path!r}"
+            )
+        if resume_state.fingerprint != fingerprint:
+            changed = sorted(
+                key
+                for key in fingerprint
+                if resume_state.fingerprint.get(key) != fingerprint[key]
+            )
+            raise SynthesisError(
+                "checkpoint does not match this run's configuration"
+                f" (differs on: {', '.join(changed) or 'schema'})"
+            )
+    writer = (
+        CheckpointWriter(config.checkpoint_path)
+        if config.checkpoint_path is not None
+        else None
+    )
+
+    executor = make_executor(
+        scorer,
+        config.workers,
+        context=ctx,
+        policy=SupervisionPolicy(max_pool_rebuilds=config.max_pool_rebuilds),
+        watchdog_seconds=config.watchdog_seconds,
+        fault_plan=config.fault_plan,
+    )
     try:
         n_samples = config.initial_samples
         keep = config.initial_keep
         segment_count = config.initial_segments
 
+        if resume_state is not None:
+            # Replay the checkpointed decision log against a fresh pool:
+            # the enumeration stream is deterministic, so drawing the
+            # same targets and pruning to the recorded survivors
+            # reconstructs the exact state scoring left behind.
+            for record in resume_state.records:
+                pool.draw(record.samples_per_bucket)
+                pool.prune(set(record.kept))
+            state.records = list(resume_state.records)
+            state.handlers_scored = resume_state.handlers_scored
+            state.sketches_drawn = pool.generated
+            if resume_state.best_expression is not None:
+                state.best = ScoredHandler(
+                    parse(resume_state.best_expression),
+                    resume_state.best_distance,
+                )
+            prior_quarantine = list(resume_state.quarantined)
+            n_samples = resume_state.next_samples
+            keep = resume_state.next_keep
+            segment_count = resume_state.next_segment_count
+            start_iteration = len(resume_state.records)
+            loop_done = resume_state.loop_done
+            ctx.emit(
+                RunResumed(
+                    path=config.resume_path,
+                    iterations_restored=start_iteration,
+                )
+            )
+
+        def write_checkpoint(finished: bool) -> None:
+            if writer is None:
+                return
+            completed = len(state.records)
+            due = completed % max(config.checkpoint_every, 1) == 0
+            if not (due or finished):
+                return
+            writer.write(
+                RefinementCheckpoint(
+                    fingerprint=fingerprint,
+                    records=tuple(state.records),
+                    best_expression=(
+                        to_text(state.best.handler)
+                        if state.best is not None
+                        else None
+                    ),
+                    best_distance=(
+                        state.best.distance
+                        if state.best is not None
+                        else float("inf")
+                    ),
+                    handlers_scored=state.handlers_scored,
+                    loop_done=finished,
+                    next_samples=n_samples,
+                    next_keep=keep,
+                    next_segment_count=segment_count,
+                    quarantined=tuple(prior_quarantine)
+                    + tuple(executor.quarantined),
+                )
+            )
+            ctx.emit(
+                CheckpointSaved(
+                    path=writer.path, iteration=completed
+                )
+            )
+
         with ctx.timer("refinement"):
-            for iteration in range(config.max_iterations):
+            for iteration in range(start_iteration, config.max_iterations):
+                if loop_done:
+                    break
                 working = _working_set(
                     segments, segment_count, config.seed + iteration
                 )
@@ -252,14 +422,20 @@ def synthesize(
                         elapsed_seconds=time.perf_counter() - started,
                     )
                 )
+                finished = len(pool.buckets) == 1 or pool.exhausted
+                if not finished:
+                    n_samples *= config.sample_growth
+                    keep = max(keep // 2, 1)
+                    segment_count += config.segment_growth
+                # Checkpoint at the iteration boundary: the decision log
+                # plus the *next* schedule values (unchanged when the
+                # loop is done — the exhaustive pass reads them).
+                write_checkpoint(finished)
                 if out_of_time():
                     note_budget("refinement")
                     break
-                if len(pool.buckets) == 1 or pool.exhausted:
+                if finished:
                     break
-                n_samples *= config.sample_growth
-                keep = max(keep // 2, 1)
-                segment_count += config.segment_growth
 
         # Final exhaustive pass over the surviving bucket(s), within the cap.
         if not out_of_time():
@@ -287,7 +463,12 @@ def synthesize(
                         note_budget("exhaustive")
                         break
     finally:
+        # ``close`` is idempotent and this block runs on every exit path,
+        # so an exception mid-run can never leak worker processes.
         final_stats = executor.cache_stats()
+        run_quarantine = prior_quarantine + list(executor.quarantined)
+        pool_rebuilds = getattr(executor, "pool_rebuilds", 0)
+        degraded = bool(getattr(executor, "degraded", False))
         executor.close()
 
     if state.best is None:
@@ -302,6 +483,9 @@ def synthesize(
         total_handlers_scored=state.handlers_scored,
         total_sketches_drawn=state.sketches_drawn,
         elapsed_seconds=time.perf_counter() - started,
+        quarantined=tuple(run_quarantine),
+        pool_rebuilds=pool_rebuilds,
+        degraded=degraded,
     )
     ctx.emit(
         RunFinished(

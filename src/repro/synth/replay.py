@@ -16,6 +16,7 @@ tests assert agreement).
 from __future__ import annotations
 
 import itertools
+import math
 
 import numpy as np
 
@@ -95,7 +96,15 @@ def replay_handler(
     rows = itertools.islice(zip(*sequences), count) if sequences else None
     if rows is None:
         # Signal-free handler (a bare constant): constant series.
-        value = min(max(fn(), mss), cap)
+        value = fn()
+        if not math.isfinite(value):
+            # NaN passes both clamp comparisons (every comparison with
+            # NaN is false) and min/max propagate it; pin divergence to
+            # the cap so it scores terribly instead of poisoning the
+            # distance metric.
+            value = cap
+        else:
+            value = min(max(value, mss), cap)
         out[:] = value
         return out
     for index, values in enumerate(rows):
@@ -103,7 +112,13 @@ def replay_handler(
             values = list(values)
             values[cwnd_index] = cwnd
         cwnd = fn(*values)
-        if cwnd < mss:
+        if not math.isfinite(cwnd):
+            # A NaN window would sail through both comparisons below
+            # (NaN < mss and NaN > cap are both false), feed itself back
+            # as next step's cwnd, and reach the distance metric.
+            # Non-finite means the candidate diverged: pin it to the cap.
+            cwnd = cap
+        elif cwnd < mss:
             cwnd = mss
         elif cwnd > cap:
             cwnd = cap

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 
 from repro.dsl.printer import to_text
 from repro.dsl.simplify import simplify
+from repro.runtime.supervise import Quarantined
 from repro.synth.scoring import ScoredHandler
 
 __all__ = ["IterationRecord", "SynthesisResult"]
@@ -53,6 +54,13 @@ class SynthesisResult:
     total_handlers_scored: int = 0
     total_sketches_drawn: int = 0
     elapsed_seconds: float = 0.0
+    #: Candidates that hung/raised/crashed and were worst-case scored
+    #: instead of killing the run (includes entries restored on resume).
+    quarantined: tuple[Quarantined, ...] = ()
+    #: Scoring pools spawned beyond the first (0 for a healthy run).
+    pool_rebuilds: int = 0
+    #: True when supervision fell back to serial scoring mid-run.
+    degraded: bool = False
 
     @property
     def expression(self) -> str:
@@ -66,10 +74,18 @@ class SynthesisResult:
         return self.best.distance
 
     def summary(self) -> str:
-        return (
+        text = (
             f"[{self.dsl_name}] {self.expression}  "
             f"(distance {self.distance:.2f}, "
             f"{self.total_handlers_scored} handlers scored over "
             f"{len(self.iterations)} iterations, "
             f"{self.elapsed_seconds:.1f}s)"
         )
+        if self.quarantined or self.pool_rebuilds or self.degraded:
+            notes = [f"{len(self.quarantined)} quarantined"]
+            if self.pool_rebuilds:
+                notes.append(f"{self.pool_rebuilds} pool rebuild(s)")
+            if self.degraded:
+                notes.append("degraded to serial")
+            text += f"  [faults: {', '.join(notes)}]"
+        return text

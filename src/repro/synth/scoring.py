@@ -114,10 +114,21 @@ class Scorer:
                     continue
             table = self.table_for(segment)
             observed = table.observed_cwnd() / table.mss
-            synthesized = (
-                replay_handler(handler, table, compiled=compiled) / table.mss
-            )
-            distance = metric(synthesized, observed, budget=self.series_budget)
+            try:
+                synthesized = (
+                    replay_handler(handler, table, compiled=compiled)
+                    / table.mss
+                )
+                distance = metric(
+                    synthesized, observed, budget=self.series_budget
+                )
+            except (EvaluationError, ArithmeticError, ValueError):
+                # A candidate whose arithmetic blows up on this segment
+                # cannot match it; charge the worst score for the segment
+                # rather than letting one bad concretization poison the
+                # whole sketch (the executor-level quarantine is for
+                # faults this narrow guard cannot contain).
+                distance = float("inf")
             if cache is not None:
                 cache.put(key, segment, distance)
             total += distance

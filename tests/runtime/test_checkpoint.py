@@ -1,0 +1,109 @@
+"""Checkpoint persistence tests: round-trips, atomicity, corrupt tails."""
+
+import json
+import os
+
+from repro.runtime.checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointWriter,
+    RefinementCheckpoint,
+    checkpoint_from_payload,
+    checkpoint_payload,
+    load_checkpoint,
+)
+from repro.runtime.supervise import Quarantined
+from repro.synth.result import IterationRecord
+
+
+def _checkpoint(iteration=1, best="cwnd + mss", distance=1.5):
+    record = IterationRecord(
+        index=iteration,
+        samples_per_bucket=6,
+        segment_count=2,
+        ranking=(
+            (frozenset({"reno_inc"}), 0.5),
+            (frozenset({"mss", "cwnd"}), 1.5),
+        ),
+        kept=(frozenset({"reno_inc"}),),
+        handlers_scored=40 * iteration,
+    )
+    return RefinementCheckpoint(
+        fingerprint={"dsl": "reno", "seed": 0, "metric": "dtw"},
+        records=(record,) * iteration,
+        best_expression=best,
+        best_distance=distance,
+        handlers_scored=40 * iteration,
+        loop_done=False,
+        next_samples=48,
+        next_keep=2,
+        next_segment_count=4,
+        quarantined=(Quarantined("c0 * mss", "timeout", "0.1s watchdog"),),
+    )
+
+
+def test_payload_round_trip():
+    original = _checkpoint()
+    payload = json.loads(json.dumps(checkpoint_payload(original)))
+    assert checkpoint_from_payload(payload) == original
+
+
+def test_payload_round_trips_infinite_distance():
+    original = _checkpoint(best=None, distance=float("inf"))
+    payload = json.loads(json.dumps(checkpoint_payload(original)))
+    restored = checkpoint_from_payload(payload)
+    assert restored.best_expression is None
+    assert restored.best_distance == float("inf")
+
+
+def test_writer_then_loader(tmp_path):
+    path = str(tmp_path / "run.ckpt.jsonl")
+    writer = CheckpointWriter(path)
+    writer.write(_checkpoint(iteration=1))
+    writer.write(_checkpoint(iteration=2))
+    loaded = load_checkpoint(path)
+    assert loaded == _checkpoint(iteration=2)  # newest line wins
+    with open(path, encoding="utf-8") as handle:
+        assert len(handle.readlines()) == 2
+
+
+def test_writer_extends_existing_file(tmp_path):
+    path = str(tmp_path / "run.ckpt.jsonl")
+    CheckpointWriter(path).write(_checkpoint(iteration=1))
+    # A restarted run pointing --checkpoint at the same file keeps one
+    # continuous history.
+    CheckpointWriter(path).write(_checkpoint(iteration=2))
+    with open(path, encoding="utf-8") as handle:
+        assert len(handle.readlines()) == 2
+    assert load_checkpoint(path) == _checkpoint(iteration=2)
+
+
+def test_write_leaves_no_temp_file(tmp_path):
+    path = str(tmp_path / "run.ckpt.jsonl")
+    CheckpointWriter(path).write(_checkpoint())
+    assert os.listdir(tmp_path) == ["run.ckpt.jsonl"]
+
+
+def test_corrupt_tail_falls_back_to_previous_line(tmp_path):
+    path = str(tmp_path / "run.ckpt.jsonl")
+    CheckpointWriter(path).write(_checkpoint(iteration=1))
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write('{"version": 1, "truncated mid-wri')
+    assert load_checkpoint(path) == _checkpoint(iteration=1)
+
+
+def test_unknown_version_lines_skipped(tmp_path):
+    path = str(tmp_path / "run.ckpt.jsonl")
+    writer = CheckpointWriter(path)
+    writer.write(_checkpoint(iteration=1))
+    future = checkpoint_payload(_checkpoint(iteration=2))
+    future["version"] = CHECKPOINT_VERSION + 1
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(future) + "\n")
+    assert load_checkpoint(path) == _checkpoint(iteration=1)
+
+
+def test_missing_or_empty_file(tmp_path):
+    assert load_checkpoint(str(tmp_path / "absent.jsonl")) is None
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    assert load_checkpoint(str(empty)) is None

@@ -88,3 +88,48 @@ def test_empty_table_returns_empty():
         mss=1500.0, columns={"time": np.empty(0), "cwnd": np.empty(0)}
     )
     assert len(replay_handler(parse("cwnd"), empty)) == 0
+
+
+# A NaN window passes both clamp comparisons (every comparison with NaN
+# is false), so without an explicit isfinite check it would feed itself
+# back as the next step's cwnd and reach the distance metric.  The DSL's
+# own operators clamp, but a compiled fn is arbitrary code.
+
+
+def _nan_compiled(signals):
+    from repro.dsl.compiled import CompiledHandler
+
+    return CompiledHandler(
+        signals=signals,
+        fn=lambda *values: float("nan"),
+        source="def _handler(*values): return float('nan')\n",
+    )
+
+
+def test_nan_window_pinned_to_cap(table):
+    series = replay_handler(
+        parse("cwnd"), table, compiled=_nan_compiled(("cwnd",))
+    )
+    cap = CWND_CAP_FACTOR * table.observed_cwnd().max()
+    assert np.all(np.isfinite(series))
+    assert np.all(series == cap)
+
+
+def test_nan_constant_handler_pinned_to_cap(table):
+    series = replay_handler(parse("1"), table, compiled=_nan_compiled(()))
+    cap = CWND_CAP_FACTOR * table.observed_cwnd().max()
+    assert np.all(np.isfinite(series))
+    assert np.all(series == cap)
+
+
+def test_inf_window_pinned_to_cap(table):
+    from repro.dsl.compiled import CompiledHandler
+
+    compiled = CompiledHandler(
+        signals=("cwnd",),
+        fn=lambda cwnd: float("inf"),
+        source="def _handler(cwnd): return float('inf')\n",
+    )
+    series = replay_handler(parse("cwnd"), table, compiled=compiled)
+    cap = CWND_CAP_FACTOR * table.observed_cwnd().max()
+    assert np.all(series == cap)

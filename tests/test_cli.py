@@ -210,3 +210,48 @@ def test_stats_command(tmp_path, capsys):
     assert main(["stats", "--traces", str(out)]) == 0
     text = capsys.readouterr().out
     assert "goodput" in text and "rtt min/p50/p95" in text
+
+
+def test_synthesize_checkpoint_and_resume_flags(tmp_path, capsys):
+    """--checkpoint writes a resumable file and --resume replays it
+    through the same CLI invocation."""
+    archive = tmp_path / "reno.json"
+    main(
+        [
+            "collect", "--cca", "reno", "--out", str(archive),
+            "--bandwidth", "10", "--rtt", "50", "--duration", "10",
+        ]
+    )
+    capsys.readouterr()
+    ckpt = tmp_path / "run.ckpt"
+    base = [
+        "synthesize",
+        "--traces", str(archive),
+        "--dsl", "reno",
+        "--max-depth", "2", "--max-nodes", "3",
+        "--samples", "4", "--iterations", "1",
+    ]
+    assert main(base + ["--checkpoint", str(ckpt)]) == 0
+    first = capsys.readouterr().out
+    assert ckpt.exists() and ckpt.read_text().strip()
+    assert main(base + ["--resume", str(ckpt)]) == 0
+    second = capsys.readouterr().out
+
+    def handler_line(text):
+        return next(l for l in text.splitlines() if l.startswith("handler:"))
+
+    assert handler_line(second) == handler_line(first)
+
+
+def test_synthesize_parser_accepts_resilience_flags():
+    args = build_parser().parse_args(
+        [
+            "synthesize", "--traces", "t.json",
+            "--checkpoint", "c.jsonl", "--resume", "c.jsonl",
+            "--max-pool-rebuilds", "2", "--watchdog", "15",
+        ]
+    )
+    assert args.checkpoint == "c.jsonl"
+    assert args.resume == "c.jsonl"
+    assert args.max_pool_rebuilds == 2
+    assert args.watchdog == 15.0

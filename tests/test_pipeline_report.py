@@ -49,3 +49,25 @@ def test_summary_without_verdict():
 
 def test_summary_mentions_segments():
     assert "7 segments" in _report("cwnd + reno_inc").summary()
+
+
+def test_summary_surfaces_faults():
+    from dataclasses import replace
+    from repro.runtime.supervise import Quarantined
+
+    report = _report("cwnd + reno_inc")
+    report.result = replace(
+        report.result,
+        quarantined=(Quarantined("c0 * mss", "timeout"),),
+        pool_rebuilds=2,
+        degraded=True,
+    )
+    summary = report.summary()
+    assert "faults:" in summary
+    assert "1 quarantined" in summary
+    assert "2 pool rebuild(s)" in summary
+    assert "degraded to serial" in summary
+
+
+def test_summary_omits_faults_when_clean():
+    assert "faults:" not in _report("cwnd + reno_inc").summary()

@@ -49,3 +49,33 @@ def test_format_series():
 
 def test_format_series_empty():
     assert "(empty)" in format_series("x", [])
+
+
+def test_run_summary_faults_line_and_quarantine_table():
+    from repro.reporting import format_run_summary
+    from repro.runtime.events import (
+        DegradedToSerial,
+        PoolRebuilt,
+        SketchQuarantined,
+        WorkerCrashed,
+    )
+
+    events = [
+        WorkerCrashed(reason="worker-crash", detail="pool broken"),
+        PoolRebuilt(rebuilds=1, backoff_seconds=0.05),
+        SketchQuarantined(sketch="c0 * mss", reason="timeout", detail="0.3s"),
+        DegradedToSerial(reason="3 consecutive pool failures"),
+    ]
+    text = format_run_summary(events)
+    assert "1 worker crash(es)" in text
+    assert "1 pool rebuild(s)" in text
+    assert "1 sketch(es) quarantined" in text
+    assert "degraded to serial (3 consecutive pool failures)" in text
+    assert "quarantined sketches" in text
+    assert "c0 * mss" in text and "timeout" in text
+
+
+def test_run_summary_silent_on_healthy_run():
+    from repro.reporting import format_run_summary
+
+    assert "faults" not in format_run_summary([])
