@@ -1,0 +1,57 @@
+"""CI gate for the batched-scoring speedup.
+
+Compares the batched/scalar throughput *ratio* from a fresh
+``BENCH_scoring.json`` (emitted by
+``test_perf_kernels.py::test_perf_scoring_throughput``) against the
+pinned ``BASELINE_scoring.json``.  Ratios are machine-portable where
+absolute candidate rates are not: both paths run on the same runner in
+the same process, so a shared slowdown cancels out and only a relative
+regression of the batched path moves the number.
+
+Fails (exit 1) when the fresh speedup is less than half the pinned
+baseline — a >2x slowdown of the fast path relative to the reference.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).parent
+
+
+def main() -> int:
+    fresh_path = HERE / "BENCH_scoring.json"
+    baseline_path = HERE / "BASELINE_scoring.json"
+    if not fresh_path.exists():
+        print(
+            "check_scoring_regression: BENCH_scoring.json missing — run "
+            "test_perf_kernels.py::test_perf_scoring_throughput first",
+            file=sys.stderr,
+        )
+        return 1
+
+    fresh = json.loads(fresh_path.read_text())
+    baseline = json.loads(baseline_path.read_text())
+    speedup = float(fresh["speedup"])
+    pinned = float(baseline["speedup"])
+    floor = pinned / 2.0
+
+    print(
+        f"batched-scoring speedup: fresh {speedup:.1f}x vs pinned "
+        f"{pinned:.1f}x (floor {floor:.1f}x)"
+    )
+    if speedup < floor:
+        print(
+            f"REGRESSION: fresh speedup {speedup:.1f}x is below half the "
+            f"pinned baseline ({pinned:.1f}x); the batched path slowed "
+            "down by more than 2x relative to the scalar reference",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,6 +11,9 @@ mysteriously slow paper benches.
 from __future__ import annotations
 
 import itertools
+import json
+import time
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -130,6 +133,9 @@ def test_perf_score_cache_saves_replays(benchmark, store, monkeypatch):
         max_iterations=3,
         exhaustive_cap=40,
         initial_segments=2,
+        # The batched path replays via replay_batch, not replay_handler;
+        # this benchmark pins the scalar path's replay counters.
+        batch_scoring=False,
     )
 
     def run(cache: bool):
@@ -154,3 +160,89 @@ def test_perf_score_cache_saves_replays(benchmark, store, monkeypatch):
     assert cached_replays == stats.misses
     assert uncached_replays == stats.hits + stats.misses
     assert uncached_replays - cached_replays == stats.hits
+
+
+#: Two-hole sketches x an 8-constant pool = exactly 64 concretizations
+#: each, matching the completion cap the speedup target is pinned at.
+SCORING_SKETCHES = (
+    "c0 * cwnd + c1 * mss",
+    "(rtt > ewma_rtt) ? cwnd - c0 * mss : cwnd + c1 * mss",
+    "cwnd + c0 * acked_bytes + c1 * mss",
+)
+
+SCORING_POOL = (0.25, 0.5, 0.7, 1.0, 1.5, 2.0, 3.0, 4.0)
+
+#: Minimum batched/scalar throughput ratio; measured ~8x on the dev
+#: box, asserted with headroom so the gate survives noisy CI runners.
+SCORING_MIN_SPEEDUP = 5.0
+
+
+def test_perf_scoring_throughput(benchmark, store, report):
+    """Batched sketch scoring is >= 5x the scalar reference path at
+    ``completion_cap=64`` — the tentpole speedup claim.
+
+    Both paths score the same sketches over the same segments with
+    fresh scorers (each builds its own table cache), results are
+    asserted bit-identical, and the run emits ``BENCH_scoring.json``
+    for the CI regression gate (``check_scoring_regression.py``).
+    """
+    from repro.dsl.parser import parse as parse_expr
+    from repro.dsl.printer import to_text
+    from repro.synth.scoring import Scorer
+    from repro.synth.sketch import Sketch
+
+    segments = store.segments("reno", limit=4)
+    sketches = [
+        Sketch.from_expr(parse_expr(text)) for text in SCORING_SKETCHES
+    ]
+    candidates = len(SCORING_POOL) ** 2 * len(sketches)
+
+    def run(batch: bool):
+        best = float("inf")
+        results = counters = None
+        for _ in range(3):  # best-of-3 damps scheduler noise
+            scorer = Scorer(
+                constant_pool=SCORING_POOL,
+                completion_cap=64,
+                seed=0,
+                batch=batch,
+            )
+            start = time.perf_counter()
+            results = [
+                scorer.score_sketch(sketch, segments)
+                for sketch in sketches
+            ]
+            best = min(best, time.perf_counter() - start)
+            counters = scorer.counters
+        return results, candidates / best, counters
+
+    scalar_results, scalar_rate, _ = run(batch=False)
+    batched_results, batched_rate, counters = run(batch=True)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    # The fast path never changes the answer, only the work:
+    for batched, scalar in zip(batched_results, scalar_results):
+        assert batched.distance == scalar.distance
+        assert to_text(batched.handler) == to_text(scalar.handler)
+    assert counters.batched_waves == len(sketches)
+    assert counters.lb_pruned + counters.dp_abandoned > 0
+
+    speedup = batched_rate / scalar_rate
+    report(f"scoring throughput @cap=64 over {len(segments)} segments:")
+    report(f"  scalar  {scalar_rate:9.0f} candidates/s")
+    report(f"  batched {batched_rate:9.0f} candidates/s  ({speedup:.1f}x)")
+
+    payload = {
+        "kernel": "sketch_scoring",
+        "completion_cap": 64,
+        "segments": len(segments),
+        "sketches": len(sketches),
+        "candidates": candidates,
+        "scalar_candidates_per_sec": scalar_rate,
+        "batched_candidates_per_sec": batched_rate,
+        "speedup": speedup,
+    }
+    out = Path(__file__).with_name("BENCH_scoring.json")
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+
+    assert speedup >= SCORING_MIN_SPEEDUP

@@ -45,6 +45,7 @@ from repro.runtime import (
     IterationFinished,
     JsonlSink,
     RunContext,
+    ScoringStats,
 )
 from repro.synth.refinement import SynthesisConfig
 from repro.trace.collect import CollectionConfig, collect_traces
@@ -173,6 +174,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the cross-iteration score cache",
     )
     synthesize.add_argument(
+        "--no-batch",
+        action="store_true",
+        help="score candidates one at a time through the scalar reference "
+        "path instead of the batched fast path (identical results, slower)",
+    )
+    synthesize.add_argument(
         "--checkpoint",
         metavar="PATH",
         help="write atomic JSONL refinement checkpoints to PATH at "
@@ -257,6 +264,7 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
         workers=args.workers,
         time_budget_seconds=args.time_budget,
         cache_scores=not args.no_cache,
+        batch_scoring=not args.no_batch,
         checkpoint_path=args.checkpoint,
         resume_path=args.resume,
         max_pool_rebuilds=args.max_pool_rebuilds,
@@ -299,6 +307,7 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
 def _json_report(report, collector: CollectorSink, context: RunContext) -> dict:
     """The machine-readable synthesis report (``--report json``)."""
     cache = collector.last_of_kind(CacheStats.kind)
+    scoring = collector.last_of_kind(ScoringStats.kind)
     return {
         "dsl": report.dsl.name,
         "classifier": report.verdict.render() if report.verdict else None,
@@ -335,6 +344,16 @@ def _json_report(report, collector: CollectorSink, context: RunContext) -> dict:
                 "entries": cache.entries,
             }
             if cache is not None
+            else None
+        ),
+        "scoring": (
+            {
+                "batched_waves": scoring.batched_waves,
+                "lb_pruned": scoring.lb_pruned,
+                "dp_abandoned": scoring.dp_abandoned,
+                "candidates_pruned": scoring.candidates_pruned,
+            }
+            if scoring is not None
             else None
         ),
         "phase_seconds": dict(context.phase_seconds),

@@ -12,8 +12,14 @@ from repro.distance.base import (
     DistanceMetric,
     get_metric,
 )
-from repro.distance.dtw import dtw_distance, dtw_matrix
+from repro.distance.dtw import (
+    band_width,
+    dtw_distance,
+    dtw_matrix,
+    inflate_bound,
+)
 from repro.distance.frechet import frechet_distance, lag_distance
+from repro.distance.lb import keogh_envelope, lb_keogh, lb_kim
 from repro.distance.pointwise import (
     correlation_distance,
     euclidean_distance,
@@ -33,6 +39,11 @@ __all__ = [
     "get_metric",
     "dtw_distance",
     "dtw_matrix",
+    "band_width",
+    "inflate_bound",
+    "lb_kim",
+    "lb_keogh",
+    "keogh_envelope",
     "frechet_distance",
     "lag_distance",
     "correlation_distance",

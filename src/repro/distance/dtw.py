@@ -19,49 +19,92 @@ import numpy as np
 
 from repro.distance.preprocess import SERIES_BUDGET, downsample
 
-__all__ = ["dtw_distance", "dtw_matrix"]
+__all__ = ["dtw_distance", "dtw_matrix", "band_width", "inflate_bound"]
 
 _INF = float("inf")
 
+#: Slack applied by :func:`inflate_bound` — generous relative to the
+#: float-summation error of a ~256-step DP (≈1e-10 relative), yet far
+#: too small to let a genuinely worse candidate slip past a prune.
+_BOUND_RELATIVE_SLACK = 1e-7
+_BOUND_ABSOLUTE_SLACK = 1e-9
+
+
+def band_width(n: int, m: int, band: float | None = 0.2) -> int:
+    """Sakoe-Chiba half-width used by :func:`dtw_matrix` for sizes n, m.
+
+    Also the contract the LB_Keogh envelope must honor: the DP only
+    visits cells with ``|i - j| <= width``, so an envelope built with
+    this reach lower-bounds the banded DTW.  The width always covers the
+    diagonal slope difference (``abs(n - m) + 1``), which makes the
+    ``(n, m)`` corner reachable — an infinite corner can then only mean
+    the DP was abandoned by a ``bound``.
+    """
+    width = max(n, m) if band is None else max(int(band * max(n, m)), 2)
+    return max(width, abs(n - m) + 1)
+
+
+def inflate_bound(bound: float) -> float:
+    """Add float-safety slack to an abandon threshold.
+
+    Prunes compare *exact* quantities against thresholds derived from
+    floating-point sums; inflating the threshold by far more than the
+    accumulated rounding error guarantees a candidate that would tie or
+    beat the incumbent is never abandoned (ranking identity), while a
+    strictly worse one still prunes almost always.
+    """
+    return bound + abs(bound) * _BOUND_RELATIVE_SLACK + _BOUND_ABSOLUTE_SLACK
+
 
 def dtw_matrix(
-    left: np.ndarray, right: np.ndarray, *, band: float | None = 0.2
+    left: np.ndarray,
+    right: np.ndarray,
+    *,
+    band: float | None = 0.2,
+    bound: float | None = None,
 ) -> np.ndarray:
     """Return the (n+1)x(m+1) accumulated-cost matrix of the DTW DP.
 
     ``band`` is the Sakoe-Chiba band half-width as a fraction of the
-    longer series; ``None`` disables banding.
+    longer series; ``None`` disables banding.  When *bound* is given the
+    DP is abandoned — leaving the corner infinite — as soon as an entire
+    row's running minimum exceeds it: every warping path visits at least
+    one cell per row and costs are non-negative, so the row minimum
+    lower-bounds the corner and abandonment is exact (a path with total
+    cost ``<= bound`` is never lost).
     """
     left = np.asarray(left, dtype=float)
     right = np.asarray(right, dtype=float)
     n, m = left.size, right.size
     if n == 0 or m == 0:
         raise ValueError("DTW requires non-empty series")
-    width = max(n, m) if band is None else max(int(band * max(n, m)), 2)
-    # The band must at least cover the diagonal slope difference.
-    width = max(width, abs(n - m) + 1)
+    width = band_width(n, m, band)
 
     cost = np.full((n + 1, m + 1), _INF)
     cost[0, 0] = 0.0
-    for i in range(1, n + 1):
-        lo = max(1, i - width)
-        hi = min(m, i + width)
-        row_cost = np.abs(left[i - 1] - right[lo - 1 : hi])
-        diag = cost[i - 1, lo - 1 : hi]
-        above = cost[i - 1, lo : hi + 1]
-        best_prev = np.minimum(diag, above)
-        # The row recurrence r_j = c_j + min(b_j, r_{j-1}) has the closed
-        # form r_j = S_j + min(r_lo, min_{k<=j} (b_k - S_{k-1})) with
-        # S the prefix sums of c — so the whole row vectorizes as a
-        # cumulative sum plus a running minimum (no Python inner loop).
-        prefix = np.cumsum(row_cost)
-        shifted = np.empty_like(prefix)
-        shifted[0] = 0.0
-        shifted[1:] = prefix[:-1]
-        with np.errstate(invalid="ignore"):
+    with np.errstate(invalid="ignore"):
+        for i in range(1, n + 1):
+            lo = max(1, i - width)
+            hi = min(m, i + width)
+            row_cost = np.abs(left[i - 1] - right[lo - 1 : hi])
+            diag = cost[i - 1, lo - 1 : hi]
+            above = cost[i - 1, lo : hi + 1]
+            best_prev = np.minimum(diag, above)
+            # The row recurrence r_j = c_j + min(b_j, r_{j-1}) has the
+            # closed form r_j = S_j + min(r_lo, min_{k<=j} (b_k -
+            # S_{k-1})) with S the prefix sums of c — so the whole row
+            # vectorizes as a cumulative sum plus a running minimum (no
+            # Python inner loop).
+            prefix = np.add.accumulate(row_cost)
+            shifted = np.empty_like(prefix)
+            shifted[0] = 0.0
+            shifted[1:] = prefix[:-1]
             running = np.minimum.accumulate(best_prev - shifted)
-            boundary = cost[i, lo - 1]
-            cost[i, lo : hi + 1] = prefix + np.minimum(running, boundary)
+            row = prefix + np.minimum(running, cost[i, lo - 1])
+            cost[i, lo : hi + 1] = row
+            if bound is not None and not row.min() <= bound:
+                # `not <=` rather than `>` so a NaN bound never abandons.
+                return cost
     return cost
 
 
@@ -71,15 +114,31 @@ def dtw_distance(
     *,
     band: float | None = 0.2,
     budget: int = SERIES_BUDGET,
+    bound: float | None = None,
 ) -> float:
     """Normalized DTW distance between two series.
 
     Both series are down-sampled to *budget* points; the accumulated
     warping cost is divided by the path-length bound so different segment
     lengths score comparably.
+
+    When *bound* is given (in normalized units), the DP may abandon once
+    no path can finish within it, returning ``inf``; whenever the true
+    distance is ``<= bound`` the exact distance is returned (the raw
+    threshold is inflated by :func:`inflate_bound` so float rounding can
+    never turn a would-be winner into a prune).
     """
     left = downsample(left, budget)
     right = downsample(right, budget)
+    if bound is not None and np.isfinite(bound):
+        raw_bound = inflate_bound(bound * (left.size + right.size))
+        cost = dtw_matrix(left, right, band=band, bound=raw_bound)
+        total = cost[left.size, right.size]
+        if total == _INF:
+            # band_width keeps the corner reachable, so an infinite
+            # corner here means the DP was abandoned: distance > bound.
+            return _INF
+        return float(total / (left.size + right.size))
     cost = dtw_matrix(left, right, band=band)
     total = cost[left.size, right.size]
     if total == _INF:

@@ -11,6 +11,16 @@ saturation, safe division, and the tolerant modular test.
 :class:`CompiledHandler` also exposes the ordered tuple of signals the
 expression reads, so the replay loop can bind trace columns positionally
 and avoid building a dict per ACK.
+
+:func:`compile_sketch_vector` is the batched backend: it compiles a
+*sketch* (holes allowed) once into a numpy function over K-wide lane
+vectors, one lane per pool concretization, so a single per-ACK call
+replaces K scalar calls.  The vector helpers reproduce the scalar
+saturation semantics elementwise — including ``np.float_power`` for
+``Cube``, the one operation where numpy's default ``**`` fast-path
+(``x*x*x`` for small integer exponents) is *not* bit-identical to
+Python's libm ``pow`` — so batched replay matches scalar replay bit for
+bit (enforced by property tests).
 """
 
 from __future__ import annotations
@@ -19,12 +29,19 @@ import math
 from dataclasses import dataclass
 from typing import Callable, Mapping
 
+import numpy as np
+
 from repro.dsl import ast
 from repro.dsl.evaluate import MODEQ_TOLERANCE, _DIV_EPSILON, _VALUE_CAP
 from repro.dsl.macros import expand_macros
 from repro.errors import EvaluationError
 
-__all__ = ["CompiledHandler", "compile_handler"]
+__all__ = [
+    "CompiledHandler",
+    "compile_handler",
+    "CompiledVectorSketch",
+    "compile_sketch_vector",
+]
 
 
 def _clamp(value: float) -> float:
@@ -48,7 +65,9 @@ def _cbrt(value: float) -> float:
 
 
 def _modeq(value: float, modulus: float) -> bool:
-    if abs(modulus) < _DIV_EPSILON:
+    if abs(modulus) < _DIV_EPSILON or not math.isfinite(value):
+        # Matches the evaluator and the vector backend: a non-finite
+        # value is never on a multiple (fmod(inf) is a domain error).
         return False
     remainder = math.fmod(abs(value), abs(modulus))
     tolerance = MODEQ_TOLERANCE * abs(modulus)
@@ -143,5 +162,161 @@ def compile_handler(expr: ast.NumExpr) -> CompiledHandler:
     return CompiledHandler(
         signals=tuple(names),
         fn=namespace["_handler"],  # type: ignore[arg-type]
+        source=source,
+    )
+
+
+# ----------------------------------------------------------------------
+# Vectorized sketch backend (batched scoring).
+#
+# Each helper is the elementwise twin of its scalar counterpart above:
+# for every finite/NaN/inf input, applying the vector helper to a 1-lane
+# array yields exactly the scalar helper's float (IEEE-754 arithmetic is
+# deterministic elementwise; only ``**`` needs ``np.float_power`` to
+# route through the same libm ``pow`` the interpreter uses).
+
+
+def _v_clamp(value):
+    value = np.where(np.isnan(value), _VALUE_CAP, value)
+    return np.minimum(np.maximum(value, -_VALUE_CAP), _VALUE_CAP)
+
+
+def _v_div(left, right):
+    small = np.abs(right) < _DIV_EPSILON
+    safe = np.where(small, 1.0, right)
+    saturated = np.where(np.greater_equal(left, 0.0), _VALUE_CAP, -_VALUE_CAP)
+    return np.where(small, saturated, _v_clamp(np.divide(left, safe)))
+
+
+def _v_cbrt(value):
+    # float_power (not ``**``) for the same reason as _v_pow3: numpy's
+    # array power can diverge from libm pow by an ulp on some inputs.
+    return _v_clamp(
+        np.copysign(np.float_power(np.abs(value), 1.0 / 3.0), value)
+    )
+
+
+def _v_pow3(value):
+    # np.float_power promotes to float64 and calls libm pow, matching
+    # Python's ``x ** 3`` bitwise; plain ``array ** 3`` does not (numpy
+    # strength-reduces small integer exponents to repeated multiplies).
+    return np.float_power(value, 3.0)
+
+
+def _v_modeq(value, modulus):
+    degenerate = np.abs(modulus) < _DIV_EPSILON
+    safe = np.where(degenerate, 1.0, np.abs(modulus))
+    remainder = np.fmod(np.abs(value), safe)
+    tolerance = MODEQ_TOLERANCE * safe
+    near = (remainder <= tolerance) | (safe - remainder <= tolerance)
+    return near & ~degenerate
+
+
+_VECTOR_HELPERS = {
+    "_v_clamp": _v_clamp,
+    "_v_div": _v_div,
+    "_v_cbrt": _v_cbrt,
+    "_v_pow3": _v_pow3,
+    "_v_modeq": _v_modeq,
+    "_np_where": np.where,
+}
+
+
+def _emit_vector(
+    expr: ast.Expr, names: list[str], hole_params: dict[int, str]
+) -> str:
+    """Emit a numpy expression string; holes become lane parameters."""
+    if isinstance(expr, ast.Const):
+        if expr.is_hole:
+            return hole_params[expr.hole_id]
+        return repr(float(expr.value))
+    if isinstance(expr, ast.Signal):
+        if expr.name not in names:
+            names.append(expr.name)
+        return f"_s_{expr.name}"
+    if isinstance(expr, ast.BinOp):
+        left = _emit_vector(expr.left, names, hole_params)
+        right = _emit_vector(expr.right, names, hole_params)
+        if expr.op == "/":
+            return f"_v_div({left}, {right})"
+        return f"_v_clamp(({left}) {expr.op} ({right}))"
+    if isinstance(expr, ast.Cond):
+        pred = _emit_vector(expr.pred, names, hole_params)
+        then = _emit_vector(expr.then, names, hole_params)
+        otherwise = _emit_vector(expr.otherwise, names, hole_params)
+        # Both branches are evaluated (numpy has no lazy select), which
+        # is safe because every DSL operation is total and saturating —
+        # the unselected lane values are simply discarded elementwise.
+        return f"_np_where(({pred}), ({then}), ({otherwise}))"
+    if isinstance(expr, ast.Cube):
+        arg = _emit_vector(expr.arg, names, hole_params)
+        return f"_v_clamp(_v_pow3({arg}))"
+    if isinstance(expr, ast.Cbrt):
+        return f"_v_cbrt({_emit_vector(expr.arg, names, hole_params)})"
+    if isinstance(expr, ast.Cmp):
+        left = _emit_vector(expr.left, names, hole_params)
+        right = _emit_vector(expr.right, names, hole_params)
+        return f"(({left}) {expr.op} ({right}))"
+    if isinstance(expr, ast.ModEq):
+        left = _emit_vector(expr.left, names, hole_params)
+        right = _emit_vector(expr.right, names, hole_params)
+        return f"_v_modeq({left}, {right})"
+    raise EvaluationError(f"cannot compile node {type(expr).__name__}")
+
+
+@dataclass(frozen=True)
+class CompiledVectorSketch:
+    """A sketch compiled to one numpy function over candidate lanes.
+
+    ``fn`` takes the ``signals`` values (scalars, or arrays broadcast
+    along the lane axis) followed by one lane vector per entry of
+    ``hole_ids``, and returns the next-window values for every lane at
+    once.  ``assignment_positions`` maps each hole parameter to its
+    index in an assignment tuple aligned with ``ast.holes`` pre-order
+    (the last occurrence of a repeated id, matching ``fill_holes``'s
+    dict semantics).
+    """
+
+    signals: tuple[str, ...]
+    hole_ids: tuple[int, ...]
+    assignment_positions: tuple[int, ...]
+    fn: Callable[..., object]
+    source: str
+
+
+def compile_sketch_vector(expr: ast.NumExpr) -> CompiledVectorSketch:
+    """Compile *expr* (holes allowed, macros expanded) into a
+    :class:`CompiledVectorSketch`.
+
+    Property tests assert that for every assignment, evaluating the
+    vector function on 1-wide lanes is bit-identical to compiling the
+    filled handler with :func:`compile_handler`.
+    """
+    expanded = expand_macros(expr)
+    # Hole order must match what concretization uses: pre-order on the
+    # *unexpanded* expression (macro expansion only substitutes holeless
+    # leaves, but aligning on the same tree removes any doubt).
+    all_holes = ast.holes(expr)
+    last_position: dict[int, int] = {}
+    for position, hole in enumerate(all_holes):
+        last_position[hole.hole_id] = position
+    hole_ids = tuple(dict.fromkeys(hole.hole_id for hole in all_holes))
+    hole_params = {
+        hole_id: f"_h_{index}" for index, hole_id in enumerate(hole_ids)
+    }
+    names: list[str] = []
+    body = _emit_vector(expanded, names, hole_params)
+    params = ", ".join(
+        [f"_s_{name}" for name in names]
+        + [hole_params[hole_id] for hole_id in hole_ids]
+    )
+    source = f"def _sketch({params}):\n    return {body}\n"
+    namespace: dict[str, object] = dict(_VECTOR_HELPERS)
+    exec(compile(source, "<compiled-vector-sketch>", "exec"), namespace)
+    return CompiledVectorSketch(
+        signals=tuple(names),
+        hole_ids=hole_ids,
+        assignment_positions=tuple(last_position[i] for i in hole_ids),
+        fn=namespace["_sketch"],  # type: ignore[arg-type]
         source=source,
     )

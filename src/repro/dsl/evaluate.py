@@ -100,7 +100,10 @@ def evaluate_bool(expr: ast.BoolExpr, env: Environment) -> bool:
     if isinstance(expr, ast.ModEq):
         value = evaluate(expr.left, env)
         modulus = evaluate(expr.right, env)
-        if abs(modulus) < _DIV_EPSILON:
+        if abs(modulus) < _DIV_EPSILON or not math.isfinite(value):
+            # An infinite value is never "on a multiple" (and fmod(inf)
+            # is a domain error); a diverged candidate takes the else
+            # branch instead of crashing the replay.
             return False
         remainder = math.fmod(abs(value), abs(modulus))
         # Accept remainders close to 0 or close to the modulus: float cwnd

@@ -20,6 +20,7 @@ from repro.runtime.events import (
     PoolRebuilt,
     PoolSpawned,
     RunFinished,
+    ScoringStats,
     SegmentsPrimed,
     SketchQuarantined,
     WorkerCrashed,
@@ -158,6 +159,15 @@ def format_run_summary(events: Iterable[Event]) -> str:
         lines.append(
             f"cache:  {final.hits} hits / {final.lookups} lookups "
             f"({final.hit_rate:.0%}), {final.entries} entries"
+        )
+    scorings = [e for e in events if isinstance(e, ScoringStats)]
+    if scorings:
+        final_scoring = scorings[-1]
+        lines.append(
+            f"prunes: {final_scoring.lb_pruned} lb_pruned, "
+            f"{final_scoring.dp_abandoned} dp_abandoned, "
+            f"{final_scoring.candidates_pruned} candidates dropped over "
+            f"{final_scoring.batched_waves} batched_waves"
         )
     finals = [e for e in events if isinstance(e, RunFinished)]
     if finals and finals[-1].phase_seconds:

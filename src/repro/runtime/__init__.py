@@ -30,6 +30,7 @@ from repro.runtime.events import (
     RunFinished,
     RunResumed,
     RunStarted,
+    ScoringStats,
     SegmentsPrimed,
     SketchQuarantined,
     SketchesDrawn,
@@ -90,6 +91,7 @@ __all__ = [
     "BucketScored",
     "IterationFinished",
     "CacheStats",
+    "ScoringStats",
     "BudgetExceeded",
     "RunFinished",
     "bucket_label",

@@ -24,6 +24,7 @@ __all__ = [
     "BucketScored",
     "IterationFinished",
     "CacheStats",
+    "ScoringStats",
     "BudgetExceeded",
     "RunFinished",
     "WorkerCrashed",
@@ -132,6 +133,25 @@ class CacheStats(Event):
     @property
     def hit_rate(self) -> float:
         return self.hits / self.lookups if self.lookups else 0.0
+
+
+@dataclass(frozen=True)
+class ScoringStats(Event):
+    """Batched-scoring counters at a point in time (cumulative for the run).
+
+    Mirrors :class:`repro.synth.scoring.ScoringCounters`: how many sketch
+    waves took the batched fast path, how many candidate×segment distance
+    computations the lower-bound cascade skipped (``lb_pruned``), how many
+    DTW dynamic programs were abandoned mid-run (``dp_abandoned``), and how
+    many whole candidates were discarded without a full score
+    (``candidates_pruned``).
+    """
+
+    kind: ClassVar[str] = "scoring_stats"
+    batched_waves: int
+    lb_pruned: int
+    dp_abandoned: int
+    candidates_pruned: int
 
 
 @dataclass(frozen=True)

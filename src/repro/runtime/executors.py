@@ -66,6 +66,7 @@ from repro.runtime.events import (
     DegradedToSerial,
     PoolRebuilt,
     PoolSpawned,
+    ScoringStats,
     SegmentsPrimed,
     SketchQuarantined,
     WorkerCrashed,
@@ -139,6 +140,10 @@ class ScoringExecutor(Protocol):
 
     def cache_stats(self) -> CacheStats | None:
         """Cumulative score-cache counters, if caching is enabled."""
+        ...
+
+    def scoring_stats(self) -> ScoringStats:
+        """Cumulative batched-scoring counters (prunes, abandons, waves)."""
         ...
 
     def close(self) -> None: ...
@@ -246,6 +251,15 @@ class SerialExecutor:
         cache = self.scorer.cache
         return cache.stats() if cache is not None else None
 
+    def scoring_stats(self) -> ScoringStats:
+        counters = self.scorer.counters
+        return ScoringStats(
+            batched_waves=counters.batched_waves,
+            lb_pruned=counters.lb_pruned,
+            dp_abandoned=counters.dp_abandoned,
+            candidates_pruned=counters.candidates_pruned,
+        )
+
     def close(self) -> None:
         pass
 
@@ -296,6 +310,8 @@ def _init_worker(
         seed,
         max_replay_rows,
         series_budget,
+        batch,
+        table_cache_entries,
     ) = scorer_config
     _worker_scorer = Scorer(
         metric_name=metric_name,
@@ -305,6 +321,8 @@ def _init_worker(
         max_replay_rows=max_replay_rows,
         series_budget=series_budget,
         cache=ScoreCache(cache_entries) if cache_entries else None,
+        batch=batch,
+        table_cache_entries=table_cache_entries,
     )
     _worker_segments = segments
     _worker_barrier = barrier
@@ -320,23 +338,29 @@ def _worker_cache_counts() -> tuple[int, int, int]:
     return (cache.hits, cache.misses, len(cache))
 
 
+def _worker_scoring_counts() -> tuple[int, int, int, int]:
+    if _worker_scorer is None:
+        return (0, 0, 0, 0)
+    return _worker_scorer.counters.as_tuple()
+
+
 def _broadcast_segments(
     segments: Sequence[TraceSegment] | None,
-) -> tuple[int, int, int, int]:
+) -> tuple[int, tuple[int, int, int], tuple[int, int, int, int]]:
     """Install a new working set (or just report stats when ``None``).
 
-    Returns ``(pid, cache_hits, cache_misses, cache_entries)`` so the
-    parent can aggregate run-wide cache telemetry.  The barrier wait is
-    what guarantees each worker executes exactly one broadcast task: a
-    worker that finished its task blocks until every sibling has one,
-    so the pool cannot route two broadcasts to the same worker.
+    Returns ``(pid, cache_counts, scoring_counts)`` so the parent can
+    aggregate run-wide cache and batched-scoring telemetry.  The barrier
+    wait is what guarantees each worker executes exactly one broadcast
+    task: a worker that finished its task blocks until every sibling has
+    one, so the pool cannot route two broadcasts to the same worker.
     """
     global _worker_segments
     if segments is not None:
         _worker_segments = segments
     if _worker_barrier is not None:
         _worker_barrier.wait(timeout=_PRIME_TIMEOUT_SECONDS)
-    return (os.getpid(), *_worker_cache_counts())
+    return (os.getpid(), _worker_cache_counts(), _worker_scoring_counts())
 
 
 def _score_one(sketch: Sketch) -> "ScoredHandler | _WorkerFailure":
@@ -416,6 +440,8 @@ class PooledExecutor:
         self.pools_spawned = 0
         #: Latest cumulative cache counters per worker pid.
         self._worker_cache: dict[int, tuple[int, int, int]] = {}
+        #: Latest cumulative batched-scoring counters per worker pid.
+        self._worker_scoring: dict[int, tuple[int, int, int, int]] = {}
         methods = multiprocessing.get_all_start_methods()
         self._mp_context = (
             multiprocessing.get_context("fork") if "fork" in methods else None
@@ -446,6 +472,8 @@ class PooledExecutor:
             scorer.seed,
             scorer.max_replay_rows,
             scorer.series_budget,
+            scorer.batch,
+            scorer.table_cache_entries,
         )
 
     def _cache_entries(self) -> int | None:
@@ -517,10 +545,11 @@ class PooledExecutor:
             for _ in range(self.workers)
         ]
         for future in futures:
-            pid, hits, misses, entries = future.result(
+            pid, cache_counts, scoring_counts = future.result(
                 timeout=_PRIME_TIMEOUT_SECONDS * 2
             )
-            self._worker_cache[pid] = (hits, misses, entries)
+            self._worker_cache[pid] = cache_counts
+            self._worker_scoring[pid] = scoring_counts
 
     def _prime(self, segments: Sequence[TraceSegment]) -> None:
         """Install *segments* in the pool, surviving broadcast failures.
@@ -797,6 +826,31 @@ class PooledExecutor:
             hits=hits + parent.hits,
             misses=misses + parent.misses,
             entries=entries + parent.entries,
+        )
+
+    def scoring_stats(self) -> ScoringStats:
+        """Aggregate batched-scoring counters: workers + parent scorer.
+
+        Worker counters are refreshed by the same broadcast that reports
+        cache stats; counters from workers lost to a rebuild stay in the
+        sum (they describe work that really happened).  The parent
+        scorer's counters cover tiny and degraded waves scored inline.
+        """
+        if self._pool is not None and self._mp_context is not None:
+            try:
+                self._broadcast(None)  # refresh per-worker counters
+            except Exception:
+                pass  # stale counters are better than a crashed run
+        totals = [
+            sum(entry[index] for entry in self._worker_scoring.values())
+            for index in range(4)
+        ]
+        parent = self.scorer.counters
+        return ScoringStats(
+            batched_waves=totals[0] + parent.batched_waves,
+            lb_pruned=totals[1] + parent.lb_pruned,
+            dp_abandoned=totals[2] + parent.dp_abandoned,
+            candidates_pruned=totals[3] + parent.candidates_pruned,
         )
 
     def close(self) -> None:

@@ -18,20 +18,30 @@ from typing import Iterator, Sequence
 from repro.dsl import ast
 from repro.synth.sketch import Sketch
 
-__all__ = ["concretizations", "concretize_all", "DEFAULT_COMPLETION_CAP"]
+__all__ = [
+    "concretizations",
+    "concretization_assignments",
+    "concretize_all",
+    "DEFAULT_COMPLETION_CAP",
+]
 
 #: Maximum completions expanded per sketch before sampling kicks in.
 DEFAULT_COMPLETION_CAP = 64
 
 
-def concretizations(
+def concretization_assignments(
     sketch: Sketch,
     pool: Sequence[float],
     *,
     cap: int = DEFAULT_COMPLETION_CAP,
     seed: int = 0,
-) -> Iterator[ast.NumExpr]:
-    """Yield concrete handlers obtained by filling *sketch*'s holes.
+) -> Iterator[tuple[float, ...]]:
+    """Yield hole-value tuples, aligned with ``ast.holes(sketch.expr)``.
+
+    This is the assignment stream :func:`concretizations` fills holes
+    from; batched scoring iterates the same stream so the scalar and
+    vectorized paths see candidates in the identical order (ties in the
+    per-sketch minimum resolve to the same handler either way).
 
     When the full assignment product fits within *cap* it is enumerated
     exhaustively (deterministic order); otherwise *cap* assignments are
@@ -39,13 +49,12 @@ def concretizations(
     """
     holes = ast.holes(sketch.expr)
     if not holes:
-        yield sketch.expr
+        yield ()
         return
-    hole_ids = [hole.hole_id for hole in holes]
-    total = len(pool) ** len(hole_ids)
+    hole_count = len(holes)
+    total = len(pool) ** hole_count
     if total <= cap:
-        for values in itertools.product(pool, repeat=len(hole_ids)):
-            yield ast.fill_holes(sketch.expr, dict(zip(hole_ids, values)))
+        yield from itertools.product(pool, repeat=hole_count)
         return
     # repr + crc32 gives a process-stable per-sketch seed (dataclass
     # hash() is randomized for the str fields inside).
@@ -55,10 +64,29 @@ def concretizations(
     attempts = 0
     while len(seen) < cap and attempts < cap * 20:
         attempts += 1
-        values = tuple(rng.choice(pool) for _ in hole_ids)
+        values = tuple(rng.choice(pool) for _ in range(hole_count))
         if values in seen:
             continue
         seen.add(values)
+        yield values
+
+
+def concretizations(
+    sketch: Sketch,
+    pool: Sequence[float],
+    *,
+    cap: int = DEFAULT_COMPLETION_CAP,
+    seed: int = 0,
+) -> Iterator[ast.NumExpr]:
+    """Yield concrete handlers obtained by filling *sketch*'s holes."""
+    holes = ast.holes(sketch.expr)
+    if not holes:
+        yield sketch.expr
+        return
+    hole_ids = [hole.hole_id for hole in holes]
+    for values in concretization_assignments(
+        sketch, pool, cap=cap, seed=seed
+    ):
         yield ast.fill_holes(sketch.expr, dict(zip(hole_ids, values)))
 
 

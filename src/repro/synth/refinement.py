@@ -120,6 +120,12 @@ class SynthesisConfig:
     checkpoint_every: int = 1
     #: Restore refinement state from this checkpoint file before looping.
     resume_path: str | None = None
+    #: Score each sketch's concretizations through the batched fast path
+    #: (vectorized replay + lower-bound distance cascade).  Final rankings
+    #: are bit-identical either way, so this is an execution knob — it
+    #: MUST stay excluded from :func:`_run_fingerprint` (a run started
+    #: batched can be resumed scalar, and vice versa).
+    batch_scoring: bool = True
     #: Deterministic fault injection (tests only; ``None`` in production).
     fault_plan: FaultPlan | None = None
 
@@ -202,6 +208,7 @@ def synthesize(
             if config.cache_scores
             else None
         ),
+        batch=config.batch_scoring,
     )
     pool = BucketPool(dsl, context=ctx)
     initial_bucket_count = len(pool.buckets)
@@ -406,6 +413,7 @@ def synthesize(
                 stats = executor.cache_stats()
                 if stats is not None:
                     ctx.emit(stats)
+                ctx.emit(executor.scoring_stats())
                 ctx.emit(
                     IterationFinished(
                         index=iteration + 1,
@@ -466,6 +474,7 @@ def synthesize(
         # ``close`` is idempotent and this block runs on every exit path,
         # so an exception mid-run can never leak worker processes.
         final_stats = executor.cache_stats()
+        final_scoring = executor.scoring_stats()
         run_quarantine = prior_quarantine + list(executor.quarantined)
         pool_rebuilds = getattr(executor, "pool_rebuilds", 0)
         degraded = bool(getattr(executor, "degraded", False))
@@ -475,6 +484,7 @@ def synthesize(
         raise SynthesisError("no handler was scored")
     if final_stats is not None:
         ctx.emit(final_stats)
+    ctx.emit(final_scoring)
     result = SynthesisResult(
         best=state.best,
         dsl_name=dsl.name,

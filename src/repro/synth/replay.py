@@ -21,12 +21,21 @@ import math
 import numpy as np
 
 from repro.dsl import ast
-from repro.dsl.compiled import CompiledHandler, compile_handler
+from repro.dsl.compiled import (
+    CompiledHandler,
+    CompiledVectorSketch,
+    compile_handler,
+)
 from repro.errors import EvaluationError
 from repro.trace.signals import SignalTable, extract_signals
 from repro.trace.model import TraceSegment
 
-__all__ = ["replay_handler", "replay_on_segment", "CWND_CAP_FACTOR"]
+__all__ = [
+    "replay_handler",
+    "replay_batch",
+    "replay_on_segment",
+    "CWND_CAP_FACTOR",
+]
 
 #: Candidate windows are clamped to this multiple of the largest observed
 #: window: a handler that diverges numerically should score terribly, not
@@ -55,7 +64,7 @@ def _bind_columns(
         elif name == "wmax":
             sequences.append(itertools.repeat(table.wmax))
         elif name in table.columns:
-            sequences.append(table.columns[name].tolist())
+            sequences.append(table.column_list(name))
         else:
             raise EvaluationError(f"signal {name!r} missing from trace table")
     return sequences, cwnd_index
@@ -123,6 +132,108 @@ def replay_handler(
         elif cwnd > cap:
             cwnd = cap
         out[index] = cwnd
+    return out
+
+
+def replay_batch(
+    vector: CompiledVectorSketch,
+    assignments: list[tuple[float, ...]],
+    table: SignalTable,
+    *,
+    initial_cwnd: float | None = None,
+) -> np.ndarray:
+    """Replay every concretization of a sketch in one pass over *table*.
+
+    *vector* is the sketch compiled by
+    :func:`repro.dsl.compiled.compile_sketch_vector`; *assignments* holds
+    one hole-value tuple per candidate (aligned with
+    ``ast.holes(sketch.expr)`` pre-order, exactly what
+    :func:`repro.synth.concretize.concretization_assignments` yields).
+    Returns a ``(K, n)`` matrix whose row ``k`` is bit-identical to
+    ``replay_handler(fill_holes(sketch, assignments[k]), table)`` —
+    the per-row clamp chain below deliberately mirrors the scalar one
+    branch for branch (property-tested).
+    """
+    lanes = len(assignments)
+    observed = table.observed_cwnd()
+    count = len(table)
+    if count == 0:
+        return np.empty((lanes, 0))
+    mss = table.mss
+    cap = CWND_CAP_FACTOR * float(observed.max())
+    out = np.empty((lanes, count))
+
+    hole_values = [
+        np.array([values[position] for values in assignments], dtype=float)
+        for position in vector.assignment_positions
+    ]
+    args: list = []
+    cwnd_index: int | None = None
+    try:
+        for position, name in enumerate(vector.signals):
+            if name == "cwnd":
+                cwnd_index = position
+                args.append(None)  # replaced with the lane state vector
+            elif name == "mss":
+                args.append(table.mss)
+            elif name == "wmax":
+                args.append(table.wmax)
+            elif name in table.columns:
+                args.append(table.columns[name])
+            else:
+                raise EvaluationError(
+                    f"signal {name!r} missing from trace table"
+                )
+    except EvaluationError:
+        out[:] = cap
+        return out
+
+    fn = vector.fn
+    with np.errstate(all="ignore"):
+        if not args:
+            # Signal-free sketch: one constant series per lane.
+            values = np.broadcast_to(
+                np.asarray(fn(*hole_values), dtype=float), (lanes,)
+            )
+            clamped = np.minimum(np.maximum(values, mss), cap)
+            out[:] = np.where(np.isfinite(values), clamped, cap)[:, None]
+            return out
+        if cwnd_index is None:
+            # Stateless sketch: no feedback, so every row is independent
+            # and the whole (K, n) matrix falls out of one call.
+            flat = [
+                arg[np.newaxis, :] if isinstance(arg, np.ndarray) else arg
+                for arg in args
+            ]
+            raw = np.broadcast_to(
+                np.asarray(
+                    fn(*flat, *(h[:, None] for h in hole_values)),
+                    dtype=float,
+                ),
+                (lanes, count),
+            )
+            low = np.where(raw < mss, mss, np.where(raw > cap, cap, raw))
+            out[:] = np.where(np.isfinite(raw), low, cap)
+            return out
+        # Stateful sketch: the per-ACK loop survives, but each iteration
+        # is one K-wide numpy call instead of K interpreter calls.
+        columns = [
+            (position, table.column_list(name))
+            for position, name in enumerate(vector.signals)
+            if isinstance(args[position], np.ndarray)
+        ]
+        cwnd_vec = np.full(
+            lanes,
+            float(observed[0]) if initial_cwnd is None else initial_cwnd,
+        )
+        for index in range(count):
+            for position, column in columns:
+                args[position] = column[index]
+            args[cwnd_index] = cwnd_vec
+            raw = np.asarray(fn(*args, *hole_values), dtype=float)
+            low = np.where(raw < mss, mss, np.where(raw > cap, cap, raw))
+            cwnd_vec = np.where(np.isfinite(raw), low, cap)
+            out[:, index] = cwnd_vec
     return out
 
 

@@ -6,21 +6,49 @@ observed one (both expressed in segments, i.e. divided by the MSS, so
 values are comparable across environments).  The score of a *sketch* is
 the minimum score over its sampled concretizations — the best behavior
 the sketch can exhibit with pool constants (§4.2, §4.4).
+
+Two paths compute that minimum.  The scalar reference path replays and
+scores each concretization independently.  The batched fast path
+(default) compiles the sketch once into a lane-vectorized numpy function
+(:func:`repro.dsl.compiled.compile_sketch_vector`), replays all
+concretizations in one pass (:func:`repro.synth.replay.replay_batch`),
+and gates each candidate's DTW behind an early-abandon cascade
+(LB_Kim → LB_Keogh → bounded DP, :mod:`repro.distance.lb`) keyed to the
+sketch's best-so-far.  Prunes only fire for candidates that provably
+cannot beat the incumbent (distances are non-negative and abandon
+thresholds carry float-safety slack), so both paths return the same
+:class:`ScoredHandler` — the equivalence the property suite enforces.
 """
 
 from __future__ import annotations
 
+import math
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
+
+import numpy as np
 
 from repro.distance.base import DEFAULT_METRIC, get_metric
-from repro.dsl.compiled import compile_handler
+from repro.distance.dtw import band_width, dtw_distance, inflate_bound
+from repro.distance.lb import (
+    keogh_envelope,
+    keogh_envelope_batch,
+    lb_keogh,
+    lb_kim,
+)
+from repro.distance.preprocess import downsample
+from repro.dsl.compiled import compile_handler, compile_sketch_vector
 from repro.dsl.printer import to_text
 from repro.errors import EvaluationError
 from repro.dsl import ast
 from repro.dsl.families import DEFAULT_CONSTANT_POOL
-from repro.synth.concretize import DEFAULT_COMPLETION_CAP, concretizations
-from repro.synth.replay import replay_handler
+from repro.synth.concretize import (
+    DEFAULT_COMPLETION_CAP,
+    concretization_assignments,
+    concretizations,
+)
+from repro.synth.replay import replay_batch, replay_handler
 from repro.synth.sketch import Sketch
 from repro.trace.model import TraceSegment
 from repro.trace.signals import SignalTable, extract_signals
@@ -28,7 +56,19 @@ from repro.trace.signals import SignalTable, extract_signals
 if TYPE_CHECKING:  # type-only: repro.runtime is not imported at runtime
     from repro.runtime.cache import ScoreCache
 
-__all__ = ["Scorer", "ScoredHandler"]
+__all__ = [
+    "Scorer",
+    "ScoredHandler",
+    "ScoringCounters",
+    "DEFAULT_TABLE_CACHE_ENTRIES",
+]
+
+#: Default cap on the per-scorer signal-table LRU (satellite of the
+#: batched-scoring issue: the id()-keyed cache previously grew without
+#: bound across refinement iterations).  Sized like
+#: :data:`repro.runtime.cache.DEFAULT_CACHE_ENTRIES` relative to its
+#: entry weight: a coalesced table is ~40 KiB, so 256 tables ≈ 10 MiB.
+DEFAULT_TABLE_CACHE_ENTRIES = 256
 
 
 @dataclass(frozen=True)
@@ -40,6 +80,60 @@ class ScoredHandler:
 
     def __lt__(self, other: "ScoredHandler") -> bool:
         return self.distance < other.distance
+
+
+@dataclass
+class ScoringCounters:
+    """Telemetry of the batched path's prunes (monotone run totals).
+
+    Kept as a plain dataclass (not a runtime event) so :mod:`repro.synth`
+    does not import :mod:`repro.runtime`; the executors snapshot these
+    into a :class:`repro.runtime.events.ScoringStats` event.
+    """
+
+    #: Sketches scored through the batched (vectorized) path.
+    batched_waves: int = 0
+    #: Candidate×segment distance computations skipped by LB_Kim/LB_Keogh.
+    lb_pruned: int = 0
+    #: DTW dynamic programs abandoned mid-row by the bound.
+    dp_abandoned: int = 0
+    #: Candidates dropped because their partial mean was already
+    #: unbeatable (includes candidates whose segment loop stopped early).
+    candidates_pruned: int = 0
+
+    def as_tuple(self) -> tuple[int, int, int, int]:
+        return (
+            self.batched_waves,
+            self.lb_pruned,
+            self.dp_abandoned,
+            self.candidates_pruned,
+        )
+
+
+@dataclass
+class _SegmentEntry:
+    """Per-segment memo: table plus candidate-independent score inputs.
+
+    ``observed``/``downsampled`` were previously recomputed for every
+    one of the K×segments candidate evaluations; the LB_Keogh envelope
+    is built lazily on first cascade use (reach =
+    :func:`~repro.distance.dtw.band_width` of the banded DP, so the
+    bound stays valid for every cell the DP can visit).
+    """
+
+    segment: TraceSegment
+    table: SignalTable
+    observed: np.ndarray
+    downsampled: np.ndarray
+    envelope_cache: tuple[np.ndarray, np.ndarray] | None = None
+
+    def envelope(self) -> tuple[np.ndarray, np.ndarray]:
+        if self.envelope_cache is None:
+            size = self.downsampled.size
+            self.envelope_cache = keogh_envelope(
+                self.downsampled, band_width(size, size)
+            )
+        return self.envelope_cache
 
 
 @dataclass
@@ -61,28 +155,60 @@ class Scorer:
     #: caching; cached values are the exact floats a cold scorer would
     #: compute, so results are bit-identical either way.
     cache: "ScoreCache | None" = None
-    _tables: dict[int, tuple[TraceSegment, SignalTable]] = field(
-        default_factory=dict, repr=False
+    #: Score sketches through the vectorized batch path (identical
+    #: rankings; ``--no-batch`` forces the scalar reference path).
+    batch: bool = True
+    #: LRU cap on the per-segment table cache below.
+    table_cache_entries: int = DEFAULT_TABLE_CACHE_ENTRIES
+    #: Prune telemetry, aggregated across the scorer's lifetime.
+    counters: ScoringCounters = field(default_factory=ScoringCounters)
+    _tables: "OrderedDict[int, _SegmentEntry]" = field(
+        default_factory=OrderedDict, repr=False
     )
 
-    def table_for(self, segment: TraceSegment) -> SignalTable:
-        """Extract (and cache) the signal table for *segment*.
+    def _entry_for(self, segment: TraceSegment) -> _SegmentEntry:
+        """The cached :class:`_SegmentEntry` for *segment* (LRU).
 
         The cache key is ``id(segment)``, so each entry keeps a strong
         reference to its segment and verifies identity on lookup: without
         that, a freed segment's id can be reused by a new object and the
-        lookup would silently return the *wrong* table.
+        lookup would silently return the *wrong* table.  The cache is
+        LRU-bounded by ``table_cache_entries``, mirroring
+        :mod:`repro.runtime.cache`'s discipline — refinement's working
+        set grows every iteration and previously kept every table ever
+        touched alive for the whole run.
         """
         key = id(segment)
         entry = self._tables.get(key)
-        if entry is not None and entry[0] is segment:
-            return entry[1]
+        if entry is not None and entry.segment is segment:
+            self._tables.move_to_end(key)
+            return entry
         table = extract_signals(segment).coalesce(self.max_replay_rows)
-        self._tables[key] = (segment, table)
-        return table
+        observed = table.observed_cwnd() / table.mss
+        entry = _SegmentEntry(
+            segment=segment,
+            table=table,
+            observed=observed,
+            downsampled=downsample(observed, self.series_budget),
+        )
+        self._tables[key] = entry
+        while len(self._tables) > max(self.table_cache_entries, 1):
+            self._tables.popitem(last=False)
+        return entry
+
+    def table_for(self, segment: TraceSegment) -> SignalTable:
+        """Extract (and LRU-cache) the signal table for *segment*."""
+        return self._entry_for(segment).table
 
     def score_handler(
-        self, handler: ast.NumExpr, segments: Sequence[TraceSegment]
+        self,
+        handler: ast.NumExpr,
+        segments: Sequence[TraceSegment],
+        *,
+        bound: float | None = None,
+        _synth: "Callable[[TraceSegment], np.ndarray] | None" = None,
+        _lb_suffix: "np.ndarray | None" = None,
+        _lb_row: "np.ndarray | None" = None,
     ) -> float:
         """Mean distance of *handler* across *segments* (lower = better).
 
@@ -90,16 +216,46 @@ class Scorer:
         iterations, whose working sets grow by two segments each round;
         the best-so-far handler the loop carries would otherwise always
         come from the smallest working set.
+
+        With a finite *bound* (the sketch's best-so-far mean) and the DTW
+        metric, the segment loop early-abandons: distances are
+        non-negative, so once the partial mean exceeds *bound* the
+        candidate provably cannot win and ``inf`` is returned instead of
+        the exact (worse-than-bound) mean — callers only compare scores
+        against *bound*, so rankings are unchanged.  *_synth* supplies
+        pre-replayed series and *_lb_suffix* per-segment lower-bound
+        suffix sums for the batched path (internal).
         """
         metric = get_metric(self.metric_name)
-        try:
-            compiled = compile_handler(handler)
-        except EvaluationError:
-            return float("inf")
+        compiled = None
+        if _synth is None:
+            try:
+                compiled = compile_handler(handler)
+            except EvaluationError:
+                return float("inf")
         cache = self.cache
         text = to_text(handler) if cache is not None else ""
+        cascade = (
+            bound is not None
+            and math.isfinite(bound)
+            and self.metric_name == "dtw"
+        )
+        count = len(segments)
         total = 0.0
-        for segment in segments:
+        if cascade:
+            # Rounded addition of non-negative distances is monotone, so
+            # a partial total above this (slack-inflated, see
+            # ``inflate_bound``) budget means the final mean the scalar
+            # path would compute is > bound for certain.
+            total_budget = inflate_bound(bound * count)
+        for index, segment in enumerate(segments):
+            if cascade:
+                pending = (
+                    _lb_suffix[index] if _lb_suffix is not None else 0.0
+                )
+                if total + pending > total_budget:
+                    self.counters.candidates_pruned += 1
+                    return float("inf")
             if cache is not None:
                 key = cache.key(
                     text,
@@ -112,16 +268,44 @@ class Scorer:
                 if cached is not None:
                     total += cached
                     continue
-            table = self.table_for(segment)
-            observed = table.observed_cwnd() / table.mss
+            entry = self._entry_for(segment)
+            table = entry.table
             try:
-                synthesized = (
-                    replay_handler(handler, table, compiled=compiled)
-                    / table.mss
-                )
-                distance = metric(
-                    synthesized, observed, budget=self.series_budget
-                )
+                if _synth is not None:
+                    synthesized = _synth(segment)
+                else:
+                    synthesized = (
+                        replay_handler(handler, table, compiled=compiled)
+                        / table.mss
+                    )
+                if cascade:
+                    # Budget left for this segment: whatever of the
+                    # (already slack-inflated) total budget the summed
+                    # distances so far and the lower bounds of the
+                    # *remaining* segments have not claimed.  The slack
+                    # dwarfs the cancellation error of the subtraction;
+                    # over-inflating is always sound — it only prunes
+                    # less.
+                    after = (
+                        _lb_suffix[index + 1]
+                        if _lb_suffix is not None
+                        else 0.0
+                    )
+                    distance = self._cascaded_distance(
+                        synthesized,
+                        entry,
+                        total_budget - total - after,
+                        known_lb=(
+                            _lb_row[index] if _lb_row is not None else None
+                        ),
+                    )
+                    if distance is None:  # pruned: can't beat the bound
+                        self.counters.candidates_pruned += 1
+                        return float("inf")
+                else:
+                    distance = metric(
+                        synthesized, entry.observed, budget=self.series_budget
+                    )
             except (EvaluationError, ArithmeticError, ValueError):
                 # A candidate whose arithmetic blows up on this segment
                 # cannot match it; charge the worst score for the segment
@@ -130,15 +314,233 @@ class Scorer:
                 # faults this narrow guard cannot contain).
                 distance = float("inf")
             if cache is not None:
+                # Pruned candidates never reach here: only exact
+                # distances are cached, keeping the cache bit-identical
+                # across the batched and scalar paths.
                 cache.put(key, segment, distance)
             total += distance
-        return total / len(segments) if segments else float("inf")
+        return total / count if segments else float("inf")
+
+    def _cascaded_distance(
+        self,
+        synthesized: np.ndarray,
+        entry: _SegmentEntry,
+        seg_bound: float,
+        known_lb: float | None = None,
+    ) -> float | None:
+        """DTW distance, or ``None`` when provably ``> seg_bound``.
+
+        Stages of rising cost; each stage's value never exceeds the raw
+        DTW total (see :mod:`repro.distance.lb`), so a prune is exact.
+        When the cascade does compute the distance it is bit-identical
+        to ``metric(synthesized, observed)``: ``downsample`` is
+        idempotent, so feeding pre-downsampled series through
+        :func:`dtw_distance` runs the same DP on the same floats.
+
+        *known_lb* is a normalized lower bound the batched prescreen
+        already computed for this (candidate, segment); when given it
+        replaces the LB_Kim/LB_Keogh stages.
+        """
+        query = downsample(synthesized, self.series_budget)
+        candidate = entry.downsampled
+        if known_lb is not None:
+            if known_lb > inflate_bound(seg_bound):
+                self.counters.lb_pruned += 1
+                return None
+        else:
+            raw_threshold = inflate_bound(
+                seg_bound * (query.size + candidate.size)
+            )
+            if lb_kim(query, candidate) > raw_threshold:
+                self.counters.lb_pruned += 1
+                return None
+            if query.size == candidate.size:
+                lower, upper = entry.envelope()
+                if lb_keogh(query, lower, upper) > raw_threshold:
+                    self.counters.lb_pruned += 1
+                    return None
+        distance = dtw_distance(
+            query, candidate, budget=self.series_budget, bound=seg_bound
+        )
+        if distance == float("inf"):
+            # band_width keeps the corner reachable, so inf means the DP
+            # abandoned (or the true distance is inf — equally hopeless).
+            self.counters.dp_abandoned += 1
+            return None
+        return distance
+
+    def _score_sketch_batched(
+        self, sketch: Sketch, segments: Sequence[TraceSegment]
+    ) -> ScoredHandler | None:
+        """Batched minimum over concretizations, or ``None`` to fall
+        back to the scalar path (non-DTW metric, empty working set, or a
+        sketch the vector backend cannot compile)."""
+        if self.metric_name != "dtw" or not segments:
+            return None
+        try:
+            vector = compile_sketch_vector(sketch.expr)
+        except EvaluationError:
+            return None
+        assignments = list(
+            concretization_assignments(
+                sketch,
+                self.constant_pool,
+                cap=self.completion_cap,
+                seed=self.seed,
+            )
+        )
+        if not assignments:
+            return None
+        self.counters.batched_waves += 1
+        hole_ids = [hole.hole_id for hole in ast.holes(sketch.expr)]
+        count = len(segments)
+
+        # Replay every concretization over every segment up front (one
+        # K-wide vectorized pass per segment), then prescreen: a
+        # lane-vectorized LB_Keogh over the whole (K, n) matrix gives
+        # each candidate a lower bound on its *total* normalized
+        # distance for a few numpy ops — candidates whose bound already
+        # tops the incumbent mean are dropped with zero DTW calls.
+        replayed: dict[int, np.ndarray] = {}
+        lb_matrix = np.zeros((len(assignments), count))
+        for seg_index, entry in enumerate(
+            self._entry_for(segment) for segment in segments
+        ):
+            table = entry.table
+            matrix = replay_batch(vector, assignments, table) / table.mss
+            replayed[id(entry.segment)] = matrix
+            size = matrix.shape[1]
+            if size > self.series_budget:
+                picks = (
+                    np.linspace(0, size - 1, self.series_budget)
+                    .round()
+                    .astype(int)
+                )
+                queries = matrix[:, picks]  # rows == downsample(row)
+            else:
+                queries = matrix
+            candidate = entry.downsampled
+            if queries.shape[1] != candidate.size:
+                continue  # no envelope information for this segment
+            lower, upper = entry.envelope()
+            with np.errstate(invalid="ignore"):
+                raw = np.maximum(queries - upper, 0.0).sum(
+                    axis=1
+                ) + np.maximum(lower - queries, 0.0).sum(axis=1)
+                # Reverse direction: envelope each candidate row and
+                # check the observed series against it; both directions
+                # lower-bound the banded DTW, so take the larger.
+                q_lower, q_upper = keogh_envelope_batch(
+                    queries, band_width(queries.shape[1], candidate.size)
+                )
+                raw = np.maximum(
+                    raw,
+                    np.maximum(candidate - q_upper, 0.0).sum(axis=1)
+                    + np.maximum(q_lower - candidate, 0.0).sum(axis=1),
+                )
+            # Normalized like the metric; elementwise <= each lane's
+            # true distance, and summing preserves that (rounding is
+            # monotone), so accumulated sums stay lower bounds.
+            lb_matrix[:, seg_index] = raw / (
+                queries.shape[1] + candidate.size
+            )
+        with np.errstate(invalid="ignore"):
+            lb_totals = lb_matrix.sum(axis=1)
+
+        def synthesized_for(lane: int) -> Callable[[TraceSegment], np.ndarray]:
+            def _synth(segment: TraceSegment) -> np.ndarray:
+                return replayed[id(segment)][lane]
+
+            return _synth
+
+        def handler_for(lane: int) -> ast.NumExpr:
+            return ast.fill_holes(
+                sketch.expr, dict(zip(hole_ids, assignments[lane]))
+            )
+
+        def suffix_for(lane: int) -> np.ndarray:
+            suffix = np.zeros(count + 1)
+            with np.errstate(invalid="ignore"):
+                suffix[:count] = np.cumsum(lb_matrix[lane, ::-1])[::-1]
+            return suffix
+
+        # Probe: fully score the candidate the lower bounds like most,
+        # and use its distance as the initial pruning threshold.  Any
+        # probe choice is sound — prunes only ever discard candidates
+        # strictly worse than a *computed* candidate distance, and the
+        # final minimum is at most the probe's — so this does not
+        # disturb the stream-order tie semantics below; it just starts
+        # the loop with a tight threshold instead of an empty one.
+        probe = -1
+        probe_scored: ScoredHandler | None = None
+        finite_lb = np.isfinite(lb_totals)
+        if finite_lb.any():
+            probe = int(
+                np.argmin(np.where(finite_lb, lb_totals, np.inf))
+            )
+            handler = handler_for(probe)
+            probe_scored = ScoredHandler(
+                handler,
+                self.score_handler(
+                    handler,
+                    segments,
+                    _synth=synthesized_for(probe),
+                    _lb_suffix=suffix_for(probe),
+                    _lb_row=lb_matrix[probe],
+                ),
+            )
+
+        best: ScoredHandler | None = None
+        for lane in range(len(assignments)):
+            if probe_scored is not None and lane == probe:
+                scored = probe_scored
+            else:
+                incumbent = min(
+                    float("inf") if best is None else best.distance,
+                    float("inf")
+                    if probe_scored is None
+                    else probe_scored.distance,
+                )
+                if math.isfinite(incumbent) and lb_totals[
+                    lane
+                ] > inflate_bound(incumbent * count):
+                    self.counters.lb_pruned += count
+                    self.counters.candidates_pruned += 1
+                    continue
+                handler = handler_for(lane)
+                scored = ScoredHandler(
+                    handler,
+                    self.score_handler(
+                        handler,
+                        segments,
+                        bound=(
+                            incumbent if math.isfinite(incumbent) else None
+                        ),
+                        _synth=synthesized_for(lane),
+                        _lb_suffix=suffix_for(lane),
+                        _lb_row=lb_matrix[lane],
+                    ),
+                )
+            if best is None or scored.distance < best.distance:
+                best = scored
+        return best
 
     def score_sketch(
         self, sketch: Sketch, segments: Sequence[TraceSegment]
     ) -> ScoredHandler:
-        """Best (minimum-distance) concretization of *sketch*."""
-        best: ScoredHandler | None = None
+        """Best (minimum-distance) concretization of *sketch*.
+
+        Candidate order is shared between the paths
+        (:func:`concretization_assignments`), bounds only discard
+        candidates strictly worse than the incumbent, and best-so-far
+        updates are strict ``<`` — so ties resolve to the same
+        first-seen handler and both paths return the same result.
+        """
+        if self.batch:
+            best = self._score_sketch_batched(sketch, segments)
+            if best is not None:
+                return best
+        best = None
         for handler in concretizations(
             sketch,
             self.constant_pool,

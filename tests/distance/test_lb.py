@@ -1,0 +1,164 @@
+"""Lower-bound cascade tests: LB validity and bounded-DTW exactness.
+
+The batched scorer's correctness rests on two contracts proven here by
+property testing: every lower bound really is a lower bound of the raw
+banded-DTW cost (so a prune can never discard a would-be winner), and
+``dtw_distance(bound=b)`` returns the exact distance whenever the true
+distance is ``<= b`` (so the cascade is bit-identical to the unbounded
+metric on every candidate it does not discard).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distance.dtw import (
+    band_width,
+    dtw_distance,
+    dtw_matrix,
+    inflate_bound,
+)
+from repro.distance.lb import (
+    keogh_envelope,
+    keogh_envelope_batch,
+    lb_keogh,
+    lb_kim,
+)
+
+_series = st.lists(
+    st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+    min_size=2,
+    max_size=40,
+).map(np.array)
+
+_equal_pair = st.integers(min_value=2, max_value=40).flatmap(
+    lambda n: st.tuples(
+        st.lists(
+            st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        ).map(np.array),
+        st.lists(
+            st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        ).map(np.array),
+    )
+)
+
+
+def _raw_cost(left, right):
+    """The raw (un-normalized) banded-DTW corner the bounds must stay under."""
+    return dtw_matrix(left, right)[left.size, right.size]
+
+
+@given(_series, _series)
+@settings(max_examples=80, deadline=None)
+def test_lb_kim_lower_bounds_raw_cost(a, b):
+    assert lb_kim(a, b) <= _raw_cost(a, b) + 1e-9
+
+
+@given(_equal_pair)
+@settings(max_examples=80, deadline=None)
+def test_lb_keogh_lower_bounds_raw_cost(pair):
+    query, candidate = pair
+    width = band_width(query.size, candidate.size)
+    lower, upper = keogh_envelope(candidate, width)
+    assert lb_keogh(query, lower, upper) <= _raw_cost(query, candidate) + 1e-9
+
+
+@given(_equal_pair)
+@settings(max_examples=80, deadline=None)
+def test_lb_keogh_reverse_direction_also_valid(pair):
+    """Enveloping the *query* and checking the candidate against it is
+    the same bound with the roles swapped — DTW is symmetric."""
+    query, candidate = pair
+    width = band_width(query.size, candidate.size)
+    lower, upper = keogh_envelope(query, width)
+    assert (
+        lb_keogh(candidate, lower, upper) <= _raw_cost(query, candidate) + 1e-9
+    )
+
+
+@given(_series, st.integers(min_value=0, max_value=50))
+@settings(max_examples=60, deadline=None)
+def test_envelope_brackets_series(series, width):
+    lower, upper = keogh_envelope(series, width)
+    assert np.all(lower <= series)
+    assert np.all(series <= upper)
+
+
+@given(
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=2, max_value=20),
+    st.integers(min_value=0, max_value=25),
+)
+@settings(max_examples=40, deadline=None)
+def test_envelope_batch_matches_per_row(lanes, length, width):
+    rng = np.random.default_rng(lanes * 1000 + length * 10 + width)
+    matrix = rng.normal(size=(lanes, length)) * 100.0
+    batch_lower, batch_upper = keogh_envelope_batch(matrix, width)
+    for lane in range(lanes):
+        lower, upper = keogh_envelope(matrix[lane], width)
+        np.testing.assert_array_equal(batch_lower[lane], lower)
+        np.testing.assert_array_equal(batch_upper[lane], upper)
+
+
+@given(_series, _series, st.floats(min_value=0.0, max_value=2.0))
+@settings(max_examples=120, deadline=None)
+def test_bounded_dtw_exact_within_bound(a, b, factor):
+    """``dtw_distance(bound=b)`` returns the exact distance whenever the
+    true distance is ``<= b``, and only ever abandons above it."""
+    exact = dtw_distance(a, b)
+    bound = exact * factor + 1e-6
+    bounded = dtw_distance(a, b, bound=bound)
+    if exact <= bound:
+        assert bounded == exact
+    else:
+        # Abandoning is optional (the bound is a permission, not an
+        # obligation) but a returned value must be the exact one.
+        assert bounded == exact or bounded == float("inf")
+
+
+@given(_series, _series)
+@settings(max_examples=40, deadline=None)
+def test_bounded_dtw_with_infinite_or_nan_bound_is_legacy(a, b):
+    exact = dtw_distance(a, b)
+    assert dtw_distance(a, b, bound=float("inf")) == exact
+    assert dtw_distance(a, b, bound=float("nan")) == exact
+    assert dtw_distance(a, b, bound=None) == exact
+
+
+def test_bounded_dtw_abandons_hopeless_candidate():
+    a = np.zeros(32)
+    b = np.full(32, 100.0)
+    assert dtw_distance(a, b, bound=1e-6) == float("inf")
+    cost = dtw_matrix(a, b, bound=-1.0)
+    assert cost[32, 32] == float("inf")  # corner left infinite
+
+
+@given(st.floats(min_value=0.0, max_value=1e12, allow_nan=False))
+@settings(max_examples=60, deadline=None)
+def test_inflate_bound_adds_strictly_positive_slack(bound):
+    inflated = inflate_bound(bound)
+    assert inflated > bound
+    assert inflated <= bound + bound * 1e-6 + 1e-8  # slack stays tiny
+
+
+def test_lb_kim_rejects_empty_series():
+    with pytest.raises(ValueError):
+        lb_kim(np.empty(0), np.ones(3))
+
+
+def test_lb_keogh_rejects_size_mismatch():
+    lower, upper = keogh_envelope(np.ones(4), 2)
+    with pytest.raises(ValueError):
+        lb_keogh(np.ones(5), lower, upper)
+
+
+def test_keogh_envelope_rejects_empty():
+    with pytest.raises(ValueError):
+        keogh_envelope(np.empty(0), 2)
+    with pytest.raises(ValueError):
+        keogh_envelope_batch(np.empty((3, 0)), 2)

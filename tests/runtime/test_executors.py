@@ -31,8 +31,10 @@ def sketches():
     return [Sketch.from_expr(parse(text)) for text in SKETCH_TEXTS]
 
 
-def _scorer(cache=None):
-    return Scorer(constant_pool=(0.5, 1.0), completion_cap=8, cache=cache)
+def _scorer(cache=None, batch=True):
+    return Scorer(
+        constant_pool=(0.5, 1.0), completion_cap=8, cache=cache, batch=batch
+    )
 
 
 # ----------------------------------------------------------------- chunking
@@ -151,3 +153,35 @@ def test_make_executor_picks_by_workers():
     pooled = make_executor(_scorer(), 3)
     assert isinstance(pooled, PooledExecutor)
     pooled.close()
+
+
+# ------------------------------------------------------------ scoring stats
+
+
+def test_serial_reports_scoring_stats(sketches, reno_segments):
+    executor = SerialExecutor(_scorer())
+    executor.score(sketches, reno_segments[:2])
+    stats = executor.scoring_stats()
+    assert stats.kind == "scoring_stats"
+    assert stats.batched_waves > 0
+
+
+def test_pooled_scoring_stats_match_serial(sketches, reno_segments):
+    """Counter totals are per-sketch work, so the worker split (and the
+    per-worker scorers it implies) cannot change the aggregate."""
+    working = reno_segments[:2]
+    serial = SerialExecutor(_scorer())
+    serial.score(sketches, working)
+    expected = serial.scoring_stats()
+    with PooledExecutor(_scorer(), 2) as pooled:
+        pooled.score(sketches, working)
+        stats = pooled.scoring_stats()
+    assert stats == expected
+    assert stats.batched_waves == len(sketches)
+
+
+def test_pooled_batch_flag_reaches_workers(sketches, reno_segments):
+    with PooledExecutor(_scorer(batch=False), 2) as pooled:
+        pooled.score(sketches, reno_segments[:2])
+        stats = pooled.scoring_stats()
+    assert stats.batched_waves == 0

@@ -1,0 +1,227 @@
+"""Batched-scoring equivalence suite.
+
+The batched fast path must be *bit-identical* to the scalar reference
+path, not merely close: refinement rankings compare exact floats, and the
+score cache stores them.  These tests pin that equivalence at both
+levels — ``replay_batch`` row-for-row against ``replay_handler``
+(including NaN/inf signal values and the clamp-to-cap divergence
+handling), and ``Scorer.score_sketch`` with the cascade on against the
+scalar loop — plus the satellite behaviors (table-cache LRU bound,
+telemetry counters, non-DTW fallback).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsl import ast
+from repro.dsl.compiled import compile_sketch_vector
+from repro.dsl.parser import parse
+from repro.dsl.printer import to_text
+from repro.synth.concretize import concretization_assignments
+from repro.synth.replay import replay_batch, replay_handler
+from repro.synth.scoring import Scorer
+from repro.synth.sketch import Sketch
+from repro.trace.signals import SIGNAL_NAMES, SignalTable
+
+#: Sketch shapes spanning the vector backend's branches: stateful /
+#: stateless / signal-free lanes, holes in one or two positions,
+#: conditionals, the modular test, cube/cbrt, and division.
+SKETCH_TEXTS = [
+    "cwnd + c0 * mss",
+    "c0",
+    "c0 * wmax + c1 * mss",
+    "c0 * rtt + min_rtt",
+    "(rtt > ewma_rtt) ? cwnd - c0 * mss : cwnd + c1 * mss",
+    "cwnd + cube(c0) / cwnd",
+    "cwnd + acked_bytes / rtt * c0",
+    "(time % c0 == 0) ? cwnd + mss : cwnd",
+    "cbrt(cwnd * c0)",
+]
+
+POOL = (0.5, 0.7, 1.0, 2.0)
+
+#: Finite magnitudes stay below 1e30 so a scalar ``x ** 3`` cannot raise
+#: OverflowError where the vector path would return inf — the paths are
+#: compared on the domain where the scalar reference is defined.
+_signal_value = st.one_of(
+    st.floats(min_value=-1e30, max_value=1e30, allow_nan=False),
+    st.sampled_from([float("inf"), float("-inf"), float("nan")]),
+)
+
+
+@st.composite
+def signal_tables(draw):
+    """A synthetic SignalTable with adversarial signal values.
+
+    The observed cwnd stays finite and positive (it defines the clamp
+    cap), but every other signal may be huge, infinite, or NaN — the
+    values that exercise the clamp-to-cap divergence handling.
+    """
+    count = draw(st.integers(min_value=1, max_value=8))
+    mss = draw(st.floats(min_value=100.0, max_value=3000.0))
+    observed = draw(
+        st.lists(
+            st.floats(min_value=1.0, max_value=1e9, allow_nan=False),
+            min_size=count,
+            max_size=count,
+        )
+    )
+    columns = {"cwnd": np.array(observed)}
+    for name in SIGNAL_NAMES:
+        if name == "cwnd":
+            continue
+        columns[name] = np.array(
+            draw(
+                st.lists(_signal_value, min_size=count, max_size=count)
+            )
+        )
+    columns["wmax"] = np.full(
+        count, draw(st.floats(min_value=1.0, max_value=1e9, allow_nan=False))
+    )
+    return SignalTable(mss=mss, columns=columns)
+
+
+def _assert_batch_matches_scalar(sketch: Sketch, table: SignalTable) -> None:
+    vector = compile_sketch_vector(sketch.expr)
+    assignments = list(
+        concretization_assignments(sketch, POOL, cap=16, seed=0)
+    )
+    hole_ids = [hole.hole_id for hole in ast.holes(sketch.expr)]
+    matrix = replay_batch(vector, assignments, table)
+    assert matrix.shape == (len(assignments), len(table))
+    for lane, values in enumerate(assignments):
+        handler = ast.fill_holes(sketch.expr, dict(zip(hole_ids, values)))
+        scalar = replay_handler(handler, table)
+        np.testing.assert_array_equal(matrix[lane], scalar)
+
+
+@pytest.mark.parametrize("text", SKETCH_TEXTS)
+@given(table=signal_tables())
+@settings(max_examples=25, deadline=None)
+def test_replay_batch_bitwise_matches_scalar(text, table):
+    _assert_batch_matches_scalar(Sketch.from_expr(parse(text)), table)
+
+
+@given(table=signal_tables())
+@settings(max_examples=25, deadline=None)
+def test_replay_batch_single_lane(table):
+    """K=1 exercises the degenerate broadcast shapes."""
+    sketch = Sketch.from_expr(parse("cwnd + 0.5 * mss"))
+    vector = compile_sketch_vector(sketch.expr)
+    matrix = replay_batch(vector, [()], table)
+    np.testing.assert_array_equal(
+        matrix[0], replay_handler(sketch.expr, table)
+    )
+
+
+def test_replay_batch_empty_table():
+    sketch = Sketch.from_expr(parse("cwnd + c0 * mss"))
+    vector = compile_sketch_vector(sketch.expr)
+    table = SignalTable(
+        mss=1500.0,
+        columns={"time": np.empty(0), "cwnd": np.empty(0)},
+    )
+    matrix = replay_batch(vector, [(0.5,), (1.0,)], table)
+    assert matrix.shape == (2, 0)
+
+
+def test_replay_batch_missing_signal_pins_to_cap():
+    """Both paths score an unbindable candidate at the cap everywhere."""
+    sketch = Sketch.from_expr(parse("cwnd + c0 * rtt"))
+    vector = compile_sketch_vector(sketch.expr)
+    table = SignalTable(
+        mss=1500.0,
+        columns={
+            "time": np.array([0.0, 1.0]),
+            "cwnd": np.array([3000.0, 4500.0]),
+        },
+    )
+    matrix = replay_batch(vector, [(0.5,), (1.0,)], table)
+    for lane, values in enumerate([(0.5,), (1.0,)]):
+        handler = ast.fill_holes(sketch.expr, {0: values[0]})
+        np.testing.assert_array_equal(
+            matrix[lane], replay_handler(handler, table)
+        )
+
+
+@pytest.mark.parametrize("text", SKETCH_TEXTS)
+def test_replay_batch_on_real_trace(text, reno_segments):
+    from repro.trace.signals import extract_signals
+
+    table = extract_signals(reno_segments[0]).coalesce(384)
+    _assert_batch_matches_scalar(Sketch.from_expr(parse(text)), table)
+
+
+# ------------------------------------------------------- scorer equivalence
+
+
+@pytest.fixture(scope="module")
+def working(reno_segments):
+    return reno_segments[:4]
+
+
+def _scorer(**overrides):
+    defaults = dict(constant_pool=POOL, completion_cap=16, seed=0)
+    defaults.update(overrides)
+    return Scorer(**defaults)
+
+
+@pytest.mark.parametrize("text", SKETCH_TEXTS)
+def test_score_sketch_batch_matches_scalar(text, working):
+    sketch = Sketch.from_expr(parse(text))
+    batched = _scorer(batch=True).score_sketch(sketch, working)
+    scalar = _scorer(batch=False).score_sketch(sketch, working)
+    assert batched.distance == scalar.distance  # bit-identical, not approx
+    assert to_text(batched.handler) == to_text(scalar.handler)
+
+
+def test_batched_counters_advance(working):
+    scorer = _scorer(batch=True)
+    sketch = Sketch.from_expr(parse("c0 * cwnd + c1 * mss"))
+    scorer.score_sketch(sketch, working)
+    counters = scorer.counters
+    assert counters.batched_waves == 1
+    # 16 candidates over 4 segments: the cascade must have skipped work.
+    assert counters.lb_pruned + counters.dp_abandoned > 0
+    assert counters.candidates_pruned > 0
+    assert counters.as_tuple() == (
+        counters.batched_waves,
+        counters.lb_pruned,
+        counters.dp_abandoned,
+        counters.candidates_pruned,
+    )
+
+
+def test_scalar_path_leaves_counters_untouched(working):
+    scorer = _scorer(batch=False)
+    scorer.score_sketch(
+        Sketch.from_expr(parse("c0 * cwnd + c1 * mss")), working
+    )
+    assert scorer.counters.as_tuple() == (0, 0, 0, 0)
+
+
+def test_non_dtw_metric_falls_back_to_scalar(working):
+    sketch = Sketch.from_expr(parse("cwnd + c0 * mss"))
+    batched = _scorer(metric_name="euclidean", batch=True)
+    scored = batched.score_sketch(sketch, working)
+    assert batched.counters.batched_waves == 0  # fell back
+    reference = _scorer(metric_name="euclidean", batch=False).score_sketch(
+        sketch, working
+    )
+    assert scored.distance == reference.distance
+
+
+def test_table_cache_is_lru_capped(reno_segments):
+    scorer = _scorer(table_cache_entries=2)
+    assert len(reno_segments) >= 4
+    for segment in reno_segments[:4]:
+        scorer.table_for(segment)
+    assert len(scorer._tables) == 2
+    cached = [entry.segment for entry in scorer._tables.values()]
+    assert reno_segments[2] in cached and reno_segments[3] in cached
+    # A cached segment returns the identical table object (the memoized
+    # column lists ride along with it).
+    table = scorer.table_for(reno_segments[3])
+    assert scorer.table_for(reno_segments[3]) is table

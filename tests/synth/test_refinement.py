@@ -152,3 +152,45 @@ def test_custom_seed_changes_nothing_structural(reno_segments):
         result = synthesize(reno_segments[:5], TINY, config)
         assert result.best.distance < float("inf")
         assert result.initial_bucket_count == 64
+
+
+def test_batch_scoring_off_is_bit_identical(reno_segments):
+    """The batched fast path is an execution detail: rankings, survivors
+    and the final handler match the scalar path exactly, while the
+    telemetry shows the batched run actually pruned work."""
+    from repro.runtime import CollectorSink, RunContext, ScoringStats
+
+    config = dict(
+        initial_samples=6,
+        initial_keep=3,
+        completion_cap=8,
+        max_iterations=2,
+        exhaustive_cap=120,
+    )
+
+    def run(batch: bool):
+        collector = CollectorSink()
+        with RunContext([collector]) as context:
+            result = synthesize(
+                reno_segments[:6],
+                TINY,
+                SynthesisConfig(batch_scoring=batch, **config),
+                context=context,
+            )
+        return result, [
+            e for e in collector.events if isinstance(e, ScoringStats)
+        ]
+
+    batched, batched_stats = run(True)
+    scalar, scalar_stats = run(False)
+    assert batched.expression == scalar.expression
+    assert batched.best.distance == scalar.best.distance
+    assert batched.iterations == scalar.iterations  # full ranking identity
+    # One ScoringStats per iteration plus the final snapshot.
+    assert len(batched_stats) == len(batched.iterations) + 1
+    final = batched_stats[-1]
+    assert final.batched_waves > 0
+    assert final.lb_pruned > 0
+    assert final.candidates_pruned > 0
+    assert scalar_stats[-1].batched_waves == 0
+    assert scalar_stats[-1].lb_pruned == 0

@@ -255,3 +255,36 @@ def test_synthesize_parser_accepts_resilience_flags():
     assert args.resume == "c.jsonl"
     assert args.max_pool_rebuilds == 2
     assert args.watchdog == 15.0
+
+
+def test_synthesize_no_batch_and_scoring_report(tmp_path, capsys):
+    """--report json carries the batched-scoring counters, --no-batch
+    zeroes them without changing the result, and the text summary names
+    the prune counters."""
+    archive = tmp_path / "reno.json"
+    main(
+        [
+            "collect", "--cca", "reno", "--out", str(archive),
+            "--bandwidth", "10", "--rtt", "50", "--duration", "10",
+        ]
+    )
+    capsys.readouterr()
+    base = [
+        "synthesize", "--traces", str(archive), "--dsl", "reno",
+        "--max-depth", "2", "--max-nodes", "3",
+        "--samples", "4", "--iterations", "1",
+    ]
+    assert main(base + ["--report", "json"]) == 0
+    batched = json.loads(capsys.readouterr().out)
+    assert batched["scoring"]["batched_waves"] > 0
+    assert batched["scoring"]["lb_pruned"] > 0
+
+    assert main(base + ["--no-batch", "--report", "json"]) == 0
+    scalar = json.loads(capsys.readouterr().out)
+    assert scalar["scoring"]["batched_waves"] == 0
+    assert scalar["handler"] == batched["handler"]
+    assert scalar["distance"] == batched["distance"]
+
+    assert main(base) == 0
+    text = capsys.readouterr().out
+    assert "lb_pruned" in text and "dp_abandoned" in text

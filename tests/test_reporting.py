@@ -79,3 +79,40 @@ def test_run_summary_silent_on_healthy_run():
     from repro.reporting import format_run_summary
 
     assert "faults" not in format_run_summary([])
+
+
+def test_run_summary_scoring_prunes_line():
+    from repro.reporting import format_run_summary
+    from repro.runtime.events import ScoringStats
+
+    events = [
+        ScoringStats(
+            batched_waves=5, lb_pruned=10, dp_abandoned=1, candidates_pruned=2
+        ),
+        ScoringStats(
+            batched_waves=9, lb_pruned=40, dp_abandoned=3, candidates_pruned=7
+        ),
+    ]
+    text = format_run_summary(events)
+    # The latest (cumulative) snapshot wins, named counters included.
+    assert "40 lb_pruned" in text
+    assert "3 dp_abandoned" in text
+    assert "7 candidates dropped" in text
+    assert "9 batched_waves" in text
+
+
+def test_scoring_stats_event_payload_roundtrips():
+    from repro.runtime.events import ScoringStats, event_payload
+
+    payload = event_payload(
+        ScoringStats(
+            batched_waves=1, lb_pruned=2, dp_abandoned=3, candidates_pruned=4
+        )
+    )
+    assert payload == {
+        "event": "scoring_stats",
+        "batched_waves": 1,
+        "lb_pruned": 2,
+        "dp_abandoned": 3,
+        "candidates_pruned": 4,
+    }
