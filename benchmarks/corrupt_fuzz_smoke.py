@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""Corrupt-trace fuzz smoke: the ingestion guard against the full corpus.
+
+CI's fast answer to "did a change break trace triage?":
+
+1. collect one clean reference trace;
+2. for every corruption class x a fixed seed matrix, write the corrupted
+   document and drive the real ``repro validate`` CLI over it, checking
+   the exit code against the class's declared expectation (repairable
+   admits with exit 0, refused exits 1 — a crash fails the job);
+3. run the clean differential: synthesis over the clean trace with
+   triage off and triage on must produce the identical handler and
+   distance.
+
+Exit code 0 when every check passes; 1 with a per-case report otherwise.
+Runs in well under a minute — this is a smoke test, not the full
+``tests/integration/test_triage_differential.py`` harness.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.cli import main as cli_main
+from repro.dsl import RENO_DSL, with_budget
+from repro.netsim.environments import Environment
+from repro.pipeline import reverse_engineer
+from repro.synth.refinement import SynthesisConfig
+from repro.trace.collect import CollectionConfig, collect_traces
+from repro.trace.corrupt import CORRUPTIONS, corrupt_trace
+from repro.trace.io import save_trace
+
+SEED_MATRIX = (0, 1, 2)
+
+FAST = SynthesisConfig(
+    initial_samples=4,
+    initial_keep=2,
+    completion_cap=6,
+    max_iterations=1,
+    exhaustive_cap=50,
+)
+
+
+def collect_reference():
+    return collect_traces(
+        "reno",
+        CollectionConfig(
+            duration=8.0,
+            environments=(Environment(bandwidth_mbps=10.0, rtt_ms=50.0),),
+            max_acks_per_trace=4000,
+        ),
+    )
+
+
+def check_validate_cli(trace, workdir: Path) -> list[str]:
+    failures: list[str] = []
+    for name, spec in sorted(CORRUPTIONS.items()):
+        for seed in SEED_MATRIX:
+            sample = corrupt_trace(trace, name, seed)
+            path = workdir / f"{name}-{seed}.json"
+            path.write_text(sample.text)
+            try:
+                code = cli_main(["validate", str(path)])
+            except SystemExit as exc:  # argparse-level exits are a bug here
+                failures.append(f"{name}[{seed}]: CLI exited via {exc!r}")
+                continue
+            except Exception as exc:  # noqa: BLE001 - a crash IS the finding
+                failures.append(f"{name}[{seed}]: CLI crashed: {exc!r}")
+                continue
+            expected = 0 if spec.expectation == "repairable" else 1
+            if code != expected:
+                failures.append(
+                    f"{name}[{seed}]: exit {code}, expected {expected} "
+                    f"({spec.expectation})"
+                )
+    return failures
+
+
+def check_clean_differential(traces) -> list[str]:
+    dsl = with_budget(RENO_DSL, max_depth=2, max_nodes=3)
+    off = reverse_engineer(traces, dsl=dsl, config=FAST)
+    on = reverse_engineer(
+        traces, dsl=dsl, config=FAST, trace_policy="repair"
+    )
+    failures: list[str] = []
+    if on.expression != off.expression:
+        failures.append(
+            "clean differential: expression diverged "
+            f"({on.expression!r} vs {off.expression!r})"
+        )
+    if on.distance != off.distance:
+        failures.append(
+            "clean differential: distance diverged "
+            f"({on.distance!r} vs {off.distance!r})"
+        )
+    return failures
+
+
+def main() -> int:
+    traces = collect_reference()
+    with tempfile.TemporaryDirectory() as tmp:
+        workdir = Path(tmp)
+        clean_path = workdir / "clean.json"
+        save_trace(traces[0], clean_path)
+        failures = []
+        if cli_main(["validate", str(clean_path)]) != 0:
+            failures.append("clean trace: validate refused it")
+        failures += check_validate_cli(traces[0], workdir)
+    failures += check_clean_differential(traces)
+    cases = len(CORRUPTIONS) * len(SEED_MATRIX)
+    if failures:
+        print(f"FUZZ SMOKE: {len(failures)} failure(s) over {cases} cases")
+        for line in failures:
+            print(f"  {line}")
+        return 1
+    print(
+        f"FUZZ SMOKE OK: {cases} corrupt cases behaved as declared; "
+        "clean differential bit-identical"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

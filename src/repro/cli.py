@@ -12,6 +12,10 @@ Commands
                 and report goodput shares and Jain's fairness index.
 ``stats``       summarize archived traces (goodput, RTT percentiles,
                 loss rate, window statistics).
+``validate``    run the trace triage report over archived traces:
+                per-class defect counts, repair outcomes, quality
+                scores; exit code 1 when any trace is refused under
+                the chosen policy (collection-campaign QA).
 ``zoo``         list every registered CCA.
 
 Examples
@@ -24,6 +28,7 @@ Examples
     python -m repro synthesize --cca vegas --time-budget 120
     python -m repro synthesize --traces reno.json --workers 4 \\
         --progress --run-log run.jsonl --report json
+    python -m repro validate field_captures/*.json --policy strict
     python -m repro race --cca bbr reno
 """
 
@@ -48,10 +53,12 @@ from repro.runtime import (
     ScoringStats,
 )
 from repro.synth.refinement import SynthesisConfig
+from repro.synth.scoring import QuorumConfig
 from repro.trace.collect import CollectionConfig, collect_traces
-from repro.trace.io import export_csv, load_traces, save_traces
+from repro.trace.io import export_csv, load_trace_file, load_traces, save_traces
 from repro.trace.model import Trace
 from repro.trace.noise import NoiseModel
+from repro.trace.triage import TriagePolicy, triage_trace
 
 __all__ = ["main", "build_parser"]
 
@@ -206,7 +213,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-sketch scoring watchdog: candidates exceeding this "
         "are quarantined with a worst-case score (default: off)",
     )
+    synthesize.add_argument(
+        "--trace-policy",
+        choices=("off", "strict", "repair", "permissive"),
+        default="repair",
+        help="input triage policy for loaded traces: validate invariants "
+        "and repair/refuse hostile records before synthesis "
+        "(default: repair; 'off' trusts the input verbatim — "
+        "bit-identical for clean traces)",
+    )
+    synthesize.add_argument(
+        "--min-quorum",
+        type=int,
+        default=2,
+        metavar="K",
+        help="quorum guard: never score fewer than K usable segments "
+        "when excluding low-quality inputs (default: 2)",
+    )
     _add_collection_args(synthesize)
+
+    validate = commands.add_parser(
+        "validate",
+        help="triage trace archives: defect report, repairs, quality",
+    )
+    validate.add_argument(
+        "traces",
+        nargs="+",
+        metavar="TRACE.json",
+        help="trace files (single-trace or bundle archives)",
+    )
+    validate.add_argument(
+        "--policy",
+        choices=("strict", "repair", "permissive"),
+        default="repair",
+        help="admission policy applied to each trace (default: repair)",
+    )
+    validate.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one JSON report document instead of text",
+    )
 
     race = commands.add_parser(
         "race", help="run CCAs in competition and report fairness"
@@ -286,6 +332,7 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
         sinks.append(JsonlSink(args.run_log))
     if args.progress:
         sinks.append(ConsoleProgressSink())
+    trace_policy = None if args.trace_policy == "off" else args.trace_policy
     with RunContext(sinks) as context:
         report = reverse_engineer(
             traces,
@@ -295,6 +342,8 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
             max_depth=None if args.dsl else args.max_depth,
             max_nodes=None if args.dsl else args.max_nodes,
             context=context,
+            trace_policy=trace_policy,
+            quorum=QuorumConfig(min_segments=args.min_quorum),
         )
     if args.report == "json":
         print(json.dumps(_json_report(report, collector, context)))
@@ -356,6 +405,39 @@ def _json_report(report, collector: CollectorSink, context: RunContext) -> dict:
             if scoring is not None
             else None
         ),
+        "triage": (
+            {
+                "accepted": report.triage.accepted,
+                "repaired": report.triage.repaired,
+                "rejected": report.triage.rejected,
+                "min_quality": report.triage.min_quality,
+                "traces": [
+                    {
+                        "trace": r.report.trace_label,
+                        "action": r.action,
+                        "quality": r.quality,
+                        "defects": dict(r.report.counts),
+                        "repairs": {
+                            a.repair: a.touched for a in r.repairs
+                        },
+                        "reason": r.reason,
+                    }
+                    for r in report.triage.results
+                ],
+                "quorum": (
+                    {
+                        "kept": len(report.quorum.kept),
+                        "excluded": len(report.quorum.excluded),
+                        "backfilled": len(report.quorum.backfilled),
+                        "degraded": report.quorum.degraded,
+                    }
+                    if report.quorum is not None
+                    else None
+                ),
+            }
+            if report.triage is not None
+            else None
+        ),
         "phase_seconds": dict(context.phase_seconds),
     }
 
@@ -408,6 +490,90 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_validate(args: argparse.Namespace) -> int:
+    """Triage report over trace archives; exit 1 on any refusal.
+
+    Load failures (truncated JSON, schema drift, malformed records)
+    are reported as ``unloadable`` entries rather than crashing, so a
+    collection campaign can sweep a whole capture directory in one run.
+    """
+    from repro.errors import TraceError
+
+    policy = TriagePolicy(mode=args.policy)
+    failures = 0
+    documents = []
+    for path in args.traces:
+        try:
+            traces = load_trace_file(path)
+        except (TraceError, OSError) as exc:
+            failures += 1
+            documents.append(
+                {
+                    "path": path,
+                    "action": "unloadable",
+                    "error": str(exc),
+                }
+            )
+            if not args.json:
+                print(f"{path}: REFUSED (unloadable)\n  {exc}")
+            continue
+        for position, trace in enumerate(traces):
+            result = triage_trace(trace, policy)
+            label = (
+                f"{path}[{position}]" if len(traces) > 1 else path
+            )
+            entry = {
+                "path": label,
+                "trace": result.report.trace_label,
+                "action": result.action,
+                "quality": round(result.quality, 4),
+                "defects": dict(result.report.counts),
+                "repairs": {a.repair: a.touched for a in result.repairs},
+            }
+            if result.reason:
+                entry["reason"] = result.reason
+            documents.append(entry)
+            if result.action == "rejected":
+                failures += 1
+            if args.json:
+                continue
+            if result.action == "clean":
+                print(f"{label}: OK ({result.report.trace_label} clean)")
+            elif result.action == "repaired":
+                repairs = ", ".join(
+                    f"{a.repair} x{a.touched}" for a in result.repairs
+                )
+                print(
+                    f"{label}: REPAIRED quality={result.quality:.2f} "
+                    f"({repairs})"
+                )
+                for code in sorted(result.report.counts):
+                    print(
+                        f"  {code} x{result.report.counts[code]}"
+                    )
+            else:
+                print(f"{label}: REFUSED ({result.reason})")
+                for code in sorted(result.report.counts):
+                    print(f"  {code} x{result.report.counts[code]}")
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "policy": args.policy,
+                    "failures": failures,
+                    "reports": documents,
+                }
+            )
+        )
+    else:
+        total = len(documents)
+        print(
+            f"validated {total} trace document(s) under "
+            f"{args.policy!r}: {failures} refused"
+        )
+    return 1 if failures else 0
+
+
 def _cmd_zoo(_: argparse.Namespace) -> int:
     for name in cca_names():
         cls = ALL_CCAS[name]
@@ -422,6 +588,7 @@ _COMMANDS = {
     "synthesize": _cmd_synthesize,
     "race": _cmd_race,
     "stats": _cmd_stats,
+    "validate": _cmd_validate,
     "zoo": _cmd_zoo,
 }
 

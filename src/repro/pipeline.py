@@ -21,13 +21,16 @@ from repro.classify.gordon import GordonClassifier
 from repro.dsl.families import DslSpec, dsl_for_classifier_label, with_budget
 from repro.dsl.printer import to_text
 from repro.dsl.simplify import simplify
-from repro.errors import SynthesisError
+from repro.errors import SynthesisError, TraceError
 from repro.runtime.context import RunContext
+from repro.runtime.events import DegradedInputs
 from repro.synth.refinement import SynthesisConfig, synthesize
 from repro.synth.result import SynthesisResult
+from repro.synth.scoring import QuorumConfig, QuorumDecision, quorum_filter
 from repro.trace.collect import CollectionConfig, collect_traces
 from repro.trace.model import Trace, TraceSegment
 from repro.trace.segmentation import segment_trace
+from repro.trace.triage import TriagePolicy, TriageSummary, triage_traces
 
 __all__ = ["PipelineReport", "reverse_engineer", "reverse_engineer_cca"]
 
@@ -41,6 +44,11 @@ class PipelineReport:
     dsl: DslSpec
     result: SynthesisResult
     segment_count: int
+    #: ``None`` when input triage was disabled (``trace_policy=None``).
+    triage: TriageSummary | None = None
+    #: ``None`` when triage was disabled; otherwise the quorum guard's
+    #: keep/exclude/backfill decision over the segmented working set.
+    quorum: QuorumDecision | None = None
 
     @property
     def expression(self) -> str:
@@ -68,6 +76,28 @@ class PipelineReport:
             if result.degraded:
                 notes.append("degraded to serial")
             text += f"\nfaults:     {', '.join(notes)}"
+        if self.triage is not None:
+            summary = self.triage
+            notes = [f"{summary.accepted} trace(s) accepted"]
+            if summary.repaired:
+                notes.append(f"{summary.repaired} repaired")
+            if summary.rejected:
+                notes.append(f"{summary.rejected} rejected")
+            if summary.min_quality < 1.0:
+                notes.append(f"min quality {summary.min_quality:.2f}")
+            text += f"\ninputs:     {', '.join(notes)}"
+        if self.quorum is not None and (
+            self.quorum.excluded or self.quorum.backfilled
+        ):
+            text += (
+                f"\nquorum:     {len(self.quorum.kept)} segment(s) kept, "
+                f"{len(self.quorum.excluded)} excluded"
+            )
+            if self.quorum.degraded:
+                text += (
+                    f", {len(self.quorum.backfilled)} low-quality "
+                    "backfilled (degraded inputs)"
+                )
         return text
 
 
@@ -91,6 +121,8 @@ def reverse_engineer(
     max_depth: int | None = None,
     max_nodes: int | None = None,
     context: RunContext | None = None,
+    trace_policy: str | TriagePolicy | None = None,
+    quorum: QuorumConfig | None = None,
 ) -> PipelineReport:
     """Reverse-engineer the CCA behind *traces*.
 
@@ -101,8 +133,34 @@ def reverse_engineer(
     ``context`` (a :class:`~repro.runtime.context.RunContext`) receives
     the run's telemetry — classification and segmentation phase timers
     plus every synthesis event.
+
+    ``trace_policy`` switches on input triage
+    (:mod:`repro.trace.triage`): a mode string (``"strict"`` /
+    ``"repair"`` / ``"permissive"``) or a full
+    :class:`~repro.trace.triage.TriagePolicy`.  With triage on, the
+    segmented working set additionally passes the quorum guard
+    (*quorum*, default :class:`~repro.synth.scoring.QuorumConfig`):
+    segments from low-quality repaired traces are excluded unless
+    exclusion would leave fewer than the quorum minimum, in which case
+    the best low-quality segments are kept and a ``degraded_inputs``
+    event is emitted.  ``trace_policy=None`` (the default) bypasses
+    both stages — for clean traces the two configurations produce
+    bit-identical rankings (see the triage differential harness).
     """
     ctx = context if context is not None else RunContext()
+    triage_summary: TriageSummary | None = None
+    if trace_policy is not None:
+        policy = (
+            trace_policy
+            if isinstance(trace_policy, TriagePolicy)
+            else TriagePolicy(mode=trace_policy)
+        )
+        with ctx.timer("triage"):
+            try:
+                triage_summary = triage_traces(traces, policy, context=ctx)
+            except TraceError as exc:
+                raise SynthesisError(str(exc)) from exc
+        traces = triage_summary.traces
     verdict: ClassifierVerdict | None = None
     if dsl is None:
         with ctx.timer("classify"):
@@ -119,12 +177,32 @@ def reverse_engineer(
 
     with ctx.timer("segment"):
         segments = _segments_from_traces(traces)
+    decision: QuorumDecision | None = None
+    if triage_summary is not None:
+        decision = quorum_filter(segments, quorum)
+        if decision.excluded or decision.backfilled:
+            ctx.emit(
+                DegradedInputs(
+                    total_segments=len(segments),
+                    usable=len(decision.kept) - len(decision.backfilled),
+                    excluded=len(decision.excluded),
+                    backfilled=len(decision.backfilled),
+                    min_quorum=(quorum or QuorumConfig()).min_segments,
+                )
+            )
+        segments = list(decision.kept)
+        if not segments:
+            raise SynthesisError(
+                "no usable segments survived the quorum guard"
+            )
     result = synthesize(segments, dsl, config, context=ctx)
     return PipelineReport(
         verdict=verdict,
         dsl=dsl,
         result=result,
         segment_count=len(segments),
+        triage=triage_summary,
+        quorum=decision,
     )
 
 

@@ -14,6 +14,7 @@ from typing import Iterable, Sequence
 
 from repro.runtime.events import (
     CacheStats,
+    DegradedInputs,
     DegradedToSerial,
     Event,
     IterationFinished,
@@ -23,6 +24,8 @@ from repro.runtime.events import (
     ScoringStats,
     SegmentsPrimed,
     SketchQuarantined,
+    TraceRepairApplied,
+    TraceTriaged,
     WorkerCrashed,
 )
 
@@ -103,6 +106,50 @@ def format_run_summary(events: Iterable[Event]) -> str:
     events = list(events)
     iterations = [e for e in events if isinstance(e, IterationFinished)]
     lines: list[str] = []
+    triaged = [e for e in events if isinstance(e, TraceTriaged)]
+    repairs = [e for e in events if isinstance(e, TraceRepairApplied)]
+    if triaged:
+        clean = sum(1 for e in triaged if e.action == "clean")
+        repaired = sum(1 for e in triaged if e.action == "repaired")
+        rejected = sum(1 for e in triaged if e.action == "rejected")
+        parts = [f"{clean} clean"]
+        if repaired:
+            parts.append(f"{repaired} repaired")
+        if rejected:
+            parts.append(f"{rejected} rejected")
+        lines.append(
+            f"triage: {len(triaged)} trace(s) — {', '.join(parts)}, "
+            f"{sum(e.touched for e in repairs)} record(s) touched"
+        )
+        problems = [e for e in triaged if e.action != "clean"]
+        if problems:
+            lines.append(
+                format_table(
+                    ("trace", "action", "quality", "defects"),
+                    [
+                        (
+                            e.trace,
+                            e.action,
+                            f"{e.quality:.2f}",
+                            ", ".join(
+                                f"{code} x{count}"
+                                for code, count in sorted(e.defects.items())
+                            ),
+                        )
+                        for e in problems
+                    ],
+                    title="triaged traces",
+                )
+            )
+    degraded_inputs = [e for e in events if isinstance(e, DegradedInputs)]
+    if degraded_inputs:
+        final_quorum = degraded_inputs[-1]
+        lines.append(
+            f"quorum: {final_quorum.usable}/{final_quorum.total_segments} "
+            f"segment(s) usable, {final_quorum.excluded} excluded, "
+            f"{final_quorum.backfilled} backfilled to hold the "
+            f"{final_quorum.min_quorum}-segment quorum"
+        )
     if iterations:
         rows = [
             (

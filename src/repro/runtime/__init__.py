@@ -22,6 +22,7 @@ from repro.runtime.events import (
     BudgetExceeded,
     CacheStats,
     CheckpointSaved,
+    DegradedInputs,
     DegradedToSerial,
     Event,
     IterationFinished,
@@ -34,6 +35,8 @@ from repro.runtime.events import (
     SegmentsPrimed,
     SketchQuarantined,
     SketchesDrawn,
+    TraceRepairApplied,
+    TraceTriaged,
     WorkerCrashed,
     bucket_label,
     event_payload,
@@ -72,6 +75,9 @@ __all__ = [
     "PoolRebuilt",
     "DegradedToSerial",
     "SketchQuarantined",
+    "TraceTriaged",
+    "TraceRepairApplied",
+    "DegradedInputs",
     "CheckpointSaved",
     "RunResumed",
     "FaultInjected",

@@ -31,6 +31,9 @@ __all__ = [
     "PoolRebuilt",
     "DegradedToSerial",
     "SketchQuarantined",
+    "TraceTriaged",
+    "TraceRepairApplied",
+    "DegradedInputs",
     "CheckpointSaved",
     "RunResumed",
     "bucket_label",
@@ -198,6 +201,46 @@ class SketchQuarantined(Event):
     sketch: str
     reason: str  # "timeout" | "exception" | "worker-crash"
     detail: str
+
+
+@dataclass(frozen=True)
+class TraceTriaged(Event):
+    """Input triage finished with one trace (admit, repair, or refuse)."""
+
+    kind: ClassVar[str] = "trace_triaged"
+    trace: str  #: ``cca/environment`` label
+    action: str  #: "clean" | "repaired" | "rejected"
+    quality: float  #: post-repair quality score (1.0 for clean)
+    defects: dict[str, int]  #: pre-repair defect histogram
+    reason: str = ""  #: rejection reason (empty when admitted)
+
+
+@dataclass(frozen=True)
+class TraceRepairApplied(Event):
+    """One repair pass changed a trace during triage."""
+
+    kind: ClassVar[str] = "trace_repair"
+    trace: str
+    repair: str  #: repair pass name (e.g. "resort_time", "clock_jump")
+    touched: int  #: records the pass modified or dropped
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class DegradedInputs(Event):
+    """The quorum guard ran out of high-quality segments.
+
+    Scoring continued on the best available working set (never fewer
+    than the configured minimum), but low-quality segments had to be
+    backfilled in — the ranking rests on degraded inputs.
+    """
+
+    kind: ClassVar[str] = "degraded_inputs"
+    total_segments: int
+    usable: int  #: segments meeting the quality threshold
+    excluded: int  #: low-quality segments dropped
+    backfilled: int  #: low-quality segments kept to satisfy the quorum
+    min_quorum: int
 
 
 @dataclass(frozen=True)

@@ -60,6 +60,10 @@ __all__ = [
     "Scorer",
     "ScoredHandler",
     "ScoringCounters",
+    "QuorumConfig",
+    "QuorumDecision",
+    "segment_quality",
+    "quorum_filter",
     "DEFAULT_TABLE_CACHE_ENTRIES",
 ]
 
@@ -69,6 +73,112 @@ __all__ = [
 #: :data:`repro.runtime.cache.DEFAULT_CACHE_ENTRIES` relative to its
 #: entry weight: a coalesced table is ~40 KiB, so 256 tables ≈ 10 MiB.
 DEFAULT_TABLE_CACHE_ENTRIES = 256
+
+
+def segment_quality(segment: TraceSegment) -> float:
+    """The triage quality score of *segment*'s parent trace.
+
+    Traces that never passed through :mod:`repro.trace.triage` (or were
+    found clean) carry no ``quality`` key and score a full ``1.0``, so
+    the quorum guard below is a no-op for well-formed input — the
+    property the clean-trace differential harness pins.
+    """
+    quality = segment.trace.meta.get("quality", 1.0)
+    try:
+        return float(quality)
+    except (TypeError, ValueError):
+        return 1.0
+
+
+@dataclass(frozen=True)
+class QuorumConfig:
+    """When to exclude low-quality segments, and how far exclusion may go.
+
+    ``quality_threshold`` is the score below which a segment counts as
+    suspect; ``min_segments`` is the quorum — the number of usable
+    segments the working set must never drop below.  Exclusion with a
+    floor (rather than score re-weighting) keeps accepted segments'
+    distances bit-identical to an unguarded run.
+    """
+
+    min_segments: int = 2
+    quality_threshold: float = 0.8
+
+    def __post_init__(self) -> None:
+        if self.min_segments < 1:
+            raise ValueError("min_segments must be >= 1")
+        if not 0.0 <= self.quality_threshold <= 1.0:
+            raise ValueError("quality_threshold must be within [0, 1]")
+
+
+@dataclass(frozen=True)
+class QuorumDecision:
+    """Outcome of the quorum guard over one segment collection."""
+
+    kept: tuple[TraceSegment, ...]
+    excluded: tuple[TraceSegment, ...]
+    #: Low-quality segments kept anyway to satisfy the quorum.
+    backfilled: tuple[TraceSegment, ...]
+
+    @property
+    def degraded(self) -> bool:
+        """True when the ranking rests on below-threshold segments."""
+        return bool(self.backfilled)
+
+
+def quorum_filter(
+    segments: Sequence[TraceSegment], config: QuorumConfig | None = None
+) -> QuorumDecision:
+    """Exclude low-quality segments without ever starving the scorer.
+
+    Segments whose :func:`segment_quality` falls below the threshold
+    are dropped — unless that would leave fewer than ``min_segments``
+    usable segments, in which case the *best* low-quality segments are
+    backfilled (stable order: quality descending, original position as
+    tie-break) until the quorum is met or every segment is in use.  The
+    guard therefore provably never reduces the working set below
+    ``min(min_segments, len(segments))``; a backfilled decision is
+    surfaced as a ``degraded_inputs`` event by the pipeline rather than
+    silently producing a confidently wrong ranking.
+
+    Kept segments preserve their original order, so downstream working
+    set selection (and thus the ranking) is reproducible.
+    """
+    config = config or QuorumConfig()
+    qualities = [segment_quality(segment) for segment in segments]
+    good = [
+        index
+        for index, quality in enumerate(qualities)
+        if quality >= config.quality_threshold
+    ]
+    bad = [
+        index
+        for index in range(len(segments))
+        if qualities[index] < config.quality_threshold
+    ]
+    keep = set(good)
+    backfill: list[int] = []
+    if len(keep) < config.min_segments and bad:
+        # Best-first backfill; sort is stable on (-quality, index).
+        for index in sorted(bad, key=lambda i: (-qualities[i], i)):
+            if len(keep) >= config.min_segments:
+                break
+            keep.add(index)
+            backfill.append(index)
+    backfill_set = set(backfill)
+    return QuorumDecision(
+        kept=tuple(
+            segments[index] for index in range(len(segments)) if index in keep
+        ),
+        excluded=tuple(
+            segments[index]
+            for index in bad
+            if index not in backfill_set
+        ),
+        backfilled=tuple(
+            segments[index] for index in bad if index in backfill_set
+        ),
+    )
 
 
 @dataclass(frozen=True)

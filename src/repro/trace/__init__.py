@@ -13,9 +13,18 @@ from repro.trace.collect import (
     collect_segments,
     collect_traces,
 )
+from repro.trace.corrupt import (
+    CORRUPTIONS,
+    REFUSED,
+    REPAIRABLE,
+    CorruptSample,
+    corrupt_trace,
+    corruption_corpus,
+)
 from repro.trace.io import (
     export_csv,
     load_trace,
+    load_trace_file,
     load_traces,
     save_trace,
     save_traces,
@@ -32,6 +41,22 @@ from repro.trace.selection import (
 )
 from repro.trace.signals import SIGNAL_NAMES, SignalTable, extract_signals
 from repro.trace.stats import TraceStats, summarize
+from repro.trace.triage import (
+    DEFECT_CLASSES,
+    FATAL_DEFECTS,
+    REPAIRABLE_DEFECTS,
+    DefectReport,
+    RepairAction,
+    TraceDefect,
+    TriagePolicy,
+    TriageResult,
+    TriageSummary,
+    repair_trace,
+    trace_quality,
+    triage_trace,
+    triage_traces,
+    validate_trace,
+)
 
 __all__ = [
     "CollectionConfig",
@@ -41,6 +66,7 @@ __all__ = [
     "collect_traces",
     "export_csv",
     "load_trace",
+    "load_trace_file",
     "load_traces",
     "save_trace",
     "save_traces",
@@ -62,4 +88,24 @@ __all__ = [
     "summarize",
     "SignalTable",
     "extract_signals",
+    "CORRUPTIONS",
+    "REPAIRABLE",
+    "REFUSED",
+    "CorruptSample",
+    "corrupt_trace",
+    "corruption_corpus",
+    "DEFECT_CLASSES",
+    "FATAL_DEFECTS",
+    "REPAIRABLE_DEFECTS",
+    "TraceDefect",
+    "DefectReport",
+    "RepairAction",
+    "TriagePolicy",
+    "TriageResult",
+    "TriageSummary",
+    "validate_trace",
+    "repair_trace",
+    "trace_quality",
+    "triage_trace",
+    "triage_traces",
 ]

@@ -1,0 +1,268 @@
+"""Adversarial trace corruption — the hostile sibling of ``noise.py``.
+
+:mod:`repro.trace.noise` models *measurement* imperfection: jitter,
+dropout, observation error.  This module models *corruption*: the
+failure modes of real collection campaigns (clock steps, tooling bugs,
+truncated uploads, schema drift) plus deliberately hostile input, in the
+spirit of CC-Fuzz's adversarial stress-testing.  The triage layer
+(:mod:`repro.trace.triage`) must either repair each class or refuse it
+with a structured report — never crash, never silently mis-rank.
+
+Each corruption class transforms the *serialized* JSON document (the
+attack surface a service ingests), is deterministic per ``(class,
+seed)``, and declares its expected triage outcome:
+
+* ``"repairable"`` — ``load`` succeeds and the ``repair`` policy admits
+  the trace after repair passes;
+* ``"refused"`` — either the loader raises a structured
+  :class:`~repro.errors.TraceError` (schema/type/truncation damage) or
+  triage rejects the trace with a defect report.
+
+The differential harness in ``tests/integration`` and the CI fuzz smoke
+job iterate ``CORRUPTIONS`` so a newly added class is automatically
+exercised.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import zlib
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.trace.io import trace_to_dict
+from repro.trace.model import Trace
+
+__all__ = [
+    "CorruptSample",
+    "CORRUPTIONS",
+    "REPAIRABLE",
+    "REFUSED",
+    "corrupt_trace",
+    "corruption_corpus",
+]
+
+
+@dataclass(frozen=True)
+class CorruptSample:
+    """One corrupted serialized trace and its provenance."""
+
+    corruption: str
+    seed: int
+    text: str  #: the (possibly unparseable) JSON document
+    expectation: str  #: ``"repairable" | "refused"``
+
+
+def _rng(name: str, seed: int) -> random.Random:
+    return random.Random(seed ^ zlib.crc32(name.encode()))
+
+
+# ---------------------------------------------------------------------------
+# Dict-level corruptions (well-formed JSON, hostile content)
+
+
+def _clock_jump(data: dict, rng: random.Random) -> dict:
+    """A forward clock step mid-trace (NTP slew, VM migration)."""
+    acks = data["acks"]
+    if len(acks) < 4:
+        return data
+    pivot = rng.randrange(len(acks) // 4, 3 * len(acks) // 4)
+    jump = rng.uniform(120.0, 600.0)
+    for row in acks[pivot:]:
+        row[0] += jump
+    return data
+
+
+def _record_shuffle(data: dict, rng: random.Random) -> dict:
+    """A window of records written out of order (buffered logger race)."""
+    acks = data["acks"]
+    if len(acks) < 8:
+        return data
+    start = rng.randrange(0, len(acks) - 8)
+    window = acks[start : start + 8]
+    rng.shuffle(window)
+    acks[start : start + 8] = window
+    return data
+
+
+def _duplicate_acks(data: dict, rng: random.Random) -> dict:
+    """Records duplicated in place (retried log flush)."""
+    acks = data["acks"]
+    for index in sorted(
+        rng.sample(range(len(acks)), min(5, len(acks))), reverse=True
+    ):
+        acks.insert(index, list(acks[index]))
+    return data
+
+
+def _nonfinite_fields(data: dict, rng: random.Random) -> dict:
+    """NaN/Infinity leaking into numeric cells (failed float parse)."""
+    acks = data["acks"]
+    for index in rng.sample(range(len(acks)), min(6, len(acks))):
+        column = rng.choice((3, 4))  # rtt_sample or cwnd_bytes
+        acks[index][column] = rng.choice(
+            (float("nan"), float("inf"), -float("inf"))
+        )
+    return data
+
+
+def _negative_cwnd(data: dict, rng: random.Random) -> dict:
+    """Sign corruption on windows and byte counters."""
+    acks = data["acks"]
+    for index in rng.sample(range(len(acks)), min(5, len(acks))):
+        acks[index][4] = -abs(acks[index][4]) - 1.0
+    return data
+
+
+def _duplicate_loss_epochs(data: dict, rng: random.Random) -> dict:
+    """Loss records written multiple times (at-least-once delivery)."""
+    losses = data["losses"]
+    if not losses:
+        losses.append([data["acks"][len(data["acks"]) // 2][0], "dupack"])
+    for _ in range(3):
+        losses.extend([list(row) for row in losses[: max(1, len(losses))]])
+    return data
+
+
+def _loss_outside_span(data: dict, rng: random.Random) -> dict:
+    """Loss timestamps far outside the flow (epoch-zero, far future)."""
+    data["losses"] = list(data["losses"]) + [
+        [-1e6, "timeout"],
+        [1e9, "dupack"],
+    ]
+    return data
+
+
+def _trailing_garbage(data: dict, rng: random.Random) -> dict:
+    """A few absurd far-future records appended at the tail."""
+    acks = data["acks"]
+    if not acks:
+        return data
+    last = acks[-1]
+    base = last[0] + 1e5
+    for offset in range(3):
+        row = list(last)
+        row[0] = base + offset
+        acks.append(row)
+    return data
+
+
+# ---------------------------------------------------------------------------
+# Schema/type corruptions (refused at the loader or by triage)
+
+
+def _field_type_confusion(data: dict, rng: random.Random) -> dict:
+    """Numeric cells replaced by strings (CSV→JSON conversion bug)."""
+    acks = data["acks"]
+    for index in rng.sample(range(len(acks)), min(4, len(acks))):
+        column = rng.randrange(0, 6)
+        acks[index][column] = str(acks[index][column])
+    return data
+
+
+def _malformed_arity(data: dict, rng: random.Random) -> dict:
+    """Ack rows with missing cells (truncated writer)."""
+    acks = data["acks"]
+    for index in rng.sample(range(len(acks)), min(3, len(acks))):
+        acks[index] = acks[index][: rng.randrange(1, 6)]
+    return data
+
+
+def _unknown_version(data: dict, rng: random.Random) -> dict:
+    """Schema drift: a version this reader does not speak."""
+    data["version"] = rng.choice((0, 99, "2.0", None))
+    return data
+
+
+def _negative_mss(data: dict, rng: random.Random) -> dict:
+    """An impossible MSS (field corruption in the header)."""
+    data["mss"] = rng.choice((0, -1460))
+    return data
+
+
+def _empty_acks(data: dict, rng: random.Random) -> dict:
+    """A header with no records behind it."""
+    data["acks"] = []
+    data["losses"] = []
+    return data
+
+
+# ---------------------------------------------------------------------------
+# Text-level corruptions (not even JSON)
+
+
+def _truncated_json(text: str, rng: random.Random) -> str:
+    """The document cut off mid-write (disk full, killed uploader)."""
+    cut = rng.randrange(len(text) // 2, max(len(text) - 1, 1))
+    return text[:cut]
+
+
+@dataclass(frozen=True)
+class _Corruption:
+    expectation: str  #: "repairable" | "refused"
+    dict_fn: Callable[[dict, random.Random], dict] | None = None
+    text_fn: Callable[[str, random.Random], str] | None = None
+
+
+#: Every corruption class, keyed by name.  Repairable classes damage the
+#: content; refused classes damage the schema or the document itself.
+CORRUPTIONS: dict[str, _Corruption] = {
+    "clock_jump": _Corruption("repairable", _clock_jump),
+    "record_shuffle": _Corruption("repairable", _record_shuffle),
+    "duplicate_acks": _Corruption("repairable", _duplicate_acks),
+    "nonfinite_fields": _Corruption("repairable", _nonfinite_fields),
+    "negative_cwnd": _Corruption("repairable", _negative_cwnd),
+    "duplicate_loss_epochs": _Corruption(
+        "repairable", _duplicate_loss_epochs
+    ),
+    "loss_outside_span": _Corruption("repairable", _loss_outside_span),
+    "trailing_garbage": _Corruption("repairable", _trailing_garbage),
+    "field_type_confusion": _Corruption("refused", _field_type_confusion),
+    "malformed_arity": _Corruption("refused", _malformed_arity),
+    "unknown_version": _Corruption("refused", _unknown_version),
+    "negative_mss": _Corruption("refused", _negative_mss),
+    "empty_acks": _Corruption("refused", _empty_acks),
+    "truncated_json": _Corruption("refused", text_fn=_truncated_json),
+}
+
+#: Names of classes triage is expected to repair / refuse.
+REPAIRABLE = tuple(
+    name for name, c in CORRUPTIONS.items() if c.expectation == "repairable"
+)
+REFUSED = tuple(
+    name for name, c in CORRUPTIONS.items() if c.expectation == "refused"
+)
+
+
+def corrupt_trace(trace: Trace, corruption: str, seed: int = 0) -> CorruptSample:
+    """Serialize *trace* and apply one named corruption class.
+
+    Deterministic per ``(corruption, seed)``; the input trace is never
+    mutated (the corruption operates on a fresh serialized copy).
+    """
+    spec = CORRUPTIONS[corruption]
+    rng = _rng(corruption, seed)
+    data = trace_to_dict(trace)  # fresh nested lists: safe to mutate
+    if spec.dict_fn is not None:
+        data = spec.dict_fn(data, rng)
+    text = json.dumps(data)
+    if spec.text_fn is not None:
+        text = spec.text_fn(text, rng)
+    return CorruptSample(
+        corruption=corruption,
+        seed=seed,
+        text=text,
+        expectation=spec.expectation,
+    )
+
+
+def corruption_corpus(
+    trace: Trace, seeds: tuple[int, ...] = (0, 1)
+) -> list[CorruptSample]:
+    """Every corruption class applied to *trace* across *seeds*."""
+    return [
+        corrupt_trace(trace, name, seed)
+        for name in CORRUPTIONS
+        for seed in seeds
+    ]

@@ -3,6 +3,14 @@
 Traces are plain-data, so a JSON representation supports archiving
 collection campaigns and shipping fixtures into tests.  CSV export gives
 one row per ACK for ad-hoc plotting.
+
+Deserialization is the first line of the ingestion guard
+(:mod:`repro.trace.triage` is the second): every structural problem —
+unknown format version, malformed record arity, type-confused cells,
+impossible MSS, a document that is not JSON at all — raises a
+:class:`~repro.errors.TraceError` whose message carries the source path
+and offending record index, instead of an ``IndexError``/``KeyError``
+surfacing from deep inside construction.
 """
 
 from __future__ import annotations
@@ -22,10 +30,21 @@ __all__ = [
     "load_trace",
     "save_traces",
     "load_traces",
+    "load_trace_file",
     "export_csv",
 ]
 
 _FORMAT_VERSION = 1
+#: Cells of one serialized ack row, in order.
+_ACK_FIELDS = (
+    "time",
+    "ack_seq",
+    "acked_bytes",
+    "rtt_sample",
+    "cwnd_bytes",
+    "inflight_bytes",
+    "dupack",
+)
 
 
 def trace_to_dict(trace: Trace) -> dict:
@@ -52,30 +71,150 @@ def trace_to_dict(trace: Trace) -> dict:
     }
 
 
-def trace_from_dict(data: dict) -> Trace:
-    """Rebuild a :class:`Trace` from :func:`trace_to_dict` output."""
+def _where(source: str | None) -> str:
+    return f"{source}: " if source else ""
+
+
+def _require_number(
+    value: object, *, what: str, source: str | None, nullable: bool = False
+) -> float | int | None:
+    """A numeric cell, or a :class:`TraceError` naming the bad cell.
+
+    ``bool`` is rejected despite being an ``int`` subclass — a ``true``
+    in a timestamp cell is type confusion, not a number.
+    """
+    if value is None and nullable:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise TraceError(
+            f"{_where(source)}{what} must be a number, got "
+            f"{type(value).__name__} {value!r}"
+        )
+    return value
+
+
+def _ack_from_row(row: object, index: int, source: str | None) -> AckRecord:
+    if not isinstance(row, (list, tuple)):
+        raise TraceError(
+            f"{_where(source)}acks[{index}] must be an array of "
+            f"{len(_ACK_FIELDS)} cells, got {type(row).__name__}"
+        )
+    if len(row) != len(_ACK_FIELDS):
+        raise TraceError(
+            f"{_where(source)}acks[{index}] has {len(row)} cell(s), "
+            f"expected {len(_ACK_FIELDS)} ({', '.join(_ACK_FIELDS)})"
+        )
+    cell = f"acks[{index}]"
+    dupack = row[6]
+    if not isinstance(dupack, (bool, int)):
+        raise TraceError(
+            f"{_where(source)}{cell}.dupack must be 0/1, got {dupack!r}"
+        )
+    # Numeric cells are kept verbatim (no int() coercion): value repair
+    # is triage's job, and coercing a NaN would crash where a structured
+    # defect report is wanted.
+    return AckRecord(
+        time=_require_number(row[0], what=f"{cell}.time", source=source),
+        ack_seq=_require_number(
+            row[1], what=f"{cell}.ack_seq", source=source
+        ),
+        acked_bytes=_require_number(
+            row[2], what=f"{cell}.acked_bytes", source=source
+        ),
+        rtt_sample=_require_number(
+            row[3], what=f"{cell}.rtt_sample", source=source, nullable=True
+        ),
+        cwnd_bytes=_require_number(
+            row[4], what=f"{cell}.cwnd_bytes", source=source
+        ),
+        inflight_bytes=_require_number(
+            row[5], what=f"{cell}.inflight_bytes", source=source
+        ),
+        dupack=bool(dupack),
+    )
+
+
+def _loss_from_row(row: object, index: int, source: str | None) -> LossRecord:
+    if not isinstance(row, (list, tuple)) or len(row) != 2:
+        raise TraceError(
+            f"{_where(source)}losses[{index}] must be a [time, kind] pair"
+        )
+    kind = row[1]
+    if not isinstance(kind, str):
+        raise TraceError(
+            f"{_where(source)}losses[{index}].kind must be a string, "
+            f"got {kind!r}"
+        )
+    return LossRecord(
+        time=_require_number(
+            row[0], what=f"losses[{index}].time", source=source
+        ),
+        kind=kind,
+    )
+
+
+def trace_from_dict(data: dict, *, source: str | None = None) -> Trace:
+    """Rebuild a :class:`Trace` from :func:`trace_to_dict` output.
+
+    *source* (usually a file path) is woven into every error message so
+    a failing record in a collection campaign is locatable.
+    """
+    if not isinstance(data, dict):
+        raise TraceError(
+            f"{_where(source)}trace document must be a JSON object, "
+            f"got {type(data).__name__}"
+        )
     version = data.get("version")
     if version != _FORMAT_VERSION:
-        raise TraceError(f"unsupported trace format version {version!r}")
+        raise TraceError(
+            f"{_where(source)}unsupported trace format version {version!r} "
+            f"(this reader speaks version {_FORMAT_VERSION})"
+        )
+    missing = [
+        key
+        for key in ("cca_name", "environment_label", "mss", "acks", "losses")
+        if key not in data
+    ]
+    if missing:
+        raise TraceError(
+            f"{_where(source)}trace document lacks required key(s): "
+            f"{', '.join(missing)}"
+        )
+    mss = data["mss"]
+    if isinstance(mss, bool) or not isinstance(mss, int) or mss <= 0:
+        raise TraceError(
+            f"{_where(source)}mss must be a positive integer, got {mss!r}"
+        )
+    acks_data = data["acks"]
+    losses_data = data["losses"]
+    if not isinstance(acks_data, list) or not isinstance(losses_data, list):
+        raise TraceError(
+            f"{_where(source)}'acks' and 'losses' must be arrays"
+        )
     return Trace(
-        cca_name=data["cca_name"],
-        environment_label=data["environment_label"],
-        mss=data["mss"],
+        cca_name=str(data["cca_name"]),
+        environment_label=str(data["environment_label"]),
+        mss=mss,
         meta=dict(data.get("meta", {})),
         acks=[
-            AckRecord(
-                time=row[0],
-                ack_seq=row[1],
-                acked_bytes=row[2],
-                rtt_sample=row[3],
-                cwnd_bytes=row[4],
-                inflight_bytes=row[5],
-                dupack=bool(row[6]),
-            )
-            for row in data["acks"]
+            _ack_from_row(row, index, source)
+            for index, row in enumerate(acks_data)
         ],
-        losses=[LossRecord(time=row[0], kind=row[1]) for row in data["losses"]],
+        losses=[
+            _loss_from_row(row, index, source)
+            for index, row in enumerate(losses_data)
+        ],
     )
+
+
+def _parse_json(text: str, source: str | None) -> object:
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise TraceError(
+            f"{_where(source)}not valid JSON (truncated or corrupt "
+            f"document): {exc}"
+        ) from exc
 
 
 def save_trace(trace: Trace, path: str | Path) -> None:
@@ -85,7 +224,10 @@ def save_trace(trace: Trace, path: str | Path) -> None:
 
 def load_trace(path: str | Path) -> Trace:
     """Read one trace from JSON."""
-    return trace_from_dict(json.loads(Path(path).read_text()))
+    source = str(path)
+    return trace_from_dict(
+        _parse_json(Path(path).read_text(), source), source=source
+    )
 
 
 def save_traces(traces: list[Trace], path: str | Path) -> None:
@@ -102,29 +244,61 @@ def save_traces(traces: list[Trace], path: str | Path) -> None:
 
 def load_traces(path: str | Path) -> list[Trace]:
     """Read a list of traces written by :func:`save_traces`."""
-    data = json.loads(Path(path).read_text())
+    source = str(path)
+    data = _parse_json(Path(path).read_text(), source)
+    if not isinstance(data, dict):
+        raise TraceError(f"{source}: trace bundle must be a JSON object")
     if data.get("version") != _FORMAT_VERSION:
-        raise TraceError("unsupported trace bundle version")
-    return [trace_from_dict(item) for item in data["traces"]]
+        raise TraceError(
+            f"{source}: unsupported trace bundle version "
+            f"{data.get('version')!r}"
+        )
+    items = data.get("traces")
+    if not isinstance(items, list):
+        raise TraceError(f"{source}: bundle lacks a 'traces' array")
+    return [
+        trace_from_dict(item, source=f"{source}[{index}]")
+        for index, item in enumerate(items)
+    ]
+
+
+def load_trace_file(path: str | Path) -> list[Trace]:
+    """Read either a single-trace file or a bundle, as a list.
+
+    Sniffs the document shape: a ``traces`` key means a
+    :func:`save_traces` bundle, otherwise the document is a single
+    :func:`save_trace` trace.  The validate CLI and collection tooling
+    accept both formats through this one entry point.
+    """
+    source = str(path)
+    data = _parse_json(Path(path).read_text(), source)
+    if isinstance(data, dict) and "traces" in data:
+        if data.get("version") != _FORMAT_VERSION:
+            raise TraceError(
+                f"{source}: unsupported trace bundle version "
+                f"{data.get('version')!r}"
+            )
+        items = data["traces"]
+        if not isinstance(items, list):
+            raise TraceError(f"{source}: bundle 'traces' must be an array")
+        return [
+            trace_from_dict(item, source=f"{source}[{index}]")
+            for index, item in enumerate(items)
+        ]
+    return [trace_from_dict(data, source=source)]
 
 
 def export_csv(trace: Trace, sink: IO[str] | str | Path) -> None:
-    """Write one row per ACK: time, ack, acked, rtt, cwnd, inflight, dup."""
+    """Write one row per ACK: time, ack, acked, rtt, cwnd, inflight, dup.
+
+    An empty trace produces a header-only file — collection campaigns
+    export whatever they gathered, including nothing.
+    """
     own = isinstance(sink, (str, Path))
     handle = open(sink, "w", newline="") if own else sink
     try:
         writer = csv.writer(handle)
-        writer.writerow(
-            [
-                "time",
-                "ack_seq",
-                "acked_bytes",
-                "rtt_sample",
-                "cwnd_bytes",
-                "inflight_bytes",
-                "dupack",
-            ]
-        )
+        writer.writerow(list(_ACK_FIELDS))
         for ack in trace.acks:
             writer.writerow(
                 [

@@ -10,6 +10,9 @@ the inferred ones.
 
 from __future__ import annotations
 
+import math
+
+from repro.errors import TraceError
 from repro.trace.model import Trace, TraceSegment
 
 __all__ = ["infer_loss_times", "segment_trace"]
@@ -61,6 +64,26 @@ def segment_trace(
     runs to the ACK preceding the next loss.  Segments with fewer than
     *min_acks* new-data ACKs are dropped.
     """
+    # Segmentation assumes time-ordered, finite timestamps: the epoch
+    # windows below are half-open time intervals, so an out-of-order or
+    # NaN timestamp silently scatters ACKs across the wrong segments.
+    # Refuse with an actionable error instead — repairable through
+    # :mod:`repro.trace.triage`.
+    previous = float("-inf")
+    for index, ack in enumerate(trace.acks):
+        if not math.isfinite(ack.time):
+            raise TraceError(
+                f"ack[{index}] has non-finite timestamp; run trace "
+                "triage (or `repro validate`) before segmentation"
+            )
+        if ack.time < previous:
+            raise TraceError(
+                f"ack[{index}] time {ack.time:.6f} precedes its "
+                f"predecessor ({previous:.6f}); run trace triage "
+                "(or `repro validate`) before segmentation"
+            )
+        previous = ack.time
+
     losses = infer_loss_times(trace)
     boundaries = [float("-inf")] + losses + [float("inf")]
     segments: list[TraceSegment] = []

@@ -11,6 +11,7 @@ like a measurement tool that watched the whole flow.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -134,11 +135,32 @@ class SignalTable:
         return SignalTable(mss=self.mss, columns=merged)
 
 
+def _usable_rtt(ack) -> float | None:
+    """The record's RTT sample, or ``None`` when absent or garbage.
+
+    Non-finite and non-positive samples are treated as missing rather
+    than poisoning every running statistic downstream (min/max/EWMA and
+    the gradients are all cumulative — one ``inf`` would stick for the
+    rest of the flow).
+    """
+    sample = ack.rtt_sample
+    if sample is None or not math.isfinite(sample) or sample <= 0:
+        return None
+    return sample
+
+
 def extract_signals(segment: TraceSegment) -> SignalTable:
     """Compute the :class:`SignalTable` for *segment*.
 
     Only new-data ACKs (``acked_bytes > 0``) contribute rows; dupacks
-    carry no RTT sample and no window progress.
+    carry no RTT sample and no window progress.  Guards keep garbage
+    out of the table: non-finite RTT samples count as missing, a run of
+    missing samples at the trace head back-fills from the first real
+    sample (instead of fabricating a 1 ms RTT), and non-finite window
+    observations carry the nearest finite neighbor.  A segment with no
+    finite timestamps, windows, or RTT samples raises
+    :class:`~repro.errors.TraceError` — that trace needs
+    :mod:`repro.trace.triage` first.
     """
     trace = segment.trace
     rows = [
@@ -150,6 +172,11 @@ def extract_signals(segment: TraceSegment) -> SignalTable:
     inside = [(i, a) for i, a in rows if i >= segment.start]
     if not inside:
         raise TraceError(f"segment {segment.label} has no new-data ACKs")
+    if not all(math.isfinite(ack.time) for _, ack in inside):
+        raise TraceError(
+            f"segment {segment.label} has non-finite timestamps; "
+            "run trace triage before extraction"
+        )
 
     loss_times = trace.loss_times()
 
@@ -163,43 +190,70 @@ def extract_signals(segment: TraceSegment) -> SignalTable:
     prev_time = None
     gradient = 0.0
     for _, ack in prefix:
-        if ack.rtt_sample is not None:
-            min_rtt = min(min_rtt, ack.rtt_sample)
-            max_rtt = max(max_rtt, ack.rtt_sample)
+        rtt_sample = _usable_rtt(ack)
+        if rtt_sample is not None:
+            min_rtt = min(min_rtt, rtt_sample)
+            max_rtt = max(max_rtt, rtt_sample)
             ewma = (
-                ack.rtt_sample
+                rtt_sample
                 if ewma is None
-                else ewma + _EWMA_GAIN * (ack.rtt_sample - ewma)
+                else ewma + _EWMA_GAIN * (rtt_sample - ewma)
             )
             if prev_rtt is not None and ack.time > prev_time:
-                sample = (ack.rtt_sample - prev_rtt) / (ack.time - prev_time)
+                sample = (rtt_sample - prev_rtt) / (ack.time - prev_time)
                 gradient += _EWMA_GAIN * (sample - gradient)
-            prev_rtt, prev_time = ack.rtt_sample, ack.time
+            prev_rtt, prev_time = rtt_sample, ack.time
 
     n = len(inside)
     out = {name: np.zeros(n) for name in SIGNAL_NAMES}
     delivered: list[tuple[float, float]] = []  # (time, cumulative bytes)
     cumulative = 0.0
     last_rtt = prev_rtt
+    if last_rtt is None:
+        # A missing-sample run at the trace head: back-fill from the
+        # first real sample in the segment (the way
+        # :meth:`Trace.rtt_series` does) rather than fabricating a 1 ms
+        # RTT that would poison min_rtt for the whole flow.
+        last_rtt = next(
+            (
+                sample
+                for sample in map(
+                    lambda pair: _usable_rtt(pair[1]), inside
+                )
+                if sample is not None
+            ),
+            None,
+        )
+        if last_rtt is None:
+            raise TraceError(
+                f"segment {segment.label} has no usable RTT samples"
+            )
+    last_cwnd: float | None = None
 
     for row, (_, ack) in enumerate(inside):
         time = ack.time
-        if ack.rtt_sample is not None:
-            last_rtt = ack.rtt_sample
-            min_rtt = min(min_rtt, ack.rtt_sample)
-            max_rtt = max(max_rtt, ack.rtt_sample)
+        rtt_sample = _usable_rtt(ack)
+        if rtt_sample is not None:
+            last_rtt = rtt_sample
+            min_rtt = min(min_rtt, rtt_sample)
+            max_rtt = max(max_rtt, rtt_sample)
             ewma = (
-                ack.rtt_sample
+                rtt_sample
                 if ewma is None
-                else ewma + _EWMA_GAIN * (ack.rtt_sample - ewma)
+                else ewma + _EWMA_GAIN * (rtt_sample - ewma)
             )
             if prev_rtt is not None and time > prev_time:
-                sample = (ack.rtt_sample - prev_rtt) / (time - prev_time)
+                sample = (rtt_sample - prev_rtt) / (time - prev_time)
                 gradient += _EWMA_GAIN * (sample - gradient)
-            prev_rtt, prev_time = ack.rtt_sample, time
-        rtt = last_rtt if last_rtt is not None else 1e-3
+            prev_rtt, prev_time = rtt_sample, time
+        rtt = last_rtt
 
-        cumulative += ack.acked_bytes
+        acked = (
+            float(ack.acked_bytes)
+            if math.isfinite(ack.acked_bytes)
+            else 0.0
+        )
+        cumulative += acked
         delivered.append((time, cumulative))
         while len(delivered) > 2 and time - delivered[0][0] > _RATE_WINDOW:
             delivered.pop(0)
@@ -207,16 +261,23 @@ def extract_signals(segment: TraceSegment) -> SignalTable:
         if span > 0:
             rate = (cumulative - delivered[0][1]) / span
         else:
-            rate = ack.acked_bytes / max(rtt, 1e-6)
+            rate = acked / max(rtt, 1e-6)
 
         earlier_losses = loss_times[loss_times <= time]
         since_loss = (
             time - earlier_losses[-1] if earlier_losses.size else time
         )
 
+        if math.isfinite(ack.cwnd_bytes):
+            last_cwnd = float(ack.cwnd_bytes)
         out["time"][row] = time
-        out["cwnd"][row] = ack.cwnd_bytes
-        out["acked_bytes"][row] = ack.acked_bytes
+        # A non-finite window observation carries the previous finite
+        # one (leading garbage back-fills below) instead of landing NaN
+        # in the series the scorer matches against.
+        out["cwnd"][row] = (
+            last_cwnd if last_cwnd is not None else float("nan")
+        )
+        out["acked_bytes"][row] = acked
         out["rtt"][row] = rtt
         out["min_rtt"][row] = min_rtt if min_rtt != float("inf") else rtt
         out["max_rtt"][row] = max_rtt if max_rtt > 0 else rtt
@@ -225,7 +286,20 @@ def extract_signals(segment: TraceSegment) -> SignalTable:
         out["rtt_gradient"][row] = gradient
         out["delay_gradient"][row] = gradient
         out["time_since_loss"][row] = max(since_loss, 1e-6)
-        out["inflight"][row] = ack.inflight_bytes
+        out["inflight"][row] = (
+            ack.inflight_bytes if math.isfinite(ack.inflight_bytes) else 0.0
+        )
+
+    # Back-fill a leading run of non-finite window observations from the
+    # first finite one; refuse a segment with no finite window at all.
+    cwnd_column = out["cwnd"]
+    if not np.isfinite(cwnd_column).all():
+        finite = cwnd_column[np.isfinite(cwnd_column)]
+        if finite.size == 0:
+            raise TraceError(
+                f"segment {segment.label} has no finite cwnd observations"
+            )
+        cwnd_column[~np.isfinite(cwnd_column)] = finite[0]
 
     table = SignalTable(mss=float(trace.mss), columns=out)
     # W_max estimate: the window at segment start, undone by a canonical

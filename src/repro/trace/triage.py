@@ -1,0 +1,881 @@
+"""Trace triage: validate → repair → admit (the input-side guard).
+
+The paper's premise (§2.2) is that vantage-point traces are noisy and
+incomplete; the execution runtime already survives *worker* faults
+(``docs/RESILIENCE.md``), and this module hardens the *input* side.  A
+hostile trace — non-monotonic timestamps, duplicated ACKs, NaN windows,
+clock jumps — must never silently poison segmentation, signal tables, or
+the final ranking.  Triage runs in three stages:
+
+1. **Validate** — a declarative invariant checker walks the trace and
+   produces structured :class:`TraceDefect` records (one per offending
+   record, capped per class) instead of raising on the first error.
+2. **Repair** — pure, deterministic repair passes fix what can be fixed
+   (timestamp de-skew and stable re-sort, duplicate-ACK dedup, NaN/inf
+   interpolation or excision, trailing-garbage truncation, loss-record
+   hygiene).  Every pass reports how many records it touched; the
+   aggregate becomes the trace's **quality score**
+   (``1 - touched/total``) stored in ``Trace.meta`` together with the
+   defect histogram.
+3. **Admit** — a :class:`TriagePolicy` decides what survives:
+   ``strict`` refuses any defective trace, ``repair`` (the default)
+   accepts traces whose defects were all repaired, ``permissive``
+   accepts repaired traces even with residual (unrepairable but
+   non-fatal) defects.  Fatal defects — no ACKs, no RTT samples — are
+   refused under every policy: no downstream stage can use such a trace.
+
+Clean traces take a fast path: when validation finds nothing, triage
+returns the *same* ``Trace`` object, untouched — which is what makes
+rankings bit-identical with triage on or off for well-formed input (the
+differential harness in ``tests/integration`` enforces this).
+
+All repairs are pure (the input trace is never mutated) and
+deterministic: no randomness is involved, so the same hostile trace
+always repairs to the same bytes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace as dc_replace
+from typing import Callable, Iterator
+
+from repro.errors import TraceError
+from repro.trace.model import AckRecord, LossRecord, Trace
+
+__all__ = [
+    "TraceDefect",
+    "DefectReport",
+    "RepairAction",
+    "TriagePolicy",
+    "TriageResult",
+    "TriageSummary",
+    "POLICY_MODES",
+    "DEFECT_CLASSES",
+    "FATAL_DEFECTS",
+    "REPAIRABLE_DEFECTS",
+    "validate_trace",
+    "repair_trace",
+    "triage_trace",
+    "triage_traces",
+    "trace_quality",
+]
+
+#: Recognized policy modes, in increasing order of tolerance.
+POLICY_MODES = ("strict", "repair", "permissive")
+
+#: Forward time discontinuity (seconds) treated as a clock jump: far
+#: beyond any plausible inter-ACK gap at the RTTs the paper studies.
+CLOCK_JUMP_SECONDS = 60.0
+#: A post-jump suffix shorter than this fraction of the trace is
+#: truncated as trailing garbage instead of de-skewed back into place.
+TRAILING_GARBAGE_FRACTION = 0.02
+#: Two loss records closer than this (seconds) are duplicated epochs.
+LOSS_EPOCH_EPSILON = 1e-9
+#: Loss records may precede the first ACK / trail the last by this much
+#: (seconds) before they count as outside the ack span.
+LOSS_SPAN_MARGIN = 1.0
+#: At most this many per-record defects are materialized per class;
+#: the report still carries exact counts.
+MAX_DEFECTS_PER_CLASS = 32
+
+
+# ---------------------------------------------------------------------------
+# Defect records
+
+
+@dataclass(frozen=True)
+class TraceDefect:
+    """One detected invariant violation.
+
+    ``code`` names the defect class (a key of :data:`DEFECT_CLASSES`),
+    ``index`` the offending ack/loss record where that is meaningful.
+    """
+
+    code: str
+    message: str
+    index: int | None = None
+
+
+@dataclass
+class DefectReport:
+    """Structured validation outcome for one trace."""
+
+    trace_label: str
+    defects: list[TraceDefect] = field(default_factory=list)
+    #: Exact per-class counts (defect records are capped per class).
+    counts: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def is_clean(self) -> bool:
+        return not self.counts
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def has(self, code: str) -> bool:
+        return code in self.counts
+
+    @property
+    def fatal(self) -> tuple[str, ...]:
+        return tuple(sorted(set(self.counts) & FATAL_DEFECTS))
+
+    @property
+    def unrepairable(self) -> tuple[str, ...]:
+        return tuple(
+            sorted(set(self.counts) - REPAIRABLE_DEFECTS - FATAL_DEFECTS)
+        )
+
+    def render(self) -> str:
+        """One line per defect class: ``code xN`` plus a sample message."""
+        if self.is_clean:
+            return f"{self.trace_label}: clean"
+        lines = [f"{self.trace_label}: {self.total} defect(s)"]
+        samples: dict[str, str] = {}
+        for defect in self.defects:
+            samples.setdefault(defect.code, defect.message)
+        for code in sorted(self.counts):
+            lines.append(
+                f"  {code} x{self.counts[code]}: {samples.get(code, '')}"
+            )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class RepairAction:
+    """One repair pass's effect on a trace."""
+
+    repair: str
+    touched: int
+    detail: str = ""
+
+
+# ---------------------------------------------------------------------------
+# Stage 1: validation
+
+
+def _finite(value: float | int | None) -> bool:
+    return value is not None and math.isfinite(value)
+
+
+def _check_nonfinite_fields(trace: Trace) -> Iterator[TraceDefect]:
+    for index, ack in enumerate(trace.acks):
+        bad = [
+            name
+            for name, value in (
+                ("time", ack.time),
+                ("acked_bytes", ack.acked_bytes),
+                ("cwnd_bytes", ack.cwnd_bytes),
+                ("inflight_bytes", ack.inflight_bytes),
+            )
+            if not _finite(value)
+        ]
+        if ack.rtt_sample is not None and not math.isfinite(ack.rtt_sample):
+            bad.append("rtt_sample")
+        if bad:
+            yield TraceDefect(
+                "nonfinite_field",
+                f"ack[{index}] has non-finite {'/'.join(bad)}",
+                index,
+            )
+    for index, loss in enumerate(trace.losses):
+        if not _finite(loss.time):
+            yield TraceDefect(
+                "nonfinite_field", f"loss[{index}] has non-finite time", index
+            )
+
+
+def _check_negative_fields(trace: Trace) -> Iterator[TraceDefect]:
+    for index, ack in enumerate(trace.acks):
+        bad = [
+            name
+            for name, value in (
+                ("acked_bytes", ack.acked_bytes),
+                ("cwnd_bytes", ack.cwnd_bytes),
+                ("inflight_bytes", ack.inflight_bytes),
+            )
+            if _finite(value) and value < 0
+        ]
+        if (
+            ack.rtt_sample is not None
+            and math.isfinite(ack.rtt_sample)
+            and ack.rtt_sample <= 0
+        ):
+            bad.append("rtt_sample")
+        if bad:
+            yield TraceDefect(
+                "negative_field",
+                f"ack[{index}] has negative {'/'.join(bad)}",
+                index,
+            )
+
+
+def _check_monotonic_time(trace: Trace) -> Iterator[TraceDefect]:
+    previous = float("-inf")
+    for index, ack in enumerate(trace.acks):
+        if not _finite(ack.time):
+            continue  # reported by nonfinite_field
+        if ack.time < previous:
+            yield TraceDefect(
+                "non_monotonic_time",
+                f"ack[{index}] time {ack.time:.6f} precedes "
+                f"{previous:.6f}",
+                index,
+            )
+        else:
+            previous = ack.time
+
+
+def _check_clock_jump(trace: Trace) -> Iterator[TraceDefect]:
+    previous: float | None = None
+    for index, ack in enumerate(trace.acks):
+        if not _finite(ack.time):
+            continue
+        if previous is not None and ack.time - previous > CLOCK_JUMP_SECONDS:
+            yield TraceDefect(
+                "clock_jump",
+                f"ack[{index}] jumps {ack.time - previous:.1f}s forward",
+                index,
+            )
+        previous = ack.time
+
+
+def _check_duplicate_acks(trace: Trace) -> Iterator[TraceDefect]:
+    seen: set[tuple] = set()
+    for index, ack in enumerate(trace.acks):
+        key = (
+            ack.time,
+            ack.ack_seq,
+            ack.acked_bytes,
+            ack.rtt_sample,
+            ack.cwnd_bytes,
+            ack.inflight_bytes,
+            ack.dupack,
+        )
+        if key in seen:
+            yield TraceDefect(
+                "duplicate_ack",
+                f"ack[{index}] duplicates an earlier record "
+                f"(seq {ack.ack_seq} at t={ack.time:.6f})",
+                index,
+            )
+        else:
+            seen.add(key)
+
+
+def _check_ack_seq_regression(trace: Trace) -> Iterator[TraceDefect]:
+    highest: int | None = None
+    for index, ack in enumerate(trace.acks):
+        if ack.dupack:
+            continue
+        if highest is not None and ack.ack_seq < highest:
+            yield TraceDefect(
+                "ack_seq_regression",
+                f"ack[{index}] cumulative seq {ack.ack_seq} regresses "
+                f"below {highest}",
+                index,
+            )
+        else:
+            highest = ack.ack_seq
+
+
+def _ack_span(trace: Trace) -> tuple[float, float] | None:
+    times = [ack.time for ack in trace.acks if _finite(ack.time)]
+    if not times:
+        return None
+    return min(times), max(times)
+
+
+def _check_loss_records(trace: Trace) -> Iterator[TraceDefect]:
+    span = _ack_span(trace)
+    previous: float | None = None
+    for index, loss in enumerate(sorted(
+        (l for l in trace.losses if _finite(l.time)), key=lambda l: l.time
+    )):
+        if span is not None and not (
+            span[0] - LOSS_SPAN_MARGIN
+            <= loss.time
+            <= span[1] + LOSS_SPAN_MARGIN
+        ):
+            yield TraceDefect(
+                "loss_outside_span",
+                f"loss at t={loss.time:.6f} outside ack span "
+                f"[{span[0]:.6f}, {span[1]:.6f}]",
+                index,
+            )
+        if previous is not None and loss.time - previous <= LOSS_EPOCH_EPSILON:
+            yield TraceDefect(
+                "duplicate_loss",
+                f"loss epoch at t={loss.time:.6f} duplicated",
+                index,
+            )
+        previous = loss.time
+
+
+def _check_empty(trace: Trace) -> Iterator[TraceDefect]:
+    if not trace.acks:
+        yield TraceDefect("empty_trace", "trace carries no ack records")
+
+
+def _check_rtt_samples(trace: Trace) -> Iterator[TraceDefect]:
+    if trace.acks and not any(
+        ack.rtt_sample is not None and _finite(ack.rtt_sample)
+        and ack.rtt_sample > 0
+        for ack in trace.acks
+    ):
+        yield TraceDefect(
+            "no_rtt_samples", "trace carries no finite positive RTT sample"
+        )
+
+
+#: The declarative checker table: defect class → validator.  Order is
+#: the report's presentation order; each validator is independent.
+DEFECT_CLASSES: dict[str, Callable[[Trace], Iterator[TraceDefect]]] = {
+    "empty_trace": _check_empty,
+    "no_rtt_samples": _check_rtt_samples,
+    "nonfinite_field": _check_nonfinite_fields,
+    "negative_field": _check_negative_fields,
+    "non_monotonic_time": _check_monotonic_time,
+    "clock_jump": _check_clock_jump,
+    "duplicate_ack": _check_duplicate_acks,
+    "ack_seq_regression": _check_ack_seq_regression,
+    "loss_outside_span": _check_loss_records,
+    "duplicate_loss": _check_loss_records,
+}
+
+#: Defects no policy can accept: the trace is unusable downstream.
+FATAL_DEFECTS = frozenset({"empty_trace", "no_rtt_samples"})
+
+#: Defects the repair stage fully resolves.
+REPAIRABLE_DEFECTS = frozenset(
+    {
+        "nonfinite_field",
+        "negative_field",
+        "non_monotonic_time",
+        "clock_jump",
+        "duplicate_ack",
+        "ack_seq_regression",
+        "loss_outside_span",
+        "duplicate_loss",
+    }
+)
+
+
+def validate_trace(trace: Trace) -> DefectReport:
+    """Run every invariant check; never raises on a defective trace."""
+    report = DefectReport(
+        trace_label=f"{trace.cca_name}/{trace.environment_label}"
+    )
+    seen_validators: set[Callable] = set()
+    for code, check in DEFECT_CLASSES.items():
+        if check in seen_validators:
+            continue  # one validator may emit several classes
+        seen_validators.add(check)
+        for defect in check(trace):
+            count = report.counts.get(defect.code, 0)
+            report.counts[defect.code] = count + 1
+            if count < MAX_DEFECTS_PER_CLASS:
+                report.defects.append(defect)
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Stage 2: repair passes (pure, deterministic, each reports touch count)
+
+
+def _repair_excise_unusable(acks: list[AckRecord]) -> tuple[list, int]:
+    """Drop records whose time cannot be trusted at all (NaN/inf)."""
+    kept = [ack for ack in acks if _finite(ack.time)]
+    return kept, len(acks) - len(kept)
+
+
+def _repair_nonfinite_values(acks: list[AckRecord]) -> tuple[list, int]:
+    """Interpolate or excise non-finite payload fields.
+
+    ``cwnd_bytes`` interpolates linearly between the nearest finite
+    neighbors (window evolution is piecewise-smooth between losses);
+    non-finite RTT samples become ``None`` (no sample); records whose
+    byte counters are non-finite are dropped — there is nothing to
+    interpolate a *count* from.
+    """
+    touched = 0
+    kept: list[AckRecord] = []
+    for ack in acks:
+        if not _finite(ack.acked_bytes) or not _finite(ack.inflight_bytes):
+            touched += 1
+            continue
+        if ack.rtt_sample is not None and not math.isfinite(ack.rtt_sample):
+            ack = dc_replace(ack, rtt_sample=None)
+            touched += 1
+        kept.append(ack)
+    # Interpolate non-finite cwnd from finite neighbors.
+    finite_indices = [
+        i for i, ack in enumerate(kept) if _finite(ack.cwnd_bytes)
+    ]
+    if finite_indices and len(finite_indices) < len(kept):
+        for i, ack in enumerate(kept):
+            if _finite(ack.cwnd_bytes):
+                continue
+            before = max(
+                (j for j in finite_indices if j < i), default=None
+            )
+            after = min((j for j in finite_indices if j > i), default=None)
+            if before is not None and after is not None:
+                lo, hi = kept[before], kept[after]
+                frac = (i - before) / (after - before)
+                value = lo.cwnd_bytes + frac * (hi.cwnd_bytes - lo.cwnd_bytes)
+            elif before is not None:
+                value = kept[before].cwnd_bytes
+            elif after is not None:
+                value = kept[after].cwnd_bytes
+            else:  # pragma: no cover - guarded by finite_indices truthiness
+                continue
+            kept[i] = dc_replace(ack, cwnd_bytes=value)
+            touched += 1
+    elif not finite_indices:
+        touched += len(kept)
+        kept = []
+    return kept, touched
+
+
+def _repair_negative_values(acks: list[AckRecord]) -> tuple[list, int]:
+    """Excise records with negative counters or windows.
+
+    A negative byte count or window is field corruption, not
+    observation noise; the neighboring records are the trustworthy
+    signal, so the corrupt record is removed rather than clamped to a
+    fabricated value.
+    """
+    def bad(ack: AckRecord) -> bool:
+        return (
+            ack.acked_bytes < 0
+            or ack.cwnd_bytes < 0
+            or ack.inflight_bytes < 0
+            or (ack.rtt_sample is not None and ack.rtt_sample <= 0)
+        )
+
+    kept = [ack for ack in acks if not bad(ack)]
+    return kept, len(acks) - len(kept)
+
+
+def _repair_clock_jump(acks: list[AckRecord]) -> tuple[list, int, str]:
+    """De-skew forward clock jumps; truncate short trailing garbage.
+
+    A forward discontinuity larger than :data:`CLOCK_JUMP_SECONDS`
+    cannot be queueing delay.  When the post-jump suffix is a tiny tail
+    (< :data:`TRAILING_GARBAGE_FRACTION` of the trace) it is dropped as
+    trailing garbage; otherwise every subsequent timestamp shifts back
+    so the gap collapses to the median inter-ACK spacing — preserving
+    the suffix's internal timing.
+    """
+    if len(acks) < 2:
+        return acks, 0, ""
+    gaps = sorted(
+        b.time - a.time
+        for a, b in zip(acks, acks[1:])
+        if 0 <= b.time - a.time <= CLOCK_JUMP_SECONDS
+    )
+    median_gap = gaps[len(gaps) // 2] if gaps else 0.0
+    out = list(acks)
+    touched = 0
+    detail = ""
+    index = 1
+    while index < len(out):
+        jump = out[index].time - out[index - 1].time
+        if jump > CLOCK_JUMP_SECONDS:
+            suffix = len(out) - index
+            if suffix <= max(2, int(len(out) * TRAILING_GARBAGE_FRACTION)):
+                touched += suffix
+                detail = f"truncated {suffix} trailing record(s)"
+                out = out[:index]
+                break
+            shift = jump - median_gap
+            out[index:] = [
+                dc_replace(ack, time=ack.time - shift)
+                for ack in out[index:]
+            ]
+            # The corrupt datum is the one discontinuity; the shift
+            # restores the timeline without losing any record, so the
+            # quality-relevant touch count is 1 per jump, not the
+            # suffix length.
+            touched += 1
+            detail = f"de-skewed {suffix} record(s) by {shift:.1f}s"
+        index += 1
+    return out, touched, detail
+
+
+def _repair_resort_time(acks: list[AckRecord]) -> tuple[list, int]:
+    """Stable re-sort by timestamp (jitter/shuffle de-skew).
+
+    ``sorted`` is stable, so equal-time records keep their arrival
+    order; touch count is the number of records whose position changed.
+    """
+    resorted = sorted(acks, key=lambda ack: ack.time)
+    touched = sum(
+        1 for before, after in zip(acks, resorted) if before is not after
+    )
+    return resorted, touched
+
+
+def _repair_duplicate_acks(acks: list[AckRecord]) -> tuple[list, int]:
+    """Drop exact-duplicate ack records, keeping first occurrences."""
+    seen: set[tuple] = set()
+    kept: list[AckRecord] = []
+    for ack in acks:
+        key = (
+            ack.time,
+            ack.ack_seq,
+            ack.acked_bytes,
+            ack.rtt_sample,
+            ack.cwnd_bytes,
+            ack.inflight_bytes,
+            ack.dupack,
+        )
+        if key in seen:
+            continue
+        seen.add(key)
+        kept.append(ack)
+    return kept, len(acks) - len(kept)
+
+
+def _repair_ack_seq_regression(acks: list[AckRecord]) -> tuple[list, int]:
+    """Drop new-data records whose cumulative ACK regresses."""
+    kept: list[AckRecord] = []
+    highest: int | None = None
+    for ack in acks:
+        if not ack.dupack:
+            if highest is not None and ack.ack_seq < highest:
+                continue
+            highest = ack.ack_seq
+        kept.append(ack)
+    return kept, len(acks) - len(kept)
+
+
+def _repair_losses(
+    losses: list[LossRecord], span: tuple[float, float] | None
+) -> tuple[list, int]:
+    """Sort losses, drop non-finite/out-of-span times, dedup epochs."""
+    finite = sorted(
+        (loss for loss in losses if _finite(loss.time)),
+        key=lambda loss: loss.time,
+    )
+    kept: list[LossRecord] = []
+    for loss in finite:
+        if span is not None and not (
+            span[0] - LOSS_SPAN_MARGIN
+            <= loss.time
+            <= span[1] + LOSS_SPAN_MARGIN
+        ):
+            continue
+        if kept and loss.time - kept[-1].time <= LOSS_EPOCH_EPSILON:
+            continue
+        kept.append(loss)
+    return kept, len(losses) - len(kept)
+
+
+def repair_trace(trace: Trace) -> tuple[Trace, list[RepairAction]]:
+    """Apply every repair pass; return the repaired copy and the log.
+
+    Pure: *trace* is never mutated.  Passes run in dependency order —
+    excision before de-skew (NaN times cannot be sorted), de-skew
+    before dedup (duplicates are defined on final timestamps).
+    """
+    actions: list[RepairAction] = []
+    acks = list(trace.acks)
+
+    acks, touched = _repair_excise_unusable(acks)
+    if touched:
+        actions.append(
+            RepairAction("excise_unusable", touched, "non-finite timestamps")
+        )
+    acks, touched = _repair_nonfinite_values(acks)
+    if touched:
+        actions.append(
+            RepairAction(
+                "nonfinite_values", touched, "interpolated/excised NaN-inf"
+            )
+        )
+    acks, touched = _repair_negative_values(acks)
+    if touched:
+        actions.append(
+            RepairAction("negative_values", touched, "excised negatives")
+        )
+    acks, touched = _repair_resort_time(acks)
+    if touched:
+        actions.append(
+            RepairAction("resort_time", touched, "stable re-sort by time")
+        )
+    acks, touched, detail = _repair_clock_jump(acks)
+    if touched:
+        actions.append(RepairAction("clock_jump", touched, detail))
+    acks, touched = _repair_duplicate_acks(acks)
+    if touched:
+        actions.append(
+            RepairAction("duplicate_acks", touched, "exact-duplicate dedup")
+        )
+    acks, touched = _repair_ack_seq_regression(acks)
+    if touched:
+        actions.append(
+            RepairAction(
+                "ack_seq_regression", touched, "dropped regressing acks"
+            )
+        )
+
+    span = None
+    times = [ack.time for ack in acks]
+    if times:
+        span = (min(times), max(times))
+    losses, touched = _repair_losses(list(trace.losses), span)
+    if touched:
+        actions.append(
+            RepairAction("loss_records", touched, "span/dedup loss hygiene")
+        )
+
+    if not actions:
+        return trace, []
+    repaired = Trace(
+        cca_name=trace.cca_name,
+        environment_label=trace.environment_label,
+        mss=trace.mss,
+        acks=acks,
+        losses=losses,
+        meta=dict(trace.meta),
+    )
+    return repaired, actions
+
+
+def trace_quality(
+    original: Trace, actions: list[RepairAction]
+) -> float:
+    """Quality score: fraction of original records left untouched."""
+    total = len(original.acks) + len(original.losses)
+    if total == 0:
+        return 0.0
+    touched = min(sum(action.touched for action in actions), total)
+    return 1.0 - touched / total
+
+
+# ---------------------------------------------------------------------------
+# Stage 3: policy + admission
+
+
+@dataclass(frozen=True)
+class TriagePolicy:
+    """How much repair the ingestion guard is allowed to perform.
+
+    ``strict``     — refuse any trace with defects (collection QA).
+    ``repair``     — repair what is repairable; refuse traces whose
+                     defects survive repair (the default).
+    ``permissive`` — accept repaired traces even with residual
+                     non-fatal defects (salvage campaigns).
+
+    ``min_quality`` refuses traces whose post-repair quality score falls
+    below the floor, under every mode: a trace where most records were
+    touched is evidence, not data.
+    """
+
+    mode: str = "repair"
+    min_quality: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.mode not in POLICY_MODES:
+            raise TraceError(
+                f"unknown triage policy {self.mode!r}; "
+                f"expected one of {', '.join(POLICY_MODES)}"
+            )
+        if not 0.0 <= self.min_quality <= 1.0:
+            raise TraceError("min_quality must be within [0, 1]")
+
+
+@dataclass
+class TriageResult:
+    """Outcome of triaging one trace."""
+
+    trace: Trace | None  #: the admitted trace (``None`` when refused)
+    report: DefectReport  #: pre-repair validation findings
+    repairs: list[RepairAction]
+    quality: float
+    action: str  #: ``"clean" | "repaired" | "rejected"``
+    reason: str = ""  #: rejection reason (empty when admitted)
+
+    @property
+    def accepted(self) -> bool:
+        return self.trace is not None
+
+
+@dataclass
+class TriageSummary:
+    """Aggregate outcome of triaging a trace collection."""
+
+    results: list[TriageResult] = field(default_factory=list)
+
+    @property
+    def traces(self) -> list[Trace]:
+        return [r.trace for r in self.results if r.trace is not None]
+
+    @property
+    def accepted(self) -> int:
+        return sum(1 for r in self.results if r.accepted)
+
+    @property
+    def repaired(self) -> int:
+        return sum(1 for r in self.results if r.action == "repaired")
+
+    @property
+    def rejected(self) -> int:
+        return sum(1 for r in self.results if r.action == "rejected")
+
+    @property
+    def min_quality(self) -> float:
+        qualities = [r.quality for r in self.results if r.accepted]
+        return min(qualities) if qualities else 0.0
+
+
+def _defect_histogram(counts: dict[str, int]) -> str:
+    """Render a defect histogram as a stable ``code:count`` string."""
+    return ",".join(f"{code}:{counts[code]}" for code in sorted(counts))
+
+
+def triage_trace(
+    trace: Trace, policy: TriagePolicy | None = None
+) -> TriageResult:
+    """Validate, optionally repair, and admit or refuse one trace.
+
+    Clean traces are returned as the *same object* (bit-identical
+    downstream behavior); repaired traces are fresh copies carrying
+    ``quality``, ``triage_defects`` and ``triage_repairs`` in their
+    ``meta``.
+    """
+    policy = policy or TriagePolicy()
+    report = validate_trace(trace)
+    if report.is_clean:
+        return TriageResult(
+            trace=trace,
+            report=report,
+            repairs=[],
+            quality=1.0,
+            action="clean",
+        )
+    if report.fatal:
+        return TriageResult(
+            trace=None,
+            report=report,
+            repairs=[],
+            quality=0.0,
+            action="rejected",
+            reason=f"fatal defect(s): {', '.join(report.fatal)}",
+        )
+    if policy.mode == "strict":
+        return TriageResult(
+            trace=None,
+            report=report,
+            repairs=[],
+            quality=0.0,
+            action="rejected",
+            reason=(
+                "strict policy refuses defective trace "
+                f"({_defect_histogram(report.counts)})"
+            ),
+        )
+
+    repaired, actions = repair_trace(trace)
+    quality = trace_quality(trace, actions)
+    residual = validate_trace(repaired)
+    if residual.fatal:
+        return TriageResult(
+            trace=None,
+            report=report,
+            repairs=actions,
+            quality=quality,
+            action="rejected",
+            reason=(
+                "repair left fatal defect(s): "
+                f"{', '.join(residual.fatal)}"
+            ),
+        )
+    if not residual.is_clean and policy.mode == "repair":
+        return TriageResult(
+            trace=None,
+            report=report,
+            repairs=actions,
+            quality=quality,
+            action="rejected",
+            reason=(
+                "defects survive repair: "
+                f"{_defect_histogram(residual.counts)}"
+            ),
+        )
+    if quality < policy.min_quality:
+        return TriageResult(
+            trace=None,
+            report=report,
+            repairs=actions,
+            quality=quality,
+            action="rejected",
+            reason=(
+                f"quality {quality:.2f} below policy floor "
+                f"{policy.min_quality:.2f}"
+            ),
+        )
+    repaired.meta["quality"] = quality
+    repaired.meta["triage_defects"] = _defect_histogram(report.counts)
+    repaired.meta["triage_repairs"] = ",".join(
+        f"{action.repair}:{action.touched}" for action in actions
+    )
+    if not residual.is_clean:
+        repaired.meta["triage_residual"] = _defect_histogram(residual.counts)
+    return TriageResult(
+        trace=repaired,
+        report=report,
+        repairs=actions,
+        quality=quality,
+        action="repaired",
+    )
+
+
+def triage_traces(
+    traces: list[Trace],
+    policy: TriagePolicy | None = None,
+    *,
+    context=None,
+) -> TriageSummary:
+    """Triage a collection, emitting telemetry per trace and per repair.
+
+    *context* is a :class:`repro.runtime.context.RunContext` (kept
+    duck-typed so ``repro.trace`` does not import ``repro.runtime`` at
+    module level).  Raises :class:`TraceError` when every trace is
+    refused — downstream has nothing to work with, and the structured
+    reports ride on the exception message.
+    """
+    summary = TriageSummary()
+    for trace in traces:
+        result = triage_trace(trace, policy)
+        summary.results.append(result)
+        if context is not None:
+            from repro.runtime.events import TraceRepairApplied, TraceTriaged
+
+            for action in result.repairs:
+                context.emit(
+                    TraceRepairApplied(
+                        trace=result.report.trace_label,
+                        repair=action.repair,
+                        touched=action.touched,
+                        detail=action.detail,
+                    )
+                )
+            context.emit(
+                TraceTriaged(
+                    trace=result.report.trace_label,
+                    action=result.action,
+                    quality=round(result.quality, 6),
+                    defects=dict(result.report.counts),
+                    reason=result.reason,
+                )
+            )
+    if traces and not summary.traces:
+        reasons = "; ".join(
+            f"{r.report.trace_label}: {r.reason}" for r in summary.results
+        )
+        raise TraceError(f"triage refused every trace ({reasons})")
+    return summary

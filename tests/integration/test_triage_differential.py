@@ -1,0 +1,175 @@
+"""The triage differential harness (the tentpole's acceptance gate).
+
+Three properties, end to end through :func:`reverse_engineer`:
+
+1. **Clean differential** — on well-formed traces, a run with triage on
+   is *bit-identical* to a run with triage off: same ranking, same
+   distances, same expression.  Triage must be a pure guard, never a
+   behavior change for good input.
+2. **Hostile corpus** — every corruption class in
+   :mod:`repro.trace.corrupt` is either repaired (the pipeline completes
+   and logs the repair) or cleanly refused (a structured error, never a
+   crash or a silent mis-rank).
+3. **Quorum floor** — with low-quality traces in the mix, the scored
+   working set never drops below the configured minimum, and degraded
+   runs say so.
+"""
+
+import json
+
+import pytest
+
+from repro.dsl import RENO_DSL, with_budget
+from repro.errors import SynthesisError, TraceError
+from repro.pipeline import reverse_engineer
+from repro.runtime import CollectorSink, DegradedInputs, RunContext
+from repro.synth.refinement import SynthesisConfig
+from repro.synth.scoring import QuorumConfig
+from repro.trace.collect import CollectionConfig, collect_traces
+from repro.trace.corrupt import REFUSED, REPAIRABLE, corrupt_trace
+from repro.trace.io import trace_from_dict
+from repro.trace.triage import TriagePolicy, triage_trace
+
+FAST = SynthesisConfig(
+    initial_samples=6,
+    initial_keep=3,
+    completion_cap=8,
+    max_iterations=2,
+    exhaustive_cap=100,
+)
+
+TINY_DSL = with_budget(RENO_DSL, max_depth=3, max_nodes=5)
+
+
+@pytest.fixture(scope="module")
+def clean_traces(env_matrix):
+    return collect_traces(
+        "reno",
+        CollectionConfig(
+            duration=10.0, environments=env_matrix, max_acks_per_trace=6000
+        ),
+    )
+
+
+def _load(sample):
+    return trace_from_dict(json.loads(sample.text))
+
+
+# ---------------------------------------------------------------------------
+# 1. Clean differential: triage on == triage off, bit for bit
+
+
+def test_clean_traces_rank_identically_with_triage_on_and_off(clean_traces):
+    off = reverse_engineer(clean_traces, dsl=TINY_DSL, config=FAST)
+    on = reverse_engineer(
+        clean_traces,
+        dsl=TINY_DSL,
+        config=FAST,
+        trace_policy="repair",
+        quorum=QuorumConfig(),
+    )
+    assert on.expression == off.expression
+    assert on.distance == off.distance  # bit-identical, not approx
+    assert on.segment_count == off.segment_count
+    ranked_on = [
+        (c.distance, str(c.handler)) for c in on.result.ranking
+    ] if hasattr(on.result, "ranking") else None
+    ranked_off = [
+        (c.distance, str(c.handler)) for c in off.result.ranking
+    ] if hasattr(off.result, "ranking") else None
+    assert ranked_on == ranked_off
+    # Triage confirmed every trace clean; quorum excluded nothing.
+    assert on.triage is not None
+    assert on.triage.accepted == len(clean_traces)
+    assert on.triage.repaired == 0
+    assert on.quorum is not None and not on.quorum.excluded
+
+
+def test_clean_traces_admitted_as_same_objects(clean_traces):
+    for trace in clean_traces:
+        result = triage_trace(trace, TriagePolicy())
+        assert result.trace is trace  # identity, the root of bit-equality
+
+
+# ---------------------------------------------------------------------------
+# 2. Hostile corpus: repaired or cleanly refused, end to end
+
+
+@pytest.mark.parametrize("name", sorted(REPAIRABLE))
+def test_repairable_corruption_still_synthesizes(clean_traces, name):
+    sample = corrupt_trace(clean_traces[0], name, seed=0)
+    hostile = [_load(sample)] + list(clean_traces[1:])
+    sink = CollectorSink()
+    report = reverse_engineer(
+        hostile,
+        dsl=TINY_DSL,
+        config=FAST,
+        trace_policy="repair",
+        context=RunContext(sinks=[sink]),
+    )
+    assert report.distance < float("inf")
+    triaged = sink.of_kind("trace_triaged")
+    assert triaged, "triage left no telemetry"
+    # Either the corruption survived serialization as a defect (then a
+    # repair event was logged) or it round-tripped to clean; silent
+    # admission of a defective trace is the failure mode this pins.
+    repaired = [e for e in triaged if e.action == "repaired"]
+    if repaired:
+        assert sink.of_kind("trace_repair")
+
+
+@pytest.mark.parametrize("name", sorted(REFUSED))
+def test_refused_corruption_never_crashes(clean_traces, name):
+    sample = corrupt_trace(clean_traces[0], name, seed=0)
+    try:
+        hostile = _load(sample)
+    except (TraceError, ValueError):
+        return  # refused at the loader with a structured error
+    result = triage_trace(hostile, TriagePolicy())
+    assert result.action == "rejected"
+    assert result.reason
+
+
+def test_all_traces_refused_is_a_structured_failure(clean_traces):
+    empty = trace_from_dict(
+        json.loads(corrupt_trace(clean_traces[0], "empty_acks", seed=0).text)
+    )
+    with pytest.raises(SynthesisError, match="refused every trace"):
+        reverse_engineer(
+            [empty], dsl=TINY_DSL, config=FAST, trace_policy="repair"
+        )
+
+
+# ---------------------------------------------------------------------------
+# 3. Quorum floor under degraded inputs
+
+
+def test_quorum_floor_holds_for_degraded_inputs(clean_traces):
+    # Mark every trace low-quality after a forced repair: dupe one ack in
+    # each so triage repairs them and records a sub-threshold quality.
+    hostile = []
+    for trace in clean_traces:
+        copy = trace_from_dict(json.loads(
+            corrupt_trace(trace, "duplicate_acks", seed=1).text
+        ))
+        hostile.append(copy)
+    sink = CollectorSink()
+    report = reverse_engineer(
+        hostile,
+        dsl=TINY_DSL,
+        config=FAST,
+        trace_policy="repair",
+        quorum=QuorumConfig(min_segments=2, quality_threshold=1.0),
+        context=RunContext(sinks=[sink]),
+    )
+    # Every segment is below the (impossible) threshold, so the quorum
+    # backfilled exactly the floor and flagged the run as degraded.
+    assert report.quorum is not None
+    assert len(report.quorum.kept) >= 2
+    assert report.quorum.degraded
+    degraded = [
+        e for e in sink.events if isinstance(e, DegradedInputs)
+    ]
+    assert degraded and degraded[0].min_quorum == 2
+    assert report.segment_count == len(report.quorum.kept)
+    assert "degraded" in report.summary()

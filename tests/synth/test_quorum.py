@@ -1,0 +1,128 @@
+"""Quorum guard tests: exclusion with a provable working-set floor."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.synth.scoring import (
+    QuorumConfig,
+    quorum_filter,
+    segment_quality,
+)
+from repro.trace.model import AckRecord, Trace, TraceSegment
+
+
+def _segment(quality=None, n=8):
+    trace = Trace(
+        cca_name="test",
+        environment_label="lab",
+        mss=1460,
+        acks=[
+            AckRecord(
+                time=0.05 * i,
+                ack_seq=1460 * (i + 1),
+                acked_bytes=1460,
+                rtt_sample=0.05,
+                cwnd_bytes=14600.0,
+                inflight_bytes=14600,
+            )
+            for i in range(n)
+        ],
+    )
+    if quality is not None:
+        trace.meta["quality"] = quality
+    return TraceSegment(trace=trace, start=0, stop=n, preceding_loss_time=0.0)
+
+
+def test_segment_quality_defaults_to_full():
+    assert segment_quality(_segment()) == 1.0
+    assert segment_quality(_segment(quality=0.6)) == 0.6
+
+
+def test_segment_quality_survives_garbage_meta():
+    segment = _segment()
+    segment.trace.meta["quality"] = "not-a-number"
+    assert segment_quality(segment) == 1.0
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        QuorumConfig(min_segments=0)
+    with pytest.raises(ValueError):
+        QuorumConfig(quality_threshold=1.5)
+
+
+def test_all_good_segments_kept_verbatim():
+    segments = [_segment() for _ in range(5)]
+    decision = quorum_filter(segments, QuorumConfig())
+    assert list(decision.kept) == segments  # same objects, same order
+    assert not decision.excluded
+    assert not decision.degraded
+
+
+def test_low_quality_segments_excluded():
+    segments = [_segment(), _segment(quality=0.3), _segment()]
+    decision = quorum_filter(segments, QuorumConfig(min_segments=2))
+    assert len(decision.kept) == 2
+    assert len(decision.excluded) == 1
+    assert not decision.degraded
+    # Kept segments preserve original order and identity.
+    assert decision.kept == (segments[0], segments[2])
+
+
+def test_backfill_best_first_when_below_quorum():
+    segments = [
+        _segment(quality=0.3),
+        _segment(quality=0.7),
+        _segment(quality=0.5),
+        _segment(),
+    ]
+    decision = quorum_filter(
+        segments, QuorumConfig(min_segments=3, quality_threshold=0.8)
+    )
+    assert len(decision.kept) == 3
+    assert decision.degraded
+    backfilled_qualities = sorted(
+        segment_quality(s) for s in decision.backfilled
+    )
+    assert backfilled_qualities == [0.5, 0.7]  # best of the bad, not 0.3
+
+
+def test_quorum_never_starves_with_all_bad_segments():
+    segments = [_segment(quality=0.1) for _ in range(4)]
+    decision = quorum_filter(segments, QuorumConfig(min_segments=2))
+    assert len(decision.kept) == 2
+    assert decision.degraded
+
+
+def test_quorum_floor_caps_at_population():
+    segments = [_segment(quality=0.1)]
+    decision = quorum_filter(segments, QuorumConfig(min_segments=5))
+    assert len(decision.kept) == 1  # min(min_segments, len(segments))
+
+
+@given(
+    qualities=st.lists(
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        min_size=1,
+        max_size=12,
+    ),
+    min_segments=st.integers(min_value=1, max_value=6),
+    threshold=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+)
+@settings(max_examples=200, deadline=None)
+def test_quorum_floor_invariant(qualities, min_segments, threshold):
+    """The guard provably never drops below min(quorum, population)."""
+    segments = [_segment(quality=q) for q in qualities]
+    config = QuorumConfig(
+        min_segments=min_segments, quality_threshold=threshold
+    )
+    decision = quorum_filter(segments, config)
+    assert len(decision.kept) >= min(min_segments, len(segments))
+    # Partition: every segment is kept or excluded, never both/neither.
+    assert len(decision.kept) + len(decision.excluded) == len(segments)
+    assert set(map(id, decision.backfilled)) <= set(map(id, decision.kept))
+    # Backfill only happens when the good population is short.
+    good = sum(1 for q in qualities if q >= threshold)
+    if good >= min_segments:
+        assert not decision.backfilled

@@ -133,7 +133,9 @@ def test_synthesize_run_log_and_json_report(tmp_path, capsys):
         json.loads(line) for line in run_log.read_text().splitlines()
     ]
     kinds = [event["event"] for event in events]
-    assert kinds[0] == "run_started"
+    # Input triage (on by default) logs its verdicts before the search.
+    assert all(kind == "trace_triaged" for kind in kinds[: kinds.index("run_started")])
+    assert "run_started" in kinds
     assert kinds[-1] == "run_finished"
     iteration_events = [e for e in events if e["event"] == "iteration_finished"]
     assert len(iteration_events) == len(report["iterations"])
@@ -288,3 +290,108 @@ def test_synthesize_no_batch_and_scoring_report(tmp_path, capsys):
     assert main(base) == 0
     text = capsys.readouterr().out
     assert "lb_pruned" in text and "dp_abandoned" in text
+
+
+# ---------------------------------------------------------------------------
+# repro validate
+
+
+@pytest.fixture()
+def trace_archive(tmp_path):
+    archive = tmp_path / "reno.json"
+    main(
+        [
+            "collect", "--cca", "reno", "--out", str(archive),
+            "--bandwidth", "10", "--rtt", "50", "--duration", "10",
+        ]
+    )
+    return archive
+
+
+def test_validate_clean_archive(trace_archive, capsys):
+    capsys.readouterr()
+    assert main(["validate", str(trace_archive)]) == 0
+    out = capsys.readouterr().out
+    assert "OK" in out
+    assert "0 refused" in out
+
+
+def test_validate_repairable_corruption(trace_archive, tmp_path, capsys):
+    from repro.trace.corrupt import corrupt_trace
+    from repro.trace.io import load_traces
+
+    trace = load_traces(trace_archive)[0]
+    hostile = tmp_path / "hostile.json"
+    hostile.write_text(corrupt_trace(trace, "duplicate_acks", seed=0).text)
+    capsys.readouterr()
+    assert main(["validate", str(hostile)]) == 0
+    out = capsys.readouterr().out
+    assert "REPAIRED" in out
+    assert "duplicate_ack" in out
+    # Strict policy refuses the same document and signals failure.
+    assert main(["validate", str(hostile), "--policy", "strict"]) == 1
+    assert "REFUSED" in capsys.readouterr().out
+
+
+def test_validate_unloadable_document(tmp_path, capsys):
+    garbage = tmp_path / "garbage.json"
+    garbage.write_text('{"version": 1, "acks"')
+    capsys.readouterr()
+    assert main(["validate", str(garbage)]) == 1
+    out = capsys.readouterr().out
+    assert "unloadable" in out
+
+
+def test_validate_json_report(trace_archive, tmp_path, capsys):
+    from repro.trace.corrupt import corrupt_trace
+    from repro.trace.io import load_traces
+
+    trace = load_traces(trace_archive)[0]
+    hostile = tmp_path / "hostile.json"
+    hostile.write_text(corrupt_trace(trace, "record_shuffle", seed=0).text)
+    capsys.readouterr()
+    code = main(["validate", str(trace_archive), str(hostile), "--json"])
+    assert code == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["policy"] == "repair"
+    assert report["failures"] == 0
+    actions = {entry["action"] for entry in report["reports"]}
+    assert "repaired" in actions
+    repaired = next(
+        e for e in report["reports"] if e["action"] == "repaired"
+    )
+    assert repaired["defects"]
+    assert repaired["repairs"]
+    assert 0.0 <= repaired["quality"] <= 1.0
+
+
+def test_validate_rejects_unknown_policy():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["validate", "x.json", "--policy", "yolo"])
+
+
+def test_synthesize_trace_policy_off_matches_default(tmp_path, capsys):
+    archive = tmp_path / "reno.json"
+    main(
+        [
+            "collect", "--cca", "reno", "--out", str(archive),
+            "--bandwidth", "10", "--rtt", "50", "--duration", "10",
+        ]
+    )
+    capsys.readouterr()
+    base = [
+        "synthesize", "--traces", str(archive), "--dsl", "reno",
+        "--max-depth", "2", "--max-nodes", "3", "--samples", "4",
+        "--iterations", "1", "--report", "json",
+    ]
+    assert main(base + ["--trace-policy", "off"]) == 0
+    off = json.loads(capsys.readouterr().out)
+    assert main(base) == 0
+    on = json.loads(capsys.readouterr().out)
+    # Clean traces: triage on/off must not change the outcome...
+    assert on["handler"] == off["handler"]
+    assert on["distance"] == off["distance"]
+    # ...but only the triaged run reports input telemetry.
+    assert off["triage"] is None
+    assert on["triage"]["accepted"] >= 1
+    assert on["triage"]["rejected"] == 0

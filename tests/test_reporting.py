@@ -1,6 +1,11 @@
 """Reporting-helper tests."""
 
-from repro.reporting import format_table, format_series, sparkline
+from repro.reporting import (
+    format_run_summary,
+    format_series,
+    format_table,
+    sparkline,
+)
 
 
 def test_format_table_alignment():
@@ -116,3 +121,49 @@ def test_scoring_stats_event_payload_roundtrips():
         "dp_abandoned": 3,
         "candidates_pruned": 4,
     }
+
+
+def test_run_summary_triage_and_quorum_lines():
+    from repro.runtime.events import (
+        DegradedInputs,
+        TraceRepairApplied,
+        TraceTriaged,
+    )
+
+    events = [
+        TraceTriaged(
+            trace="reno/baseline", action="clean", quality=1.0, defects={}
+        ),
+        TraceRepairApplied(
+            trace="reno/noisy", repair="duplicate_acks", touched=5
+        ),
+        TraceTriaged(
+            trace="reno/noisy",
+            action="repaired",
+            quality=0.95,
+            defects={"duplicate_ack": 5},
+        ),
+        TraceTriaged(
+            trace="reno/broken",
+            action="rejected",
+            quality=0.0,
+            defects={"empty_trace": 1},
+            reason="fatal defect(s): empty_trace",
+        ),
+        DegradedInputs(
+            total_segments=6, usable=1, excluded=3, backfilled=1, min_quorum=2
+        ),
+    ]
+    text = format_run_summary(events)
+    assert "triage: 3 trace(s)" in text
+    assert "1 repaired" in text
+    assert "1 rejected" in text
+    assert "5 record(s) touched" in text
+    assert "triaged traces" in text  # the per-trace table
+    assert "duplicate_ack x5" in text
+    assert "quorum: 1/6 segment(s) usable" in text
+    assert "backfilled to hold the 2-segment quorum" in text
+
+
+def test_run_summary_silent_without_triage():
+    assert "triage" not in format_run_summary([])

@@ -79,3 +79,27 @@ def test_segments_ordered_and_disjoint(reno_trace):
     segments = segment_trace(reno_trace)
     for left, right in zip(segments, segments[1:]):
         assert left.stop <= right.start
+
+
+def test_non_monotonic_time_raises_with_index():
+    import pytest
+
+    from repro.errors import TraceError
+
+    trace = _dupack_trace()
+    trace.acks[5], trace.acks[10] = trace.acks[10], trace.acks[5]
+    with pytest.raises(TraceError, match="triage"):
+        segment_trace(trace)
+
+
+def test_nonfinite_time_raises():
+    import pytest
+
+    from repro.errors import TraceError
+
+    trace = _dupack_trace()
+    trace.acks[5] = AckRecord(
+        float("nan"), trace.acks[5].ack_seq, 1500, 0.05, 30_000.0, 30_000
+    )
+    with pytest.raises(TraceError, match="non-finite"):
+        segment_trace(trace)

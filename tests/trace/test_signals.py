@@ -3,6 +3,8 @@
 import numpy as np
 import pytest
 
+from repro.errors import TraceError
+from repro.trace.model import AckRecord, Trace, TraceSegment
 from repro.trace.segmentation import segment_trace
 from repro.trace.signals import SIGNAL_NAMES, extract_signals
 
@@ -78,3 +80,84 @@ def test_coalesce_keeps_cwnd_range(table):
 
 def test_wmax_estimate(table):
     assert table.wmax == pytest.approx(table["cwnd"][0] / 0.7)
+
+
+# ---------------------------------------------------------------------------
+# Hostile-input guards
+
+
+def _segment(acks):
+    trace = Trace(
+        cca_name="test", environment_label="lab", mss=1460, acks=list(acks)
+    )
+    return TraceSegment(
+        trace=trace, start=0, stop=len(acks), preceding_loss_time=0.0
+    )
+
+
+def _ack(time, seq, rtt, cwnd=14600.0, acked=1460, inflight=14600):
+    return AckRecord(
+        time=time,
+        ack_seq=seq,
+        acked_bytes=acked,
+        rtt_sample=rtt,
+        cwnd_bytes=cwnd,
+        inflight_bytes=inflight,
+    )
+
+
+def test_head_rtt_none_run_backfills_from_first_sample():
+    acks = [_ack(0.05 * i, 1460 * (i + 1), None) for i in range(4)]
+    acks += [_ack(0.05 * (4 + i), 1460 * (5 + i), 0.08) for i in range(4)]
+    table = extract_signals(_segment(acks))
+    # The leading missing-sample run carries the first real RTT instead
+    # of a fabricated value poisoning min_rtt for the whole flow.
+    assert np.all(table["rtt"] == pytest.approx(0.08))
+    assert table["min_rtt"][0] == pytest.approx(0.08)
+
+
+def test_all_rtt_missing_raises():
+    acks = [_ack(0.05 * i, 1460 * (i + 1), None) for i in range(6)]
+    with pytest.raises(TraceError, match="no usable RTT"):
+        extract_signals(_segment(acks))
+
+
+def test_nonfinite_rtt_treated_as_missing():
+    acks = [_ack(0.05 * i, 1460 * (i + 1), 0.05) for i in range(6)]
+    acks[3] = _ack(0.15, 1460 * 4, float("inf"))
+    table = extract_signals(_segment(acks))
+    assert np.all(np.isfinite(table["rtt"]))
+    assert np.all(np.isfinite(table["max_rtt"]))
+    assert table["max_rtt"][-1] == pytest.approx(0.05)
+
+
+def test_nonfinite_cwnd_carries_last_finite():
+    acks = [_ack(0.05 * i, 1460 * (i + 1), 0.05, cwnd=14600.0 + i)
+            for i in range(6)]
+    acks[2] = _ack(0.10, 1460 * 3, 0.05, cwnd=float("nan"))
+    table = extract_signals(_segment(acks))
+    assert np.all(np.isfinite(table["cwnd"]))
+    assert table["cwnd"][2] == pytest.approx(14601.0)
+
+
+def test_leading_nonfinite_cwnd_backfills():
+    acks = [_ack(0.05 * i, 1460 * (i + 1), 0.05, cwnd=float("nan"))
+            for i in range(3)]
+    acks += [_ack(0.05 * (3 + i), 1460 * (4 + i), 0.05, cwnd=20000.0)
+             for i in range(3)]
+    table = extract_signals(_segment(acks))
+    assert np.all(table["cwnd"][:3] == pytest.approx(20000.0))
+
+
+def test_no_finite_cwnd_raises():
+    acks = [_ack(0.05 * i, 1460 * (i + 1), 0.05, cwnd=float("nan"))
+            for i in range(6)]
+    with pytest.raises(TraceError, match="no finite cwnd"):
+        extract_signals(_segment(acks))
+
+
+def test_nonfinite_time_raises():
+    acks = [_ack(0.05 * i, 1460 * (i + 1), 0.05) for i in range(6)]
+    acks[3] = _ack(float("nan"), 1460 * 4, 0.05)
+    with pytest.raises(TraceError, match="non-finite timestamps"):
+        extract_signals(_segment(acks))
