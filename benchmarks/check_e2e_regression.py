@@ -1,0 +1,58 @@
+"""CI gate for the fused wave-scheduling speedup.
+
+Compares the fused/per-bucket scoring-phase *ratio* from a fresh
+``BENCH_e2e.json`` (emitted at the repo root by ``e2e_bench.py``)
+against the pinned ``BASELINE_e2e.json``.  Ratios are machine-portable
+where absolute wall-clock is not: both modes run the same workload on
+the same runner in the same process, so a shared slowdown cancels out
+and only a relative regression of the fused scheduler moves the number.
+
+Fails (exit 1) when the fresh speedup is less than half the pinned
+baseline — the fused path lost more than half its advantage over the
+per-bucket reference.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).parent
+REPO_ROOT = HERE.parent
+
+
+def main() -> int:
+    fresh_path = REPO_ROOT / "BENCH_e2e.json"
+    baseline_path = HERE / "BASELINE_e2e.json"
+    if not fresh_path.exists():
+        print(
+            "check_e2e_regression: BENCH_e2e.json missing — run "
+            "benchmarks/e2e_bench.py first",
+            file=sys.stderr,
+        )
+        return 1
+
+    fresh = json.loads(fresh_path.read_text())
+    baseline = json.loads(baseline_path.read_text())
+    speedup = float(fresh["speedup"])
+    pinned = float(baseline["speedup"])
+    floor = pinned / 2.0
+
+    print(
+        f"wave-scheduling speedup: fresh {speedup:.2f}x vs pinned "
+        f"{pinned:.2f}x (floor {floor:.2f}x)"
+    )
+    if speedup < floor:
+        print(
+            f"REGRESSION: fresh speedup {speedup:.2f}x is below half the "
+            f"pinned baseline ({pinned:.2f}x); the fused scheduler lost "
+            "more than half its advantage over the per-bucket reference",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -187,6 +187,13 @@ def build_parser() -> argparse.ArgumentParser:
         "path instead of the batched fast path (identical results, slower)",
     )
     synthesize.add_argument(
+        "--no-fused",
+        action="store_true",
+        help="score each bucket as its own executor wave instead of "
+        "fusing all live buckets into one pipelined dispatch per "
+        "iteration (identical results, slower)",
+    )
+    synthesize.add_argument(
         "--checkpoint",
         metavar="PATH",
         help="write atomic JSONL refinement checkpoints to PATH at "
@@ -311,6 +318,7 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
         time_budget_seconds=args.time_budget,
         cache_scores=not args.no_cache,
         batch_scoring=not args.no_batch,
+        fused_scheduling=not args.no_fused,
         checkpoint_path=args.checkpoint,
         resume_path=args.resume,
         max_pool_rebuilds=args.max_pool_rebuilds,
@@ -401,6 +409,11 @@ def _json_report(report, collector: CollectorSink, context: RunContext) -> dict:
                 "lb_pruned": scoring.lb_pruned,
                 "dp_abandoned": scoring.dp_abandoned,
                 "candidates_pruned": scoring.candidates_pruned,
+                "warm_start_pruned": scoring.warm_start_pruned,
+                "fused_waves": scoring.fused_waves,
+                "fused_tasks": scoring.fused_tasks,
+                "peak_in_flight": scoring.peak_in_flight,
+                "mean_occupancy": scoring.mean_occupancy,
             }
             if scoring is not None
             else None

@@ -216,6 +216,14 @@ def format_run_summary(events: Iterable[Event]) -> str:
             f"{final_scoring.candidates_pruned} candidates dropped over "
             f"{final_scoring.batched_waves} batched_waves"
         )
+        if final_scoring.fused_waves:
+            lines.append(
+                f"waves:  {final_scoring.fused_waves} fused wave(s) carrying "
+                f"{final_scoring.fused_tasks} task(s), "
+                f"peak {final_scoring.peak_in_flight} in flight, "
+                f"{final_scoring.mean_occupancy:.0%} mean occupancy, "
+                f"{final_scoring.warm_start_pruned} warm-start prune(s)"
+            )
     finals = [e for e in events if isinstance(e, RunFinished)]
     if finals and finals[-1].phase_seconds:
         split = ", ".join(

@@ -37,6 +37,7 @@ from repro.runtime.events import (
     SketchesDrawn,
     TraceRepairApplied,
     TraceTriaged,
+    WaveDispatched,
     WorkerCrashed,
     bucket_label,
     event_payload,
@@ -46,7 +47,9 @@ from repro.runtime.executors import (
     ScoringExecutor,
     SerialExecutor,
     derive_chunksize,
+    interleave_groups,
     make_executor,
+    wave_order,
 )
 from repro.runtime.faults import FaultInjected, FaultPlan, apply_sketch_faults
 from repro.runtime.supervise import (
@@ -98,6 +101,7 @@ __all__ = [
     "IterationFinished",
     "CacheStats",
     "ScoringStats",
+    "WaveDispatched",
     "BudgetExceeded",
     "RunFinished",
     "bucket_label",
@@ -107,6 +111,8 @@ __all__ = [
     "PooledExecutor",
     "make_executor",
     "derive_chunksize",
+    "interleave_groups",
+    "wave_order",
     "EventSink",
     "CollectorSink",
     "JsonlSink",

@@ -25,6 +25,7 @@ __all__ = [
     "IterationFinished",
     "CacheStats",
     "ScoringStats",
+    "WaveDispatched",
     "BudgetExceeded",
     "RunFinished",
     "WorkerCrashed",
@@ -155,6 +156,33 @@ class ScoringStats(Event):
     lb_pruned: int
     dp_abandoned: int
     candidates_pruned: int
+    #: Candidates pruned by a cross-sketch bucket incumbent (the fused
+    #: scheduler's warm start) rather than a bound the sketch computed.
+    warm_start_pruned: int = 0
+    #: Fused cross-bucket waves dispatched (0 under per-bucket scheduling).
+    fused_waves: int = 0
+    #: Flattened tasks those fused waves carried.
+    fused_tasks: int = 0
+    #: Most tasks simultaneously in flight on the executor.
+    peak_in_flight: int = 0
+    #: Mean fraction of executor capacity kept busy per fused wave.
+    mean_occupancy: float = 0.0
+
+
+@dataclass(frozen=True)
+class WaveDispatched(Event):
+    """One fused cross-bucket wave left for the executor.
+
+    ``groups`` live buckets were flattened (round-robin interleaved)
+    into ``tasks`` scoring tasks and dispatched onto an executor
+    ``workers`` wide in a single pipelined pass — the per-iteration
+    barrier count the fused scheduler collapses from B to 1.
+    """
+
+    kind: ClassVar[str] = "wave_dispatched"
+    groups: int
+    tasks: int
+    workers: int
 
 
 @dataclass(frozen=True)

@@ -50,9 +50,11 @@ Fault tolerance (``docs/RESILIENCE.md``) is layered on top:
 
 from __future__ import annotations
 
+import math
 import multiprocessing
 import os
 import time
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
@@ -69,6 +71,7 @@ from repro.runtime.events import (
     ScoringStats,
     SegmentsPrimed,
     SketchQuarantined,
+    WaveDispatched,
     WorkerCrashed,
 )
 from repro.runtime.faults import FaultInjected, FaultPlan, apply_sketch_faults
@@ -92,11 +95,20 @@ __all__ = [
     "PooledExecutor",
     "make_executor",
     "derive_chunksize",
+    "interleave_groups",
+    "wave_order",
 ]
 
 #: Waves smaller than this never leave the calling process: the IPC cost
-#: of shipping a task exceeds scoring it inline.
+#: of shipping a task exceeds scoring it inline.  Fused waves apply this
+#: to the *flattened* task count — many tiny buckets fused together are
+#: exactly the waves worth shipping to the pool.
 MIN_PARALLEL_SKETCHES = 4
+
+#: In-flight cap per worker for fused grouped waves: deep enough to hide
+#: result-consumption latency, shallow enough that the incumbent bounds
+#: piggybacked on later submissions stay warm.
+WAVE_WINDOW_PER_WORKER = 2
 
 #: How long a priming broadcast may take before the pool is declared
 #: wedged and rebuilt.
@@ -105,6 +117,110 @@ _PRIME_TIMEOUT_SECONDS = 120.0
 #: Pool breaks tolerated with the same sketch at the head of the
 #: incomplete suffix before that sketch is quarantined as the culprit.
 _CRASH_STRIKES = 2
+
+
+def interleave_groups(sizes: Sequence[int]) -> list[tuple[int, int]]:
+    """Round-robin flat dispatch order over groups of the given sizes.
+
+    Returns ``(group, member)`` pairs: one full round takes the next
+    member of every group still holding one, so group 0's first task is
+    followed by group 1's first, not group 0's second.  Two properties
+    make this the fused scheduler's order:
+
+    * every flat *prefix* maps to a per-group prefix, so a deadline or
+      crash cut scatters back into positionally-aligned partial results;
+    * the first ``sum(min(size, m))`` tasks cover every group's first
+      ``m`` members, so a flat ``min_results`` bound implies the
+      per-group guarantee the refinement ranking needs;
+
+    and interleaving means every bucket's incumbent bound tightens early
+    in the wave instead of only while "its" bucket is being scored.
+    """
+    order: list[tuple[int, int]] = []
+    for rank in range(max(sizes, default=0)):
+        for group, size in enumerate(sizes):
+            if rank < size:
+                order.append((group, rank))
+    return order
+
+
+def wave_order(
+    sizes: Sequence[int], min_results: int, run_length: int = 1
+) -> list[tuple[int, int]]:
+    """Flat dispatch order for one fused wave.
+
+    A generalization of :func:`interleave_groups`: the first
+    ``max(1, min_results)`` rounds are strict round-robin — every
+    group's leaders up front, covering the deadline-mandatory prefix
+    (the first ``sum(min(size, m))`` tasks hold every group's first
+    ``m`` members) and seeding each group's incumbent bound as early as
+    possible — then the remainder round-robins in *runs* of
+    ``run_length`` consecutive same-group members.  With
+    ``run_length=1`` this is exactly the round-robin order (the serial
+    scheduler's choice: incumbents refresh every task); pooled waves set
+    it to their submission chunk size, so each chunk is a same-group run
+    that tightens its bound internally at in-process freshness, while
+    round-robin over runs keeps every group's pipeline shallow enough
+    that the parent's cross-chunk updates stay warm too.  Any prefix of
+    the flat order still maps to per-group prefixes, which is what
+    positional scatter and crash-retry prefix retention need.
+    """
+    rounds = max(1, min_results)
+    order = [
+        (group, rank)
+        for rank in range(rounds)
+        for group, size in enumerate(sizes)
+        if rank < size
+    ]
+    step = max(1, run_length)
+    cursors = [min(rounds, size) for size in sizes]
+    remaining = sum(size - cursor for size, cursor in zip(sizes, cursors))
+    while remaining:
+        for group, size in enumerate(sizes):
+            take = min(step, size - cursors[group])
+            for _ in range(take):
+                order.append((group, cursors[group]))
+                cursors[group] += 1
+            remaining -= take
+    return order
+
+
+def _scatter(
+    order: Sequence[tuple[int, int]],
+    flat: Sequence["ScoredHandler"],
+    group_count: int,
+) -> list[list["ScoredHandler"]]:
+    """Route a flat (possibly cut-short) result prefix back per group.
+
+    Round-robin order preserves member order within each group, so
+    appending in flat order rebuilds positionally-aligned result
+    prefixes — the same contract ``score()`` gives per bucket.
+    """
+    grouped: list[list[ScoredHandler]] = [[] for _ in range(group_count)]
+    for (group, _), scored in zip(order, flat):
+        grouped[group].append(scored)
+    return grouped
+
+
+@dataclass
+class _WaveTelemetry:
+    """Cumulative fused-wave counters an executor carries for the run."""
+
+    fused_waves: int = 0
+    fused_tasks: int = 0
+    peak_in_flight: int = 0
+    occupancy_sum: float = 0.0
+    occupancy_samples: int = 0
+
+    def note_occupancy(self, value: float) -> None:
+        self.occupancy_sum += value
+        self.occupancy_samples += 1
+
+    @property
+    def mean_occupancy(self) -> float:
+        if not self.occupancy_samples:
+            return 0.0
+        return self.occupancy_sum / self.occupancy_samples
 
 
 def derive_chunksize(tasks: int, workers: int) -> int:
@@ -138,12 +254,32 @@ class ScoringExecutor(Protocol):
         *sketches* (the full wave unless *deadline* cut it short)."""
         ...
 
+    def score_grouped(
+        self,
+        groups: Sequence[Sequence[Sketch]],
+        segments: Sequence[TraceSegment],
+        *,
+        deadline: float | None = None,
+        min_results: int = 0,
+    ) -> list[list[ScoredHandler]]:
+        """Score all *groups* as one fused wave; one result list per
+        group, each positionally aligned with a prefix of its group
+        (*min_results* members guaranteed **per group**, as far as each
+        group's size allows).  Group minima are exact; individual
+        distances may be ``inf`` when the group's incumbent bound proved
+        them non-minimal."""
+        ...
+
     def cache_stats(self) -> CacheStats | None:
         """Cumulative score-cache counters, if caching is enabled."""
         ...
 
     def scoring_stats(self) -> ScoringStats:
         """Cumulative batched-scoring counters (prunes, abandons, waves)."""
+        ...
+
+    def stats(self) -> tuple[CacheStats | None, ScoringStats]:
+        """Both telemetry snapshots at once (one worker round-trip)."""
         ...
 
     def close(self) -> None: ...
@@ -174,25 +310,91 @@ def _score_serially(
             and time.perf_counter() >= deadline
         ):
             break
-        try:
-            with watchdog(watchdog_seconds):
-                apply_sketch_faults(
-                    fault_plan, str(sketch), in_worker=False
-                )
-                scored = scorer.score_sketch(sketch, segments)
-        except SketchTimeout:
-            if quarantine is None:
-                raise
-            scored = quarantine(
-                sketch, "timeout", f"exceeded {watchdog_seconds:.3g}s watchdog"
+        results.append(
+            _score_guarded(
+                scorer,
+                sketch,
+                segments,
+                None,
+                watchdog_seconds,
+                fault_plan,
+                quarantine,
             )
-        except Exception as exc:
-            if quarantine is None:
-                raise
-            scored = quarantine(
-                sketch, "exception", f"{type(exc).__name__}: {exc}"
-            )
+        )
+    return results
+
+
+def _score_guarded(
+    scorer: Scorer,
+    sketch: Sketch,
+    segments: Sequence[TraceSegment],
+    bound: float | None,
+    watchdog_seconds: float | None,
+    fault_plan: FaultPlan | None,
+    quarantine: Callable[[Sketch, str, str], "ScoredHandler"] | None,
+) -> ScoredHandler:
+    """One sketch through the watchdog/fault/quarantine guard."""
+    try:
+        with watchdog(watchdog_seconds):
+            apply_sketch_faults(fault_plan, str(sketch), in_worker=False)
+            return scorer.score_sketch(sketch, segments, bound=bound)
+    except SketchTimeout:
+        if quarantine is None:
+            raise
+        return quarantine(
+            sketch, "timeout", f"exceeded {watchdog_seconds:.3g}s watchdog"
+        )
+    except Exception as exc:
+        if quarantine is None:
+            raise
+        return quarantine(sketch, "exception", f"{type(exc).__name__}: {exc}")
+
+
+def _score_grouped_serially(
+    scorer: Scorer,
+    tasks: Sequence[tuple[int, "Sketch"]],
+    segments: Sequence[TraceSegment],
+    deadline: float | None,
+    mandatory: int,
+    incumbents: list[float],
+    *,
+    start_index: int = 0,
+    watchdog_seconds: float | None = None,
+    fault_plan: FaultPlan | None = None,
+    quarantine: Callable[[Sketch, str, str], "ScoredHandler"] | None = None,
+) -> list[ScoredHandler]:
+    """In-process scoring of a fused ``(group, sketch)`` task stream.
+
+    Each sketch is scored with its group's current incumbent bound so
+    the batched cascade starts warm; the incumbent only ever holds an
+    *exact* distance an earlier group member achieved, so group minima
+    stay exact.  *mandatory* counts the deadline-exempt flat prefix
+    (``sum(min(group size, min_results))`` — round-robin order puts
+    exactly those tasks first); *start_index* is this call's offset into
+    the full flat order, letting a degraded pooled wave continue the
+    same deadline accounting.
+    """
+    results: list[ScoredHandler] = []
+    for offset, (group, sketch) in enumerate(tasks):
+        if (
+            deadline is not None
+            and start_index + offset >= mandatory
+            and time.perf_counter() >= deadline
+        ):
+            break
+        incumbent = incumbents[group]
+        scored = _score_guarded(
+            scorer,
+            sketch,
+            segments,
+            incumbent if math.isfinite(incumbent) else None,
+            watchdog_seconds,
+            fault_plan,
+            quarantine,
+        )
         results.append(scored)
+        if scored.distance < incumbents[group]:
+            incumbents[group] = scored.distance
     return results
 
 
@@ -212,6 +414,7 @@ class SerialExecutor:
         self.watchdog_seconds = watchdog_seconds
         self.fault_plan = fault_plan
         self.quarantined: list[Quarantined] = []
+        self._waves = _WaveTelemetry()
 
     def _quarantine(
         self, sketch: Sketch, reason: str, detail: str
@@ -247,18 +450,66 @@ class SerialExecutor:
             quarantine=self._quarantine,
         )
 
+    def score_grouped(
+        self,
+        groups: Sequence[Sequence[Sketch]],
+        segments: Sequence[TraceSegment],
+        *,
+        deadline: float | None = None,
+        min_results: int = 0,
+    ) -> list[list[ScoredHandler]]:
+        groups = [list(group) for group in groups]
+        order = wave_order(
+            [len(group) for group in groups], min_results
+        )
+        tasks = [(group, groups[group][rank]) for group, rank in order]
+        if tasks:
+            self._waves.fused_waves += 1
+            self._waves.fused_tasks += len(tasks)
+            self._waves.peak_in_flight = max(self._waves.peak_in_flight, 1)
+            self._waves.note_occupancy(1.0)
+            if self.context is not None:
+                self.context.emit(
+                    WaveDispatched(
+                        groups=len(groups), tasks=len(tasks), workers=1
+                    )
+                )
+        mandatory = sum(min(len(group), min_results) for group in groups)
+        incumbents = [float("inf")] * len(groups)
+        flat = _score_grouped_serially(
+            self.scorer,
+            tasks,
+            segments,
+            deadline,
+            mandatory,
+            incumbents,
+            watchdog_seconds=self.watchdog_seconds,
+            fault_plan=self.fault_plan,
+            quarantine=self._quarantine,
+        )
+        return _scatter(order, flat, len(groups))
+
     def cache_stats(self) -> CacheStats | None:
         cache = self.scorer.cache
         return cache.stats() if cache is not None else None
 
     def scoring_stats(self) -> ScoringStats:
         counters = self.scorer.counters
+        waves = self._waves
         return ScoringStats(
             batched_waves=counters.batched_waves,
             lb_pruned=counters.lb_pruned,
             dp_abandoned=counters.dp_abandoned,
             candidates_pruned=counters.candidates_pruned,
+            warm_start_pruned=counters.warm_start_pruned,
+            fused_waves=waves.fused_waves,
+            fused_tasks=waves.fused_tasks,
+            peak_in_flight=waves.peak_in_flight,
+            mean_occupancy=round(waves.mean_occupancy, 4),
         )
+
+    def stats(self) -> tuple[CacheStats | None, ScoringStats]:
+        return (self.cache_stats(), self.scoring_stats())
 
     def close(self) -> None:
         pass
@@ -338,15 +589,15 @@ def _worker_cache_counts() -> tuple[int, int, int]:
     return (cache.hits, cache.misses, len(cache))
 
 
-def _worker_scoring_counts() -> tuple[int, int, int, int]:
+def _worker_scoring_counts() -> tuple[int, int, int, int, int]:
     if _worker_scorer is None:
-        return (0, 0, 0, 0)
+        return (0, 0, 0, 0, 0)
     return _worker_scorer.counters.as_tuple()
 
 
 def _broadcast_segments(
     segments: Sequence[TraceSegment] | None,
-) -> tuple[int, tuple[int, int, int], tuple[int, int, int, int]]:
+) -> tuple[int, tuple[int, int, int], tuple[int, int, int, int, int]]:
     """Install a new working set (or just report stats when ``None``).
 
     Returns ``(pid, cache_counts, scoring_counts)`` so the parent can
@@ -381,6 +632,75 @@ def _score_one(sketch: Sketch) -> "ScoredHandler | _WorkerFailure":
         )
     except Exception as exc:
         return _WorkerFailure(text, "exception", f"{type(exc).__name__}: {exc}")
+
+
+def _score_one_bounded(
+    task: "tuple[Sketch, float | None]",
+) -> "tuple[ScoredHandler | _WorkerFailure, float]":
+    """Score one fused-wave task: ``(sketch, incumbent bound)``.
+
+    The bound is the submitting parent's snapshot of the sketch's group
+    incumbent — possibly stale, which is always sound (a stale bound is
+    looser and only prunes less).  Returns ``(outcome, busy_seconds)``;
+    the parent sums busy seconds into per-wave occupancy telemetry.
+    """
+    sketch, bound = task
+    assert _worker_scorer is not None and _worker_segments is not None
+    text = str(sketch)
+    started = time.perf_counter()
+    try:
+        with watchdog(_worker_watchdog):
+            apply_sketch_faults(
+                _worker_faults,
+                text,
+                in_worker=True,
+                generation=_worker_generation,
+            )
+            outcome: ScoredHandler | _WorkerFailure = (
+                _worker_scorer.score_sketch(
+                    sketch, _worker_segments, bound=bound
+                )
+            )
+    except SketchTimeout:
+        outcome = _WorkerFailure(
+            text, "timeout", f"exceeded {_worker_watchdog:.3g}s watchdog"
+        )
+    except Exception as exc:
+        outcome = _WorkerFailure(
+            text, "exception", f"{type(exc).__name__}: {exc}"
+        )
+    return outcome, time.perf_counter() - started
+
+
+def _score_chunk_bounded(
+    chunk: "list[tuple[int, Sketch, float | None]]",
+) -> "list[tuple[ScoredHandler | _WorkerFailure, float]]":
+    """Score a run of fused-wave tasks ``(group, sketch, bound)`` in one
+    submission.
+
+    Chunking amortizes per-task IPC on large fused waves — the parent
+    sizes chunks with :func:`derive_chunksize`, so small waves keep
+    per-task dispatch and fault granularity.  Each task's submitted
+    bound is merged with a chunk-local incumbent: a result earlier in
+    the chunk tightens later same-group members immediately, at
+    in-process freshness, without waiting for the parent round-trip.
+    """
+    local: dict[int, float] = {}
+    results: "list[tuple[ScoredHandler | _WorkerFailure, float]]" = []
+    for group, sketch, bound in chunk:
+        warm = local.get(group, math.inf)
+        if bound is not None and bound < warm:
+            warm = bound
+        outcome, seconds = _score_one_bounded(
+            (sketch, warm if math.isfinite(warm) else None)
+        )
+        if (
+            not isinstance(outcome, _WorkerFailure)
+            and outcome.distance < local.get(group, math.inf)
+        ):
+            local[group] = outcome.distance
+        results.append((outcome, seconds))
+    return results
 
 
 class _PoolBroken(Exception):
@@ -438,10 +758,11 @@ class PooledExecutor:
             fault_plan.broadcast_failures if fault_plan is not None else 0
         )
         self.pools_spawned = 0
+        self._waves = _WaveTelemetry()
         #: Latest cumulative cache counters per worker pid.
         self._worker_cache: dict[int, tuple[int, int, int]] = {}
         #: Latest cumulative batched-scoring counters per worker pid.
-        self._worker_scoring: dict[int, tuple[int, int, int, int]] = {}
+        self._worker_scoring: dict[int, tuple[int, int, int, int, int]] = {}
         methods = multiprocessing.get_all_start_methods()
         self._mp_context = (
             multiprocessing.get_context("fork") if "fork" in methods else None
@@ -809,15 +1130,305 @@ class PooledExecutor:
                 )
                 # Loop: _prime respawns the pool and re-primes segments.
 
-    def cache_stats(self) -> CacheStats | None:
-        """Aggregate cache counters: workers (as last reported) + parent."""
-        if self.scorer.cache is None:
-            return None
+    def _score_wave_grouped(
+        self,
+        tasks: Sequence[tuple[int, Sketch]],
+        deadline: float | None,
+        min_results: int,
+        incumbents: list[float],
+    ) -> list[ScoredHandler]:
+        """One fused wave on the live pool, pipelined through a bounded
+        in-flight window.
+
+        Unlike :meth:`_score_wave`'s all-at-once submission, tasks enter
+        the pool in :func:`derive_chunksize`-sized chunks, at most
+        ``workers × WAVE_WINDOW_PER_WORKER`` chunks at a time: each
+        consumed chunk tightens its groups' incumbents *before* later
+        chunks are submitted, so the bounds piggybacked on submissions
+        stay warm (and workers tighten further within a chunk — see
+        :func:`_score_chunk_bounded`).  Results are consumed in
+        submission order (the positional contract), and
+        :class:`_PoolBroken` carries the flat completed prefix exactly
+        as the per-bucket path does; a broken chunk is simply re-scored
+        from its first task.
+
+        The wave opens with a *leader primer*: while any group still has
+        an infinite incumbent, only the chunks holding the first
+        ``primer`` tasks — the round-robin prefix with each fresh
+        group's first member, the mandatory prefix the deadline contract
+        already pins — are in flight.  Their exact distances seed the
+        incumbents before the window floods, so the bulk of the wave is
+        submitted with real bounds instead of the stale infinities a
+        full-depth pipeline would freeze in (crash-retry suffixes arrive
+        with warm incumbents and skip the primer entirely).
+        """
+        assert self._pool is not None
+        completed: list[ScoredHandler] = []
+        backstop = self._backstop_seconds()
+        chunk_size = derive_chunksize(len(tasks), self.workers)
+        # One chunk = one same-group run (capped at the chunk size), so
+        # in-chunk incumbent tightening always applies; the wave order
+        # round-robins these runs across groups (see :func:`wave_order`).
+        chunks: list[list[tuple[int, Sketch]]] = []
+        for task in tasks:
+            if (
+                chunks
+                and chunks[-1][-1][0] == task[0]
+                and len(chunks[-1]) < chunk_size
+            ):
+                chunks[-1].append(task)
+            else:
+                chunks.append([task])
+        window = max(self.workers * WAVE_WINDOW_PER_WORKER, 1)
+        fresh_groups = {
+            group
+            for group, _ in tasks
+            if not math.isfinite(incumbents[group])
+        }
+        primer = min(len(fresh_groups), len(tasks))
+        primer_chunks = 0
+        covered = 0
+        for chunk in chunks:
+            if covered >= primer:
+                break
+            covered += len(chunk)
+            primer_chunks += 1
+        pending: deque = deque()  # (chunk, future) FIFO
+        next_chunk = 0
+        busy_seconds = 0.0
+        wall_started = time.perf_counter()
+
+        def top_up() -> None:
+            nonlocal next_chunk
+            while (
+                next_chunk < len(chunks)
+                and len(pending) < window
+                and (len(completed) >= primer or next_chunk < primer_chunks)
+            ):
+                chunk = chunks[next_chunk]
+                payload = [
+                    (
+                        group,
+                        sketch,
+                        incumbents[group]
+                        if math.isfinite(incumbents[group])
+                        else None,
+                    )
+                    for group, sketch in chunk
+                ]
+                pending.append(
+                    (chunk, self._pool.submit(_score_chunk_bounded, payload))
+                )
+                next_chunk += 1
+            self._waves.peak_in_flight = max(
+                self._waves.peak_in_flight,
+                sum(len(chunk) for chunk, _ in pending),
+            )
+
+        def drain_pending() -> None:
+            while pending:
+                pending.popleft()[1].cancel()
+
+        def note_occupancy() -> None:
+            wall = time.perf_counter() - wall_started
+            if wall > 0 and completed:
+                self._waves.note_occupancy(
+                    min(1.0, busy_seconds / (wall * self.workers))
+                )
+
+        top_up()
+        cut_short = False
+        while pending:
+            chunk, future = pending.popleft()
+            if cut_short:
+                future.cancel()
+                continue
+            timeout, binding = self._wait_bound(
+                len(completed), min_results, deadline, backstop
+            )
+            if timeout is not None and binding == "backstop":
+                # One future now carries len(chunk) tasks of work.
+                timeout = timeout * len(chunk)
+            if timeout is not None and timeout <= 0 and binding == "deadline":
+                cut_short = True
+                future.cancel()
+                continue
+            try:
+                outcomes = future.result(timeout=timeout)
+            except FutureTimeoutError:
+                if binding == "deadline":
+                    cut_short = True
+                    future.cancel()
+                    continue
+                # The worker-side watchdog attributes per-task hangs; the
+                # parent backstop cannot see inside the chunk, so blame
+                # falls on its head (exact when chunks are single-task,
+                # the fault-injection and small-wave regime).
+                head = chunk[0][1]
+                completed.append(
+                    self._quarantine(
+                        head,
+                        "timeout",
+                        f"no result within {timeout:.3g}s backstop",
+                    )
+                )
+                drain_pending()
+                note_occupancy()
+                raise _PoolBroken(
+                    completed, "hang", f"worker hung on {head}",
+                    blame_next=False,
+                )
+            except BrokenProcessPool as exc:
+                drain_pending()
+                note_occupancy()
+                raise _PoolBroken(
+                    completed, "worker-crash", str(exc) or "pool broken",
+                    blame_next=True,
+                ) from exc
+            for (group, sketch), (outcome, seconds) in zip(chunk, outcomes):
+                busy_seconds += seconds
+                scored = self._resolve_outcome(sketch, outcome)
+                completed.append(scored)
+                if scored.distance < incumbents[group]:
+                    incumbents[group] = scored.distance
+            top_up()
+        note_occupancy()
+        return completed
+
+    def score_grouped(
+        self,
+        groups: Sequence[Sequence[Sketch]],
+        segments: Sequence[TraceSegment],
+        *,
+        deadline: float | None = None,
+        min_results: int = 0,
+    ) -> list[list[ScoredHandler]]:
+        groups = [list(group) for group in groups]
+        sizes = [len(group) for group in groups]
+        order = wave_order(
+            sizes,
+            min_results,
+            run_length=derive_chunksize(sum(sizes), self.workers),
+        )
+        tasks = [(group, groups[group][rank]) for group, rank in order]
+        mandatory = sum(min(len(group), min_results) for group in groups)
+        incumbents = [float("inf")] * len(groups)
+        if tasks:
+            self._waves.fused_waves += 1
+            self._waves.fused_tasks += len(tasks)
+            self._emit(
+                WaveDispatched(
+                    groups=len(groups),
+                    tasks=len(tasks),
+                    workers=self.workers,
+                )
+            )
+        if self._degraded or len(tasks) < self.min_parallel:
+            # The threshold judges the *flattened* wave: sub-threshold
+            # buckets that used to leave the pool idle one score() call
+            # at a time now ride the fused dispatch with everything else.
+            if tasks:
+                self._waves.peak_in_flight = max(
+                    self._waves.peak_in_flight, 1
+                )
+                self._waves.note_occupancy(1.0 / self.workers)
+            flat = _score_grouped_serially(
+                self.scorer,
+                tasks,
+                segments,
+                deadline,
+                mandatory,
+                incumbents,
+                watchdog_seconds=self.watchdog_seconds,
+                fault_plan=self.fault_plan,
+                quarantine=self._quarantine,
+            )
+            return _scatter(order, flat, len(groups))
+        flat: list[ScoredHandler] = []
+        while True:
+            remaining = tasks[len(flat):]
+            if not remaining:
+                break
+            self._prime(segments)
+            if self._degraded:
+                flat.extend(
+                    _score_grouped_serially(
+                        self.scorer,
+                        remaining,
+                        segments,
+                        deadline,
+                        mandatory,
+                        incumbents,
+                        start_index=len(flat),
+                        watchdog_seconds=self.watchdog_seconds,
+                        fault_plan=self.fault_plan,
+                        quarantine=self._quarantine,
+                    )
+                )
+                break
+            try:
+                flat.extend(
+                    self._score_wave_grouped(
+                        remaining,
+                        deadline,
+                        max(0, mandatory - len(flat)),
+                        incumbents,
+                    )
+                )
+                self.supervisor.record_success()
+                break
+            except _PoolBroken as broken:
+                # Same recovery as score(): keep the flat completed
+                # prefix, blame/strike the head of the suffix, rebuild
+                # or degrade — incumbents survive, so the retried suffix
+                # starts as warm as the wave left it.
+                flat.extend(broken.completed)
+                offset = len(flat)
+                self._emit(
+                    WorkerCrashed(reason=broken.reason, detail=broken.detail)
+                )
+                if broken.blame_next and offset < len(tasks):
+                    group, culprit = tasks[offset]
+                    text = str(culprit)
+                    strikes = self._crash_strikes.get(text, 0) + 1
+                    self._crash_strikes[text] = strikes
+                    if strikes >= _CRASH_STRIKES:
+                        flat.append(
+                            self._quarantine(
+                                culprit,
+                                "worker-crash",
+                                f"pool broke {strikes}x scoring this sketch",
+                            )
+                        )
+                if self.supervisor.next_action() == "degrade":
+                    self._degrade(
+                        f"{self.supervisor.consecutive_failures} consecutive"
+                        " pool failures"
+                    )
+                    continue
+                backoff = self.supervisor.backoff()
+                self._shutdown_pool()
+                self._emit(
+                    PoolRebuilt(
+                        rebuilds=self.supervisor.rebuilds,
+                        backoff_seconds=backoff,
+                    )
+                )
+                # Loop: _prime respawns the pool and re-primes segments.
+        return _scatter(order, flat, len(groups))
+
+    def _refresh_worker_counters(self) -> None:
+        """One broadcast refreshing cache *and* scoring counters at once
+        (``stats()`` reads both snapshots off a single round-trip)."""
         if self._pool is not None and self._mp_context is not None:
             try:
-                self._broadcast(None)  # refresh per-worker counters
+                self._broadcast(None)
             except Exception:
                 pass  # stale counters are better than a crashed run
+
+    def _assemble_cache_stats(self) -> CacheStats | None:
+        if self.scorer.cache is None:
+            return None
         hits = sum(entry[0] for entry in self._worker_cache.values())
         misses = sum(entry[1] for entry in self._worker_cache.values())
         entries = sum(entry[2] for entry in self._worker_cache.values())
@@ -828,6 +1439,32 @@ class PooledExecutor:
             entries=entries + parent.entries,
         )
 
+    def _assemble_scoring_stats(self) -> ScoringStats:
+        totals = [
+            sum(entry[index] for entry in self._worker_scoring.values())
+            for index in range(5)
+        ]
+        parent = self.scorer.counters
+        waves = self._waves
+        return ScoringStats(
+            batched_waves=totals[0] + parent.batched_waves,
+            lb_pruned=totals[1] + parent.lb_pruned,
+            dp_abandoned=totals[2] + parent.dp_abandoned,
+            candidates_pruned=totals[3] + parent.candidates_pruned,
+            warm_start_pruned=totals[4] + parent.warm_start_pruned,
+            fused_waves=waves.fused_waves,
+            fused_tasks=waves.fused_tasks,
+            peak_in_flight=waves.peak_in_flight,
+            mean_occupancy=round(waves.mean_occupancy, 4),
+        )
+
+    def cache_stats(self) -> CacheStats | None:
+        """Aggregate cache counters: workers (as last reported) + parent."""
+        if self.scorer.cache is None:
+            return None
+        self._refresh_worker_counters()
+        return self._assemble_cache_stats()
+
     def scoring_stats(self) -> ScoringStats:
         """Aggregate batched-scoring counters: workers + parent scorer.
 
@@ -836,22 +1473,19 @@ class PooledExecutor:
         sum (they describe work that really happened).  The parent
         scorer's counters cover tiny and degraded waves scored inline.
         """
-        if self._pool is not None and self._mp_context is not None:
-            try:
-                self._broadcast(None)  # refresh per-worker counters
-            except Exception:
-                pass  # stale counters are better than a crashed run
-        totals = [
-            sum(entry[index] for entry in self._worker_scoring.values())
-            for index in range(4)
-        ]
-        parent = self.scorer.counters
-        return ScoringStats(
-            batched_waves=totals[0] + parent.batched_waves,
-            lb_pruned=totals[1] + parent.lb_pruned,
-            dp_abandoned=totals[2] + parent.dp_abandoned,
-            candidates_pruned=totals[3] + parent.candidates_pruned,
-        )
+        self._refresh_worker_counters()
+        return self._assemble_scoring_stats()
+
+    def stats(self) -> tuple[CacheStats | None, ScoringStats]:
+        """Both telemetry snapshots off ONE worker broadcast.
+
+        ``cache_stats()`` + ``scoring_stats()`` back-to-back each pay a
+        barrier-synchronized round-trip across the pool; callers that
+        want both (the refinement loop, every iteration) should use this
+        instead and pay for one.
+        """
+        self._refresh_worker_counters()
+        return (self._assemble_cache_stats(), self._assemble_scoring_stats())
 
     def close(self) -> None:
         """Shut the pool down; safe to call any number of times."""

@@ -126,6 +126,14 @@ class SynthesisConfig:
     #: MUST stay excluded from :func:`_run_fingerprint` (a run started
     #: batched can be resumed scalar, and vice versa).
     batch_scoring: bool = True
+    #: Score all live buckets as ONE fused wave per iteration (round-robin
+    #: interleaved, per-bucket incumbent warm starts) instead of one
+    #: executor barrier per bucket.  Bucket minima stay exact, so
+    #: rankings, prunes, and checkpoints are bit-identical either way —
+    #: an execution knob, excluded from :func:`_run_fingerprint` like
+    #: ``batch_scoring`` (a run started fused can be resumed per-bucket,
+    #: and vice versa).
+    fused_scheduling: bool = True
     #: Deterministic fault injection (tests only; ``None`` in production).
     fault_plan: FaultPlan | None = None
 
@@ -369,14 +377,12 @@ def synthesize(
                         f"DSL {dsl.name!r} produced no sketches within its"
                         " budgets"
                     )
-                for bucket in buckets:
-                    results = executor.score(
-                        bucket.drawn, working, deadline=deadline, min_results=1
-                    )
+                pool_size = len(dsl.constant_pool)
+
+                def note_bucket(bucket, results, iteration=iteration) -> None:
                     bucket.score = min(
                         result.distance for result in results
                     )
-                    pool_size = len(dsl.constant_pool)
                     for sketch, result in zip(bucket.drawn, results):
                         completions = min(
                             sketch.completion_count(pool_size),
@@ -391,6 +397,30 @@ def synthesize(
                             sketches=len(results),
                         )
                     )
+
+                if config.fused_scheduling:
+                    # One pipelined dispatch for the whole iteration: all
+                    # buckets' samples interleaved round-robin, scattered
+                    # back positionally (docs/PERFORMANCE.md).
+                    grouped = executor.score_grouped(
+                        [bucket.drawn for bucket in buckets],
+                        working,
+                        deadline=deadline,
+                        min_results=1,
+                    )
+                    for bucket, results in zip(buckets, grouped):
+                        note_bucket(bucket, results)
+                else:
+                    for bucket in buckets:
+                        note_bucket(
+                            bucket,
+                            executor.score(
+                                bucket.drawn,
+                                working,
+                                deadline=deadline,
+                                min_results=1,
+                            ),
+                        )
                 ranking = sorted(buckets, key=lambda bucket: bucket.score)
                 cutoff_index = min(keep, len(ranking)) - 1
                 cutoff = ranking[cutoff_index].score
@@ -410,10 +440,12 @@ def synthesize(
                     )
                 )
                 pool.prune({bucket.key for bucket in survivors})
-                stats = executor.cache_stats()
-                if stats is not None:
-                    ctx.emit(stats)
-                ctx.emit(executor.scoring_stats())
+                # One combined snapshot: cache_stats() + scoring_stats()
+                # separately would cost two pool-wide barrier broadcasts.
+                cache_snapshot, scoring_snapshot = executor.stats()
+                if cache_snapshot is not None:
+                    ctx.emit(cache_snapshot)
+                ctx.emit(scoring_snapshot)
                 ctx.emit(
                     IterationFinished(
                         index=iteration + 1,
@@ -459,22 +491,36 @@ def synthesize(
                     max_steps=40 * config.exhaustive_cap,
                 )
                 state.sketches_drawn = pool.generated
-                for bucket in pool.live:
-                    fresh = bucket.drawn[already.get(bucket.key, 0) :]
-                    if fresh:
-                        results = executor.score(
-                            fresh, working, deadline=deadline
+                live = list(pool.live)
+                fresh_groups = [
+                    bucket.drawn[already.get(bucket.key, 0) :]
+                    for bucket in live
+                ]
+                if config.fused_scheduling:
+                    if any(fresh_groups):
+                        grouped = executor.score_grouped(
+                            fresh_groups, working, deadline=deadline
                         )
-                        for result in results:
-                            state.observe(result, 1)
-                    if out_of_time():
-                        note_budget("exhaustive")
-                        break
+                        for results in grouped:
+                            for result in results:
+                                state.observe(result, 1)
+                        if out_of_time():
+                            note_budget("exhaustive")
+                else:
+                    for fresh in fresh_groups:
+                        if fresh:
+                            results = executor.score(
+                                fresh, working, deadline=deadline
+                            )
+                            for result in results:
+                                state.observe(result, 1)
+                        if out_of_time():
+                            note_budget("exhaustive")
+                            break
     finally:
         # ``close`` is idempotent and this block runs on every exit path,
         # so an exception mid-run can never leak worker processes.
-        final_stats = executor.cache_stats()
-        final_scoring = executor.scoring_stats()
+        final_stats, final_scoring = executor.stats()
         run_quarantine = prior_quarantine + list(executor.quarantined)
         pool_rebuilds = getattr(executor, "pool_rebuilds", 0)
         degraded = bool(getattr(executor, "degraded", False))

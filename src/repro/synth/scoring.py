@@ -210,13 +210,18 @@ class ScoringCounters:
     #: Candidates dropped because their partial mean was already
     #: unbeatable (includes candidates whose segment loop stopped early).
     candidates_pruned: int = 0
+    #: Candidates pruned because a *cross-sketch* incumbent (the fused
+    #: scheduler's per-bucket warm-start bound) was tighter than anything
+    #: this sketch had computed itself.
+    warm_start_pruned: int = 0
 
-    def as_tuple(self) -> tuple[int, int, int, int]:
+    def as_tuple(self) -> tuple[int, int, int, int, int]:
         return (
             self.batched_waves,
             self.lb_pruned,
             self.dp_abandoned,
             self.candidates_pruned,
+            self.warm_start_pruned,
         )
 
 
@@ -480,11 +485,22 @@ class Scorer:
         return distance
 
     def _score_sketch_batched(
-        self, sketch: Sketch, segments: Sequence[TraceSegment]
+        self,
+        sketch: Sketch,
+        segments: Sequence[TraceSegment],
+        bound: float | None = None,
     ) -> ScoredHandler | None:
         """Batched minimum over concretizations, or ``None`` to fall
         back to the scalar path (non-DTW metric, empty working set, or a
-        sketch the vector backend cannot compile)."""
+        sketch the vector backend cannot compile).
+
+        A finite *bound* (an incumbent distance some *other* sketch
+        already achieved) warm-starts the cascade: candidates provably
+        unable to beat it are pruned before any DTW runs, and when the
+        lower bounds rule out every lane the sketch is dismissed with
+        zero distance computations.  The returned distance is then
+        ``inf`` — callers only compare it against the incumbent, and the
+        true minimum is provably worse, so rankings are unchanged."""
         if self.metric_name != "dtw" or not segments:
             return None
         try:
@@ -556,6 +572,11 @@ class Scorer:
             )
         with np.errstate(invalid="ignore"):
             lb_totals = lb_matrix.sum(axis=1)
+        warm = (
+            bound
+            if bound is not None and math.isfinite(bound)
+            else float("inf")
+        )
 
         def synthesized_for(lane: int) -> Callable[[TraceSegment], np.ndarray]:
             def _synth(segment: TraceSegment) -> np.ndarray:
@@ -573,6 +594,21 @@ class Scorer:
             with np.errstate(invalid="ignore"):
                 suffix[:count] = np.cumsum(lb_matrix[lane, ::-1])[::-1]
             return suffix
+
+        if math.isfinite(warm):
+            # Whole-sketch warm-start skip: when every lane's lower bound
+            # already tops the caller's incumbent, the sketch's true
+            # minimum is provably worse than a distance another sketch
+            # achieved — dismiss it without probing (zero DTW calls).
+            # NaN bounds compare False, so uncertain lanes stay alive.
+            with np.errstate(invalid="ignore"):
+                hopeless = lb_totals > inflate_bound(warm * count)
+            if hopeless.all():
+                lanes = len(assignments)
+                self.counters.lb_pruned += count * lanes
+                self.counters.candidates_pruned += lanes
+                self.counters.warm_start_pruned += lanes
+                return ScoredHandler(handler_for(0), float("inf"))
 
         # Probe: fully score the candidate the lower bounds like most,
         # and use its distance as the initial pruning threshold.  Any
@@ -594,6 +630,7 @@ class Scorer:
                 self.score_handler(
                     handler,
                     segments,
+                    bound=(warm if math.isfinite(warm) else None),
                     _synth=synthesized_for(probe),
                     _lb_suffix=suffix_for(probe),
                     _lb_row=lb_matrix[probe],
@@ -605,17 +642,20 @@ class Scorer:
             if probe_scored is not None and lane == probe:
                 scored = probe_scored
             else:
-                incumbent = min(
+                internal = min(
                     float("inf") if best is None else best.distance,
                     float("inf")
                     if probe_scored is None
                     else probe_scored.distance,
                 )
+                incumbent = min(internal, warm)
                 if math.isfinite(incumbent) and lb_totals[
                     lane
                 ] > inflate_bound(incumbent * count):
                     self.counters.lb_pruned += count
                     self.counters.candidates_pruned += 1
+                    if warm < internal:
+                        self.counters.warm_start_pruned += 1
                     continue
                 handler = handler_for(lane)
                 scored = ScoredHandler(
@@ -636,7 +676,11 @@ class Scorer:
         return best
 
     def score_sketch(
-        self, sketch: Sketch, segments: Sequence[TraceSegment]
+        self,
+        sketch: Sketch,
+        segments: Sequence[TraceSegment],
+        *,
+        bound: float | None = None,
     ) -> ScoredHandler:
         """Best (minimum-distance) concretization of *sketch*.
 
@@ -645,9 +689,14 @@ class Scorer:
         candidates strictly worse than the incumbent, and best-so-far
         updates are strict ``<`` — so ties resolve to the same
         first-seen handler and both paths return the same result.
+
+        *bound* is an external incumbent (the fused scheduler's
+        per-bucket warm start): when finite, the batched path may return
+        ``inf`` for a sketch whose true minimum provably exceeds it.
+        The scalar path stays the bound-free reference and ignores it.
         """
         if self.batch:
-            best = self._score_sketch_batched(sketch, segments)
+            best = self._score_sketch_batched(sketch, segments, bound)
             if best is not None:
                 return best
         best = None

@@ -10,8 +10,10 @@ from repro.runtime.events import (
     PoolSpawned,
     RunFinished,
     RunStarted,
+    ScoringStats,
     SegmentsPrimed,
     SketchesDrawn,
+    WaveDispatched,
     bucket_label,
     event_payload,
 )
@@ -28,6 +30,18 @@ ALL_EVENTS = [
     SegmentsPrimed(epoch=0, segment_count=2),
     SketchesDrawn(target=16, generated=120, live_buckets=64),
     BucketScored(iteration=1, bucket="+add+mul", score=3.5, sketches=6),
+    WaveDispatched(groups=5, tasks=40, workers=4),
+    ScoringStats(
+        batched_waves=12,
+        lb_pruned=200,
+        dp_abandoned=40,
+        candidates_pruned=9,
+        warm_start_pruned=17,
+        fused_waves=2,
+        fused_tasks=40,
+        peak_in_flight=8,
+        mean_occupancy=0.8,
+    ),
     IterationFinished(
         index=1,
         samples_per_bucket=16,

@@ -185,3 +185,187 @@ def test_pooled_batch_flag_reaches_workers(sketches, reno_segments):
         pooled.score(sketches, reno_segments[:2])
         stats = pooled.scoring_stats()
     assert stats.batched_waves == 0
+
+
+# ------------------------------------------------------------- fused waves
+
+
+def test_interleave_groups_round_robin():
+    from repro.runtime.executors import interleave_groups
+
+    assert interleave_groups([2, 3, 1]) == [
+        (0, 0), (1, 0), (2, 0), (0, 1), (1, 1), (1, 2),
+    ]
+    assert interleave_groups([]) == []
+    assert interleave_groups([0, 2]) == [(1, 0), (1, 1)]
+
+
+def test_wave_order_leaders_then_runs():
+    from repro.runtime.executors import wave_order
+
+    # min_results=1, run_length=1: leaders round, then round-robin —
+    # identical to interleave_groups.
+    assert wave_order([2, 3, 1], 1) == [
+        (0, 0), (1, 0), (2, 0), (0, 1), (1, 1), (1, 2),
+    ]
+    # run_length=2: leaders first, then same-group runs of two,
+    # round-robined across groups.
+    assert wave_order([3, 4, 1], 1, run_length=2) == [
+        (0, 0), (1, 0), (2, 0),
+        (0, 1), (0, 2), (1, 1), (1, 2),
+        (1, 3),
+    ]
+    assert wave_order([], 1) == []
+    assert wave_order([0, 2], 1, run_length=4) == [(1, 0), (1, 1)]
+
+
+def test_wave_order_prefix_covers_min_results():
+    """The first sum(min(size, m)) tasks hold every group's first m
+    members — the deadline contract — for any run length."""
+    from repro.runtime.executors import wave_order
+
+    sizes = [4, 1, 7, 3]
+    for m in (1, 2, 3):
+        for run_length in (1, 2, 5):
+            order = wave_order(sizes, m, run_length=run_length)
+            mandatory = sum(min(size, m) for size in sizes)
+            prefix = order[:mandatory]
+            for group, size in enumerate(sizes):
+                want = {(group, rank) for rank in range(min(size, m))}
+                assert want <= set(prefix)
+            # Any flat prefix maps to per-group rank prefixes.
+            seen = [0] * len(sizes)
+            for group, rank in order:
+                assert rank == seen[group]
+                seen[group] += 1
+
+
+def test_serial_grouped_minima_match_per_group(sketches, reno_segments):
+    """The fused wave may return inf for warm-pruned sketches, but every
+    group's *minimum* is the exact per-group score() minimum — the only
+    number the refinement ranking consumes."""
+    working = reno_segments[:2]
+    groups = [sketches[:3], sketches[3:]]
+    executor = SerialExecutor(_scorer())
+    grouped = executor.score_grouped(groups, working)
+    assert [len(results) for results in grouped] == [3, 2]
+    for group, results in zip(groups, grouped):
+        plain = SerialExecutor(_scorer()).score(group, working)
+        assert min(r.distance for r in results) == min(
+            r.distance for r in plain
+        )
+    # Non-pruned distances are the exact per-sketch scores.
+    for group, results in zip(groups, grouped):
+        for sketch, result in zip(group, results):
+            if result.distance != float("inf"):
+                assert result.distance == _scorer().score_sketch(
+                    sketch, working
+                ).distance
+
+
+def test_serial_grouped_deadline_keeps_min_results_per_group(
+    sketches, reno_segments
+):
+    executor = SerialExecutor(_scorer())
+    expired = time.perf_counter() - 1.0
+    grouped = executor.score_grouped(
+        [sketches[:3], sketches[3:]],
+        reno_segments[:1],
+        deadline=expired,
+        min_results=1,
+    )
+    assert [len(results) for results in grouped] == [1, 1]
+
+
+def test_pooled_grouped_matches_serial_grouped(sketches, reno_segments):
+    working = reno_segments[:2]
+    groups = [sketches[:3], sketches[3:]]
+    serial = SerialExecutor(_scorer()).score_grouped(groups, working)
+    with PooledExecutor(_scorer(), 2) as pooled:
+        parallel = pooled.score_grouped(groups, working)
+    assert [len(results) for results in parallel] == [3, 2]
+    for mine, theirs in zip(parallel, serial):
+        assert min(r.distance for r in mine) == min(
+            r.distance for r in theirs
+        )
+
+
+def test_pooled_grouped_deadline_keeps_min_results_per_group(
+    sketches, reno_segments
+):
+    with PooledExecutor(_scorer(), 2) as pooled:
+        expired = time.perf_counter() - 1.0
+        grouped = pooled.score_grouped(
+            [sketches[:3], sketches[3:]],
+            reno_segments[:1],
+            deadline=expired,
+            min_results=1,
+        )
+    assert [len(results) for results in grouped] == [1, 1]
+
+
+def test_grouped_fuses_small_groups_onto_pool(sketches, reno_segments):
+    """Regression for the small-bucket serial leak: three sub-threshold
+    buckets used to score inline one score() call at a time with the
+    pool idle; flattened they clear MIN_PARALLEL_SKETCHES and fork."""
+    collector = CollectorSink()
+    ctx = RunContext([collector])
+    with PooledExecutor(_scorer(), 2, context=ctx) as pooled:
+        pooled.score(sketches[:2], reno_segments[:1])
+        assert collector.of_kind("pool_spawned") == []  # old path: inline
+        grouped = pooled.score_grouped(
+            [sketches[:2], sketches[2:4], sketches[4:]], reno_segments[:1]
+        )
+    assert [len(results) for results in grouped] == [2, 2, 1]
+    assert len(collector.of_kind("pool_spawned")) == 1  # fused wave forked
+
+
+def test_grouped_tiny_flattened_wave_stays_in_process(
+    sketches, reno_segments
+):
+    collector = CollectorSink()
+    ctx = RunContext([collector])
+    with PooledExecutor(_scorer(), 2, context=ctx) as pooled:
+        grouped = pooled.score_grouped(
+            [sketches[:1], sketches[1:2]], reno_segments[:1]
+        )
+    assert [len(results) for results in grouped] == [1, 1]
+    assert collector.of_kind("pool_spawned") == []
+
+
+def test_grouped_emits_wave_dispatched(sketches, reno_segments):
+    collector = CollectorSink()
+    ctx = RunContext([collector])
+    executor = SerialExecutor(_scorer(), context=ctx)
+    executor.score_grouped([sketches[:3], sketches[3:]], reno_segments[:1])
+    waves = collector.of_kind("wave_dispatched")
+    assert len(waves) == 1
+    assert waves[0].groups == 2
+    assert waves[0].tasks == 5
+    assert waves[0].workers == 1
+    stats = executor.scoring_stats()
+    assert stats.fused_waves == 1
+    assert stats.fused_tasks == 5
+    assert stats.peak_in_flight >= 1
+    assert stats.mean_occupancy > 0.0
+
+
+def test_pooled_stats_single_broadcast(sketches, reno_segments, monkeypatch):
+    """stats() must pay ONE worker broadcast where cache_stats() +
+    scoring_stats() used to pay two."""
+    from repro.runtime.cache import ScoreCache as _Cache
+
+    with PooledExecutor(_scorer(cache=_Cache()), 2) as pooled:
+        pooled.score(sketches, reno_segments[:2])
+        calls = []
+        original = pooled._broadcast
+
+        def counting(segments):
+            calls.append(segments)
+            return original(segments)
+
+        monkeypatch.setattr(pooled, "_broadcast", counting)
+        cache, scoring = pooled.stats()
+    assert calls == [None]
+    assert cache is not None and cache.lookups > 0
+    assert scoring.batched_waves == len(sketches)

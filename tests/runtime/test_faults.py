@@ -388,3 +388,72 @@ def test_synthesize_serial_quarantines_and_completes(reno_segments):
     )
     assert result.quarantined
     assert result.best.distance < WORST_DISTANCE
+
+
+# -------------------------------------------------------------- fused waves
+#
+# Grouped (fused-wave) dispatch shares warm-start bounds across the
+# wave, so individual pruned distances are timing-dependent under a
+# pool; only each group's MINIMUM is contractually exact.  These tests
+# therefore compare minima, never raw per-sketch distances.
+
+
+def _group_minima(grouped):
+    return [min(r.distance for r in group) for group in grouped]
+
+
+def test_grouped_transient_crash_recovers_same_minima(
+    sketches, reno_segments
+):
+    """A worker crash mid-fused-wave: rebuild, rescore the suffix from
+    the flat completed prefix, and land on the fault-free group minima
+    with nothing quarantined."""
+    working = reno_segments[:1]
+    groups = [sketches[:3], sketches[3:]]
+    expected = _group_minima(
+        SerialExecutor(_scorer()).score_grouped(groups, working)
+    )
+    collector, ctx = _collected()
+    plan = FaultPlan.make(crash_on=[sketches[2]], crash_generations=[1])
+    with PooledExecutor(
+        _scorer(), POOL_WORKERS, context=ctx, fault_plan=plan
+    ) as pooled:
+        grouped = pooled.score_grouped(groups, working)
+        assert pooled.pool_rebuilds == 1
+        assert not pooled.degraded
+    assert _group_minima(grouped) == pytest.approx(expected)
+    assert pooled.quarantined == []
+    assert len(collector.of_kind("worker_crashed")) == 1
+    assert len(collector.of_kind("pool_rebuilt")) == 1
+
+
+def test_grouped_persistent_crash_quarantines_culprit(
+    sketches, reno_segments
+):
+    """A sketch that kills its worker every generation: the flat-index
+    blame lands on it (it leads the interleaved wave), it is quarantined
+    after two strikes, and every group still reports its exact
+    fault-free minimum."""
+    working = reno_segments[:1]
+    victim = sketches[0]
+    groups = [sketches[:3], sketches[3:]]
+    survivors = _group_minima(
+        SerialExecutor(_scorer()).score_grouped(
+            [sketches[1:3], sketches[3:]], working
+        )
+    )
+    collector, ctx = _collected()
+    with PooledExecutor(
+        _scorer(),
+        POOL_WORKERS,
+        context=ctx,
+        fault_plan=FaultPlan.make(crash_on=[victim]),
+    ) as pooled:
+        grouped = pooled.score_grouped(groups, working)
+        assert not pooled.degraded
+    assert [len(group) for group in grouped] == [3, 2]
+    assert grouped[0][0].distance == WORST_DISTANCE
+    assert _group_minima(grouped) == pytest.approx(survivors)
+    assert [q.sketch for q in pooled.quarantined] == [str(victim)]
+    assert pooled.quarantined[0].reason == "worker-crash"
+    assert len(collector.of_kind("worker_crashed")) == 2

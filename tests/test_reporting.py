@@ -111,7 +111,15 @@ def test_scoring_stats_event_payload_roundtrips():
 
     payload = event_payload(
         ScoringStats(
-            batched_waves=1, lb_pruned=2, dp_abandoned=3, candidates_pruned=4
+            batched_waves=1,
+            lb_pruned=2,
+            dp_abandoned=3,
+            candidates_pruned=4,
+            warm_start_pruned=5,
+            fused_waves=6,
+            fused_tasks=7,
+            peak_in_flight=8,
+            mean_occupancy=0.75,
         )
     )
     assert payload == {
@@ -120,7 +128,43 @@ def test_scoring_stats_event_payload_roundtrips():
         "lb_pruned": 2,
         "dp_abandoned": 3,
         "candidates_pruned": 4,
+        "warm_start_pruned": 5,
+        "fused_waves": 6,
+        "fused_tasks": 7,
+        "peak_in_flight": 8,
+        "mean_occupancy": 0.75,
     }
+
+
+def test_run_summary_wave_line():
+    from repro.reporting import format_run_summary
+    from repro.runtime.events import ScoringStats
+
+    quiet = format_run_summary(
+        [ScoringStats(batched_waves=1, lb_pruned=0, dp_abandoned=0,
+                      candidates_pruned=0)]
+    )
+    assert "waves:" not in quiet  # per-bucket runs keep the old summary
+    text = format_run_summary(
+        [
+            ScoringStats(
+                batched_waves=9,
+                lb_pruned=40,
+                dp_abandoned=3,
+                candidates_pruned=7,
+                warm_start_pruned=11,
+                fused_waves=4,
+                fused_tasks=120,
+                peak_in_flight=16,
+                mean_occupancy=0.82,
+            )
+        ]
+    )
+    assert "4 fused wave(s)" in text
+    assert "120 task(s)" in text
+    assert "peak 16 in flight" in text
+    assert "82% mean occupancy" in text
+    assert "11 warm-start prune(s)" in text
 
 
 def test_run_summary_triage_and_quorum_lines():
