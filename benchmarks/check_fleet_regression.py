@@ -1,0 +1,62 @@
+"""CI gate for fleet (synthesis-as-a-service) throughput.
+
+Compares the sequential-vs-fleet *throughput ratio* from a fresh
+``BENCH_fleet.json`` (emitted at the repo root by ``fleet_bench.py``)
+against the pinned ``BASELINE_fleet.json``.  Ratios are machine-portable
+where absolute wall-clock is not: both modes run the same jobs on the
+same runner in the same process, so a shared slowdown cancels out and
+only a relative regression of the scheduler path (slicing overhead,
+lost pool reuse, priming churn from scorer adoption) moves the number.
+
+Fails (exit 1) when the fresh ratio is less than half the pinned
+baseline — multiplexing through the shared scheduler lost more than
+half its standing against back-to-back sequential runs.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).parent
+REPO_ROOT = HERE.parent
+
+
+def main() -> int:
+    fresh_path = REPO_ROOT / "BENCH_fleet.json"
+    baseline_path = HERE / "BASELINE_fleet.json"
+    if not fresh_path.exists():
+        print(
+            "check_fleet_regression: BENCH_fleet.json missing — run "
+            "benchmarks/fleet_bench.py first",
+            file=sys.stderr,
+        )
+        return 1
+
+    fresh = json.loads(fresh_path.read_text())
+    baseline = json.loads(baseline_path.read_text())
+    ratio = float(fresh["throughput_ratio"])
+    pinned = float(baseline["throughput_ratio"])
+    floor = pinned / 2.0
+
+    print(
+        f"fleet throughput ratio: fresh {ratio:.2f}x vs pinned "
+        f"{pinned:.2f}x (floor {floor:.2f}x); fair-fleet tax fresh "
+        f"{fresh.get('fairness_tax', 0.0):.2f}x vs pinned "
+        f"{baseline.get('fairness_tax', 0.0):.2f}x (not gated)"
+    )
+    if ratio < floor:
+        print(
+            f"REGRESSION: fresh fleet throughput {ratio:.2f}x is below "
+            f"half the pinned baseline ({pinned:.2f}x); the shared "
+            "scheduler lost more than half its standing against "
+            "back-to-back sequential runs",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

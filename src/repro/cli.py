@@ -16,6 +16,12 @@ Commands
                 per-class defect counts, repair outcomes, quality
                 scores; exit code 1 when any trace is refused under
                 the chosen policy (collection-campaign QA).
+``submit``      enqueue a reverse-engineering job spec into a spool
+                directory (see ``serve``).
+``serve``       run every queued job in a spool through one shared
+                scheduler + scoring pool; resumes in-flight jobs from
+                their checkpoints after a crash (synthesis-as-a-service,
+                see ``docs/SERVICE.md``).
 ``zoo``         list every registered CCA.
 
 Examples
@@ -29,6 +35,8 @@ Examples
     python -m repro synthesize --traces reno.json --workers 4 \\
         --progress --run-log run.jsonl --report json
     python -m repro validate field_captures/*.json --policy strict
+    python -m repro submit --spool /tmp/fleet --job-id reno --cca reno
+    python -m repro serve --spool /tmp/fleet --workers 4 --progress
     python -m repro race --cca bbr reno
 """
 
@@ -261,6 +269,125 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit one JSON report document instead of text",
     )
 
+    submit = commands.add_parser(
+        "submit", help="enqueue a reverse-engineering job into a spool"
+    )
+    submit.add_argument(
+        "--spool", required=True, help="spool directory (created on demand)"
+    )
+    submit.add_argument(
+        "--job-id", required=True, help="unique job name within the spool"
+    )
+    submit.add_argument("--traces", help="JSON archive from 'collect'")
+    submit.add_argument("--cca", choices=sorted(ALL_CCAS))
+    submit.add_argument(
+        "--classifier", choices=("gordon", "ccanalyzer"), default="gordon"
+    )
+    submit.add_argument(
+        "--dsl", choices=sorted(FAMILIES), help="skip the classifier"
+    )
+    submit.add_argument("--max-depth", type=int, default=3)
+    submit.add_argument("--max-nodes", type=int, default=5)
+    submit.add_argument("--metric", default="dtw")
+    submit.add_argument("--samples", type=int, default=8, help="initial N")
+    submit.add_argument("--keep", type=int, default=5, help="initial k")
+    submit.add_argument("--iterations", type=int, default=3)
+    submit.add_argument(
+        "--time-budget", type=float, default=None, help="seconds"
+    )
+    submit.add_argument(
+        "--priority",
+        type=int,
+        default=0,
+        help="admission priority (higher runs first; default: 0)",
+    )
+    submit.add_argument(
+        "--trace-policy",
+        choices=("off", "strict", "repair", "permissive"),
+        default="repair",
+        help="input triage policy applied when the job starts",
+    )
+    submit.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="seconds per collected trace (--cca jobs only)",
+    )
+    submit.add_argument(
+        "--bandwidth",
+        type=float,
+        nargs="+",
+        default=None,
+        help="bottleneck bandwidths, Mbps (--cca jobs only)",
+    )
+    submit.add_argument(
+        "--rtt",
+        type=float,
+        nargs="+",
+        default=None,
+        help="base RTTs, ms (--cca jobs only)",
+    )
+
+    serve = commands.add_parser(
+        "serve",
+        help="run every queued spool job through one shared scheduler",
+    )
+    serve.add_argument(
+        "--spool", required=True, help="spool directory (see 'submit')"
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="scoring processes shared by the whole fleet (1 = serial)",
+    )
+    serve.add_argument(
+        "--quantum",
+        type=int,
+        default=64,
+        metavar="TASKS",
+        help="preemption quantum: flattened scoring tasks one job may "
+        "dispatch before its peers get a turn (default: 64)",
+    )
+    serve.add_argument(
+        "--steal-leases",
+        action="store_true",
+        help="take over jobs whose checkpoint lease is still fresh "
+        "(use after killing a previous serve on the same spool)",
+    )
+    serve.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="checkpoint-lease TTL; an expired lease may be taken "
+        "without --steal-leases (default: 30)",
+    )
+    serve.add_argument(
+        "--progress",
+        action="store_true",
+        help="print a progress line per event (stderr)",
+    )
+    serve.add_argument(
+        "--run-log",
+        metavar="PATH",
+        help="write the fleet's telemetry as JSONL events to PATH",
+    )
+    serve.add_argument(
+        "--report",
+        choices=("text", "json"),
+        default="text",
+        help="fleet summary format",
+    )
+    serve.add_argument(
+        "--exit-after-slices",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fault injection: die without cleanup (exit 70) after N "
+        "wave slices — exercises lease takeover and resume",
+    )
+
     race = commands.add_parser(
         "race", help="run CCAs in competition and report fairness"
     )
@@ -455,6 +582,105 @@ def _json_report(report, collector: CollectorSink, context: RunContext) -> dict:
     }
 
 
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.errors import SynthesisError
+    from repro.service import submit_job
+
+    if bool(args.traces) == bool(args.cca):
+        raise SystemExit("error: provide --traces FILE or --cca NAME")
+    config = {
+        "metric": args.metric,
+        "initial_samples": args.samples,
+        "initial_keep": args.keep,
+        "max_iterations": args.iterations,
+    }
+    if args.time_budget is not None:
+        config["time_budget_seconds"] = args.time_budget
+    collection = {}
+    if args.duration is not None:
+        collection["duration"] = args.duration
+    if args.bandwidth is not None:
+        collection["bandwidth"] = args.bandwidth
+    if args.rtt is not None:
+        collection["rtt"] = args.rtt
+    try:
+        path = submit_job(
+            args.spool,
+            args.job_id,
+            traces=args.traces,
+            cca=args.cca,
+            classifier=args.classifier,
+            dsl=args.dsl,
+            max_depth=args.max_depth,
+            max_nodes=args.max_nodes,
+            priority=args.priority,
+            trace_policy=(
+                None if args.trace_policy == "off" else args.trace_policy
+            ),
+            config=config,
+            collection=collection or None,
+        )
+    except SynthesisError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"queued {args.job_id}: {path}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.reporting import fleet_rollup
+    from repro.service import serve
+
+    collector = CollectorSink()
+    sinks: list = [collector]
+    if args.run_log:
+        try:
+            open(args.run_log, "w", encoding="utf-8").close()
+        except OSError as exc:
+            print(f"error: cannot write --run-log: {exc}", file=sys.stderr)
+            return 2
+        sinks.append(JsonlSink(args.run_log))
+    if args.progress:
+        sinks.append(ConsoleProgressSink())
+    with RunContext(sinks) as context:
+        snapshots = serve(
+            args.spool,
+            workers=args.workers,
+            quantum_tasks=args.quantum,
+            steal_leases=args.steal_leases,
+            lease_ttl_seconds=args.lease_ttl,
+            context=context,
+            exit_after_slices=args.exit_after_slices,
+        )
+    failed = sum(
+        1 for snap in snapshots.values() if snap.get("state") == "failed"
+    )
+    if args.report == "json":
+        print(
+            json.dumps(
+                {
+                    "jobs": snapshots,
+                    "fleet": fleet_rollup(collector.events),
+                    "phase_seconds": dict(context.phase_seconds),
+                }
+            )
+        )
+    else:
+        for job_id, snap in sorted(snapshots.items()):
+            state = snap.get("state", "?")
+            if state == "completed":
+                distance = snap.get("best_distance")
+                rendered = "-" if distance is None else f"{distance:.3f}"
+                print(
+                    f"{job_id}: {state} "
+                    f"(distance {rendered}) {snap.get('best_expression')}"
+                )
+            else:
+                print(f"{job_id}: {state} ({snap.get('error') or 'pending'})")
+        print(format_run_summary(collector.events))
+    return 1 if failed else 0
+
+
 def _cmd_race(args: argparse.Namespace) -> int:
     from repro.cca.registry import make_cca
     from repro.netsim.multiflow import fairness_report, simulate_competition
@@ -599,6 +825,8 @@ _COMMANDS = {
     "collect": _cmd_collect,
     "classify": _cmd_classify,
     "synthesize": _cmd_synthesize,
+    "submit": _cmd_submit,
+    "serve": _cmd_serve,
     "race": _cmd_race,
     "stats": _cmd_stats,
     "validate": _cmd_validate,

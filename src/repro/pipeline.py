@@ -24,7 +24,7 @@ from repro.dsl.simplify import simplify
 from repro.errors import SynthesisError, TraceError
 from repro.runtime.context import RunContext
 from repro.runtime.events import DegradedInputs
-from repro.synth.refinement import SynthesisConfig, synthesize
+from repro.synth.refinement import SynthesisConfig, drive, synthesize_core
 from repro.synth.result import SynthesisResult
 from repro.synth.scoring import QuorumConfig, QuorumDecision, quorum_filter
 from repro.trace.collect import CollectionConfig, collect_traces
@@ -32,7 +32,12 @@ from repro.trace.model import Trace, TraceSegment
 from repro.trace.segmentation import segment_trace
 from repro.trace.triage import TriagePolicy, TriageSummary, triage_traces
 
-__all__ = ["PipelineReport", "reverse_engineer", "reverse_engineer_cca"]
+__all__ = [
+    "PipelineReport",
+    "reverse_engineer",
+    "reverse_engineer_core",
+    "reverse_engineer_cca",
+]
 
 
 @dataclass
@@ -112,7 +117,7 @@ def _segments_from_traces(traces: list[Trace]) -> list[TraceSegment]:
     return segments
 
 
-def reverse_engineer(
+def reverse_engineer_core(
     traces: list[Trace],
     *,
     classifier: str = "gordon",
@@ -123,29 +128,17 @@ def reverse_engineer(
     context: RunContext | None = None,
     trace_policy: str | TriagePolicy | None = None,
     quorum: QuorumConfig | None = None,
-) -> PipelineReport:
-    """Reverse-engineer the CCA behind *traces*.
+):
+    """The full pipeline as a re-entrant generator (wave protocol).
 
-    ``classifier`` is ``"gordon"`` (TCP targets) or ``"ccanalyzer"``
-    (any transport); pass ``dsl`` to skip classification and search a
-    specific sub-DSL.  ``max_depth``/``max_nodes`` override the DSL's
-    search budget (the paper's Delay-7/Delay-11/Vegas-11 variants).
-    ``context`` (a :class:`~repro.runtime.context.RunContext`) receives
-    the run's telemetry — classification and segmentation phase timers
-    plus every synthesis event.
-
-    ``trace_policy`` switches on input triage
-    (:mod:`repro.trace.triage`): a mode string (``"strict"`` /
-    ``"repair"`` / ``"permissive"``) or a full
-    :class:`~repro.trace.triage.TriagePolicy`.  With triage on, the
-    segmented working set additionally passes the quorum guard
-    (*quorum*, default :class:`~repro.synth.scoring.QuorumConfig`):
-    segments from low-quality repaired traces are excluded unless
-    exclusion would leave fewer than the quorum minimum, in which case
-    the best low-quality segments are kept and a ``degraded_inputs``
-    event is emitted.  ``trace_policy=None`` (the default) bypasses
-    both stages — for clean traces the two configurations produce
-    bit-identical rankings (see the triage differential harness).
+    Triage, classification, and segmentation run inline on the first
+    ``send(None)``; the synthesis stage is delegated to
+    :func:`~repro.synth.refinement.synthesize_core` via ``yield from``,
+    so every executor interaction surfaces as a
+    :mod:`repro.runtime.protocol` request for the driver — the blocking
+    wrapper below, or a :class:`~repro.runtime.scheduler.Scheduler`
+    multiplexing many pipelines over one pool.  The generator's return
+    value is the :class:`PipelineReport`.
     """
     ctx = context if context is not None else RunContext()
     triage_summary: TriageSummary | None = None
@@ -195,7 +188,7 @@ def reverse_engineer(
             raise SynthesisError(
                 "no usable segments survived the quorum guard"
             )
-    result = synthesize(segments, dsl, config, context=ctx)
+    result = yield from synthesize_core(segments, dsl, config, context=ctx)
     return PipelineReport(
         verdict=verdict,
         dsl=dsl,
@@ -203,6 +196,59 @@ def reverse_engineer(
         segment_count=len(segments),
         triage=triage_summary,
         quorum=decision,
+    )
+
+
+def reverse_engineer(
+    traces: list[Trace],
+    *,
+    classifier: str = "gordon",
+    dsl: DslSpec | None = None,
+    config: SynthesisConfig | None = None,
+    max_depth: int | None = None,
+    max_nodes: int | None = None,
+    context: RunContext | None = None,
+    trace_policy: str | TriagePolicy | None = None,
+    quorum: QuorumConfig | None = None,
+) -> PipelineReport:
+    """Reverse-engineer the CCA behind *traces*.
+
+    ``classifier`` is ``"gordon"`` (TCP targets) or ``"ccanalyzer"``
+    (any transport); pass ``dsl`` to skip classification and search a
+    specific sub-DSL.  ``max_depth``/``max_nodes`` override the DSL's
+    search budget (the paper's Delay-7/Delay-11/Vegas-11 variants).
+    ``context`` (a :class:`~repro.runtime.context.RunContext`) receives
+    the run's telemetry — classification and segmentation phase timers
+    plus every synthesis event.
+
+    ``trace_policy`` switches on input triage
+    (:mod:`repro.trace.triage`): a mode string (``"strict"`` /
+    ``"repair"`` / ``"permissive"``) or a full
+    :class:`~repro.trace.triage.TriagePolicy`.  With triage on, the
+    segmented working set additionally passes the quorum guard
+    (*quorum*, default :class:`~repro.synth.scoring.QuorumConfig`):
+    segments from low-quality repaired traces are excluded unless
+    exclusion would leave fewer than the quorum minimum, in which case
+    the best low-quality segments are kept and a ``degraded_inputs``
+    event is emitted.  ``trace_policy=None`` (the default) bypasses
+    both stages — for clean traces the two configurations produce
+    bit-identical rankings (see the triage differential harness).
+
+    The blocking wrapper over :func:`reverse_engineer_core`: one private
+    executor, one run, bit-identical to the historical inline pipeline.
+    """
+    return drive(
+        reverse_engineer_core(
+            traces,
+            classifier=classifier,
+            dsl=dsl,
+            config=config,
+            max_depth=max_depth,
+            max_nodes=max_nodes,
+            context=context,
+            trace_policy=trace_policy,
+            quorum=quorum,
+        )
     )
 
 

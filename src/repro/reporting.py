@@ -18,6 +18,13 @@ from repro.runtime.events import (
     DegradedToSerial,
     Event,
     IterationFinished,
+    JobCompleted,
+    JobFailed,
+    JobPreempted,
+    JobProgress,
+    JobStarted,
+    JobSubmitted,
+    LeaseStolen,
     PoolRebuilt,
     PoolSpawned,
     RunFinished,
@@ -34,6 +41,7 @@ __all__ = [
     "sparkline",
     "format_series",
     "format_run_summary",
+    "fleet_rollup",
 ]
 
 _SPARK_CHARS = "▁▂▃▄▅▆▇█"
@@ -94,6 +102,82 @@ def format_series(
     )
 
 
+def fleet_rollup(events: Iterable[Event]) -> dict | None:
+    """Aggregate the scheduler's ``job_*``/``lease_stolen`` events.
+
+    Returns ``None`` when the stream holds no fleet telemetry (a plain
+    single-run search), otherwise fleet-wide counters plus a per-job
+    breakdown keyed by job id — the JSON half of the ``repro serve``
+    summary.
+    """
+    per_job: dict[str, dict] = {}
+    totals = {
+        "submitted": 0,
+        "completed": 0,
+        "failed": 0,
+        "resumed": 0,
+        "preemptions": 0,
+        "leases_stolen": 0,
+    }
+
+    def job(job_id: str) -> dict:
+        return per_job.setdefault(
+            job_id,
+            {
+                "priority": 0,
+                "state": "pending",
+                "resumed": False,
+                "preemptions": 0,
+                "iterations": 0,
+                "handlers_scored": 0,
+                "waves": 0,
+                "best_distance": None,
+                "expression": None,
+                "leases_stolen": 0,
+                "error": None,
+            },
+        )
+
+    for event in events:
+        if isinstance(event, JobSubmitted):
+            totals["submitted"] += 1
+            job(event.job_id)["priority"] = event.priority
+        elif isinstance(event, JobStarted):
+            entry = job(event.job_id)
+            entry["state"] = "running"
+            entry["resumed"] = event.resumed
+            totals["resumed"] += int(event.resumed)
+        elif isinstance(event, JobPreempted):
+            totals["preemptions"] += 1
+            job(event.job_id)["preemptions"] += 1
+        elif isinstance(event, JobProgress):
+            entry = job(event.job_id)
+            entry["iterations"] = event.iteration
+            entry["handlers_scored"] = event.handlers_scored
+            entry["best_distance"] = event.best_distance
+            entry["expression"] = event.expression
+        elif isinstance(event, JobCompleted):
+            totals["completed"] += 1
+            entry = job(event.job_id)
+            entry["state"] = "completed"
+            entry["iterations"] = event.iterations
+            entry["handlers_scored"] = event.handlers_scored
+            entry["waves"] = event.waves
+            entry["best_distance"] = event.best_distance
+            entry["expression"] = event.expression
+        elif isinstance(event, JobFailed):
+            totals["failed"] += 1
+            entry = job(event.job_id)
+            entry["state"] = "failed"
+            entry["error"] = event.error
+        elif isinstance(event, LeaseStolen):
+            totals["leases_stolen"] += 1
+            job(event.job_id)["leases_stolen"] += 1
+    if not per_job:
+        return None
+    return {**totals, "jobs": per_job}
+
+
 def format_run_summary(events: Iterable[Event]) -> str:
     """Render one run's event stream as a terminal summary.
 
@@ -106,6 +190,41 @@ def format_run_summary(events: Iterable[Event]) -> str:
     events = list(events)
     iterations = [e for e in events if isinstance(e, IterationFinished)]
     lines: list[str] = []
+    fleet = fleet_rollup(events)
+    if fleet is not None:
+        parts = [f"{fleet['submitted']} job(s) submitted"]
+        if fleet["completed"]:
+            parts.append(f"{fleet['completed']} completed")
+        if fleet["failed"]:
+            parts.append(f"{fleet['failed']} failed")
+        if fleet["resumed"]:
+            parts.append(f"{fleet['resumed']} resumed")
+        parts.append(f"{fleet['preemptions']} preemption(s)")
+        if fleet["leases_stolen"]:
+            parts.append(f"{fleet['leases_stolen']} lease(s) stolen")
+        lines.append(f"fleet:  {', '.join(parts)}")
+        lines.append(
+            format_table(
+                ("job", "prio", "state", "resumed", "iters", "handlers",
+                 "preempt", "best"),
+                [
+                    (
+                        job_id,
+                        entry["priority"],
+                        entry["state"],
+                        "yes" if entry["resumed"] else "no",
+                        entry["iterations"],
+                        entry["handlers_scored"],
+                        entry["preemptions"],
+                        "-"
+                        if entry["best_distance"] is None
+                        else f"{entry['best_distance']:.3f}",
+                    )
+                    for job_id, entry in sorted(fleet["jobs"].items())
+                ],
+                title="fleet jobs",
+            )
+        )
     triaged = [e for e in events if isinstance(e, TraceTriaged)]
     repairs = [e for e in events if isinstance(e, TraceRepairApplied)]
     if triaged:

@@ -27,8 +27,9 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 from repro.runtime.supervise import Quarantined
 
@@ -37,12 +38,22 @@ if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
 
 __all__ = [
     "CHECKPOINT_VERSION",
+    "DEFAULT_LEASE_TTL",
     "RefinementCheckpoint",
     "CheckpointWriter",
+    "CheckpointLease",
+    "LeaseState",
+    "lease_path",
     "load_checkpoint",
+    "read_lease",
 ]
 
 CHECKPOINT_VERSION = 1
+
+#: Default seconds a lease stays exclusive without a renewal.  Renewals
+#: happen at iteration boundaries (seconds apart), so 30s distinguishes
+#: "scheduler mid-iteration" from "scheduler gone" with a wide margin.
+DEFAULT_LEASE_TTL = 30.0
 
 
 @dataclass(frozen=True)
@@ -206,3 +217,122 @@ def load_checkpoint(path: str) -> RefinementCheckpoint | None:
         if candidate.version == CHECKPOINT_VERSION:
             newest = candidate
     return newest
+
+
+# ----------------------------------------------------------------------
+# Checkpoint leases: exclusive, expiring ownership of a checkpoint file.
+#
+# A scheduler multiplexing many jobs holds one lease per in-flight job
+# and renews it at every iteration boundary (the same cadence the
+# checkpoint itself is written).  A scheduler that dies stops renewing;
+# once the TTL lapses any successor may acquire the lease and resume the
+# job from its last checkpoint — that is the whole restart story, no
+# registry or coordinator involved.  A *fresh* foreign lease refuses
+# acquisition unless explicitly stolen, which is what keeps two live
+# schedulers from scoring the same job concurrently.
+
+
+def lease_path(checkpoint_path: str) -> str:
+    """The sidecar lease file guarding *checkpoint_path*."""
+    return f"{checkpoint_path}.lease"
+
+
+@dataclass(frozen=True)
+class LeaseState:
+    """One parsed lease file."""
+
+    owner: str
+    acquired_at: float
+    renewed_at: float
+    ttl_seconds: float
+
+    def expired(self, now: float) -> bool:
+        return now - self.renewed_at >= self.ttl_seconds
+
+
+def read_lease(path: str) -> LeaseState | None:
+    """The lease at *path*, or ``None`` when absent or unparseable
+    (a corrupt lease is treated as no lease: the writer crashed)."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        return LeaseState(
+            owner=str(payload["owner"]),
+            acquired_at=float(payload["acquired_at"]),
+            renewed_at=float(payload["renewed_at"]),
+            ttl_seconds=float(payload["ttl_seconds"]),
+        )
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+
+
+class CheckpointLease:
+    """Expiring exclusive ownership of one checkpoint file.
+
+    ``acquire()`` succeeds when the lease file is absent, corrupt,
+    already ours, or expired; a *fresh* foreign lease requires
+    ``steal=True`` (operator override after a known-dead scheduler).
+    ``displaced`` records the previous owner whenever an acquisition
+    took the lease from someone else — callers surface it as a
+    ``lease_stolen`` event.  Writes go through the same temp-file +
+    ``os.replace`` dance as checkpoints, so a torn lease is impossible.
+    """
+
+    def __init__(
+        self,
+        checkpoint_path: str,
+        owner: str,
+        ttl_seconds: float = DEFAULT_LEASE_TTL,
+        *,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self.path = lease_path(checkpoint_path)
+        self.owner = owner
+        self.ttl_seconds = ttl_seconds
+        self._clock = clock
+        self.held = False
+        self._acquired_at: float | None = None
+        #: Owner of the foreign lease this acquisition displaced, if any.
+        self.displaced: str | None = None
+
+    def _write(self) -> None:
+        payload = {
+            "owner": self.owner,
+            "acquired_at": self._acquired_at,
+            "renewed_at": self._clock(),
+            "ttl_seconds": self.ttl_seconds,
+        }
+        tmp = f"{self.path}.tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.path)
+
+    def acquire(self, *, steal: bool = False) -> bool:
+        """Take the lease; ``False`` iff a live foreign lease blocks it."""
+        current = read_lease(self.path)
+        self.displaced = None
+        if current is not None and current.owner != self.owner:
+            if not current.expired(self._clock()) and not steal:
+                return False
+            self.displaced = current.owner
+        self._acquired_at = self._clock()
+        self._write()
+        self.held = True
+        return True
+
+    def renew(self) -> None:
+        """Refresh the TTL window; a no-op unless the lease is held."""
+        if self.held:
+            self._write()
+
+    def release(self) -> None:
+        """Drop the lease (missing file is fine: release is idempotent)."""
+        if not self.held:
+            return
+        self.held = False
+        try:
+            os.remove(self.path)
+        except OSError:
+            pass

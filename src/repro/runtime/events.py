@@ -37,6 +37,13 @@ __all__ = [
     "DegradedInputs",
     "CheckpointSaved",
     "RunResumed",
+    "JobSubmitted",
+    "JobStarted",
+    "JobPreempted",
+    "JobProgress",
+    "JobCompleted",
+    "JobFailed",
+    "LeaseStolen",
     "bucket_label",
     "event_payload",
 ]
@@ -287,6 +294,83 @@ class RunResumed(Event):
     kind: ClassVar[str] = "run_resumed"
     path: str
     iterations_restored: int
+
+
+@dataclass(frozen=True)
+class JobSubmitted(Event):
+    """A reverse-engineering job entered the scheduler's queue."""
+
+    kind: ClassVar[str] = "job_submitted"
+    job_id: str
+    priority: int
+
+
+@dataclass(frozen=True)
+class JobStarted(Event):
+    """A job left the queue and began (or resumed) running."""
+
+    kind: ClassVar[str] = "job_started"
+    job_id: str
+    resumed: bool
+
+
+@dataclass(frozen=True)
+class JobPreempted(Event):
+    """The scheduler paused a job's wave mid-flight to run its peers.
+
+    Emitted once per preemption (bucket-granular slice boundaries), so
+    the count measures how finely the fairness policy interleaved jobs.
+    """
+
+    kind: ClassVar[str] = "job_preempted"
+    job_id: str
+    phase: str
+    groups_remaining: int
+
+
+@dataclass(frozen=True)
+class JobProgress(Event):
+    """A job's anytime answer improved past an iteration boundary."""
+
+    kind: ClassVar[str] = "job_progress"
+    job_id: str
+    iteration: int
+    best_distance: float
+    expression: str | None
+    handlers_scored: int
+
+
+@dataclass(frozen=True)
+class JobCompleted(Event):
+    """A job finished; carries its headline result."""
+
+    kind: ClassVar[str] = "job_completed"
+    job_id: str
+    best_distance: float
+    expression: str
+    iterations: int
+    handlers_scored: int
+    waves: int
+
+
+@dataclass(frozen=True)
+class JobFailed(Event):
+    """A job raised; the fleet continues without it."""
+
+    kind: ClassVar[str] = "job_failed"
+    job_id: str
+    error: str
+
+
+@dataclass(frozen=True)
+class LeaseStolen(Event):
+    """Acquiring a job's checkpoint lease displaced a previous owner
+    (expired TTL, or an explicit steal)."""
+
+    kind: ClassVar[str] = "lease_stolen"
+    job_id: str
+    path: str
+    previous_owner: str
 
 
 @dataclass(frozen=True)

@@ -236,6 +236,24 @@ def derive_chunksize(tasks: int, workers: int) -> int:
     return max(1, -(-tasks // (workers * 4)))
 
 
+def _zero_scorer_counters(scorer: "Scorer") -> None:
+    """Reset a scorer's cumulative telemetry in place.
+
+    Cache *contents* survive (a warm cache is an asset the next job
+    should inherit); only the hit/miss accounting and the batched-path
+    prune counters restart from zero.
+    """
+    counters = scorer.counters
+    counters.batched_waves = 0
+    counters.lb_pruned = 0
+    counters.dp_abandoned = 0
+    counters.candidates_pruned = 0
+    counters.warm_start_pruned = 0
+    if scorer.cache is not None:
+        scorer.cache.hits = 0
+        scorer.cache.misses = 0
+
+
 class ScoringExecutor(Protocol):
     """Scores sketch waves against a segment working set."""
 
@@ -282,7 +300,7 @@ class ScoringExecutor(Protocol):
         """Both telemetry snapshots at once (one worker round-trip)."""
         ...
 
-    def close(self) -> None: ...
+    def close(self, *, wait: bool = False) -> None: ...
 
 
 def _score_serially(
@@ -415,6 +433,23 @@ class SerialExecutor:
         self.fault_plan = fault_plan
         self.quarantined: list[Quarantined] = []
         self._waves = _WaveTelemetry()
+        #: Every scorer this executor has run waves for (a scheduler
+        #: adopts one per job); stats aggregate over all of them.
+        self._scorers: dict[int, Scorer] = {id(scorer): scorer}
+
+    def adopt_scorer(self, scorer: Scorer) -> None:
+        """Point subsequent waves at *scorer* (scheduler job switches)."""
+        self._scorers.setdefault(id(scorer), scorer)
+        self.scorer = scorer
+
+    def reset_stats(self) -> None:
+        """Zero all cumulative counters (between jobs sharing the
+        executor) without touching cache *contents* — entries stay warm,
+        only the hit/miss accounting restarts."""
+        self._waves = _WaveTelemetry()
+        self.quarantined = []
+        for scorer in self._scorers.values():
+            _zero_scorer_counters(scorer)
 
     def _quarantine(
         self, sketch: Sketch, reason: str, detail: str
@@ -490,18 +525,31 @@ class SerialExecutor:
         return _scatter(order, flat, len(groups))
 
     def cache_stats(self) -> CacheStats | None:
-        cache = self.scorer.cache
-        return cache.stats() if cache is not None else None
+        snapshots = [
+            scorer.cache.stats()
+            for scorer in self._scorers.values()
+            if scorer.cache is not None
+        ]
+        if not snapshots:
+            return None
+        return CacheStats(
+            hits=sum(snap.hits for snap in snapshots),
+            misses=sum(snap.misses for snap in snapshots),
+            entries=sum(snap.entries for snap in snapshots),
+        )
 
     def scoring_stats(self) -> ScoringStats:
-        counters = self.scorer.counters
+        totals = [0] * 5
+        for scorer in self._scorers.values():
+            for index, value in enumerate(scorer.counters.as_tuple()):
+                totals[index] += value
         waves = self._waves
         return ScoringStats(
-            batched_waves=counters.batched_waves,
-            lb_pruned=counters.lb_pruned,
-            dp_abandoned=counters.dp_abandoned,
-            candidates_pruned=counters.candidates_pruned,
-            warm_start_pruned=counters.warm_start_pruned,
+            batched_waves=totals[0],
+            lb_pruned=totals[1],
+            dp_abandoned=totals[2],
+            candidates_pruned=totals[3],
+            warm_start_pruned=totals[4],
             fused_waves=waves.fused_waves,
             fused_tasks=waves.fused_tasks,
             peak_in_flight=waves.peak_in_flight,
@@ -511,7 +559,7 @@ class SerialExecutor:
     def stats(self) -> tuple[CacheStats | None, ScoringStats]:
         return (self.cache_stats(), self.scoring_stats())
 
-    def close(self) -> None:
+    def close(self, *, wait: bool = False) -> None:
         pass
 
 
@@ -612,6 +660,58 @@ def _broadcast_segments(
     if _worker_barrier is not None:
         _worker_barrier.wait(timeout=_PRIME_TIMEOUT_SECONDS)
     return (os.getpid(), _worker_cache_counts(), _worker_scoring_counts())
+
+
+def _install_worker_scorer(
+    payload: tuple,
+) -> tuple[int, tuple[int, int, int], tuple[int, int, int, int, int]]:
+    """Swap this worker's scorer in place (scheduler job switch).
+
+    Returns the OUTGOING scorer's cumulative counters: the parent folds
+    them into its retired totals before zeroing this pid's map entry,
+    so run-wide sums never lose or double-count work.  Barrier-
+    synchronized like :func:`_broadcast_segments` — every worker swaps
+    exactly once.
+    """
+    from repro.synth.scoring import Scorer
+
+    global _worker_scorer
+    old_cache = _worker_cache_counts()
+    old_scoring = _worker_scoring_counts()
+    scorer_config, cache_entries = payload
+    (
+        metric_name,
+        constant_pool,
+        completion_cap,
+        seed,
+        max_replay_rows,
+        series_budget,
+        batch,
+        table_cache_entries,
+    ) = scorer_config
+    _worker_scorer = Scorer(
+        metric_name=metric_name,
+        constant_pool=constant_pool,
+        completion_cap=completion_cap,
+        seed=seed,
+        max_replay_rows=max_replay_rows,
+        series_budget=series_budget,
+        cache=ScoreCache(cache_entries) if cache_entries else None,
+        batch=batch,
+        table_cache_entries=table_cache_entries,
+    )
+    if _worker_barrier is not None:
+        _worker_barrier.wait(timeout=_PRIME_TIMEOUT_SECONDS)
+    return (os.getpid(), old_cache, old_scoring)
+
+
+def _reset_worker_stats() -> int:
+    """Zero this worker's scorer telemetry (cache contents survive)."""
+    if _worker_scorer is not None:
+        _zero_scorer_counters(_worker_scorer)
+    if _worker_barrier is not None:
+        _worker_barrier.wait(timeout=_PRIME_TIMEOUT_SECONDS)
+    return os.getpid()
 
 
 def _score_one(sketch: Sketch) -> "ScoredHandler | _WorkerFailure":
@@ -758,6 +858,21 @@ class PooledExecutor:
             fault_plan.broadcast_failures if fault_plan is not None else 0
         )
         self.pools_spawned = 0
+        #: Spawns the lifecycle asked for (first spawn, respawn after an
+        #: explicit ``close()``, per-working-set respawns without fork).
+        #: Everything beyond these is a crash-driven rebuild.
+        self._planned_spawns = 0
+        self._expect_spawn = True
+        #: Every scorer this executor has run waves for (a scheduler
+        #: adopts one per job); stats aggregate over all of them.
+        self._scorers: dict[int, Scorer] = {id(scorer): scorer}
+        #: Scorer config the pool's workers currently have installed.
+        self._installed_config: tuple | None = None
+        #: Cache (hits, misses) and scoring counters of worker scorers
+        #: that were replaced by an install broadcast — their work
+        #: happened and stays in the run-wide sums.
+        self._retired_cache = [0, 0]
+        self._retired_scoring = [0] * 5
         self._waves = _WaveTelemetry()
         #: Latest cumulative cache counters per worker pid.
         self._worker_cache: dict[int, tuple[int, int, int]] = {}
@@ -781,8 +896,43 @@ class PooledExecutor:
 
     @property
     def pool_rebuilds(self) -> int:
-        """Pools spawned beyond the first (the run's rebuild count)."""
-        return max(0, self.pools_spawned - 1)
+        """Pools spawned beyond what the lifecycle planned (the run's
+        crash-driven rebuild count)."""
+        return max(0, self.pools_spawned - self._planned_spawns)
+
+    def adopt_scorer(self, scorer: Scorer) -> None:
+        """Point subsequent waves at *scorer* (scheduler job switches).
+
+        Worker-side installation is deferred to the next :meth:`_prime`,
+        which broadcasts the swap only when the scorer's config actually
+        differs from what the pool is running.
+        """
+        self._scorers.setdefault(id(scorer), scorer)
+        self.scorer = scorer
+
+    def reset_stats(self) -> None:
+        """Zero all cumulative counters (between jobs sharing the
+        executor) without touching cache *contents* — worker caches stay
+        warm, only the accounting restarts."""
+        self._waves = _WaveTelemetry()
+        self.quarantined = []
+        self._crash_strikes.clear()
+        self._retired_cache = [0, 0]
+        self._retired_scoring = [0] * 5
+        for scorer in self._scorers.values():
+            _zero_scorer_counters(scorer)
+        self._worker_cache.clear()
+        self._worker_scoring.clear()
+        if self._pool is not None and self._mp_context is not None:
+            try:
+                futures = [
+                    self._pool.submit(_reset_worker_stats)
+                    for _ in range(self.workers)
+                ]
+                for future in futures:
+                    future.result(timeout=_PRIME_TIMEOUT_SECONDS * 2)
+            except Exception:
+                pass  # a wedged pool surfaces on the next wave, not here
 
     def _scorer_config(self) -> tuple:
         scorer = self.scorer
@@ -819,11 +969,17 @@ class PooledExecutor:
             ),
         )
         self.pools_spawned += 1
+        if self._expect_spawn:
+            self._planned_spawns += 1
+            self._expect_spawn = False
+        self._installed_config = self._scorer_config()
         self._emit(PoolSpawned(workers=self.workers))
 
-    def _shutdown_pool(self) -> None:
+    def _shutdown_pool(self, *, wait: bool = False) -> None:
+        # ``wait=False`` by default: rebuild paths must never block on a
+        # hung worker (a fault-injected hang can sleep for an hour).
         if self._pool is not None:
-            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool.shutdown(wait=wait, cancel_futures=True)
             self._pool = None
             self._barrier = None
         self._segments_token = None
@@ -872,8 +1028,37 @@ class PooledExecutor:
             self._worker_cache[pid] = cache_counts
             self._worker_scoring[pid] = scoring_counts
 
+    def _install_scorer(self, config: tuple) -> None:
+        """Broadcast a scorer swap to every worker.
+
+        The returned outgoing counters are folded into the retired
+        totals and the per-pid map entries zeroed (the fresh worker
+        scorers restart their cumulative counts from zero), so stats
+        sums never lose or double-count work across job switches.
+        """
+        assert self._pool is not None
+        payload = (config, self._cache_entries())
+        futures = [
+            self._pool.submit(_install_worker_scorer, payload)
+            for _ in range(self.workers)
+        ]
+        for future in futures:
+            pid, cache_counts, scoring_counts = future.result(
+                timeout=_PRIME_TIMEOUT_SECONDS * 2
+            )
+            # Hits/misses are cumulative (keep them); entries are a
+            # point-in-time gauge of a cache that no longer exists.
+            self._retired_cache[0] += cache_counts[0]
+            self._retired_cache[1] += cache_counts[1]
+            for index in range(5):
+                self._retired_scoring[index] += scoring_counts[index]
+            self._worker_cache[pid] = (0, 0, 0)
+            self._worker_scoring[pid] = (0, 0, 0, 0, 0)
+        self._installed_config = config
+
     def _prime(self, segments: Sequence[TraceSegment]) -> None:
-        """Install *segments* in the pool, surviving broadcast failures.
+        """Install the current scorer and *segments* in the pool,
+        surviving broadcast failures.
 
         A failed broadcast (wedged worker, broken barrier) gets exactly
         one pool rebuild; a second consecutive failure means the pool
@@ -883,20 +1068,32 @@ class PooledExecutor:
         if self._degraded:
             return
         token = tuple(id(segment) for segment in segments)
-        if self._pool is not None and token == self._segments_token:
+        config = self._scorer_config()
+        same_segments = (
+            self._pool is not None and token == self._segments_token
+        )
+        if same_segments and config == self._installed_config:
             return
         segments = list(segments)
+        segments_shipped = False
         if self._mp_context is None:
-            # No fork: bake segments into the initializer instead.
+            # No fork: bake scorer + segments into the initializer.
             self._shutdown_pool()
+            self._expect_spawn = True
             self._spawn_pool(segments)
+            segments_shipped = True
         else:
             if self._pool is None:
                 self._spawn_pool(None)
+                same_segments = False
             rebuilt = False
             while True:
                 try:
-                    self._broadcast(segments)
+                    if config != self._installed_config:
+                        self._install_scorer(config)
+                    if not same_segments:
+                        self._broadcast(segments)
+                        segments_shipped = True
                     break
                 except Exception as exc:
                     # A wedged/dead worker broke the barrier.
@@ -912,6 +1109,7 @@ class PooledExecutor:
                         return
                     rebuilt = True
                     self._spawn_pool(None)
+                    same_segments = False
                     self._emit(
                         PoolRebuilt(
                             rebuilds=self.pool_rebuilds, backoff_seconds=0.0
@@ -919,10 +1117,15 @@ class PooledExecutor:
                     )
         self._segments = segments
         self._segments_token = token
-        self._epoch += 1
-        self._emit(
-            SegmentsPrimed(epoch=self._epoch, segment_count=len(segments))
-        )
+        if segments_shipped:
+            # A pure scorer swap leaves the working set (and its primed
+            # epoch) untouched — no SegmentsPrimed for those.
+            self._epoch += 1
+            self._emit(
+                SegmentsPrimed(
+                    epoch=self._epoch, segment_count=len(segments)
+                )
+            )
 
     # ------------------------------------------------------------------
 
@@ -1427,31 +1630,40 @@ class PooledExecutor:
                 pass  # stale counters are better than a crashed run
 
     def _assemble_cache_stats(self) -> CacheStats | None:
-        if self.scorer.cache is None:
+        parents = [
+            scorer.cache.stats()
+            for scorer in self._scorers.values()
+            if scorer.cache is not None
+        ]
+        if not parents:
             return None
         hits = sum(entry[0] for entry in self._worker_cache.values())
         misses = sum(entry[1] for entry in self._worker_cache.values())
         entries = sum(entry[2] for entry in self._worker_cache.values())
-        parent = self.scorer.cache.stats()
         return CacheStats(
-            hits=hits + parent.hits,
-            misses=misses + parent.misses,
-            entries=entries + parent.entries,
+            hits=hits + self._retired_cache[0]
+            + sum(snap.hits for snap in parents),
+            misses=misses + self._retired_cache[1]
+            + sum(snap.misses for snap in parents),
+            entries=entries + sum(snap.entries for snap in parents),
         )
 
     def _assemble_scoring_stats(self) -> ScoringStats:
         totals = [
             sum(entry[index] for entry in self._worker_scoring.values())
+            + self._retired_scoring[index]
             for index in range(5)
         ]
-        parent = self.scorer.counters
+        for scorer in self._scorers.values():
+            for index, value in enumerate(scorer.counters.as_tuple()):
+                totals[index] += value
         waves = self._waves
         return ScoringStats(
-            batched_waves=totals[0] + parent.batched_waves,
-            lb_pruned=totals[1] + parent.lb_pruned,
-            dp_abandoned=totals[2] + parent.dp_abandoned,
-            candidates_pruned=totals[3] + parent.candidates_pruned,
-            warm_start_pruned=totals[4] + parent.warm_start_pruned,
+            batched_waves=totals[0],
+            lb_pruned=totals[1],
+            dp_abandoned=totals[2],
+            candidates_pruned=totals[3],
+            warm_start_pruned=totals[4],
             fused_waves=waves.fused_waves,
             fused_tasks=waves.fused_tasks,
             peak_in_flight=waves.peak_in_flight,
@@ -1460,7 +1672,9 @@ class PooledExecutor:
 
     def cache_stats(self) -> CacheStats | None:
         """Aggregate cache counters: workers (as last reported) + parent."""
-        if self.scorer.cache is None:
+        if all(
+            scorer.cache is None for scorer in self._scorers.values()
+        ):
             return None
         self._refresh_worker_counters()
         return self._assemble_cache_stats()
@@ -1487,9 +1701,20 @@ class PooledExecutor:
         self._refresh_worker_counters()
         return (self._assemble_cache_stats(), self._assemble_scoring_stats())
 
-    def close(self) -> None:
-        """Shut the pool down; safe to call any number of times."""
-        self._shutdown_pool()
+    def close(self, *, wait: bool = False) -> None:
+        """Shut the pool down; safe to call any number of times.
+
+        The executor stays usable: the next wave respawns the pool, and
+        that respawn is a *planned* spawn, not a rebuild — sequential
+        runs sharing one executor don't inflate ``pool_rebuilds``.
+
+        ``wait=True`` blocks until the worker processes have exited —
+        callers that own a healthy pool (the scheduler after a fleet
+        drains) use it to avoid racing interpreter teardown.  Leave it
+        off on paths that may hold a hung worker.
+        """
+        self._shutdown_pool(wait=wait)
+        self._expect_spawn = True
 
     def __enter__(self) -> "PooledExecutor":
         return self

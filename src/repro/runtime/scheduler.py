@@ -1,0 +1,439 @@
+"""Multiplex many reverse-engineering jobs over ONE persistent executor.
+
+The refinement loop's wave protocol (:mod:`repro.runtime.protocol`)
+makes executor interactions explicit messages; this scheduler is the
+other driver of that protocol.  Where
+:func:`~repro.synth.refinement.drive` answers one core's requests
+against a private executor, the :class:`Scheduler` round-robins over
+many cores and answers all of them against a single shared pool:
+
+* **Fairness** — a :class:`~repro.runtime.protocol.WaveRequest` is
+  sliced at group (bucket) boundaries into quanta of roughly
+  ``quantum_tasks`` flattened tasks; after each slice the job goes to
+  the back of the rotation, so a job with thousand-sketch waves cannot
+  starve one with ten-sketch waves.  Group-aligned slicing is *sound*:
+  warm-start incumbents never cross groups and group minima are exact,
+  so rankings, checkpoints, and best handlers are bit-identical to the
+  unsliced dispatch (the multi-job differential suite pins this at
+  workers 1 and 4).  A job running alone skips the slicing and takes
+  whole waves.
+* **One pool** — the executor is created on the first wave and adopted
+  scorer-by-scorer as jobs interleave
+  (:meth:`~repro.runtime.executors.PooledExecutor.adopt_scorer` defers
+  the worker-side swap to the next prime, which broadcasts only when the
+  scorer config actually differs).  Jobs whose flattened slice is below
+  the executor's parallel threshold score inline in the scheduler
+  process and never occupy pool slots.
+* **Leases** — every job with a checkpoint path holds a
+  :class:`~repro.runtime.checkpoint.CheckpointLease`, renewed at each
+  iteration boundary.  A scheduler that dies stops renewing; a successor
+  re-submitting the same spool resumes every in-flight job from its
+  checkpoint once the TTL lapses (or immediately with
+  ``steal_leases=True``).
+* **Anytime answers** — each
+  :class:`~repro.runtime.protocol.ProgressReport` updates the job's
+  :class:`~repro.runtime.jobs.ResultStore` snapshot and emits a
+  ``job_progress`` event, so the current best handler per job is
+  readable while refinement deepens.
+
+Known (documented) telemetry deviations from the one-job path: executor
+counters are fleet-wide, so cores receive ``None`` stats snapshots (no
+per-job cache/scoring events); executor-emitted events (pool spawns,
+wave dispatches, quarantine notices) go to the scheduler's fleet
+context, not the per-job context; and crash strikes are shared across
+jobs.  None of these affect search decisions.
+
+This module deliberately imports nothing from :mod:`repro.synth` or
+:mod:`repro.pipeline` — it schedules opaque cores over the runtime
+layer.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Generator
+
+from repro.runtime.checkpoint import DEFAULT_LEASE_TTL, CheckpointLease
+from repro.runtime.context import RunContext
+from repro.runtime.events import (
+    JobCompleted,
+    JobFailed,
+    JobPreempted,
+    JobProgress,
+    JobStarted,
+    JobSubmitted,
+    LeaseStolen,
+)
+from repro.runtime.executors import make_executor
+from repro.runtime.faults import FaultPlan
+from repro.runtime.jobs import Job, JobQueue, JobState, ResultStore
+from repro.runtime.protocol import (
+    ExecutorSnapshot,
+    ProgressReport,
+    ScorerReady,
+    StatsRequest,
+    WaveReply,
+    WaveRequest,
+)
+from repro.runtime.supervise import SupervisionPolicy
+
+__all__ = ["Scheduler", "DEFAULT_QUANTUM_TASKS"]
+
+#: Flattened tasks per fairness slice.  One slice is the unit a job runs
+#: before rotating to the back; 64 tasks amortize dispatch overhead
+#: while keeping a 4-worker pool's turn under a second on paper-scale
+#: sketches.
+DEFAULT_QUANTUM_TASKS = 64
+
+
+@dataclass
+class _PendingWave:
+    """One WaveRequest being serviced in group-aligned slices."""
+
+    request: WaveRequest
+    cursor: int = 0  #: groups dispatched so far
+    grouped: list = field(default_factory=list)
+
+    @property
+    def done(self) -> bool:
+        return self.cursor >= len(self.request.groups)
+
+
+@dataclass
+class _ActiveJob:
+    """A job admitted into the rotation, plus its protocol state."""
+
+    job: Job
+    core: Generator
+    scorer: Any = None
+    lease: CheckpointLease | None = None
+    pending: _PendingWave | None = None
+    reply: Any = None  #: queued reply for the core's next ``send``
+
+
+class Scheduler:
+    """Round-robin wave scheduler over one shared scoring executor."""
+
+    def __init__(
+        self,
+        *,
+        workers: int = 1,
+        context: RunContext | None = None,
+        store: ResultStore | None = None,
+        quantum_tasks: int = DEFAULT_QUANTUM_TASKS,
+        max_active: int | None = None,
+        owner: str | None = None,
+        lease_ttl_seconds: float = DEFAULT_LEASE_TTL,
+        steal_leases: bool = False,
+        max_pool_rebuilds: int = 3,
+        watchdog_seconds: float | None = None,
+        fault_plan: FaultPlan | None = None,
+    ) -> None:
+        self.workers = workers
+        self.context = context
+        self.store = store
+        self.quantum_tasks = max(1, quantum_tasks)
+        self.max_active = max_active
+        self.owner = owner if owner is not None else f"scheduler-{os.getpid()}"
+        self.lease_ttl_seconds = lease_ttl_seconds
+        self.steal_leases = steal_leases
+        self.max_pool_rebuilds = max_pool_rebuilds
+        self.watchdog_seconds = watchdog_seconds
+        self.fault_plan = fault_plan
+        self._queue = JobQueue()
+        self._active: deque[_ActiveJob] = deque()
+        self._executor = None
+        #: All jobs ever submitted, by id.
+        self.jobs: dict[str, Job] = {}
+        self.completed: dict[str, Job] = {}
+        self.failed: dict[str, Job] = {}
+        #: Jobs whose lease is held by a live foreign scheduler; left
+        #: PENDING for the caller to retry or hand off.
+        self.deferred: list[Job] = []
+        #: Wave slices dispatched fleet-wide (the kill-switch counter
+        #: fault-injection harnesses watch).
+        self.slices_dispatched = 0
+
+    # ------------------------------------------------------------------
+
+    def _emit(self, event) -> None:
+        if self.context is not None:
+            self.context.emit(event)
+
+    def submit(self, job: Job) -> None:
+        """Queue *job*; it starts once a rotation slot frees up."""
+        self.jobs[job.job_id] = job
+        self._queue.push(job)
+        self._emit(JobSubmitted(job_id=job.job_id, priority=job.priority))
+        if self.store is not None:
+            self.store.update(job)
+
+    # ------------------------------------------------------------------
+
+    def _admit(self) -> None:
+        while self._queue and (
+            self.max_active is None or len(self._active) < self.max_active
+        ):
+            self._start(self._queue.pop())
+
+    def _start(self, job: Job) -> None:
+        lease: CheckpointLease | None = None
+        if job.checkpoint_path is not None:
+            lease = CheckpointLease(
+                job.checkpoint_path,
+                self.owner,
+                self.lease_ttl_seconds,
+            )
+            if not lease.acquire(steal=self.steal_leases):
+                self.deferred.append(job)
+                return
+            if lease.displaced is not None:
+                self._emit(
+                    LeaseStolen(
+                        job_id=job.job_id,
+                        path=lease.path,
+                        previous_owner=lease.displaced,
+                    )
+                )
+        job.state = JobState.RUNNING
+        self._emit(JobStarted(job_id=job.job_id, resumed=job.resumed))
+        if self.store is not None:
+            self.store.update(job)
+        self._active.append(_ActiveJob(job=job, core=job.source(), lease=lease))
+
+    # ------------------------------------------------------------------
+
+    @property
+    def _solo(self) -> bool:
+        return len(self._active) == 1 and not self._queue
+
+    def _ensure_executor(self, active: _ActiveJob):
+        if self._executor is None:
+            self._executor = make_executor(
+                active.scorer,
+                self.workers,
+                context=self.context,
+                policy=SupervisionPolicy(
+                    max_pool_rebuilds=self.max_pool_rebuilds
+                ),
+                watchdog_seconds=self.watchdog_seconds,
+                fault_plan=self.fault_plan,
+            )
+        elif self._executor.scorer is not active.scorer:
+            self._executor.adopt_scorer(active.scorer)
+        return self._executor
+
+    def _dispatch_slice(self, active: _ActiveJob) -> None:
+        """Run one group-aligned quantum of the job's pending wave."""
+        job = active.job
+        pending = active.pending
+        request = pending.request
+        executor = self._ensure_executor(active)
+        remaining = request.groups[pending.cursor :]
+        if self._solo:
+            take = len(remaining)  # no one to be fair to
+        else:
+            take, flattened = 0, 0
+            for group in remaining:
+                take += 1
+                flattened += len(group)
+                if flattened >= self.quantum_tasks:
+                    break
+        slice_groups = remaining[:take]
+        pending.cursor += take
+        quarantined_before = len(executor.quarantined)
+        rebuilds_before = getattr(executor, "pool_rebuilds", 0)
+        if request.fused:
+            grouped = executor.score_grouped(
+                slice_groups,
+                request.segments,
+                deadline=request.deadline,
+                min_results=request.min_results,
+            )
+        else:
+            grouped = [
+                executor.score(
+                    group,
+                    request.segments,
+                    deadline=request.deadline,
+                    min_results=request.min_results,
+                )
+                for group in slice_groups
+            ]
+        pending.grouped.extend(grouped)
+        job.quarantined.extend(executor.quarantined[quarantined_before:])
+        job.pool_rebuilds += (
+            getattr(executor, "pool_rebuilds", 0) - rebuilds_before
+        )
+        job.slices_dispatched += 1
+        self.slices_dispatched += 1
+
+    def _service(self, active: _ActiveJob) -> None:
+        """Advance the head job: answer protocol requests until it either
+        finishes, fails, or has spent this turn's dispatch quantum."""
+        job = active.job
+        budget = 1  # slices this turn; rotation fairness rides on this
+        while True:
+            pending = active.pending
+            if pending is None:
+                try:
+                    request = active.core.send(active.reply)
+                except StopIteration as stop:
+                    self._complete(active, stop.value)
+                    return
+                except Exception as exc:  # noqa: BLE001 - job isolation
+                    self._fail(active, exc)
+                    return
+                active.reply = None
+                if isinstance(request, ScorerReady):
+                    # The shared pool uses the *scheduler's* worker and
+                    # supervision knobs; only the scorer is per-job.
+                    active.scorer = request.scorer
+                elif isinstance(request, StatsRequest):
+                    executor = self._executor
+                    active.reply = ExecutorSnapshot(
+                        cache=None,  # executor counters are fleet-wide
+                        scoring=None,
+                        quarantined=tuple(job.quarantined),
+                        pool_rebuilds=job.pool_rebuilds,
+                        degraded=bool(
+                            getattr(executor, "degraded", False)
+                        ),
+                    )
+                elif isinstance(request, ProgressReport):
+                    job.iterations_done = request.iteration
+                    job.best_expression = request.best_expression
+                    job.best_distance = request.best_distance
+                    job.handlers_scored = request.handlers_scored
+                    if active.lease is not None:
+                        active.lease.renew()
+                    if self.store is not None:
+                        self.store.update(job)
+                    self._emit(
+                        JobProgress(
+                            job_id=job.job_id,
+                            iteration=request.iteration,
+                            best_distance=request.best_distance,
+                            expression=request.best_expression,
+                            handlers_scored=request.handlers_scored,
+                        )
+                    )
+                elif isinstance(request, WaveRequest):
+                    active.pending = _PendingWave(request)
+                    job.waves_dispatched += 1
+                # Unknown requests expect no reply; skip them.
+                continue
+            if pending.done:
+                active.reply = WaveReply(
+                    grouped=tuple(pending.grouped),
+                    quarantined=tuple(job.quarantined),
+                )
+                active.pending = None
+                continue
+            if budget <= 0:
+                if len(self._active) > 1:
+                    job.preemptions += 1
+                    self._emit(
+                        JobPreempted(
+                            job_id=job.job_id,
+                            phase=pending.request.phase,
+                            groups_remaining=(
+                                len(pending.request.groups) - pending.cursor
+                            ),
+                        )
+                    )
+                return
+            self._dispatch_slice(active)
+            budget -= 1
+
+    # ------------------------------------------------------------------
+
+    def _retire(self, active: _ActiveJob) -> None:
+        try:
+            self._active.remove(active)
+        except ValueError:  # pragma: no cover - retire is idempotent
+            pass
+        if active.lease is not None:
+            active.lease.release()
+
+    def _complete(self, active: _ActiveJob, result: Any) -> None:
+        job = active.job
+        job.state = JobState.COMPLETED
+        job.result = result
+        expression = getattr(result, "expression", None)
+        if expression is not None:
+            job.best_expression = expression
+        distance = getattr(result, "distance", None)
+        if distance is not None:
+            job.best_distance = distance
+        self._retire(active)
+        self.completed[job.job_id] = job
+        if self.store is not None:
+            self.store.update(job)
+        self._emit(
+            JobCompleted(
+                job_id=job.job_id,
+                best_distance=job.best_distance,
+                expression=job.best_expression or "",
+                iterations=job.iterations_done,
+                handlers_scored=job.handlers_scored,
+                waves=job.waves_dispatched,
+            )
+        )
+
+    def _fail(self, active: _ActiveJob, exc: BaseException) -> None:
+        job = active.job
+        job.state = JobState.FAILED
+        job.error = f"{type(exc).__name__}: {exc}"
+        self._retire(active)
+        self.failed[job.job_id] = job
+        if self.store is not None:
+            self.store.update(job)
+        self._emit(JobFailed(job_id=job.job_id, error=job.error))
+
+    # ------------------------------------------------------------------
+
+    def step(self) -> bool:
+        """One scheduling turn: admit, run the head job's quantum,
+        rotate.  Returns whether any work remains."""
+        self._admit()
+        if self._active:
+            active = self._active[0]
+            self._service(active)
+            if self._active and self._active[0] is active:
+                self._active.rotate(-1)
+        return bool(self._active or self._queue)
+
+    def run(self) -> dict[str, Job]:
+        """Drive the fleet to completion; returns the completed jobs.
+
+        Jobs deferred on a live foreign lease stay on :attr:`deferred`
+        (they never block the loop); failed jobs land on :attr:`failed`.
+        """
+        while self.step():
+            pass
+        return self.completed
+
+    def close(self, *, release_leases: bool = True) -> None:
+        """Shut the shared executor down.  With ``release_leases=False``
+        the in-flight jobs' leases stay on disk (simulating a crashed
+        scheduler: a successor must wait out the TTL or steal)."""
+        if release_leases:
+            for active in self._active:
+                if active.lease is not None:
+                    active.lease.release()
+        if self._executor is not None:
+            # Blocking teardown: by close time the pool holds at most
+            # stragglers finishing their current sketch, and waiting for
+            # worker exit keeps pool cleanup from racing interpreter
+            # teardown (an intermittent EBADF at process exit otherwise).
+            self._executor.close(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "Scheduler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,261 @@
+"""Synthesis-as-a-service: a JSONL spool directory + the scheduler.
+
+The service layer is deliberately thin — files in, files out, no
+daemon protocol.  A *spool* directory holds everything:
+
+``queue/<job_id>.json``
+    one job spec per file (written by :func:`submit_job` /
+    ``repro submit``): where the traces come from, which DSL or
+    classifier to use, and any
+    :class:`~repro.synth.refinement.SynthesisConfig` overrides.
+``results/<job_id>.jsonl``
+    the job's anytime answer stream (a
+    :class:`~repro.runtime.jobs.ResultStore`): the last line is always
+    the current best handler + distance, appended at every iteration
+    boundary and at completion.
+``checkpoints/<job_id>.jsonl`` (+ ``.lease``)
+    the job's refinement checkpoint and its scheduler lease.
+
+``repro serve`` (:func:`serve`) loads every spec, skips jobs whose
+result stream already says ``completed``, resumes jobs with a
+checkpoint, and multiplexes the rest through one
+:class:`~repro.runtime.scheduler.Scheduler`.  Because specs, results,
+checkpoints, and leases are all files, "restart the service" is just
+running ``repro serve`` again — the lease TTL (or ``--steal-leases``)
+decides when a successor may take over in-flight jobs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from typing import Any
+
+from repro.dsl.families import FAMILIES, family, with_budget
+from repro.errors import SynthesisError
+from repro.pipeline import reverse_engineer_core
+from repro.runtime.checkpoint import DEFAULT_LEASE_TTL, load_checkpoint
+from repro.runtime.context import RunContext
+from repro.runtime.jobs import Job, ResultStore
+from repro.runtime.scheduler import DEFAULT_QUANTUM_TASKS, Scheduler
+from repro.synth.refinement import SynthesisConfig
+
+__all__ = ["submit_job", "load_specs", "build_job", "serve"]
+
+#: SynthesisConfig fields a spec may override.  Checkpoint/resume paths
+#: are owned by the spool (every job checkpoints under ``checkpoints/``)
+#: and fault plans are a test-harness feature, not a service input.
+_CONFIG_FIELDS = {
+    field.name
+    for field in dataclasses.fields(SynthesisConfig)
+    if field.name not in {"checkpoint_path", "resume_path", "fault_plan"}
+}
+
+
+def _spool_dir(spool: str, name: str) -> str:
+    path = os.path.join(spool, name)
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def submit_job(
+    spool: str,
+    job_id: str,
+    *,
+    traces: str | None = None,
+    cca: str | None = None,
+    classifier: str = "gordon",
+    dsl: str | None = None,
+    max_depth: int | None = None,
+    max_nodes: int | None = None,
+    priority: int = 0,
+    trace_policy: str | None = None,
+    config: dict[str, Any] | None = None,
+    collection: dict[str, Any] | None = None,
+) -> str:
+    """Write one job spec into the spool's queue; returns its path."""
+    if (traces is None) == (cca is None):
+        raise SynthesisError(
+            "job spec needs exactly one trace source: 'traces' or 'cca'"
+        )
+    if dsl is not None and dsl not in FAMILIES:
+        raise SynthesisError(f"unknown DSL family {dsl!r}")
+    config = dict(config or {})
+    unknown = sorted(set(config) - _CONFIG_FIELDS)
+    if unknown:
+        raise SynthesisError(
+            f"unknown SynthesisConfig override(s): {', '.join(unknown)}"
+        )
+    spec: dict[str, Any] = {
+        "job_id": job_id,
+        "classifier": classifier,
+        "priority": priority,
+    }
+    if traces is not None:
+        spec["traces"] = traces
+    if cca is not None:
+        spec["cca"] = cca
+    if dsl is not None:
+        spec["dsl"] = dsl
+    if max_depth is not None:
+        spec["max_depth"] = max_depth
+    if max_nodes is not None:
+        spec["max_nodes"] = max_nodes
+    if trace_policy is not None:
+        spec["trace_policy"] = trace_policy
+    if config:
+        spec["config"] = config
+    if collection:
+        spec["collection"] = collection
+    path = os.path.join(_spool_dir(spool, "queue"), f"{job_id}.json")
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(spec, handle, sort_keys=True, indent=2)
+    os.replace(tmp, path)
+    return path
+
+
+def load_specs(spool: str) -> list[dict[str, Any]]:
+    """Every parseable spec in the spool's queue, sorted by job id."""
+    queue = _spool_dir(spool, "queue")
+    specs = []
+    for name in sorted(os.listdir(queue)):
+        if not name.endswith(".json"):
+            continue
+        try:
+            with open(
+                os.path.join(queue, name), "r", encoding="utf-8"
+            ) as handle:
+                spec = json.load(handle)
+        except (OSError, ValueError):
+            continue
+        if isinstance(spec, dict) and spec.get("job_id"):
+            specs.append(spec)
+    return specs
+
+
+def _load_spec_traces(spec: dict[str, Any]):
+    """Resolve the spec's trace source (deferred until the job starts)."""
+    if "traces" in spec:
+        from repro.trace.io import load_traces
+
+        return load_traces(spec["traces"])
+    from repro.trace.collect import CollectionConfig, collect_traces
+    from repro.netsim.environments import Environment
+
+    collection = spec.get("collection") or {}
+    kwargs: dict[str, Any] = {}
+    if "duration" in collection:
+        kwargs["duration"] = float(collection["duration"])
+    if "bandwidth" in collection or "rtt" in collection:
+        kwargs["environments"] = tuple(
+            Environment(bandwidth_mbps=float(bw), rtt_ms=float(rtt))
+            for bw in collection.get("bandwidth", [5.0, 10.0, 15.0])
+            for rtt in collection.get("rtt", [25.0, 50.0, 80.0])
+        )
+    return collect_traces(spec["cca"], CollectionConfig(**kwargs))
+
+
+def build_job(
+    spool: str, spec: dict[str, Any], context: RunContext | None = None
+) -> Job:
+    """One schedulable :class:`~repro.runtime.jobs.Job` from a spec.
+
+    The checkpoint lives at ``checkpoints/<job_id>.jsonl``; when it
+    already holds a boundary the job resumes from it (that is the whole
+    crash-recovery path — a successor ``serve`` naturally picks up where
+    the dead one left off).
+    """
+    job_id = str(spec["job_id"])
+    checkpoint_path = os.path.join(
+        _spool_dir(spool, "checkpoints"), f"{job_id}.jsonl"
+    )
+    overrides = dict(spec.get("config") or {})
+    unknown = sorted(set(overrides) - _CONFIG_FIELDS)
+    if unknown:
+        raise SynthesisError(
+            f"job {job_id!r}: unknown SynthesisConfig override(s): "
+            f"{', '.join(unknown)}"
+        )
+    resumed = load_checkpoint(checkpoint_path) is not None
+    config = dataclasses.replace(
+        SynthesisConfig(**overrides),
+        checkpoint_path=checkpoint_path,
+        resume_path=checkpoint_path if resumed else None,
+    )
+    dsl_name = spec.get("dsl")
+    dsl = (
+        with_budget(
+            family(dsl_name),
+            max_depth=spec.get("max_depth"),
+            max_nodes=spec.get("max_nodes"),
+        )
+        if dsl_name is not None
+        else None
+    )
+
+    def source():
+        return reverse_engineer_core(
+            _load_spec_traces(spec),
+            classifier=spec.get("classifier", "gordon"),
+            dsl=dsl,
+            config=config,
+            max_depth=None if dsl_name else spec.get("max_depth"),
+            max_nodes=None if dsl_name else spec.get("max_nodes"),
+            context=context,
+            trace_policy=spec.get("trace_policy"),
+        )
+
+    return Job(
+        job_id=job_id,
+        source=source,
+        priority=int(spec.get("priority", 0)),
+        checkpoint_path=checkpoint_path,
+        resumed=resumed,
+        metadata={"spec": spec},
+    )
+
+
+def serve(
+    spool: str,
+    *,
+    workers: int = 1,
+    steal_leases: bool = False,
+    quantum_tasks: int = DEFAULT_QUANTUM_TASKS,
+    lease_ttl_seconds: float = DEFAULT_LEASE_TTL,
+    context: RunContext | None = None,
+    exit_after_slices: int | None = None,
+) -> dict[str, dict[str, Any]]:
+    """Run every incomplete spooled job to completion; return the fleet's
+    final snapshots (job id -> result-store snapshot).
+
+    ``exit_after_slices`` is the fault-injection kill switch the smoke
+    harness uses: after that many wave slices the process dies by
+    ``os._exit`` — no cleanup, no lease release — exactly like a
+    SIGKILLed scheduler.
+    """
+    store = ResultStore(_spool_dir(spool, "results"))
+    scheduler = Scheduler(
+        workers=workers,
+        context=context,
+        store=store,
+        quantum_tasks=quantum_tasks,
+        lease_ttl_seconds=lease_ttl_seconds,
+        steal_leases=steal_leases,
+    )
+    for spec in load_specs(spool):
+        snapshot = store.latest(str(spec["job_id"]))
+        if snapshot is not None and snapshot.get("state") == "completed":
+            continue  # already answered by a previous serve
+        scheduler.submit(build_job(spool, spec, context))
+    try:
+        while scheduler.step():
+            if (
+                exit_after_slices is not None
+                and scheduler.slices_dispatched >= exit_after_slices
+            ):
+                os._exit(70)  # simulated SIGKILL mid-fleet
+    finally:
+        scheduler.close()
+    return store.all_latest()

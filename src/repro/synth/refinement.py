@@ -64,6 +64,14 @@ from repro.runtime.events import (
 )
 from repro.runtime.executors import make_executor
 from repro.runtime.faults import FaultPlan
+from repro.runtime.protocol import (
+    ExecutorSnapshot,
+    ProgressReport,
+    ScorerReady,
+    StatsRequest,
+    WaveReply,
+    WaveRequest,
+)
 from repro.runtime.supervise import Quarantined, SupervisionPolicy
 from repro.synth.pool import BucketPool
 from repro.synth.result import IterationRecord, SynthesisResult
@@ -71,7 +79,7 @@ from repro.synth.scoring import ScoredHandler, Scorer
 from repro.trace.model import TraceSegment
 from repro.trace.selection import select_diverse_segments
 
-__all__ = ["SynthesisConfig", "synthesize"]
+__all__ = ["SynthesisConfig", "synthesize", "synthesize_core", "drive"]
 
 
 @dataclass(frozen=True)
@@ -188,17 +196,26 @@ def _run_fingerprint(
     }
 
 
-def synthesize(
+def synthesize_core(
     segments: list[TraceSegment],
     dsl: DslSpec,
     config: SynthesisConfig | None = None,
     *,
     context: RunContext | None = None,
-) -> SynthesisResult:
-    """Run the full refinement loop; return the best handler found.
+):
+    """The refinement loop as a re-entrant generator.
 
-    *context* receives the run's telemetry; omitting it runs silently
-    (a fresh sink-less :class:`RunContext` is used for phase timing).
+    Yields :mod:`repro.runtime.protocol` requests (``ScorerReady``, then
+    ``WaveRequest`` / ``StatsRequest`` / ``ProgressReport``) and expects
+    the matching replies via ``send()``; the final
+    :class:`~repro.synth.result.SynthesisResult` is the generator's
+    return value.  Driven by :func:`drive` with a private executor this
+    is bit-identical to the classic blocking :func:`synthesize`; driven
+    by a :class:`~repro.runtime.scheduler.Scheduler` many cores share
+    one executor, with waves sliced at bucket granularity (sound: see
+    ``WaveRequest``).  Search decisions — draws, rankings, prunes,
+    checkpoints — are made entirely in here, so *who* services the waves
+    can never change *what* the search concludes.
     """
     if not segments:
         raise SynthesisError("synthesis requires at least one trace segment")
@@ -278,259 +295,299 @@ def synthesize(
         else None
     )
 
-    executor = make_executor(
-        scorer,
-        config.workers,
-        context=ctx,
-        policy=SupervisionPolicy(max_pool_rebuilds=config.max_pool_rebuilds),
+    # Hand the scorer to whoever is driving; every WaveRequest after this
+    # yield has an executor (private or shared) to land on.
+    yield ScorerReady(
+        scorer=scorer,
+        workers=config.workers,
+        max_pool_rebuilds=config.max_pool_rebuilds,
         watchdog_seconds=config.watchdog_seconds,
         fault_plan=config.fault_plan,
+        context=ctx,
     )
-    try:
-        n_samples = config.initial_samples
-        keep = config.initial_keep
-        segment_count = config.initial_segments
+    # Cumulative quarantine log for this run, as of the latest wave reply
+    # (quarantines only ever happen inside waves, so at a checkpoint
+    # boundary this is exactly what executor.quarantined used to read).
+    wave_quarantined: tuple[Quarantined, ...] = ()
 
-        if resume_state is not None:
-            # Replay the checkpointed decision log against a fresh pool:
-            # the enumeration stream is deterministic, so drawing the
-            # same targets and pruning to the recorded survivors
-            # reconstructs the exact state scoring left behind.
-            for record in resume_state.records:
-                pool.draw(record.samples_per_bucket)
-                pool.prune(set(record.kept))
-            state.records = list(resume_state.records)
-            state.handlers_scored = resume_state.handlers_scored
+    n_samples = config.initial_samples
+    keep = config.initial_keep
+    segment_count = config.initial_segments
+
+    if resume_state is not None:
+        # Replay the checkpointed decision log against a fresh pool:
+        # the enumeration stream is deterministic, so drawing the
+        # same targets and pruning to the recorded survivors
+        # reconstructs the exact state scoring left behind.
+        for record in resume_state.records:
+            pool.draw(record.samples_per_bucket)
+            pool.prune(set(record.kept))
+        state.records = list(resume_state.records)
+        state.handlers_scored = resume_state.handlers_scored
+        state.sketches_drawn = pool.generated
+        if resume_state.best_expression is not None:
+            state.best = ScoredHandler(
+                parse(resume_state.best_expression),
+                resume_state.best_distance,
+            )
+        prior_quarantine = list(resume_state.quarantined)
+        n_samples = resume_state.next_samples
+        keep = resume_state.next_keep
+        segment_count = resume_state.next_segment_count
+        start_iteration = len(resume_state.records)
+        loop_done = resume_state.loop_done
+        ctx.emit(
+            RunResumed(
+                path=config.resume_path,
+                iterations_restored=start_iteration,
+            )
+        )
+
+    def write_checkpoint(finished: bool) -> None:
+        if writer is None:
+            return
+        completed = len(state.records)
+        due = completed % max(config.checkpoint_every, 1) == 0
+        if not (due or finished):
+            return
+        writer.write(
+            RefinementCheckpoint(
+                fingerprint=fingerprint,
+                records=tuple(state.records),
+                best_expression=(
+                    to_text(state.best.handler)
+                    if state.best is not None
+                    else None
+                ),
+                best_distance=(
+                    state.best.distance
+                    if state.best is not None
+                    else float("inf")
+                ),
+                handlers_scored=state.handlers_scored,
+                loop_done=finished,
+                next_samples=n_samples,
+                next_keep=keep,
+                next_segment_count=segment_count,
+                quarantined=tuple(prior_quarantine) + wave_quarantined,
+            )
+        )
+        ctx.emit(
+            CheckpointSaved(
+                path=writer.path, iteration=completed
+            )
+        )
+
+    with ctx.timer("refinement"):
+        for iteration in range(start_iteration, config.max_iterations):
+            if loop_done:
+                break
+            working = _working_set(
+                segments, segment_count, config.seed + iteration
+            )
+            # Draw up to the cumulative sample size (one shared
+            # enumeration pass feeds all buckets) and score everything
+            # each bucket has drawn so far against the current working
+            # set (old samples must be re-scored: the working set
+            # changed — that re-scoring is what the score cache
+            # deduplicates on the overlapping segments).
+            pool.draw(n_samples)
             state.sketches_drawn = pool.generated
-            if resume_state.best_expression is not None:
-                state.best = ScoredHandler(
-                    parse(resume_state.best_expression),
-                    resume_state.best_distance,
+            buckets = [bucket for bucket in pool.live if bucket.drawn]
+            if not buckets:
+                raise SynthesisError(
+                    f"DSL {dsl.name!r} produced no sketches within its"
+                    " budgets"
                 )
-            prior_quarantine = list(resume_state.quarantined)
-            n_samples = resume_state.next_samples
-            keep = resume_state.next_keep
-            segment_count = resume_state.next_segment_count
-            start_iteration = len(resume_state.records)
-            loop_done = resume_state.loop_done
-            ctx.emit(
-                RunResumed(
-                    path=config.resume_path,
-                    iterations_restored=start_iteration,
+            pool_size = len(dsl.constant_pool)
+
+            def note_bucket(bucket, results, iteration=iteration) -> None:
+                bucket.score = min(
+                    result.distance for result in results
+                )
+                for sketch, result in zip(bucket.drawn, results):
+                    completions = min(
+                        sketch.completion_count(pool_size),
+                        config.completion_cap,
+                    )
+                    state.observe(result, completions)
+                ctx.emit(
+                    BucketScored(
+                        iteration=iteration + 1,
+                        bucket=bucket_label(bucket.key),
+                        score=bucket.score,
+                        sketches=len(results),
+                    )
+                )
+
+            if config.fused_scheduling:
+                # One pipelined dispatch for the whole iteration: all
+                # buckets' samples interleaved round-robin, scattered
+                # back positionally (docs/PERFORMANCE.md).
+                reply = yield WaveRequest(
+                    groups=tuple(
+                        tuple(bucket.drawn) for bucket in buckets
+                    ),
+                    segments=working,
+                    deadline=deadline,
+                    min_results=1,
+                    fused=True,
+                    phase="refinement",
+                )
+                wave_quarantined = reply.quarantined
+                for bucket, results in zip(buckets, reply.grouped):
+                    note_bucket(bucket, results)
+            else:
+                for bucket in buckets:
+                    reply = yield WaveRequest(
+                        groups=(tuple(bucket.drawn),),
+                        segments=working,
+                        deadline=deadline,
+                        min_results=1,
+                        fused=False,
+                        phase="refinement",
+                    )
+                    wave_quarantined = reply.quarantined
+                    note_bucket(bucket, reply.grouped[0])
+            ranking = sorted(buckets, key=lambda bucket: bucket.score)
+            cutoff_index = min(keep, len(ranking)) - 1
+            cutoff = ranking[cutoff_index].score
+            survivors = [
+                bucket for bucket in ranking if bucket.score <= cutoff
+            ]
+            state.records.append(
+                IterationRecord(
+                    index=iteration + 1,
+                    samples_per_bucket=n_samples,
+                    segment_count=len(working),
+                    ranking=tuple(
+                        (bucket.key, bucket.score) for bucket in ranking
+                    ),
+                    kept=tuple(bucket.key for bucket in survivors),
+                    handlers_scored=state.handlers_scored,
                 )
             )
-
-        def write_checkpoint(finished: bool) -> None:
-            if writer is None:
-                return
-            completed = len(state.records)
-            due = completed % max(config.checkpoint_every, 1) == 0
-            if not (due or finished):
-                return
-            writer.write(
-                RefinementCheckpoint(
-                    fingerprint=fingerprint,
-                    records=tuple(state.records),
-                    best_expression=(
-                        to_text(state.best.handler)
-                        if state.best is not None
-                        else None
-                    ),
+            pool.prune({bucket.key for bucket in survivors})
+            # One combined snapshot: cache_stats() + scoring_stats()
+            # separately would cost two pool-wide barrier broadcasts.
+            # A scheduler may answer (None, None); stats are fleet-wide
+            # there and the run log simply carries no per-job counters.
+            snapshot = yield StatsRequest()
+            if snapshot.cache is not None:
+                ctx.emit(snapshot.cache)
+            if snapshot.scoring is not None:
+                ctx.emit(snapshot.scoring)
+            ctx.emit(
+                IterationFinished(
+                    index=iteration + 1,
+                    samples_per_bucket=n_samples,
+                    segment_count=len(working),
+                    bucket_count=len(ranking),
+                    kept=len(survivors),
                     best_distance=(
                         state.best.distance
                         if state.best is not None
                         else float("inf")
                     ),
                     handlers_scored=state.handlers_scored,
-                    loop_done=finished,
-                    next_samples=n_samples,
-                    next_keep=keep,
-                    next_segment_count=segment_count,
-                    quarantined=tuple(prior_quarantine)
-                    + tuple(executor.quarantined),
+                    elapsed_seconds=time.perf_counter() - started,
                 )
             )
-            ctx.emit(
-                CheckpointSaved(
-                    path=writer.path, iteration=completed
-                )
+            finished = len(pool.buckets) == 1 or pool.exhausted
+            if not finished:
+                n_samples *= config.sample_growth
+                keep = max(keep // 2, 1)
+                segment_count += config.segment_growth
+            # Checkpoint at the iteration boundary: the decision log
+            # plus the *next* schedule values (unchanged when the
+            # loop is done — the exhaustive pass reads them).
+            write_checkpoint(finished)
+            yield ProgressReport(
+                iteration=iteration + 1,
+                best_expression=(
+                    to_text(state.best.handler)
+                    if state.best is not None
+                    else None
+                ),
+                best_distance=(
+                    state.best.distance
+                    if state.best is not None
+                    else float("inf")
+                ),
+                handlers_scored=state.handlers_scored,
+                phase="refinement",
             )
+            if out_of_time():
+                note_budget("refinement")
+                break
+            if finished:
+                break
 
-        with ctx.timer("refinement"):
-            for iteration in range(start_iteration, config.max_iterations):
-                if loop_done:
-                    break
-                working = _working_set(
-                    segments, segment_count, config.seed + iteration
-                )
-                # Draw up to the cumulative sample size (one shared
-                # enumeration pass feeds all buckets) and score everything
-                # each bucket has drawn so far against the current working
-                # set (old samples must be re-scored: the working set
-                # changed — that re-scoring is what the score cache
-                # deduplicates on the overlapping segments).
-                pool.draw(n_samples)
-                state.sketches_drawn = pool.generated
-                buckets = [bucket for bucket in pool.live if bucket.drawn]
-                if not buckets:
-                    raise SynthesisError(
-                        f"DSL {dsl.name!r} produced no sketches within its"
-                        " budgets"
-                    )
-                pool_size = len(dsl.constant_pool)
-
-                def note_bucket(bucket, results, iteration=iteration) -> None:
-                    bucket.score = min(
-                        result.distance for result in results
-                    )
-                    for sketch, result in zip(bucket.drawn, results):
-                        completions = min(
-                            sketch.completion_count(pool_size),
-                            config.completion_cap,
-                        )
-                        state.observe(result, completions)
-                    ctx.emit(
-                        BucketScored(
-                            iteration=iteration + 1,
-                            bucket=bucket_label(bucket.key),
-                            score=bucket.score,
-                            sketches=len(results),
-                        )
-                    )
-
-                if config.fused_scheduling:
-                    # One pipelined dispatch for the whole iteration: all
-                    # buckets' samples interleaved round-robin, scattered
-                    # back positionally (docs/PERFORMANCE.md).
-                    grouped = executor.score_grouped(
-                        [bucket.drawn for bucket in buckets],
-                        working,
+    # Final exhaustive pass over the surviving bucket(s), within the cap.
+    if not out_of_time():
+        with ctx.timer("exhaustive"):
+            working = _working_set(
+                segments, segment_count, config.seed + config.max_iterations
+            )
+            already = {
+                bucket.key: len(bucket.drawn) for bucket in pool.live
+            }
+            pool.draw(
+                config.exhaustive_cap,
+                max_steps=40 * config.exhaustive_cap,
+            )
+            state.sketches_drawn = pool.generated
+            live = list(pool.live)
+            fresh_groups = [
+                bucket.drawn[already.get(bucket.key, 0) :]
+                for bucket in live
+            ]
+            if config.fused_scheduling:
+                if any(fresh_groups):
+                    reply = yield WaveRequest(
+                        groups=tuple(
+                            tuple(fresh) for fresh in fresh_groups
+                        ),
+                        segments=working,
                         deadline=deadline,
-                        min_results=1,
+                        min_results=0,
+                        fused=True,
+                        phase="exhaustive",
                     )
-                    for bucket, results in zip(buckets, grouped):
-                        note_bucket(bucket, results)
-                else:
-                    for bucket in buckets:
-                        note_bucket(
-                            bucket,
-                            executor.score(
-                                bucket.drawn,
-                                working,
-                                deadline=deadline,
-                                min_results=1,
-                            ),
+                    wave_quarantined = reply.quarantined
+                    for results in reply.grouped:
+                        for result in results:
+                            state.observe(result, 1)
+                    if out_of_time():
+                        note_budget("exhaustive")
+            else:
+                for fresh in fresh_groups:
+                    if fresh:
+                        reply = yield WaveRequest(
+                            groups=(tuple(fresh),),
+                            segments=working,
+                            deadline=deadline,
+                            min_results=0,
+                            fused=False,
+                            phase="exhaustive",
                         )
-                ranking = sorted(buckets, key=lambda bucket: bucket.score)
-                cutoff_index = min(keep, len(ranking)) - 1
-                cutoff = ranking[cutoff_index].score
-                survivors = [
-                    bucket for bucket in ranking if bucket.score <= cutoff
-                ]
-                state.records.append(
-                    IterationRecord(
-                        index=iteration + 1,
-                        samples_per_bucket=n_samples,
-                        segment_count=len(working),
-                        ranking=tuple(
-                            (bucket.key, bucket.score) for bucket in ranking
-                        ),
-                        kept=tuple(bucket.key for bucket in survivors),
-                        handlers_scored=state.handlers_scored,
-                    )
-                )
-                pool.prune({bucket.key for bucket in survivors})
-                # One combined snapshot: cache_stats() + scoring_stats()
-                # separately would cost two pool-wide barrier broadcasts.
-                cache_snapshot, scoring_snapshot = executor.stats()
-                if cache_snapshot is not None:
-                    ctx.emit(cache_snapshot)
-                ctx.emit(scoring_snapshot)
-                ctx.emit(
-                    IterationFinished(
-                        index=iteration + 1,
-                        samples_per_bucket=n_samples,
-                        segment_count=len(working),
-                        bucket_count=len(ranking),
-                        kept=len(survivors),
-                        best_distance=(
-                            state.best.distance
-                            if state.best is not None
-                            else float("inf")
-                        ),
-                        handlers_scored=state.handlers_scored,
-                        elapsed_seconds=time.perf_counter() - started,
-                    )
-                )
-                finished = len(pool.buckets) == 1 or pool.exhausted
-                if not finished:
-                    n_samples *= config.sample_growth
-                    keep = max(keep // 2, 1)
-                    segment_count += config.segment_growth
-                # Checkpoint at the iteration boundary: the decision log
-                # plus the *next* schedule values (unchanged when the
-                # loop is done — the exhaustive pass reads them).
-                write_checkpoint(finished)
-                if out_of_time():
-                    note_budget("refinement")
-                    break
-                if finished:
-                    break
+                        wave_quarantined = reply.quarantined
+                        for result in reply.grouped[0]:
+                            state.observe(result, 1)
+                    if out_of_time():
+                        note_budget("exhaustive")
+                        break
 
-        # Final exhaustive pass over the surviving bucket(s), within the cap.
-        if not out_of_time():
-            with ctx.timer("exhaustive"):
-                working = _working_set(
-                    segments, segment_count, config.seed + config.max_iterations
-                )
-                already = {
-                    bucket.key: len(bucket.drawn) for bucket in pool.live
-                }
-                pool.draw(
-                    config.exhaustive_cap,
-                    max_steps=40 * config.exhaustive_cap,
-                )
-                state.sketches_drawn = pool.generated
-                live = list(pool.live)
-                fresh_groups = [
-                    bucket.drawn[already.get(bucket.key, 0) :]
-                    for bucket in live
-                ]
-                if config.fused_scheduling:
-                    if any(fresh_groups):
-                        grouped = executor.score_grouped(
-                            fresh_groups, working, deadline=deadline
-                        )
-                        for results in grouped:
-                            for result in results:
-                                state.observe(result, 1)
-                        if out_of_time():
-                            note_budget("exhaustive")
-                else:
-                    for fresh in fresh_groups:
-                        if fresh:
-                            results = executor.score(
-                                fresh, working, deadline=deadline
-                            )
-                            for result in results:
-                                state.observe(result, 1)
-                        if out_of_time():
-                            note_budget("exhaustive")
-                            break
-    finally:
-        # ``close`` is idempotent and this block runs on every exit path,
-        # so an exception mid-run can never leak worker processes.
-        final_stats, final_scoring = executor.stats()
-        run_quarantine = prior_quarantine + list(executor.quarantined)
-        pool_rebuilds = getattr(executor, "pool_rebuilds", 0)
-        degraded = bool(getattr(executor, "degraded", False))
-        executor.close()
-
+    # One last telemetry snapshot while the executor is still bound (the
+    # driver closes it when this generator returns or raises).
+    snapshot = yield StatsRequest(final=True)
+    run_quarantine = prior_quarantine + list(snapshot.quarantined)
     if state.best is None:
         raise SynthesisError("no handler was scored")
-    if final_stats is not None:
-        ctx.emit(final_stats)
-    ctx.emit(final_scoring)
+    if snapshot.cache is not None:
+        ctx.emit(snapshot.cache)
+    if snapshot.scoring is not None:
+        ctx.emit(snapshot.scoring)
     result = SynthesisResult(
         best=state.best,
         dsl_name=dsl.name,
@@ -540,8 +597,8 @@ def synthesize(
         total_sketches_drawn=state.sketches_drawn,
         elapsed_seconds=time.perf_counter() - started,
         quarantined=tuple(run_quarantine),
-        pool_rebuilds=pool_rebuilds,
-        degraded=degraded,
+        pool_rebuilds=snapshot.pool_rebuilds,
+        degraded=snapshot.degraded,
     )
     ctx.emit(
         RunFinished(
@@ -554,3 +611,89 @@ def synthesize(
         )
     )
     return result
+
+
+def drive(core) -> Any:
+    """Run a re-entrant core to completion against a private executor.
+
+    The blocking half of the wave protocol: answers ``ScorerReady`` by
+    building the executor the config asked for, services every
+    ``WaveRequest`` with the matching executor call (one
+    ``score_grouped`` when fused, ``score`` per group otherwise), and
+    snapshots executor telemetry for ``StatsRequest``.  The executor is
+    closed on every exit path, so an exception mid-run can never leak
+    worker processes.  ``drive(synthesize_core(...))`` is bit-identical
+    — results, events, checkpoints — to the pre-protocol inline loop.
+    """
+    executor = None
+    reply = None
+    try:
+        while True:
+            try:
+                request = core.send(reply)
+            except StopIteration as stop:
+                return stop.value
+            reply = None
+            if isinstance(request, ScorerReady):
+                executor = make_executor(
+                    request.scorer,
+                    request.workers,
+                    context=request.context,
+                    policy=SupervisionPolicy(
+                        max_pool_rebuilds=request.max_pool_rebuilds
+                    ),
+                    watchdog_seconds=request.watchdog_seconds,
+                    fault_plan=request.fault_plan,
+                )
+            elif isinstance(request, WaveRequest):
+                if request.fused:
+                    grouped = executor.score_grouped(
+                        request.groups,
+                        request.segments,
+                        deadline=request.deadline,
+                        min_results=request.min_results,
+                    )
+                else:
+                    grouped = [
+                        executor.score(
+                            group,
+                            request.segments,
+                            deadline=request.deadline,
+                            min_results=request.min_results,
+                        )
+                        for group in request.groups
+                    ]
+                reply = WaveReply(
+                    grouped=tuple(grouped),
+                    quarantined=tuple(executor.quarantined),
+                )
+            elif isinstance(request, StatsRequest):
+                cache, scoring = executor.stats()
+                reply = ExecutorSnapshot(
+                    cache=cache,
+                    scoring=scoring,
+                    quarantined=tuple(executor.quarantined),
+                    pool_rebuilds=getattr(executor, "pool_rebuilds", 0),
+                    degraded=bool(getattr(executor, "degraded", False)),
+                )
+            # ProgressReport (and any future beacon) needs no reply.
+    finally:
+        if executor is not None:
+            executor.close()
+
+
+def synthesize(
+    segments: list[TraceSegment],
+    dsl: DslSpec,
+    config: SynthesisConfig | None = None,
+    *,
+    context: RunContext | None = None,
+) -> SynthesisResult:
+    """Run the full refinement loop; return the best handler found.
+
+    *context* receives the run's telemetry; omitting it runs silently
+    (a fresh sink-less :class:`RunContext` is used for phase timing).
+    The blocking wrapper over :func:`synthesize_core`: one private
+    executor, one run, bit-identical to the historical inline loop.
+    """
+    return drive(synthesize_core(segments, dsl, config, context=context))

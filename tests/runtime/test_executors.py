@@ -369,3 +369,111 @@ def test_pooled_stats_single_broadcast(sketches, reno_segments, monkeypatch):
     assert calls == [None]
     assert cache is not None and cache.lookups > 0
     assert scoring.batched_waves == len(sketches)
+
+
+# ------------------------------------------------------- lifecycle (service)
+
+
+def test_pooled_close_then_reuse_across_runs(sketches, reno_segments):
+    """close() is a clean seam between sequential runs: the next score
+    respawns a pool without counting it as a crash rebuild."""
+    collector = CollectorSink()
+    ctx = RunContext([collector])
+    pooled = PooledExecutor(_scorer(), 2, context=ctx)
+    working = reno_segments[:2]
+    first = pooled.score(sketches, working)
+    pooled.close()
+    pooled.close()  # idempotent
+    second = pooled.score(sketches, working)
+    pooled.close()
+    assert [r.distance for r in second] == pytest.approx(
+        [r.distance for r in first]
+    )
+    assert pooled.pools_spawned == 2
+    assert pooled.pool_rebuilds == 0  # planned respawns are not faults
+    assert len(collector.of_kind("pool_spawned")) == 2
+
+
+def test_pooled_reset_stats_isolates_sequential_runs(sketches, reno_segments):
+    from repro.runtime.cache import ScoreCache as _Cache
+
+    with PooledExecutor(_scorer(cache=_Cache()), 2) as pooled:
+        working = reno_segments[:2]
+        pooled.score(sketches, working)
+        cache, scoring = pooled.stats()
+        assert cache.lookups > 0
+        assert scoring.batched_waves > 0
+        pooled.reset_stats()
+        cache, scoring = pooled.stats()
+        assert cache is not None and cache.lookups == 0
+        assert scoring.batched_waves == 0
+        # Cache *contents* survive the counter reset (only counters
+        # zero): the entries gauge is still populated after rescoring.
+        # (Hit counts are not asserted here — task->worker placement is
+        # nondeterministic, so a task may miss a peer worker's cache.)
+        pooled.score(sketches, working)
+        cache, _ = pooled.stats()
+        assert cache.entries > 0
+        assert cache.lookups > 0
+
+
+def test_serial_reset_stats_zeroes_counters(sketches, reno_segments):
+    from repro.runtime.cache import ScoreCache as _Cache
+
+    executor = SerialExecutor(_scorer(cache=_Cache()))
+    executor.score(sketches, reno_segments[:1])
+    assert executor.cache_stats().lookups > 0
+    executor.reset_stats()
+    assert executor.cache_stats().lookups == 0
+    assert executor.scoring_stats().batched_waves == 0
+    # Contents survive the counter reset: rescoring the same wave in
+    # one process hits every entry the first run populated.
+    executor.score(sketches, reno_segments[:1])
+    assert executor.cache_stats().hits >= len(sketches)
+    assert executor.cache_stats().misses == 0
+
+
+def test_pooled_adopt_scorer_switches_jobs(sketches, reno_segments):
+    """Adopting a new scorer redirects scoring without a new pool, and
+    stats aggregate across every scorer the pool has served."""
+    collector = CollectorSink()
+    ctx = RunContext([collector])
+    working = reno_segments[:2]
+    first_scorer = _scorer()
+    second_scorer = Scorer(
+        constant_pool=(0.25, 2.0), completion_cap=4, cache=None
+    )
+    with PooledExecutor(first_scorer, 2, context=ctx) as pooled:
+        baseline = pooled.score(sketches, working)
+        pooled.adopt_scorer(second_scorer)
+        adopted = pooled.score(sketches, working)
+        pooled.adopt_scorer(first_scorer)
+        back = pooled.score(sketches, working)
+    expected = SerialExecutor(
+        Scorer(constant_pool=(0.25, 2.0), completion_cap=4, cache=None)
+    ).score(sketches, working)
+    assert [r.distance for r in adopted] == pytest.approx(
+        [r.distance for r in expected]
+    )
+    assert [r.distance for r in back] == pytest.approx(
+        [r.distance for r in baseline]
+    )
+    assert pooled.pools_spawned == 1  # adoption never respawns
+    assert len(collector.of_kind("pool_spawned")) == 1
+
+
+def test_pooled_adopt_same_config_skips_broadcast(sketches, reno_segments):
+    """Two scorers with identical config share one worker install."""
+    collector = CollectorSink()
+    ctx = RunContext([collector])
+    with PooledExecutor(_scorer(), 2, context=ctx) as pooled:
+        working = reno_segments[:2]
+        first = pooled.score(sketches, working)
+        pooled.adopt_scorer(_scorer())  # identical config
+        second = pooled.score(sketches, working)
+    assert [r.distance for r in second] == pytest.approx(
+        [r.distance for r in first]
+    )
+    # Same segments + same config: the second wave needed no re-prime,
+    # so the epoch (segments_primed count) did not move.
+    assert len(collector.of_kind("segments_primed")) == 1

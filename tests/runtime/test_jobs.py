@@ -1,0 +1,100 @@
+"""Job queue ordering and the anytime-answer result store."""
+
+import json
+import math
+
+from repro.runtime.jobs import Job, JobQueue, JobState, ResultStore
+
+
+def _job(job_id, priority=0):
+    return Job(job_id=job_id, source=lambda: iter(()), priority=priority)
+
+
+# -------------------------------------------------------------------- queue
+
+
+def test_queue_orders_by_priority_then_fifo():
+    queue = JobQueue()
+    queue.push(_job("low", priority=0))
+    queue.push(_job("high", priority=5))
+    queue.push(_job("mid", priority=2))
+    queue.push(_job("high2", priority=5))
+    order = [queue.pop().job_id for _ in range(4)]
+    assert order == ["high", "high2", "mid", "low"]
+
+
+def test_queue_len_and_truthiness():
+    queue = JobQueue()
+    assert not queue and len(queue) == 0
+    queue.push(_job("a"))
+    assert queue and len(queue) == 1
+    queue.pop()
+    assert not queue
+
+
+# ----------------------------------------------------------------- snapshot
+
+
+def test_snapshot_maps_infinite_distance_to_none():
+    job = _job("fresh")
+    snap = job.snapshot()
+    assert snap["best_distance"] is None
+    assert snap["state"] == "pending"
+    job.best_distance = 1.25
+    job.state = JobState.COMPLETED
+    snap = job.snapshot()
+    assert snap["best_distance"] == 1.25
+    assert snap["state"] == "completed"
+    assert math.isinf(job.best_distance) is False
+
+
+# -------------------------------------------------------------------- store
+
+
+def test_store_latest_returns_newest_snapshot(tmp_path):
+    store = ResultStore(str(tmp_path))
+    job = _job("alpha")
+    store.update(job)
+    job.state = JobState.RUNNING
+    job.best_distance = 3.0
+    store.update(job)
+    latest = store.latest("alpha")
+    assert latest["state"] == "running"
+    assert latest["best_distance"] == 3.0
+
+
+def test_store_latest_skips_torn_tail(tmp_path):
+    store = ResultStore(str(tmp_path))
+    job = _job("beta")
+    job.best_distance = 2.0
+    store.update(job)
+    with open(store._path("beta"), "a", encoding="utf-8") as handle:
+        handle.write('{"job_id": "beta", "state": "runn')  # kill mid-write
+    latest = store.latest("beta")
+    assert latest["best_distance"] == 2.0
+
+
+def test_store_missing_job_is_none(tmp_path):
+    store = ResultStore(str(tmp_path))
+    assert store.latest("nope") is None
+
+
+def test_store_all_latest_covers_every_job(tmp_path):
+    store = ResultStore(str(tmp_path))
+    for name in ("a", "b"):
+        store.update(_job(name))
+    snapshots = store.all_latest()
+    assert sorted(snapshots) == ["a", "b"]
+    assert all(snap["state"] == "pending" for snap in snapshots.values())
+
+
+def test_store_lines_are_complete_json_documents(tmp_path):
+    store = ResultStore(str(tmp_path))
+    job = _job("gamma")
+    store.update(job)
+    job.iterations_done = 1
+    store.update(job)
+    with open(store._path("gamma"), "r", encoding="utf-8") as handle:
+        lines = handle.read().splitlines()
+    assert len(lines) == 2
+    assert [json.loads(line)["iterations_done"] for line in lines] == [0, 1]

@@ -1,0 +1,145 @@
+"""Checkpoint leases: expiring exclusive ownership with an injected clock."""
+
+import json
+import os
+
+from repro.runtime.checkpoint import (
+    DEFAULT_LEASE_TTL,
+    CheckpointLease,
+    lease_path,
+    read_lease,
+)
+
+
+class FakeClock:
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def _lease(tmp_path, owner, clock, ttl=10.0):
+    return CheckpointLease(
+        str(tmp_path / "job.jsonl"), owner, ttl, clock=clock
+    )
+
+
+def test_acquire_on_absent_lease(tmp_path):
+    clock = FakeClock()
+    lease = _lease(tmp_path, "a", clock)
+    assert lease.acquire()
+    assert lease.held
+    assert lease.displaced is None
+    state = read_lease(lease.path)
+    assert state.owner == "a"
+    assert state.ttl_seconds == 10.0
+    assert not state.expired(clock())
+
+
+def test_fresh_foreign_lease_blocks_without_steal(tmp_path):
+    clock = FakeClock()
+    assert _lease(tmp_path, "a", clock).acquire()
+    other = _lease(tmp_path, "b", clock)
+    assert not other.acquire()
+    assert not other.held
+    assert read_lease(other.path).owner == "a"  # untouched
+
+
+def test_steal_displaces_fresh_owner(tmp_path):
+    clock = FakeClock()
+    assert _lease(tmp_path, "a", clock).acquire()
+    thief = _lease(tmp_path, "b", clock)
+    assert thief.acquire(steal=True)
+    assert thief.displaced == "a"
+    assert read_lease(thief.path).owner == "b"
+
+
+def test_expired_lease_acquirable_without_steal(tmp_path):
+    clock = FakeClock()
+    assert _lease(tmp_path, "a", clock, ttl=10.0).acquire()
+    clock.advance(10.0)  # boundary counts as expired
+    successor = _lease(tmp_path, "b", clock, ttl=10.0)
+    assert successor.acquire()
+    assert successor.displaced == "a"
+
+
+def test_renew_extends_the_ttl_window(tmp_path):
+    clock = FakeClock()
+    holder = _lease(tmp_path, "a", clock, ttl=10.0)
+    assert holder.acquire()
+    clock.advance(8.0)
+    holder.renew()
+    clock.advance(8.0)  # 16s since acquire, 8s since renew
+    contender = _lease(tmp_path, "b", clock, ttl=10.0)
+    assert not contender.acquire()
+    state = read_lease(holder.path)
+    assert state.renewed_at > state.acquired_at
+
+
+def test_renew_without_hold_is_noop(tmp_path):
+    clock = FakeClock()
+    lease = _lease(tmp_path, "a", clock)
+    lease.renew()
+    assert read_lease(lease.path) is None
+
+
+def test_reacquire_own_lease_is_not_a_steal(tmp_path):
+    clock = FakeClock()
+    lease = _lease(tmp_path, "a", clock)
+    assert lease.acquire()
+    again = _lease(tmp_path, "a", clock)
+    assert again.acquire()
+    assert again.displaced is None
+
+
+def test_release_removes_file_and_is_idempotent(tmp_path):
+    clock = FakeClock()
+    lease = _lease(tmp_path, "a", clock)
+    assert lease.acquire()
+    lease.release()
+    assert not lease.held
+    assert not os.path.exists(lease.path)
+    lease.release()  # second release: no error
+    os.makedirs(tmp_path / "gone", exist_ok=True)
+
+
+def test_release_survives_missing_file(tmp_path):
+    clock = FakeClock()
+    lease = _lease(tmp_path, "a", clock)
+    assert lease.acquire()
+    os.remove(lease.path)
+    lease.release()
+    assert not lease.held
+
+
+def test_corrupt_lease_reads_as_absent(tmp_path):
+    clock = FakeClock()
+    path = lease_path(str(tmp_path / "job.jsonl"))
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write('{"owner": ')  # torn write
+    assert read_lease(path) is None
+    lease = _lease(tmp_path, "b", clock)
+    assert lease.acquire()  # crashed writer's garbage never blocks
+
+
+def test_lease_file_is_json_with_expected_fields(tmp_path):
+    clock = FakeClock()
+    lease = _lease(tmp_path, "a", clock)
+    assert lease.acquire()
+    with open(lease.path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    assert set(payload) == {
+        "owner",
+        "acquired_at",
+        "renewed_at",
+        "ttl_seconds",
+    }
+
+
+def test_default_ttl_applies(tmp_path):
+    lease = CheckpointLease(str(tmp_path / "c.jsonl"), "a")
+    assert lease.ttl_seconds == DEFAULT_LEASE_TTL

@@ -211,3 +211,94 @@ def test_run_summary_triage_and_quorum_lines():
 
 def test_run_summary_silent_without_triage():
     assert "triage" not in format_run_summary([])
+
+
+def _fleet_events():
+    from repro.runtime.events import (
+        JobCompleted,
+        JobFailed,
+        JobPreempted,
+        JobProgress,
+        JobStarted,
+        JobSubmitted,
+        LeaseStolen,
+    )
+
+    return [
+        JobSubmitted(job_id="alpha", priority=5),
+        JobSubmitted(job_id="beta", priority=0),
+        JobStarted(job_id="alpha", resumed=True),
+        JobStarted(job_id="beta", resumed=False),
+        LeaseStolen(job_id="alpha", path="a.lease", previous_owner="dead"),
+        JobPreempted(job_id="alpha", phase="refinement", groups_remaining=2),
+        JobPreempted(job_id="beta", phase="refinement", groups_remaining=1),
+        JobProgress(
+            job_id="alpha",
+            iteration=1,
+            best_distance=4.5,
+            expression="cwnd + mss",
+            handlers_scored=40,
+        ),
+        JobCompleted(
+            job_id="alpha",
+            best_distance=4.25,
+            expression="cwnd + mss",
+            iterations=2,
+            handlers_scored=80,
+            waves=6,
+        ),
+        JobFailed(job_id="beta", error="ValueError: bad trace"),
+    ]
+
+
+def test_fleet_rollup_aggregates_job_events():
+    from repro.reporting import fleet_rollup
+
+    rollup = fleet_rollup(_fleet_events())
+    assert rollup["submitted"] == 2
+    assert rollup["completed"] == 1
+    assert rollup["failed"] == 1
+    assert rollup["resumed"] == 1
+    assert rollup["preemptions"] == 2
+    assert rollup["leases_stolen"] == 1
+    alpha = rollup["jobs"]["alpha"]
+    assert alpha["priority"] == 5
+    assert alpha["state"] == "completed"
+    assert alpha["resumed"] is True
+    assert alpha["best_distance"] == 4.25
+    assert alpha["expression"] == "cwnd + mss"
+    assert alpha["waves"] == 6
+    beta = rollup["jobs"]["beta"]
+    assert beta["state"] == "failed"
+    assert beta["error"] == "ValueError: bad trace"
+
+
+def test_fleet_rollup_none_without_job_events():
+    from repro.reporting import fleet_rollup
+    from repro.runtime.events import PoolSpawned
+
+    assert fleet_rollup([]) is None
+    assert fleet_rollup([PoolSpawned(workers=2)]) is None
+
+
+def test_run_summary_renders_fleet_section():
+    text = format_run_summary(_fleet_events())
+    assert "fleet:  2 job(s) submitted" in text
+    assert "1 completed" in text
+    assert "1 failed" in text
+    assert "1 resumed" in text
+    assert "2 preemption(s)" in text
+    assert "1 lease(s) stolen" in text
+    assert "fleet jobs" in text
+    lines = text.splitlines()
+    alpha_row = next(line for line in lines if line.startswith("alpha"))
+    assert "completed" in alpha_row and "4.250" in alpha_row
+    beta_row = next(line for line in lines if line.startswith("beta"))
+    assert "failed" in beta_row and "-" in beta_row
+
+
+def test_run_summary_silent_without_fleet_events():
+    from repro.runtime.events import PoolSpawned
+
+    text = format_run_summary([PoolSpawned(workers=2)])
+    assert "fleet" not in text
