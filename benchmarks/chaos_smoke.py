@@ -1,0 +1,211 @@
+#!/usr/bin/env python
+"""Chaos smoke: kill a subset of a three-server fleet, lose no work.
+
+CI's fast answer to "does the claim-loop fleet actually survive dead
+servers?":
+
+1. ``repro submit`` queues a two-job fleet into a fresh spool (traces
+   collected from the simulator, no fixture files);
+2. a **sequential reference** serve completes a twin spool start to
+   finish on one server — its result snapshots and checkpoint files are
+   the ground truth;
+3. three ``repro serve`` daemons share the chaos spool.  The first
+   (which claims every job before the peers boot) and the second carry
+   ``--exit-after-slices`` fault plans, so they die by ``os._exit(70)``
+   mid-run — no cleanup, no lease release, exactly like ``kill -9``.
+   The third runs no fault plan and must carry the fleet home;
+4. the checks: every job ends ``done`` with at least one takeover
+   charged, the served answers match the sequential reference exactly,
+   and each job's checkpoint file is **byte-identical** to the
+   reference run's — crash, heartbeat expiry, jittered takeover, and
+   resume may not move the refinement stream by a bit.
+
+Exit code 0 when every check passes; 1 with a per-case report
+otherwise.  Runs in a couple of minutes — this is a smoke test, not
+the full ``tests/test_fleet.py`` harness.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.cli import main as cli_main  # noqa: E402
+from repro.service import JobLedger, fleet_status, serve  # noqa: E402
+
+JOB_IDS = ("chaos-one", "chaos-two")
+DURATION = 8.0
+BANDWIDTH = 10.0
+RTT = 50.0
+
+SUBMIT_FLAGS = [
+    "--cca", "reno",
+    "--duration", str(DURATION),
+    "--bandwidth", str(BANDWIDTH),
+    "--rtt", str(RTT),
+    "--dsl", "reno",
+    "--max-depth", "3",
+    "--max-nodes", "4",
+    "--samples", "4",
+    "--keep", "3",
+    "--iterations", "2",
+]
+
+SERVE_FLAGS = [
+    "--quantum", "3",
+    "--lease-ttl", "1",
+    "--claim-interval", "0.2",
+    "--retry-backoff", "0.5",
+]
+
+
+def submit_fleet(spool: str) -> list[str]:
+    failures: list[str] = []
+    for job_id in JOB_IDS:
+        code = cli_main(
+            ["submit", "--spool", spool, "--job-id", job_id, *SUBMIT_FLAGS]
+        )
+        if code != 0:
+            failures.append(f"submit {job_id}: exit {code}")
+    return failures
+
+
+def spawn_server(spool: str, server_id: str, *extra: str):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [str(REPO_ROOT / "src"), env.get("PYTHONPATH")])
+    )
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--spool", spool, "--server-id", server_id,
+            *SERVE_FLAGS, *extra,
+        ],
+        cwd=REPO_ROOT,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+
+
+def run_chaos_fleet(spool: str) -> tuple[int, list[str]]:
+    first = spawn_server(spool, "s1", "--exit-after-slices", "3")
+    time.sleep(0.5)  # s1 claims every job before the peers boot
+    second = spawn_server(spool, "s2", "--exit-after-slices", "3")
+    third = spawn_server(spool, "s3")
+    failures: list[str] = []
+    codes = {}
+    for name, proc in (("s1", first), ("s2", second), ("s3", third)):
+        out, err = proc.communicate(timeout=300)
+        codes[name] = proc.returncode
+        del out
+        if name == "s1" and proc.returncode != 70:
+            failures.append(
+                f"s1: exit {proc.returncode}, expected the injected kill "
+                f"(70) (stderr: {err.strip()[:200]})"
+            )
+        if name == "s2" and proc.returncode not in (0, 70):
+            failures.append(
+                f"s2: exit {proc.returncode} "
+                f"(stderr: {err.strip()[:200]})"
+            )
+        if name == "s3" and proc.returncode != 0:
+            failures.append(
+                f"s3 (the survivor): exit {proc.returncode} "
+                f"(stderr: {err.strip()[:200]})"
+            )
+    print(f"chaos fleet exits: {json.dumps(codes)}")
+    killed = sum(1 for code in codes.values() if code == 70)
+    return killed, failures
+
+
+def check_recovery(reference: str, chaos: str, ref_snaps: dict) -> list[str]:
+    failures: list[str] = []
+    ledger = JobLedger(os.path.join(chaos, "state"))
+    status = fleet_status(chaos)
+    for job_id in JOB_IDS:
+        record = ledger.read(job_id)
+        if record.state != "done":
+            failures.append(
+                f"{job_id}: ledger state {record.state!r}, expected done "
+                f"({record.last_failure or 'no failure recorded'})"
+            )
+            continue
+        if record.crashes < 1:
+            failures.append(
+                f"{job_id}: no takeover charged — both jobs were in "
+                "flight on s1 when it died"
+            )
+        snap = status["jobs"][job_id]
+        ref = ref_snaps[job_id]
+        if snap["best_expression"] != ref["best_expression"]:
+            failures.append(
+                f"{job_id}: expression diverged from the sequential "
+                f"reference ({snap['best_expression']!r} vs "
+                f"{ref['best_expression']!r})"
+            )
+        if abs(snap["best_distance"] - ref["best_distance"]) > 1e-9:
+            failures.append(
+                f"{job_id}: distance diverged from the sequential "
+                f"reference ({snap['best_distance']!r} vs "
+                f"{ref['best_distance']!r})"
+            )
+        ref_ckpt = os.path.join(reference, "checkpoints", f"{job_id}.jsonl")
+        chaos_ckpt = os.path.join(chaos, "checkpoints", f"{job_id}.jsonl")
+        with open(ref_ckpt, "rb") as handle:
+            ref_bytes = handle.read()
+        with open(chaos_ckpt, "rb") as handle:
+            chaos_bytes = handle.read()
+        if chaos_bytes != ref_bytes:
+            failures.append(
+                f"{job_id}: checkpoint stream diverged "
+                f"({len(chaos_bytes)} vs {len(ref_bytes)} bytes)"
+            )
+    return failures
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as tmp:
+        reference = os.path.join(tmp, "reference")
+        chaos = os.path.join(tmp, "chaos")
+        failures = submit_fleet(reference) + submit_fleet(chaos)
+        ref_snaps: dict = {}
+        if not failures:
+            ref_snaps = serve(reference, quantum_tasks=3)
+            for job_id in JOB_IDS:
+                state = ref_snaps.get(job_id, {}).get("state")
+                if state != "completed":
+                    failures.append(
+                        f"reference serve: {job_id} ended {state!r}"
+                    )
+        killed = 0
+        if not failures:
+            killed, chaos_failures = run_chaos_fleet(chaos)
+            failures += chaos_failures
+        if not failures:
+            failures += check_recovery(reference, chaos, ref_snaps)
+    if failures:
+        print(f"CHAOS SMOKE: {len(failures)} failure(s)")
+        for line in failures:
+            print(f"  {line}")
+        return 1
+    print(
+        f"CHAOS SMOKE OK: {killed} of 3 fleet servers killed mid-run; "
+        "survivors took every job over within one lease TTL and "
+        "finished the fleet with results and checkpoints byte-identical "
+        "to the sequential reference"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,10 +18,14 @@ Commands
                 the chosen policy (collection-campaign QA).
 ``submit``      enqueue a reverse-engineering job spec into a spool
                 directory (see ``serve``).
-``serve``       run every queued job in a spool through one shared
-                scheduler + scoring pool; resumes in-flight jobs from
-                their checkpoints after a crash (synthesis-as-a-service,
-                see ``docs/SERVICE.md``).
+``serve``       run a claim-loop fleet server over a spool: claims
+                queued jobs via heartbeat leases, takes over jobs from
+                dead peers, retries crash-looping jobs under a budget
+                and quarantines the rest (synthesis-as-a-service; any
+                number of serve daemons may share one spool — see
+                ``docs/SERVICE.md``).
+``fleet-status``read-only view of a spool: per-job state machine,
+                retry counts, lease holders, per-server health.
 ``zoo``         list every registered CCA.
 
 Examples
@@ -380,12 +384,80 @@ def build_parser() -> argparse.ArgumentParser:
         help="fleet summary format",
     )
     serve.add_argument(
+        "--server-id",
+        default=None,
+        metavar="NAME",
+        help="stable identity for leases and the job ledger "
+        "(default: serve-<pid>)",
+    )
+    serve.add_argument(
+        "--claim-interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="seconds between claim scans of the spool queue "
+        "(default: 1)",
+    )
+    serve.add_argument(
+        "--max-job-retries",
+        type=int,
+        default=3,
+        metavar="N",
+        help="restarts allowed for a job that keeps killing its server "
+        "before it is quarantined (default: 3)",
+    )
+    serve.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="base of the exponential backoff applied to crash retries "
+        "(default: 2)",
+    )
+    serve.add_argument(
+        "--drain-on-sigterm",
+        action="store_true",
+        help="on SIGTERM finish the slice in flight, requeue unfinished "
+        "jobs, release leases, and exit 0 (graceful drain)",
+    )
+    serve.add_argument(
         "--exit-after-slices",
         type=int,
         default=None,
         metavar="N",
         help="fault injection: die without cleanup (exit 70) after N "
         "wave slices — exercises lease takeover and resume",
+    )
+    serve.add_argument(
+        "--poison-job",
+        action="append",
+        default=None,
+        metavar="JOB_ID",
+        help="fault injection: kill the server (exit 70, no cleanup) "
+        "whenever this job reaches --poison-after-slices dispatched "
+        "slices; repeatable — exercises retry budgets and quarantine",
+    )
+    serve.add_argument(
+        "--poison-after-slices",
+        type=int,
+        default=1,
+        metavar="N",
+        help="slices a --poison-job runs before the injected kill "
+        "(default: 1)",
+    )
+
+    fleet_status_cmd = commands.add_parser(
+        "fleet-status",
+        help="inspect a spool without claiming: job states, retries, "
+        "lease holders, server health",
+    )
+    fleet_status_cmd.add_argument(
+        "--spool", required=True, help="spool directory (see 'submit')"
+    )
+    fleet_status_cmd.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one JSON status document instead of text",
     )
 
     race = commands.add_parser(
@@ -628,8 +700,11 @@ def _cmd_submit(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
     from repro.reporting import fleet_rollup
-    from repro.service import serve
+    from repro.runtime.faults import ServiceFaultPlan
+    from repro.service import FleetServer
 
     collector = CollectorSink()
     sinks: list = [collector]
@@ -642,18 +717,36 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         sinks.append(JsonlSink(args.run_log))
     if args.progress:
         sinks.append(ConsoleProgressSink())
+    fault_plan = None
+    if args.exit_after_slices is not None or args.poison_job:
+        fault_plan = ServiceFaultPlan.make(
+            kill_after_slices=args.exit_after_slices,
+            poison_jobs=args.poison_job or (),
+            poison_after_slices=args.poison_after_slices,
+        )
     with RunContext(sinks) as context:
-        snapshots = serve(
+        server = FleetServer(
             args.spool,
+            server_id=args.server_id,
             workers=args.workers,
             quantum_tasks=args.quantum,
             steal_leases=args.steal_leases,
             lease_ttl_seconds=args.lease_ttl,
+            claim_interval_seconds=args.claim_interval,
+            max_job_retries=args.max_job_retries,
+            retry_backoff_seconds=args.retry_backoff,
             context=context,
-            exit_after_slices=args.exit_after_slices,
+            fault_plan=fault_plan,
         )
+        if args.drain_on_sigterm:
+            signal.signal(
+                signal.SIGTERM, lambda *_: server.request_drain()
+            )
+        snapshots = server.run()
     failed = sum(
-        1 for snap in snapshots.values() if snap.get("state") == "failed"
+        1
+        for snap in snapshots.values()
+        if snap.get("state") in ("failed", "quarantined")
     )
     if args.report == "json":
         print(
@@ -679,6 +772,52 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 print(f"{job_id}: {state} ({snap.get('error') or 'pending'})")
         print(format_run_summary(collector.events))
     return 1 if failed else 0
+
+
+def _cmd_fleet_status(args: argparse.Namespace) -> int:
+    from repro.service import fleet_status
+
+    status = fleet_status(args.spool)
+    if args.json:
+        print(json.dumps(status))
+        return 0
+    states = status["states"]
+    total = sum(states.values())
+    summary = ", ".join(
+        f"{states[state]} {state}" for state in sorted(states)
+    )
+    print(
+        f"spool {status['spool']}: {total} job(s)"
+        + (f" ({summary})" if summary else "")
+    )
+    for job_id, info in sorted(status["jobs"].items()):
+        lease = info["lease"]
+        held = "-"
+        if lease is not None:
+            mark = "expired" if lease["expired"] else "live"
+            held = (
+                f"{lease['owner']} ({mark}, "
+                f"hb {lease['age_seconds']:.1f}s ago)"
+            )
+        distance = info["best_distance"]
+        rendered = "-" if distance is None else f"{distance:.3f}"
+        print(
+            f"  {job_id}: {info['state']} attempts={info['attempts']} "
+            f"crashes={info['crashes']} distance={rendered} lease={held}"
+        )
+        failure = info["last_failure"]
+        if failure:
+            print(
+                f"    last failure: {failure.get('reason')}: "
+                f"{failure.get('detail')}"
+            )
+    for server, info in sorted(status["servers"].items()):
+        mark = "live" if info["live"] else "dead"
+        print(
+            f"  server {server}: {mark}, {len(info['jobs'])} job(s): "
+            f"{', '.join(info['jobs'])}"
+        )
+    return 0
 
 
 def _cmd_race(args: argparse.Namespace) -> int:
@@ -827,6 +966,7 @@ _COMMANDS = {
     "synthesize": _cmd_synthesize,
     "submit": _cmd_submit,
     "serve": _cmd_serve,
+    "fleet-status": _cmd_fleet_status,
     "race": _cmd_race,
     "stats": _cmd_stats,
     "validate": _cmd_validate,

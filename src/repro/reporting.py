@@ -17,19 +17,25 @@ from repro.runtime.events import (
     DegradedInputs,
     DegradedToSerial,
     Event,
+    HeartbeatMissed,
     IterationFinished,
     JobCompleted,
     JobFailed,
     JobPreempted,
     JobProgress,
+    JobQuarantined,
+    JobRetried,
     JobStarted,
     JobSubmitted,
+    JobTakenOver,
     LeaseStolen,
     PoolRebuilt,
     PoolSpawned,
     RunFinished,
     ScoringStats,
     SegmentsPrimed,
+    ServerDrained,
+    ServerStarted,
     SketchQuarantined,
     TraceRepairApplied,
     TraceTriaged,
@@ -111,6 +117,7 @@ def fleet_rollup(events: Iterable[Event]) -> dict | None:
     summary.
     """
     per_job: dict[str, dict] = {}
+    servers: dict[str, dict] = {}
     totals = {
         "submitted": 0,
         "completed": 0,
@@ -118,6 +125,11 @@ def fleet_rollup(events: Iterable[Event]) -> dict | None:
         "resumed": 0,
         "preemptions": 0,
         "leases_stolen": 0,
+        "heartbeats_missed": 0,
+        "takeovers": 0,
+        "retries": 0,
+        "quarantined": 0,
+        "drained": 0,
     }
 
     def job(job_id: str) -> dict:
@@ -134,7 +146,21 @@ def fleet_rollup(events: Iterable[Event]) -> dict | None:
                 "best_distance": None,
                 "expression": None,
                 "leases_stolen": 0,
+                "takeovers": 0,
+                "retries": 0,
+                "crashes": 0,
                 "error": None,
+            },
+        )
+
+    def server(name: str) -> dict:
+        return servers.setdefault(
+            name,
+            {
+                "state": "serving",
+                "jobs_taken_over": 0,
+                "jobs_released": 0,
+                "heartbeats_missed": 0,
             },
         )
 
@@ -173,9 +199,42 @@ def fleet_rollup(events: Iterable[Event]) -> dict | None:
         elif isinstance(event, LeaseStolen):
             totals["leases_stolen"] += 1
             job(event.job_id)["leases_stolen"] += 1
-    if not per_job:
+        elif isinstance(event, ServerStarted):
+            server(event.server)
+        elif isinstance(event, HeartbeatMissed):
+            totals["heartbeats_missed"] += 1
+            server(event.owner)["state"] = "dead"
+            server(event.owner)["heartbeats_missed"] += 1
+        elif isinstance(event, JobTakenOver):
+            totals["takeovers"] += 1
+            job(event.job_id)["takeovers"] += 1
+            server(event.server)["jobs_taken_over"] += 1
+            # The previous owner demonstrably stopped serving this job.
+            previous = server(event.previous_owner)
+            if previous["state"] == "serving":
+                previous["state"] = "displaced"
+        elif isinstance(event, JobRetried):
+            totals["retries"] += 1
+            entry = job(event.job_id)
+            entry["retries"] += 1
+            entry["crashes"] = event.crashes
+        elif isinstance(event, JobQuarantined):
+            totals["quarantined"] += 1
+            entry = job(event.job_id)
+            entry["state"] = "quarantined"
+            entry["crashes"] = event.crashes
+            entry["error"] = f"{event.reason}: {event.detail}"
+        elif isinstance(event, ServerDrained):
+            totals["drained"] += 1
+            entry = server(event.server)
+            entry["state"] = "drained"
+            entry["jobs_released"] += event.jobs_released
+    if not per_job and not servers:
         return None
-    return {**totals, "jobs": per_job}
+    rollup = {**totals, "jobs": per_job}
+    if servers:
+        rollup["servers"] = servers
+    return rollup
 
 
 def format_run_summary(events: Iterable[Event]) -> str:
@@ -202,7 +261,37 @@ def format_run_summary(events: Iterable[Event]) -> str:
         parts.append(f"{fleet['preemptions']} preemption(s)")
         if fleet["leases_stolen"]:
             parts.append(f"{fleet['leases_stolen']} lease(s) stolen")
+        if fleet["heartbeats_missed"]:
+            parts.append(
+                f"{fleet['heartbeats_missed']} heartbeat(s) missed"
+            )
+        if fleet["takeovers"]:
+            parts.append(f"{fleet['takeovers']} takeover(s)")
+        if fleet["retries"]:
+            parts.append(f"{fleet['retries']} retry(ies)")
+        if fleet["quarantined"]:
+            parts.append(f"{fleet['quarantined']} quarantined")
+        if fleet["drained"]:
+            parts.append(f"{fleet['drained']} server(s) drained")
         lines.append(f"fleet:  {', '.join(parts)}")
+        if fleet.get("servers"):
+            lines.append(
+                format_table(
+                    ("server", "state", "taken_over", "released",
+                     "hb_missed"),
+                    [
+                        (
+                            name,
+                            entry["state"],
+                            entry["jobs_taken_over"],
+                            entry["jobs_released"],
+                            entry["heartbeats_missed"],
+                        )
+                        for name, entry in sorted(fleet["servers"].items())
+                    ],
+                    title="fleet servers",
+                )
+            )
         lines.append(
             format_table(
                 ("job", "prio", "state", "resumed", "iters", "handlers",

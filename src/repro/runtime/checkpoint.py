@@ -25,6 +25,7 @@ diverging.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import time
@@ -39,6 +40,7 @@ if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
 __all__ = [
     "CHECKPOINT_VERSION",
     "DEFAULT_LEASE_TTL",
+    "DEFAULT_TAKEOVER_JITTER_FRACTION",
     "RefinementCheckpoint",
     "CheckpointWriter",
     "CheckpointLease",
@@ -46,14 +48,52 @@ __all__ = [
     "lease_path",
     "load_checkpoint",
     "read_lease",
+    "takeover_delay",
 ]
 
 CHECKPOINT_VERSION = 1
 
 #: Default seconds a lease stays exclusive without a renewal.  Renewals
-#: happen at iteration boundaries (seconds apart), so 30s distinguishes
-#: "scheduler mid-iteration" from "scheduler gone" with a wide margin.
+#: happen at every dispatched wave slice (the scheduler's heartbeat), so
+#: 30s distinguishes "scheduler mid-slice" from "scheduler gone" with a
+#: wide margin.
 DEFAULT_LEASE_TTL = 30.0
+
+#: Largest fraction of the TTL a server's jittered takeover backoff may
+#: add after a peer's lease expires.  Takeover therefore always begins
+#: within ``(1 + fraction) * ttl`` of the dead peer's last heartbeat.
+DEFAULT_TAKEOVER_JITTER_FRACTION = 0.25
+
+#: Seconds after which an abandoned ``.lease.lock`` (its holder crashed
+#: between creating and removing it) is unilaterally cleaned up.  Claim
+#: critical sections are a read + one small write — microseconds — so
+#: anything older is wreckage, not contention.
+_STALE_LOCK_SECONDS = 5.0
+
+
+def takeover_delay(
+    owner: str,
+    job_id: str,
+    ttl_seconds: float,
+    *,
+    max_fraction: float = DEFAULT_TAKEOVER_JITTER_FRACTION,
+) -> float:
+    """Deterministic per-(server, job) jitter before stealing an expired
+    lease.
+
+    When a server dies, every surviving peer notices the expiry on its
+    next claim scan at the same moment; if all of them immediately raced
+    to take over, N-1 would lose the race after burning a claim attempt
+    (thundering herd).  Spreading takeovers by a stable hash of
+    ``(owner, job_id)`` makes one server the de-facto first responder
+    per job — different jobs elect different responders — while staying
+    fully deterministic for tests (no RNG, no wall-clock seed).
+    """
+    digest = hashlib.sha256(
+        f"{owner}\x00{job_id}".encode("utf-8")
+    ).digest()
+    fraction = int.from_bytes(digest[:8], "big") / float(2**64)
+    return ttl_seconds * max_fraction * fraction
 
 
 @dataclass(frozen=True)
@@ -276,6 +316,14 @@ class CheckpointLease:
     took the lease from someone else — callers surface it as a
     ``lease_stolen`` event.  Writes go through the same temp-file +
     ``os.replace`` dance as checkpoints, so a torn lease is impossible.
+
+    The read-check-write inside ``acquire`` is serialized through a
+    short-lived ``<lease>.lock`` sentinel (``O_CREAT | O_EXCL``): two
+    servers racing for the same expired lease cannot both conclude they
+    won — the loser observes the winner's fresh lease and backs off.
+    A lock left behind by a crash mid-claim is reaped once it is older
+    than a few seconds (the critical section is one read plus one tiny
+    write), so a dead claimant never wedges the job.
     """
 
     def __init__(
@@ -302,25 +350,65 @@ class CheckpointLease:
             "renewed_at": self._clock(),
             "ttl_seconds": self.ttl_seconds,
         }
-        tmp = f"{self.path}.tmp"
+        tmp = f"{self.path}.tmp.{self.owner}"
         with open(tmp, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, sort_keys=True)
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp, self.path)
 
-    def acquire(self, *, steal: bool = False) -> bool:
-        """Take the lease; ``False`` iff a live foreign lease blocks it."""
-        current = read_lease(self.path)
-        self.displaced = None
-        if current is not None and current.owner != self.owner:
-            if not current.expired(self._clock()) and not steal:
-                return False
-            self.displaced = current.owner
-        self._acquired_at = self._clock()
-        self._write()
-        self.held = True
+    @property
+    def _lock_path(self) -> str:
+        return f"{self.path}.lock"
+
+    def _try_lock(self) -> bool:
+        """One attempt at the claim lock; reaps a stale leftover."""
+        try:
+            fd = os.open(
+                self._lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY
+            )
+        except FileExistsError:
+            try:
+                age = time.time() - os.path.getmtime(self._lock_path)
+            except OSError:
+                return False  # lock vanished mid-check: holder finished
+            if age > _STALE_LOCK_SECONDS:
+                try:  # crashed claimant: reap and retry next pass
+                    os.remove(self._lock_path)
+                except OSError:
+                    pass
+            return False
+        except OSError:
+            return False
+        os.close(fd)
         return True
+
+    def _unlock(self) -> None:
+        try:
+            os.remove(self._lock_path)
+        except OSError:
+            pass
+
+    def acquire(self, *, steal: bool = False) -> bool:
+        """Take the lease; ``False`` when a live foreign lease blocks it
+        or a concurrent claimant holds the claim lock (retry later)."""
+        if not self._try_lock():
+            # A renewal of our own lease never contends: only acquire
+            # takes the lock, and we would not re-acquire while held.
+            return False
+        try:
+            current = read_lease(self.path)
+            self.displaced = None
+            if current is not None and current.owner != self.owner:
+                if not current.expired(self._clock()) and not steal:
+                    return False
+                self.displaced = current.owner
+            self._acquired_at = self._clock()
+            self._write()
+            self.held = True
+            return True
+        finally:
+            self._unlock()
 
     def renew(self) -> None:
         """Refresh the TTL window; a no-op unless the lease is held."""
@@ -328,10 +416,18 @@ class CheckpointLease:
             self._write()
 
     def release(self) -> None:
-        """Drop the lease (missing file is fine: release is idempotent)."""
+        """Drop the lease (missing file is fine: release is idempotent).
+
+        Only removes the file while it still names us as owner — if a
+        peer already stole the lease, deleting it would silently release
+        *their* claim.
+        """
         if not self.held:
             return
         self.held = False
+        current = read_lease(self.path)
+        if current is not None and current.owner != self.owner:
+            return
         try:
             os.remove(self.path)
         except OSError:

@@ -44,6 +44,12 @@ __all__ = [
     "JobCompleted",
     "JobFailed",
     "LeaseStolen",
+    "ServerStarted",
+    "HeartbeatMissed",
+    "JobTakenOver",
+    "JobRetried",
+    "JobQuarantined",
+    "ServerDrained",
     "bucket_label",
     "event_payload",
 ]
@@ -371,6 +377,89 @@ class LeaseStolen(Event):
     job_id: str
     path: str
     previous_owner: str
+
+
+@dataclass(frozen=True)
+class ServerStarted(Event):
+    """A serve daemon began its claim loop over a spool."""
+
+    kind: ClassVar[str] = "server_started"
+    server: str
+    spool: str
+    workers: int
+
+
+@dataclass(frozen=True)
+class HeartbeatMissed(Event):
+    """A claim scan found a job whose lease owner stopped renewing.
+
+    Emitted once per (job, heartbeat) by the first scan that observes
+    the expiry; the observing server takes the job over after its
+    jittered backoff elapses.
+    """
+
+    kind: ClassVar[str] = "heartbeat_missed"
+    job_id: str
+    owner: str  #: the silent lease holder (the presumed-dead server)
+    age_seconds: float  #: seconds since the owner's last renewal
+    ttl_seconds: float
+
+
+@dataclass(frozen=True)
+class JobTakenOver(Event):
+    """A server claimed a job that was in flight on a dead peer."""
+
+    kind: ClassVar[str] = "job_taken_over"
+    job_id: str
+    server: str
+    previous_owner: str
+    attempts: int  #: lifetime starts of this job, this one included
+
+
+@dataclass(frozen=True)
+class JobRetried(Event):
+    """A job that previously crashed its server is being restarted.
+
+    ``crashes`` counts the server deaths charged to the job so far;
+    the restart waited out ``backoff_seconds`` of exponential backoff
+    (beyond the lease TTL + takeover jitter) before this attempt.
+    """
+
+    kind: ClassVar[str] = "job_retried"
+    job_id: str
+    server: str
+    attempts: int
+    crashes: int
+    backoff_seconds: float
+
+
+@dataclass(frozen=True)
+class JobQuarantined(Event):
+    """A job exhausted its retry budget and was parked, not re-run.
+
+    The fleet keeps serving every other job; the quarantined spec stays
+    in the spool with a structured last-failure reason for triage
+    (``repro fleet-status`` surfaces it).
+    """
+
+    kind: ClassVar[str] = "job_quarantined"
+    job_id: str
+    server: str  #: the server that made the quarantine decision
+    attempts: int
+    crashes: int
+    reason: str  #: stable machine code, e.g. "retry-budget-exhausted"
+    detail: str
+
+
+@dataclass(frozen=True)
+class ServerDrained(Event):
+    """A serve daemon finished a graceful drain (SIGTERM): current slice
+    completed, leases released, unfinished jobs requeued for peers."""
+
+    kind: ClassVar[str] = "server_drained"
+    server: str
+    jobs_released: int
+    slices_dispatched: int
 
 
 @dataclass(frozen=True)

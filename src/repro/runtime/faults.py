@@ -20,7 +20,18 @@ import time
 from dataclasses import dataclass
 from typing import Iterable
 
-__all__ = ["FaultInjected", "FaultPlan", "apply_sketch_faults"]
+__all__ = [
+    "FaultInjected",
+    "FaultPlan",
+    "ServiceFaultPlan",
+    "apply_sketch_faults",
+    "apply_service_faults",
+    "service_kill_due",
+]
+
+#: Exit code of a fault-plan server kill.  Distinct from any real error
+#: path so harnesses can assert the death was the injected one.
+SERVICE_KILL_EXIT_CODE = 70
 
 
 class FaultInjected(RuntimeError):
@@ -82,6 +93,90 @@ class FaultPlan:
 
     def is_empty(self) -> bool:
         return not (self.crash_on or self.hang_on or self.raise_on)
+
+
+@dataclass(frozen=True)
+class ServiceFaultPlan:
+    """Deterministic server-level failure injection for fleet chaos tests.
+
+    Where :class:`FaultPlan` breaks individual scoring tasks, this plan
+    kills the whole *server* — the scheduler process itself — exactly
+    like a SIGKILL: ``os._exit``, no cleanup, leases and partial
+    checkpoints left on disk.  The scheduler consults it after every
+    dispatched wave slice, so production code and chaos tests share one
+    mechanism (there is no test-only kill switch in the serve loop).
+
+    ``kill_after_slices`` dies once the server has dispatched that many
+    slices fleet-wide (the classic "server crashes mid-run").
+    ``poison_jobs`` models a *job* that kills its server: the process
+    dies once it has dispatched ``poison_after_slices`` slices of any
+    named job — every server that picks the job up dies the same way,
+    which is what drives the retry-budget/quarantine machinery.
+    """
+
+    kill_after_slices: int | None = None
+    poison_jobs: frozenset[str] = frozenset()
+    poison_after_slices: int = 1
+    exit_code: int = SERVICE_KILL_EXIT_CODE
+
+    @classmethod
+    def make(
+        cls,
+        *,
+        kill_after_slices: int | None = None,
+        poison_jobs: Iterable[str] = (),
+        poison_after_slices: int = 1,
+        exit_code: int = SERVICE_KILL_EXIT_CODE,
+    ) -> "ServiceFaultPlan":
+        return cls(
+            kill_after_slices=kill_after_slices,
+            poison_jobs=frozenset(str(job) for job in poison_jobs),
+            poison_after_slices=poison_after_slices,
+            exit_code=exit_code,
+        )
+
+    def is_empty(self) -> bool:
+        return self.kill_after_slices is None and not self.poison_jobs
+
+
+def service_kill_due(
+    plan: ServiceFaultPlan | None,
+    *,
+    job_id: str,
+    job_slices: int,
+    total_slices: int,
+) -> bool:
+    """Whether *plan* wants the server dead after this slice.
+
+    Pure predicate (no exit) so tests can pin the trigger arithmetic
+    without sacrificing a process; :func:`apply_service_faults` is the
+    lethal wrapper the scheduler calls.
+    """
+    if plan is None:
+        return False
+    if (
+        plan.kill_after_slices is not None
+        and total_slices >= plan.kill_after_slices
+    ):
+        return True
+    return (
+        job_id in plan.poison_jobs
+        and job_slices >= plan.poison_after_slices
+    )
+
+
+def apply_service_faults(
+    plan: ServiceFaultPlan | None,
+    *,
+    job_id: str,
+    job_slices: int,
+    total_slices: int,
+) -> None:
+    """Die by ``os._exit`` when *plan* says so — a simulated SIGKILL."""
+    if service_kill_due(
+        plan, job_id=job_id, job_slices=job_slices, total_slices=total_slices
+    ):
+        os._exit(plan.exit_code)
 
 
 def apply_sketch_faults(

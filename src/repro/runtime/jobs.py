@@ -32,6 +32,9 @@ class JobState(enum.Enum):
     RUNNING = "running"
     COMPLETED = "completed"
     FAILED = "failed"
+    #: Parked by the service layer after exhausting its retry budget
+    #: (a poison job that kept killing its server); never scheduled.
+    QUARANTINED = "quarantined"
 
 
 @dataclass
@@ -48,6 +51,11 @@ class Job:
     checkpoint_path: str | None = None
     #: True when the source resumes from an existing checkpoint.
     resumed: bool = False
+    #: A pre-acquired :class:`~repro.runtime.checkpoint.CheckpointLease`
+    #: (claim-loop servers arbitrate ownership *before* submission); the
+    #: scheduler renews it as the heartbeat and releases it at the end.
+    #: ``None`` means the scheduler acquires its own lease at start.
+    lease: Any = None
     metadata: dict[str, Any] = field(default_factory=dict)
 
     # -- live progress, owned by the scheduler ----------------------------
@@ -122,8 +130,20 @@ class ResultStore:
         return os.path.join(self.root, f"{job_id}.jsonl")
 
     def update(self, job: Job) -> None:
-        with open(self._path(job.job_id), "a", encoding="utf-8") as handle:
-            handle.write(json.dumps(job.snapshot(), sort_keys=True) + "\n")
+        self.record(job.snapshot())
+
+    def record(self, snapshot: dict[str, Any]) -> None:
+        """Append a raw snapshot dict (``job_id`` required).
+
+        The service layer uses this for states no live :class:`Job`
+        carries — a quarantine verdict, or a drained job handed back to
+        the queue — keeping the "last line is the current answer"
+        contract for every state the spool can be in.
+        """
+        with open(
+            self._path(str(snapshot["job_id"])), "a", encoding="utf-8"
+        ) as handle:
+            handle.write(json.dumps(snapshot, sort_keys=True) + "\n")
             handle.flush()
 
     def latest(self, job_id: str) -> dict[str, Any] | None:

@@ -25,11 +25,13 @@ many cores and answers all of them against a single shared pool:
   the executor's parallel threshold score inline in the scheduler
   process and never occupy pool slots.
 * **Leases** — every job with a checkpoint path holds a
-  :class:`~repro.runtime.checkpoint.CheckpointLease`, renewed at each
-  iteration boundary.  A scheduler that dies stops renewing; a successor
+  :class:`~repro.runtime.checkpoint.CheckpointLease`, renewed as a
+  **heartbeat on every dispatched wave slice** (and again at iteration
+  boundaries).  A scheduler that dies stops renewing; a successor
   re-submitting the same spool resumes every in-flight job from its
   checkpoint once the TTL lapses (or immediately with
-  ``steal_leases=True``).
+  ``steal_leases=True``).  A claim-loop server may arbitrate ownership
+  itself and hand the scheduler a pre-acquired lease via ``Job.lease``.
 * **Anytime answers** — each
   :class:`~repro.runtime.protocol.ProgressReport` updates the job's
   :class:`~repro.runtime.jobs.ResultStore` snapshot and emits a
@@ -67,7 +69,11 @@ from repro.runtime.events import (
     LeaseStolen,
 )
 from repro.runtime.executors import make_executor
-from repro.runtime.faults import FaultPlan
+from repro.runtime.faults import (
+    FaultPlan,
+    ServiceFaultPlan,
+    apply_service_faults,
+)
 from repro.runtime.jobs import Job, JobQueue, JobState, ResultStore
 from repro.runtime.protocol import (
     ExecutorSnapshot,
@@ -130,6 +136,7 @@ class Scheduler:
         max_pool_rebuilds: int = 3,
         watchdog_seconds: float | None = None,
         fault_plan: FaultPlan | None = None,
+        service_fault_plan: ServiceFaultPlan | None = None,
     ) -> None:
         self.workers = workers
         self.context = context
@@ -142,6 +149,7 @@ class Scheduler:
         self.max_pool_rebuilds = max_pool_rebuilds
         self.watchdog_seconds = watchdog_seconds
         self.fault_plan = fault_plan
+        self.service_fault_plan = service_fault_plan
         self._queue = JobQueue()
         self._active: deque[_ActiveJob] = deque()
         self._executor = None
@@ -152,9 +160,12 @@ class Scheduler:
         #: Jobs whose lease is held by a live foreign scheduler; left
         #: PENDING for the caller to retry or hand off.
         self.deferred: list[Job] = []
-        #: Wave slices dispatched fleet-wide (the kill-switch counter
-        #: fault-injection harnesses watch).
+        #: Wave slices dispatched fleet-wide (the counter service-level
+        #: fault plans key their kill-after-K-slices trigger on).
         self.slices_dispatched = 0
+        #: Set by :meth:`request_drain`: finish the slice in flight,
+        #: dispatch nothing more.
+        self.draining = False
 
     # ------------------------------------------------------------------
 
@@ -179,8 +190,8 @@ class Scheduler:
             self._start(self._queue.pop())
 
     def _start(self, job: Job) -> None:
-        lease: CheckpointLease | None = None
-        if job.checkpoint_path is not None:
+        lease: CheckpointLease | None = job.lease
+        if lease is None and job.checkpoint_path is not None:
             lease = CheckpointLease(
                 job.checkpoint_path,
                 self.owner,
@@ -226,7 +237,15 @@ class Scheduler:
         return self._executor
 
     def _dispatch_slice(self, active: _ActiveJob) -> None:
-        """Run one group-aligned quantum of the job's pending wave."""
+        """Run one group-aligned quantum of the job's pending wave.
+
+        Every dispatched slice renews the job's lease — the fleet's
+        heartbeat: a server that stops slicing (killed, wedged) stops
+        renewing, and peers detect the silence by TTL expiry.  The
+        service-level fault plan is consulted *after* the slice and the
+        renewal, so an injected kill dies exactly like a SIGKILL between
+        slices: heartbeat fresh, lease on disk, no cleanup.
+        """
         job = active.job
         pending = active.pending
         request = pending.request
@@ -269,6 +288,14 @@ class Scheduler:
         )
         job.slices_dispatched += 1
         self.slices_dispatched += 1
+        if active.lease is not None:
+            active.lease.renew()
+        apply_service_faults(
+            self.service_fault_plan,
+            job_id=job.job_id,
+            job_slices=job.slices_dispatched,
+            total_slices=self.slices_dispatched,
+        )
 
     def _service(self, active: _ActiveJob) -> None:
         """Advance the head job: answer protocol requests until it either
@@ -332,6 +359,8 @@ class Scheduler:
                 )
                 active.pending = None
                 continue
+            if self.draining:
+                return  # finish-current-slice point: dispatch no more
             if budget <= 0:
                 if len(self._active) > 1:
                     job.preemptions += 1
@@ -398,6 +427,8 @@ class Scheduler:
     def step(self) -> bool:
         """One scheduling turn: admit, run the head job's quantum,
         rotate.  Returns whether any work remains."""
+        if self.draining:
+            return False
         self._admit()
         if self._active:
             active = self._active[0]
@@ -405,6 +436,19 @@ class Scheduler:
             if self._active and self._active[0] is active:
                 self._active.rotate(-1)
         return bool(self._active or self._queue)
+
+    # ------------------------------------------------------------------
+
+    def request_drain(self) -> None:
+        """Begin a graceful drain: the slice in flight (if any) finishes,
+        nothing further is dispatched, and :meth:`step` reports no work.
+        Safe to call from a signal handler — it only sets a flag."""
+        self.draining = True
+
+    @property
+    def active_jobs(self) -> list[Job]:
+        """Jobs admitted and not yet completed/failed (in-flight)."""
+        return [active.job for active in self._active]
 
     def run(self) -> dict[str, Job]:
         """Drive the fleet to completion; returns the completed jobs.

@@ -1,4 +1,4 @@
-"""Synthesis-as-a-service: a JSONL spool directory + the scheduler.
+"""Synthesis-as-a-service: a JSONL spool directory + a server fleet.
 
 The service layer is deliberately thin — files in, files out, no
 daemon protocol.  A *spool* directory holds everything:
@@ -14,15 +14,26 @@ daemon protocol.  A *spool* directory holds everything:
     the current best handler + distance, appended at every iteration
     boundary and at completion.
 ``checkpoints/<job_id>.jsonl`` (+ ``.lease``)
-    the job's refinement checkpoint and its scheduler lease.
+    the job's refinement checkpoint and its owner's heartbeat lease.
+``state/<job_id>.json``
+    the job's :class:`JobLedger` record — the spool state machine
+    (``queued -> claimed -> running -> done | failed | quarantined``)
+    plus retry accounting, written atomically so any crash leaves a
+    parseable record.
 
-``repro serve`` (:func:`serve`) loads every spec, skips jobs whose
-result stream already says ``completed``, resumes jobs with a
-checkpoint, and multiplexes the rest through one
-:class:`~repro.runtime.scheduler.Scheduler`.  Because specs, results,
-checkpoints, and leases are all files, "restart the service" is just
-running ``repro serve`` again — the lease TTL (or ``--steal-leases``)
-decides when a successor may take over in-flight jobs.
+``repro serve`` (:func:`serve`) is a **claim-loop fleet server**: any
+number of serve daemons may share one spool.  Each scans the queue,
+claims eligible jobs through the
+:class:`~repro.runtime.checkpoint.CheckpointLease` protocol (renewed as
+a heartbeat on every wave slice), and multiplexes its claims through
+one :class:`~repro.runtime.scheduler.Scheduler`.  A server that dies
+stops heartbeating; survivors detect the expiry, wait a deterministic
+per-(server, job) jitter so takeover never thunders, and resume the
+dead peer's jobs from their checkpoints — results stay bit-identical
+to a sequential run.  Jobs that repeatedly *kill* their server are
+retried under an exponential-backoff budget and then quarantined with
+a structured last-failure reason; ``repro fleet-status`` renders the
+whole state machine without claiming anything.
 """
 
 from __future__ import annotations
@@ -30,18 +41,65 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
-from typing import Any
+import time
+from typing import Any, Callable
 
 from repro.dsl.families import FAMILIES, family, with_budget
 from repro.errors import SynthesisError
 from repro.pipeline import reverse_engineer_core
-from repro.runtime.checkpoint import DEFAULT_LEASE_TTL, load_checkpoint
+from repro.runtime.checkpoint import (
+    DEFAULT_LEASE_TTL,
+    CheckpointLease,
+    lease_path,
+    load_checkpoint,
+    read_lease,
+    takeover_delay,
+)
 from repro.runtime.context import RunContext
+from repro.runtime.events import (
+    HeartbeatMissed,
+    JobFailed,
+    JobQuarantined,
+    JobRetried,
+    JobTakenOver,
+    LeaseStolen,
+    ServerDrained,
+    ServerStarted,
+)
+from repro.runtime.faults import ServiceFaultPlan
 from repro.runtime.jobs import Job, ResultStore
 from repro.runtime.scheduler import DEFAULT_QUANTUM_TASKS, Scheduler
 from repro.synth.refinement import SynthesisConfig
 
-__all__ = ["submit_job", "load_specs", "build_job", "serve"]
+__all__ = [
+    "DEFAULT_CLAIM_INTERVAL",
+    "DEFAULT_MAX_JOB_RETRIES",
+    "DEFAULT_RETRY_BACKOFF",
+    "TERMINAL_STATES",
+    "JobRecord",
+    "JobLedger",
+    "FleetServer",
+    "submit_job",
+    "load_specs",
+    "build_job",
+    "serve",
+    "fleet_status",
+]
+
+#: Seconds between claim scans while a server is busy (new submissions
+#: and newly expired peer leases are noticed within one interval).
+DEFAULT_CLAIM_INTERVAL = 1.0
+
+#: Times a job that killed its server is restarted before quarantine.
+DEFAULT_MAX_JOB_RETRIES = 3
+
+#: Base of the exponential crash-retry backoff (seconds).  The first
+#: takeover waits only TTL + jitter; after k prior crashes a restart
+#: waits a further ``base * 2**(k-1)``.
+DEFAULT_RETRY_BACKOFF = 2.0
+
+#: Ledger states no server will ever claim again.
+TERMINAL_STATES = frozenset({"done", "failed", "quarantined"})
 
 #: SynthesisConfig fields a spec may override.  Checkpoint/resume paths
 #: are owned by the spool (every job checkpoints under ``checkpoints/``)
@@ -168,9 +226,7 @@ def build_job(
     the dead one left off).
     """
     job_id = str(spec["job_id"])
-    checkpoint_path = os.path.join(
-        _spool_dir(spool, "checkpoints"), f"{job_id}.jsonl"
-    )
+    checkpoint_path = _checkpoint_path(spool, job_id)
     overrides = dict(spec.get("config") or {})
     unknown = sorted(set(overrides) - _CONFIG_FIELDS)
     if unknown:
@@ -217,6 +273,547 @@ def build_job(
     )
 
 
+def _checkpoint_path(spool: str, job_id: str) -> str:
+    return os.path.join(_spool_dir(spool, "checkpoints"), f"{job_id}.jsonl")
+
+
+# ----------------------------------------------------------------------
+# The spool state machine: one crash-consistent record per job.
+
+
+@dataclasses.dataclass(frozen=True)
+class JobRecord:
+    """One job's ledger entry (``state/<job_id>.json``).
+
+    ``attempts`` counts lifetime starts; ``crashes`` counts the subset
+    of restarts forced by a dead owner (takeover after heartbeat loss or
+    an operator steal) — only crashes spend the retry budget, so a
+    graceful drain/requeue never pushes a healthy job toward quarantine.
+    """
+
+    job_id: str
+    state: str = "queued"
+    attempts: int = 0
+    crashes: int = 0
+    owner: str | None = None
+    updated_at: float = 0.0
+    last_failure: dict[str, Any] | None = None
+
+
+class JobLedger:
+    """Atomic per-job state records under the spool's ``state/`` dir.
+
+    Every write goes through a per-process temp file + ``os.replace``
+    (the same crash-consistency dance as checkpoints and leases), so a
+    SIGKILL at any instant leaves either the old record or the new one.
+    A missing or corrupt record reads as a fresh ``queued`` entry — the
+    ledger degrades toward re-running work, never toward losing it.
+    """
+
+    def __init__(
+        self, root: str, *, clock: Callable[[], float] = time.time
+    ) -> None:
+        self.root = root
+        self._clock = clock
+        os.makedirs(root, exist_ok=True)
+
+    def path(self, job_id: str) -> str:
+        return os.path.join(self.root, f"{job_id}.json")
+
+    def read(self, job_id: str) -> JobRecord:
+        try:
+            with open(self.path(job_id), "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return JobRecord(job_id=job_id)
+        if not isinstance(payload, dict):
+            return JobRecord(job_id=job_id)
+        last_failure = payload.get("last_failure")
+        try:
+            return JobRecord(
+                job_id=job_id,
+                state=str(payload.get("state", "queued")),
+                attempts=int(payload.get("attempts", 0)),
+                crashes=int(payload.get("crashes", 0)),
+                owner=payload.get("owner"),
+                updated_at=float(payload.get("updated_at", 0.0)),
+                last_failure=(
+                    last_failure if isinstance(last_failure, dict) else None
+                ),
+            )
+        except (TypeError, ValueError):
+            return JobRecord(job_id=job_id)
+
+    def write(self, record: JobRecord) -> JobRecord:
+        record = dataclasses.replace(record, updated_at=self._clock())
+        path = self.path(record.job_id)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(dataclasses.asdict(record), handle, sort_keys=True)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        return record
+
+    def transition(self, job_id: str, state: str, **changes: Any) -> JobRecord:
+        """Read-modify-write the record into *state* (plus *changes*)."""
+        record = self.read(job_id)
+        return self.write(
+            dataclasses.replace(record, state=state, **changes)
+        )
+
+
+# ----------------------------------------------------------------------
+# The claim-loop fleet server.
+
+
+class FleetServer:
+    """One serve daemon in a (possibly multi-server) fleet over a spool.
+
+    The server alternates claim scans with scheduler turns:
+
+    * **Claim** — walk the queue in ``(-priority, job_id)`` order and try
+      to claim every non-terminal job: absent/expired leases are taken
+      through :meth:`CheckpointLease.acquire` (whose lock serializes
+      racing claimants), live foreign leases are respected unless
+      ``steal_leases``.  An expired lease is a missed heartbeat; takeover
+      waits a deterministic per-(server, job) jitter plus the job's
+      crash backoff before acquiring, and a job whose crash count would
+      exceed ``max_job_retries`` is quarantined instead of restarted.
+      After winning a claim the server re-checks the result store and
+      ledger *again* — a peer may have finished the job between the
+      pre-claim read and the acquire — before charging an attempt.
+    * **Serve** — claimed jobs run under one
+      :class:`~repro.runtime.scheduler.Scheduler`, which renews each
+      job's lease on every dispatched wave slice (the heartbeat).
+    * **Drain** — :meth:`request_drain` (safe from a signal handler)
+      lets the slice in flight finish, appends a ``pending`` snapshot
+      for every in-flight job, hands them back to the queue, releases
+      their leases, and exits cleanly.
+
+    The run loop ends when every spec in the spool is terminal —
+    ``done``, ``failed``, or ``quarantined`` — so N servers over one
+    spool all exit together once the fleet's work is complete.
+    """
+
+    def __init__(
+        self,
+        spool: str,
+        *,
+        server_id: str | None = None,
+        workers: int = 1,
+        steal_leases: bool = False,
+        quantum_tasks: int = DEFAULT_QUANTUM_TASKS,
+        lease_ttl_seconds: float = DEFAULT_LEASE_TTL,
+        claim_interval_seconds: float = DEFAULT_CLAIM_INTERVAL,
+        max_job_retries: int = DEFAULT_MAX_JOB_RETRIES,
+        retry_backoff_seconds: float = DEFAULT_RETRY_BACKOFF,
+        context: RunContext | None = None,
+        fault_plan: ServiceFaultPlan | None = None,
+        drain: Any = None,
+        clock: Callable[[], float] = time.time,
+        sleep: Callable[[float], None] = time.sleep,
+        store: ResultStore | None = None,
+        ledger: JobLedger | None = None,
+    ) -> None:
+        self.spool = spool
+        self.server_id = server_id or f"serve-{os.getpid()}"
+        self.workers = workers
+        self.steal_leases = steal_leases
+        self.quantum_tasks = quantum_tasks
+        self.lease_ttl_seconds = lease_ttl_seconds
+        self.claim_interval_seconds = claim_interval_seconds
+        self.max_job_retries = max_job_retries
+        self.retry_backoff_seconds = retry_backoff_seconds
+        self.context = context
+        self.fault_plan = fault_plan
+        self.drain = drain  #: object with ``is_set()`` or zero-arg callable
+        self.clock = clock
+        self.sleep = sleep
+        self.store = store or ResultStore(_spool_dir(spool, "results"))
+        self.ledger = ledger or JobLedger(
+            _spool_dir(spool, "state"), clock=clock
+        )
+        # Claim/retry telemetry (also surfaced as events).
+        self.jobs_claimed = 0
+        self.takeovers = 0
+        self.retries = 0
+        self.quarantined: list[str] = []
+        self._missed_heartbeats: set[tuple[str, float]] = set()
+        self._finalized: set[str] = set()
+        self._drain_local = False
+        self._scheduler: Scheduler | None = None
+
+    # -- plumbing ------------------------------------------------------
+
+    def _emit(self, event: Any) -> None:
+        if self.context is not None:
+            self.context.emit(event)
+
+    def _checkpoint(self, job_id: str) -> str:
+        return _checkpoint_path(self.spool, job_id)
+
+    def request_drain(self) -> None:
+        """Begin a graceful drain (signal-handler safe: sets flags only)."""
+        self._drain_local = True
+        scheduler = self._scheduler
+        if scheduler is not None:
+            scheduler.request_drain()
+
+    def _drain_requested(self) -> bool:
+        if self._drain_local:
+            return True
+        probe = self.drain
+        if probe is None:
+            return False
+        if hasattr(probe, "is_set"):
+            return bool(probe.is_set())
+        return bool(probe())
+
+    def _backoff(self, crashes: int) -> float:
+        """Extra takeover delay earned by prior crashes.
+
+        The first takeover of a dead server's job waits only the TTL +
+        jitter (a server crash is not the job's fault); from the second
+        crash on, the job itself is suspect and each further restart
+        doubles the wait: ``base * 2**(crashes - 1)``.
+        """
+        if crashes <= 0:
+            return 0.0
+        return self.retry_backoff_seconds * (2.0 ** (crashes - 1))
+
+    # -- the claim scan ------------------------------------------------
+
+    def _mark_done_if_completed(
+        self, job_id: str, record: JobRecord
+    ) -> bool:
+        """Sync a store-side ``completed`` verdict into the ledger."""
+        snapshot = self.store.latest(job_id)
+        if snapshot is None or snapshot.get("state") != "completed":
+            return False
+        if record.state not in TERMINAL_STATES:
+            self.ledger.transition(job_id, "done", owner=None)
+        return True
+
+    def _may_take_over(
+        self, job_id: str, record: JobRecord, current: Any
+    ) -> bool:
+        """Is this server allowed to displace *current* (a foreign
+        lease) right now?"""
+        now = self.clock()
+        if not current.expired(now):
+            return self.steal_leases  # live peer; only an operator steals
+        age = now - current.renewed_at
+        key = (job_id, current.renewed_at)
+        if key not in self._missed_heartbeats:
+            self._missed_heartbeats.add(key)
+            self._emit(
+                HeartbeatMissed(
+                    job_id=job_id,
+                    owner=current.owner,
+                    age_seconds=age,
+                    ttl_seconds=current.ttl_seconds,
+                )
+            )
+        if self.steal_leases:
+            return True
+        eligible_at = (
+            current.renewed_at
+            + current.ttl_seconds
+            + takeover_delay(self.server_id, job_id, current.ttl_seconds)
+            + self._backoff(record.crashes)
+        )
+        return now >= eligible_at
+
+    def _quarantine(self, job_id: str, record: JobRecord, lease: Any) -> None:
+        """Park a poison job: it has now killed its server more times
+        than the retry budget allows."""
+        crashes = record.crashes + 1
+        previous = lease.displaced
+        detail = (
+            f"job killed its server {crashes} time(s); retry budget of "
+            f"{self.max_job_retries} exhausted (last owner {previous!r})"
+        )
+        failure = {
+            "reason": "retry-budget-exhausted",
+            "detail": detail,
+            "previous_owner": previous,
+            "at": self.clock(),
+        }
+        self.ledger.transition(
+            job_id,
+            "quarantined",
+            owner=None,
+            crashes=crashes,
+            last_failure=failure,
+        )
+        snapshot = self.store.latest(job_id) or {}
+        self.store.record(
+            {
+                "job_id": job_id,
+                "state": "quarantined",
+                "best_expression": snapshot.get("best_expression"),
+                "best_distance": snapshot.get("best_distance"),
+                "iterations_done": snapshot.get("iterations_done", 0),
+                "attempts": record.attempts,
+                "crashes": crashes,
+                "error": detail,
+            }
+        )
+        self._emit(
+            JobQuarantined(
+                job_id=job_id,
+                server=self.server_id,
+                attempts=record.attempts,
+                crashes=crashes,
+                reason="retry-budget-exhausted",
+                detail=detail,
+            )
+        )
+        self.quarantined.append(job_id)
+        lease.release()
+
+    def _claim_one(self, spec: dict[str, Any], scheduler: Scheduler) -> bool:
+        job_id = str(spec["job_id"])
+        if job_id in scheduler.jobs:
+            return False  # already ours (queued, active, or finished here)
+        record = self.ledger.read(job_id)
+        if record.state in TERMINAL_STATES:
+            return False
+        if self._mark_done_if_completed(job_id, record):
+            return False
+        checkpoint = self._checkpoint(job_id)
+        current = read_lease(lease_path(checkpoint))
+        if current is not None and current.owner != self.server_id:
+            if not self._may_take_over(job_id, record, current):
+                return False
+        lease = CheckpointLease(
+            checkpoint,
+            self.server_id,
+            self.lease_ttl_seconds,
+            clock=self.clock,
+        )
+        if not lease.acquire(steal=self.steal_leases):
+            return False  # lost the claim race; a peer owns it now
+        # Re-check *after* winning the claim: a peer may have finished
+        # (or quarantined) this job between the pre-claim read and the
+        # acquire.  Skipping only on the stale pre-claim read is the
+        # race this close exists to close.
+        record = self.ledger.read(job_id)
+        if record.state in TERMINAL_STATES or self._mark_done_if_completed(
+            job_id, record
+        ):
+            lease.release()
+            return False
+        takeover = lease.displaced is not None and record.state in (
+            "claimed",
+            "running",
+        )
+        if lease.displaced is not None:
+            self._emit(
+                LeaseStolen(
+                    job_id=job_id,
+                    path=lease.path,
+                    previous_owner=lease.displaced,
+                )
+            )
+        crashes = record.crashes + (1 if takeover else 0)
+        if takeover and crashes > self.max_job_retries:
+            self._quarantine(job_id, record, lease)
+            return False
+        attempts = record.attempts + 1
+        failure = record.last_failure
+        if takeover:
+            age = (
+                self.clock() - current.renewed_at
+                if current is not None
+                else None
+            )
+            failure = {
+                "reason": "server-died",
+                "detail": (
+                    f"owner {lease.displaced!r} stopped heartbeating; "
+                    f"taken over by {self.server_id!r}"
+                    + (f" {age:.1f}s after its last renewal" if age else "")
+                ),
+                "previous_owner": lease.displaced,
+                "crashes": crashes,
+                "at": self.clock(),
+            }
+        self.ledger.write(
+            dataclasses.replace(
+                record,
+                state="claimed",
+                owner=self.server_id,
+                attempts=attempts,
+                crashes=crashes,
+                last_failure=failure,
+            )
+        )
+        if takeover:
+            self.takeovers += 1
+            self._emit(
+                JobTakenOver(
+                    job_id=job_id,
+                    server=self.server_id,
+                    previous_owner=lease.displaced,
+                    attempts=attempts,
+                )
+            )
+            self.retries += 1
+            self._emit(
+                JobRetried(
+                    job_id=job_id,
+                    server=self.server_id,
+                    attempts=attempts,
+                    crashes=crashes,
+                    backoff_seconds=self._backoff(record.crashes),
+                )
+            )
+        try:
+            job = build_job(self.spool, spec, self.context)
+        except SynthesisError as exc:
+            detail = str(exc)
+            self.ledger.transition(
+                job_id,
+                "failed",
+                owner=None,
+                last_failure={
+                    "reason": "bad-spec",
+                    "detail": detail,
+                    "at": self.clock(),
+                },
+            )
+            self.store.record(
+                {"job_id": job_id, "state": "failed", "error": detail}
+            )
+            self._emit(JobFailed(job_id=job_id, error=detail))
+            self._finalized.add(job_id)
+            lease.release()
+            return False
+        job.lease = lease
+        scheduler.submit(job)
+        self.ledger.transition(job_id, "running", owner=self.server_id)
+        self.jobs_claimed += 1
+        return True
+
+    def _claim_pass(self, scheduler: Scheduler) -> int:
+        claimed = 0
+        specs = sorted(
+            load_specs(self.spool),
+            key=lambda s: (-int(s.get("priority", 0) or 0), str(s["job_id"])),
+        )
+        for spec in specs:
+            if self._drain_requested():
+                break
+            if self._claim_one(spec, scheduler):
+                claimed += 1
+        return claimed
+
+    # -- bookkeeping between scheduler turns ---------------------------
+
+    def _sync_finished(self, scheduler: Scheduler) -> None:
+        for job_id in list(scheduler.completed):
+            if job_id not in self._finalized:
+                self._finalized.add(job_id)
+                self.ledger.transition(job_id, "done", owner=None)
+        for job_id, job in list(scheduler.failed.items()):
+            if job_id not in self._finalized:
+                self._finalized.add(job_id)
+                self.ledger.transition(
+                    job_id,
+                    "failed",
+                    owner=None,
+                    last_failure={
+                        "reason": "job-error",
+                        "detail": job.error or "",
+                        "at": self.clock(),
+                    },
+                )
+
+    def _spool_settled(self) -> bool:
+        """True once every spec in the spool is terminal fleet-wide."""
+        for spec in load_specs(self.spool):
+            job_id = str(spec["job_id"])
+            record = self.ledger.read(job_id)
+            if record.state in TERMINAL_STATES:
+                continue
+            if self._mark_done_if_completed(job_id, record):
+                continue
+            return False
+        return True
+
+    def _drain_now(self, scheduler: Scheduler) -> None:
+        released = list(scheduler.active_jobs)
+        for job in released:
+            snapshot = job.snapshot()
+            snapshot["state"] = "pending"  # requeued, not lost
+            self.store.record(snapshot)
+            self.ledger.transition(job.job_id, "queued", owner=None)
+        scheduler.close(release_leases=True)
+        self._emit(
+            ServerDrained(
+                server=self.server_id,
+                jobs_released=len(released),
+                slices_dispatched=scheduler.slices_dispatched,
+            )
+        )
+
+    # -- the run loop --------------------------------------------------
+
+    def run(self) -> dict[str, dict[str, Any]]:
+        """Serve until the spool settles (or a drain is requested);
+        returns the store's final snapshots (job id -> snapshot)."""
+        self._emit(
+            ServerStarted(
+                server=self.server_id, spool=self.spool, workers=self.workers
+            )
+        )
+        scheduler = Scheduler(
+            workers=self.workers,
+            context=self.context,
+            store=self.store,
+            quantum_tasks=self.quantum_tasks,
+            owner=self.server_id,
+            lease_ttl_seconds=self.lease_ttl_seconds,
+            steal_leases=self.steal_leases,
+            service_fault_plan=self.fault_plan,
+        )
+        self._scheduler = scheduler
+        drained = False
+        try:
+            next_scan = float("-inf")
+            while True:
+                if self._drain_requested():
+                    self._drain_now(scheduler)
+                    drained = True
+                    break
+                if self.clock() >= next_scan:
+                    self._claim_pass(scheduler)
+                    next_scan = self.clock() + self.claim_interval_seconds
+                progressed = scheduler.step()
+                self._sync_finished(scheduler)
+                if self._drain_requested():
+                    self._drain_now(scheduler)
+                    drained = True
+                    break
+                if progressed:
+                    continue
+                if self._spool_settled():
+                    break
+                # Idle: nothing claimable yet (peers own the rest, or a
+                # backoff window is open).  Sleep one claim interval and
+                # rescan — this is also how concurrent submits and newly
+                # expired peer leases are picked up.
+                self.sleep(self.claim_interval_seconds)
+                next_scan = float("-inf")
+        finally:
+            self._scheduler = None
+            if not drained:
+                scheduler.close()
+        return self.store.all_latest()
+
+
 def serve(
     spool: str,
     *,
@@ -225,37 +822,96 @@ def serve(
     quantum_tasks: int = DEFAULT_QUANTUM_TASKS,
     lease_ttl_seconds: float = DEFAULT_LEASE_TTL,
     context: RunContext | None = None,
+    server_id: str | None = None,
+    claim_interval_seconds: float = DEFAULT_CLAIM_INTERVAL,
+    max_job_retries: int = DEFAULT_MAX_JOB_RETRIES,
+    retry_backoff_seconds: float = DEFAULT_RETRY_BACKOFF,
+    fault_plan: ServiceFaultPlan | None = None,
     exit_after_slices: int | None = None,
+    drain: Any = None,
+    clock: Callable[[], float] = time.time,
+    sleep: Callable[[float], None] = time.sleep,
 ) -> dict[str, dict[str, Any]]:
-    """Run every incomplete spooled job to completion; return the fleet's
-    final snapshots (job id -> result-store snapshot).
+    """Run one fleet server over *spool* until every job is terminal;
+    returns the final snapshots (job id -> result-store snapshot).
 
-    ``exit_after_slices`` is the fault-injection kill switch the smoke
-    harness uses: after that many wave slices the process dies by
-    ``os._exit`` — no cleanup, no lease release — exactly like a
-    SIGKILLed scheduler.
+    ``exit_after_slices`` is kept as sugar for the chaos harnesses: it
+    folds into a :class:`~repro.runtime.faults.ServiceFaultPlan` whose
+    injected kill dies by ``os._exit`` — no cleanup, no lease release —
+    exactly like a SIGKILLed server.
     """
-    store = ResultStore(_spool_dir(spool, "results"))
-    scheduler = Scheduler(
+    if exit_after_slices is not None:
+        base = fault_plan or ServiceFaultPlan()
+        fault_plan = dataclasses.replace(
+            base, kill_after_slices=exit_after_slices
+        )
+    return FleetServer(
+        spool,
+        server_id=server_id,
         workers=workers,
-        context=context,
-        store=store,
+        steal_leases=steal_leases,
         quantum_tasks=quantum_tasks,
         lease_ttl_seconds=lease_ttl_seconds,
-        steal_leases=steal_leases,
-    )
+        claim_interval_seconds=claim_interval_seconds,
+        max_job_retries=max_job_retries,
+        retry_backoff_seconds=retry_backoff_seconds,
+        context=context,
+        fault_plan=fault_plan,
+        drain=drain,
+        clock=clock,
+        sleep=sleep,
+    ).run()
+
+
+def fleet_status(
+    spool: str, *, clock: Callable[[], float] = time.time
+) -> dict[str, Any]:
+    """Read-only view of a spool's state machine (``repro fleet-status``).
+
+    Inspects specs, ledger records, leases, and result snapshots without
+    claiming anything, so it is safe to run next to a live fleet.
+    """
+    store = ResultStore(_spool_dir(spool, "results"))
+    ledger = JobLedger(_spool_dir(spool, "state"), clock=clock)
+    now = clock()
+    jobs: dict[str, Any] = {}
+    servers: dict[str, dict[str, Any]] = {}
+    states: dict[str, int] = {}
     for spec in load_specs(spool):
-        snapshot = store.latest(str(spec["job_id"]))
-        if snapshot is not None and snapshot.get("state") == "completed":
-            continue  # already answered by a previous serve
-        scheduler.submit(build_job(spool, spec, context))
-    try:
-        while scheduler.step():
-            if (
-                exit_after_slices is not None
-                and scheduler.slices_dispatched >= exit_after_slices
-            ):
-                os._exit(70)  # simulated SIGKILL mid-fleet
-    finally:
-        scheduler.close()
-    return store.all_latest()
+        job_id = str(spec["job_id"])
+        record = ledger.read(job_id)
+        snapshot = store.latest(job_id) or {}
+        state = record.state
+        if state not in TERMINAL_STATES and snapshot.get("state") == (
+            "completed"
+        ):
+            state = "done"
+        lease = read_lease(lease_path(_checkpoint_path(spool, job_id)))
+        lease_info = None
+        if lease is not None:
+            expired = lease.expired(now)
+            lease_info = {
+                "owner": lease.owner,
+                "age_seconds": max(0.0, now - lease.renewed_at),
+                "ttl_seconds": lease.ttl_seconds,
+                "expired": expired,
+            }
+            server = servers.setdefault(
+                lease.owner, {"jobs": [], "live": False}
+            )
+            server["jobs"].append(job_id)
+            server["live"] = server["live"] or not expired
+        states[state] = states.get(state, 0) + 1
+        jobs[job_id] = {
+            "state": state,
+            "owner": record.owner,
+            "attempts": record.attempts,
+            "crashes": record.crashes,
+            "priority": int(spec.get("priority", 0) or 0),
+            "best_expression": snapshot.get("best_expression"),
+            "best_distance": snapshot.get("best_distance"),
+            "iterations_done": snapshot.get("iterations_done", 0),
+            "last_failure": record.last_failure,
+            "lease": lease_info,
+        }
+    return {"spool": spool, "jobs": jobs, "servers": servers, "states": states}

@@ -77,7 +77,7 @@ def _clock_jump(data: dict, rng: random.Random) -> dict:
 def _record_shuffle(data: dict, rng: random.Random) -> dict:
     """A window of records written out of order (buffered logger race)."""
     acks = data["acks"]
-    if len(acks) < 8:
+    if len(acks) <= 8:  # randrange needs at least one valid window start
         return data
     start = rng.randrange(0, len(acks) - 8)
     window = acks[start : start + 8]

@@ -457,3 +457,61 @@ def test_grouped_persistent_crash_quarantines_culprit(
     assert [q.sketch for q in pooled.quarantined] == [str(victim)]
     assert pooled.quarantined[0].reason == "worker-crash"
     assert len(collector.of_kind("worker_crashed")) == 2
+
+
+# ------------------------------------------------- service fault plans
+
+
+def test_service_fault_plan_make_normalizes():
+    from repro.runtime.faults import SERVICE_KILL_EXIT_CODE, ServiceFaultPlan
+
+    plan = ServiceFaultPlan.make(poison_jobs=["bad", "worse"])
+    assert plan.poison_jobs == frozenset({"bad", "worse"})
+    assert plan.kill_after_slices is None
+    assert plan.exit_code == SERVICE_KILL_EXIT_CODE
+    assert not plan.is_empty()
+    assert ServiceFaultPlan.make().is_empty()
+
+
+def test_service_kill_due_fleet_wide_counter():
+    from repro.runtime.faults import ServiceFaultPlan, service_kill_due
+
+    plan = ServiceFaultPlan.make(kill_after_slices=4)
+    assert not service_kill_due(
+        plan, job_id="any", job_slices=3, total_slices=3
+    )
+    assert service_kill_due(
+        plan, job_id="any", job_slices=1, total_slices=4
+    )
+    assert not service_kill_due(
+        None, job_id="any", job_slices=99, total_slices=99
+    )
+
+
+def test_service_kill_due_poison_job_is_per_job():
+    from repro.runtime.faults import ServiceFaultPlan, service_kill_due
+
+    plan = ServiceFaultPlan.make(poison_jobs=["bad"], poison_after_slices=2)
+    assert not service_kill_due(
+        plan, job_id="bad", job_slices=1, total_slices=50
+    )
+    assert service_kill_due(
+        plan, job_id="bad", job_slices=2, total_slices=50
+    )
+    assert not service_kill_due(
+        plan, job_id="good", job_slices=50, total_slices=50
+    )
+
+
+def test_apply_service_faults_exits_with_plan_code(monkeypatch):
+    from repro.runtime.faults import ServiceFaultPlan, apply_service_faults
+
+    exits = []
+    monkeypatch.setattr(os, "_exit", exits.append)
+    plan = ServiceFaultPlan.make(kill_after_slices=2, exit_code=71)
+    apply_service_faults(plan, job_id="j", job_slices=1, total_slices=1)
+    assert exits == []
+    apply_service_faults(plan, job_id="j", job_slices=2, total_slices=2)
+    assert exits == [71]
+    apply_service_faults(None, job_id="j", job_slices=9, total_slices=9)
+    assert exits == [71]

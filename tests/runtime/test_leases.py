@@ -1,6 +1,8 @@
 """Checkpoint leases: expiring exclusive ownership with an injected clock."""
 
 import json
+
+import pytest
 import os
 
 from repro.runtime.checkpoint import (
@@ -143,3 +145,106 @@ def test_lease_file_is_json_with_expected_fields(tmp_path):
 def test_default_ttl_applies(tmp_path):
     lease = CheckpointLease(str(tmp_path / "c.jsonl"), "a")
     assert lease.ttl_seconds == DEFAULT_LEASE_TTL
+
+
+# ----------------------------------------------------- takeover jitter
+
+
+def test_takeover_delay_deterministic_and_bounded():
+    from repro.runtime.checkpoint import (
+        DEFAULT_TAKEOVER_JITTER_FRACTION,
+        takeover_delay,
+    )
+
+    first = takeover_delay("server-a", "job-1", 30.0)
+    assert first == takeover_delay("server-a", "job-1", 30.0)
+    assert 0.0 <= first <= 30.0 * DEFAULT_TAKEOVER_JITTER_FRACTION
+
+
+def test_takeover_delay_spreads_servers_and_jobs():
+    from repro.runtime.checkpoint import takeover_delay
+
+    delays = {
+        takeover_delay(server, job, 30.0)
+        for server in ("a", "b", "c", "d")
+        for job in ("one", "two")
+    }
+    # A stable hash should elect different first responders; eight
+    # (server, job) pairs collapsing to one delay would defeat it.
+    assert len(delays) == 8
+
+
+def test_takeover_delay_scales_with_ttl():
+    from repro.runtime.checkpoint import takeover_delay
+
+    assert takeover_delay("a", "j", 60.0) == pytest.approx(
+        2.0 * takeover_delay("a", "j", 30.0)
+    )
+
+
+def test_takeover_delay_custom_fraction_zero():
+    from repro.runtime.checkpoint import takeover_delay
+
+    assert takeover_delay("a", "j", 30.0, max_fraction=0.0) == 0.0
+
+
+# ----------------------------------------------------- the claim lock
+
+
+def test_held_claim_lock_blocks_acquire(tmp_path):
+    clock = FakeClock()
+    lease = _lease(tmp_path, "b", clock)
+    with open(f"{lease.path}.lock", "w", encoding="utf-8"):
+        pass  # a concurrent claimant is mid-critical-section
+    assert not lease.acquire()
+    assert not lease.held
+    assert read_lease(lease.path) is None  # nothing was written
+
+
+def test_stale_claim_lock_is_reaped_then_acquirable(tmp_path):
+    clock = FakeClock()
+    lease = _lease(tmp_path, "b", clock)
+    lock = f"{lease.path}.lock"
+    with open(lock, "w", encoding="utf-8"):
+        pass
+    ancient = os.path.getmtime(lock) - 3600.0
+    os.utime(lock, (ancient, ancient))  # holder crashed long ago
+    assert not lease.acquire()  # this pass reaps the wreckage...
+    assert not os.path.exists(lock)
+    assert lease.acquire()  # ...and the next one wins
+    assert lease.held
+
+
+def test_acquire_removes_its_own_lock(tmp_path):
+    clock = FakeClock()
+    lease = _lease(tmp_path, "a", clock)
+    assert lease.acquire()
+    assert not os.path.exists(f"{lease.path}.lock")
+    loser = _lease(tmp_path, "b", clock)
+    assert not loser.acquire()  # fresh foreign lease, not a stuck lock
+    assert not os.path.exists(f"{lease.path}.lock")
+
+
+def test_racing_claimants_one_winner(tmp_path):
+    """Two servers racing the same expired lease: exactly one wins."""
+    clock = FakeClock()
+    dead = _lease(tmp_path, "dead", clock, ttl=5.0)
+    assert dead.acquire()
+    clock.advance(10.0)
+    a = _lease(tmp_path, "a", clock, ttl=5.0)
+    b = _lease(tmp_path, "b", clock, ttl=5.0)
+    winners = [lease for lease in (a, b) if lease.acquire()]
+    assert len(winners) == 1
+    # The loser saw the winner's *fresh* lease and backed off.
+    assert read_lease(a.path).owner == winners[0].owner
+
+
+def test_release_leaves_stolen_lease_alone(tmp_path):
+    clock = FakeClock()
+    victim = _lease(tmp_path, "victim", clock)
+    assert victim.acquire()
+    thief = _lease(tmp_path, "thief", clock)
+    assert thief.acquire(steal=True)
+    victim.release()  # drain racing a steal must not free the thief's claim
+    state = read_lease(victim.path)
+    assert state is not None and state.owner == "thief"

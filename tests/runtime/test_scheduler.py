@@ -370,3 +370,116 @@ def test_sub_parallel_waves_never_spawn_a_pool(reno_segments):
         assert len(grouped) == 1 and len(grouped[0]) == 2
     spawns = [e for e in collector.events if isinstance(e, PoolSpawned)]
     assert spawns == []
+
+
+# ------------------------------------------------- fleet-server plumbing
+
+
+def test_lease_renewed_on_every_dispatched_slice(reno_segments, tmp_path):
+    """The heartbeat: every wave slice a job dispatches renews its
+    lease, so a peer watching the lease file sees liveness at slice
+    granularity, not just iteration boundaries."""
+    checkpoint = str(tmp_path / "hb.jsonl")
+    lease = CheckpointLease(checkpoint, "svc", 30.0)
+    assert lease.acquire()
+    renewals = []
+    original_renew = lease.renew
+    lease.renew = lambda: (renewals.append(1), original_renew())[1]
+    job = _core_job(
+        "hb",
+        reno_segments[:4],
+        replace(FAST, checkpoint_path=checkpoint),
+        checkpoint_path=checkpoint,
+    )
+    job.lease = lease
+    scheduler = Scheduler(workers=1, quantum_tasks=3)
+    scheduler.submit(job)
+    with scheduler:
+        completed = scheduler.run()
+    assert completed["hb"].slices_dispatched > 0
+    assert len(renewals) >= completed["hb"].slices_dispatched
+
+
+def test_pre_acquired_lease_is_used_not_reacquired(reno_segments, tmp_path):
+    """A claim-loop server arbitrates ownership before submission; the
+    scheduler must run under that lease (service identity) instead of
+    acquiring its own — and release it at retirement."""
+    from repro.runtime.checkpoint import lease_path, read_lease
+
+    checkpoint = str(tmp_path / "pre.jsonl")
+    lease = CheckpointLease(checkpoint, "fleet-server-1", 3600.0)
+    assert lease.acquire()
+    job = _core_job(
+        "pre",
+        reno_segments[:4],
+        replace(FAST, checkpoint_path=checkpoint),
+        checkpoint_path=checkpoint,
+    )
+    job.lease = lease
+    scheduler = Scheduler(workers=1, owner="scheduler-identity")
+    scheduler.submit(job)
+    assert scheduler.step()  # job admitted and running under the lease
+    state = read_lease(lease_path(checkpoint))
+    assert state is not None and state.owner == "fleet-server-1"
+    assert scheduler.deferred == []
+    with scheduler:
+        completed = scheduler.run()
+    assert "pre" in completed
+    assert read_lease(lease_path(checkpoint)) is None  # released
+
+
+def test_drain_stops_dispatch_and_close_releases_leases(
+    reno_segments, tmp_path
+):
+    from repro.runtime.checkpoint import lease_path, read_lease
+
+    # Two jobs so waves are sliced (a solo job takes whole waves and
+    # could finish before the drain lands).
+    checkpoints = {
+        job_id: str(tmp_path / f"drain_{job_id}.jsonl")
+        for job_id in ("one", "two")
+    }
+    scheduler = Scheduler(workers=1, quantum_tasks=2)
+    for job_id, checkpoint in checkpoints.items():
+        scheduler.submit(
+            _core_job(
+                job_id,
+                reno_segments[:6],
+                replace(FAST, checkpoint_path=checkpoint),
+                checkpoint_path=checkpoint,
+            )
+        )
+    while scheduler.slices_dispatched < 3:
+        assert scheduler.step(), "jobs finished before the drain landed"
+    slices_before = scheduler.slices_dispatched
+    scheduler.request_drain()
+    assert scheduler.draining
+    assert not scheduler.step()  # reports no work immediately
+    assert scheduler.slices_dispatched == slices_before  # nothing more ran
+    active = [job.job_id for job in scheduler.active_jobs]
+    assert active, "drain must leave the in-flight jobs claimable"
+    for job_id in active:
+        assert read_lease(lease_path(checkpoints[job_id])) is not None
+    scheduler.close(release_leases=True)
+    for job_id in active:
+        assert read_lease(lease_path(checkpoints[job_id])) is None
+
+
+def test_service_fault_plan_kills_between_slices(
+    reno_segments, tmp_path, monkeypatch
+):
+    import os as os_module
+
+    from repro.runtime.faults import ServiceFaultPlan
+
+    exits = []
+    monkeypatch.setattr(os_module, "_exit", exits.append)
+    scheduler = Scheduler(
+        workers=1,
+        quantum_tasks=2,
+        service_fault_plan=ServiceFaultPlan.make(kill_after_slices=1),
+    )
+    scheduler.submit(_core_job("victim", reno_segments[:6], FAST))
+    with scheduler:
+        scheduler.run()
+    assert exits and exits[0] == 70

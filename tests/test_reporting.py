@@ -302,3 +302,105 @@ def test_run_summary_silent_without_fleet_events():
 
     text = format_run_summary([PoolSpawned(workers=2)])
     assert "fleet" not in text
+
+
+def _resilience_events():
+    from repro.runtime.events import (
+        HeartbeatMissed,
+        JobCompleted,
+        JobQuarantined,
+        JobRetried,
+        JobStarted,
+        JobSubmitted,
+        JobTakenOver,
+        ServerDrained,
+        ServerStarted,
+    )
+
+    return [
+        ServerStarted(server="s1", spool="/spool", workers=1),
+        ServerStarted(server="s2", spool="/spool", workers=1),
+        JobSubmitted(job_id="alpha", priority=0),
+        JobSubmitted(job_id="poison", priority=0),
+        JobStarted(job_id="alpha", resumed=False),
+        JobStarted(job_id="poison", resumed=False),
+        HeartbeatMissed(
+            job_id="alpha", owner="s1", age_seconds=3.2, ttl_seconds=1.0
+        ),
+        JobTakenOver(
+            job_id="alpha", server="s2", previous_owner="s1", attempts=2
+        ),
+        JobRetried(
+            job_id="alpha",
+            server="s2",
+            attempts=2,
+            crashes=1,
+            backoff_seconds=0.0,
+        ),
+        JobCompleted(
+            job_id="alpha",
+            best_distance=1.5,
+            expression="cwnd + mss",
+            iterations=2,
+            handlers_scored=40,
+            waves=4,
+        ),
+        JobQuarantined(
+            job_id="poison",
+            server="s2",
+            attempts=3,
+            crashes=3,
+            reason="retry-budget-exhausted",
+            detail="job killed its server 3 time(s)",
+        ),
+        ServerDrained(server="s2", jobs_released=0, slices_dispatched=9),
+    ]
+
+
+def test_fleet_rollup_aggregates_resilience_events():
+    from repro.reporting import fleet_rollup
+
+    rollup = fleet_rollup(_resilience_events())
+    assert rollup["heartbeats_missed"] == 1
+    assert rollup["takeovers"] == 1
+    assert rollup["retries"] == 1
+    assert rollup["quarantined"] == 1
+    assert rollup["drained"] == 1
+    alpha = rollup["jobs"]["alpha"]
+    assert alpha["takeovers"] == 1
+    assert alpha["retries"] == 1
+    assert alpha["crashes"] == 1
+    assert alpha["state"] == "completed"
+    poison = rollup["jobs"]["poison"]
+    assert poison["state"] == "quarantined"
+    assert poison["crashes"] == 3
+    assert poison["error"].startswith("retry-budget-exhausted:")
+    servers = rollup["servers"]
+    assert servers["s1"]["state"] == "dead"
+    assert servers["s1"]["heartbeats_missed"] == 1
+    assert servers["s2"]["state"] == "drained"
+    assert servers["s2"]["jobs_taken_over"] == 1
+
+
+def test_server_started_alone_yields_a_rollup():
+    from repro.reporting import fleet_rollup
+    from repro.runtime.events import ServerStarted
+
+    rollup = fleet_rollup([ServerStarted(server="s1", spool="/s", workers=1)])
+    assert rollup is not None
+    assert rollup["servers"]["s1"]["state"] == "serving"
+
+
+def test_run_summary_renders_resilience_section():
+    text = format_run_summary(_resilience_events())
+    assert "1 heartbeat(s) missed" in text
+    assert "1 takeover(s)" in text
+    assert "1 retry(ies)" in text
+    assert "1 quarantined" in text
+    assert "1 server(s) drained" in text
+    assert "fleet servers" in text
+    lines = text.splitlines()
+    s1_row = next(line for line in lines if line.startswith("s1"))
+    assert "dead" in s1_row
+    s2_row = next(line for line in lines if line.startswith("s2"))
+    assert "drained" in s2_row
