@@ -1,15 +1,19 @@
-"""CI gate for the fused wave-scheduling speedup.
+"""CI gates for the end-to-end speedup ratios.
 
-Compares the fused/per-bucket scoring-phase *ratio* from a fresh
-``BENCH_e2e.json`` (emitted at the repo root by ``e2e_bench.py``)
-against the pinned ``BASELINE_e2e.json``.  Ratios are machine-portable
-where absolute wall-clock is not: both modes run the same workload on
-the same runner in the same process, so a shared slowdown cancels out
-and only a relative regression of the fused scheduler moves the number.
+Default mode compares the fused/per-bucket scoring-phase *ratio* from a
+fresh ``BENCH_e2e.json`` (emitted at the repo root by ``e2e_bench.py``)
+against the pinned ``BASELINE_e2e.json``; ``--multicore`` compares the
+zero-copy hot-path ratio (shared-memory plane + batched DTW vs pickled
+broadcasts + scalar kernel) from ``BENCH_e2e_mp.json`` (emitted by
+``e2e_bench.py --multicore``) against ``BASELINE_e2e_mp.json``.  Ratios
+are machine-portable where absolute wall-clock is not: both modes run
+the same workload on the same runner in the same process, so a shared
+slowdown cancels out and only a relative regression of the fast path
+moves the number.
 
 Fails (exit 1) when the fresh speedup is less than half the pinned
-baseline — the fused path lost more than half its advantage over the
-per-bucket reference.
+baseline — the fast path lost more than half its advantage over its
+reference.
 """
 
 from __future__ import annotations
@@ -21,14 +25,34 @@ from pathlib import Path
 HERE = Path(__file__).parent
 REPO_ROOT = HERE.parent
 
+GATES = {
+    "fused": {
+        "fresh": "BENCH_e2e.json",
+        "baseline": "BASELINE_e2e.json",
+        "label": "wave-scheduling",
+        "loser": "the fused scheduler",
+        "reference": "the per-bucket reference",
+        "hint": "benchmarks/e2e_bench.py",
+    },
+    "multicore": {
+        "fresh": "BENCH_e2e_mp.json",
+        "baseline": "BASELINE_e2e_mp.json",
+        "label": "zero-copy hot-path",
+        "loser": "the shm plane + batched DTW path",
+        "reference": "the pickled scalar reference",
+        "hint": "benchmarks/e2e_bench.py --multicore",
+    },
+}
+
 
 def main() -> int:
-    fresh_path = REPO_ROOT / "BENCH_e2e.json"
-    baseline_path = HERE / "BASELINE_e2e.json"
+    gate = GATES["multicore" if "--multicore" in sys.argv[1:] else "fused"]
+    fresh_path = REPO_ROOT / gate["fresh"]
+    baseline_path = HERE / gate["baseline"]
     if not fresh_path.exists():
         print(
-            "check_e2e_regression: BENCH_e2e.json missing — run "
-            "benchmarks/e2e_bench.py first",
+            f"check_e2e_regression: {gate['fresh']} missing — run "
+            f"{gate['hint']} first",
             file=sys.stderr,
         )
         return 1
@@ -40,14 +64,14 @@ def main() -> int:
     floor = pinned / 2.0
 
     print(
-        f"wave-scheduling speedup: fresh {speedup:.2f}x vs pinned "
+        f"{gate['label']} speedup: fresh {speedup:.2f}x vs pinned "
         f"{pinned:.2f}x (floor {floor:.2f}x)"
     )
     if speedup < floor:
         print(
             f"REGRESSION: fresh speedup {speedup:.2f}x is below half the "
-            f"pinned baseline ({pinned:.2f}x); the fused scheduler lost "
-            "more than half its advantage over the per-bucket reference",
+            f"pinned baseline ({pinned:.2f}x); {gate['loser']} lost "
+            f"more than half its advantage over {gate['reference']}",
             file=sys.stderr,
         )
         return 1

@@ -1,12 +1,22 @@
-"""End-to-end wave-scheduling benchmark.
+"""End-to-end wave-scheduling and zero-copy hot-path benchmarks.
 
-Runs the same multi-bucket synthesis at ``workers=4`` in both
-scheduling modes — per-bucket scoring barriers (``fused_scheduling=
+Default mode runs the same multi-bucket synthesis at ``workers=4`` in
+both scheduling modes — per-bucket scoring barriers (``fused_scheduling=
 False``) and the fused pipelined dispatch — asserts the results are
 bit-identical, and emits ``BENCH_e2e.json`` at the repo root with the
 scoring-phase wall clock, handler throughput, and pool-occupancy
 telemetry of both modes.  ``check_e2e_regression.py`` gates CI on the
 speedup ratio against the pinned ``benchmarks/BASELINE_e2e.json``.
+
+``--multicore`` measures the zero-copy scoring hot path instead: the
+same ``workers=4`` fused synthesis with the shared-memory segment plane
+and the batched anti-diagonal DTW kernel ON versus OFF
+(``shm_plane=False, batch_dtw=False`` — pickled broadcasts and the
+scalar kernel).  Every run writes a refinement checkpoint; the harness
+asserts all runs' results are bit-identical AND all checkpoint files
+are byte-identical before reporting, then emits ``BENCH_e2e_mp.json``
+gated by ``check_e2e_regression.py --multicore`` against
+``benchmarks/BASELINE_e2e_mp.json``.
 
 The workload is the shape the refinement loop actually runs: the reno
 grammar at a small budget fans out to ~5 live buckets of uneven sizes,
@@ -83,14 +93,14 @@ def _essentials(result):
     )
 
 
-def _measure(segments, fused: bool) -> dict:
+def _measure(segments, **overrides) -> dict:
     collector = CollectorSink()
     started = time.perf_counter()
     with RunContext([collector]) as ctx:
         result = synthesize(
             segments,
             DSL,
-            replace(CONFIG, fused_scheduling=fused),
+            replace(CONFIG, **overrides),
             context=ctx,
         )
         wall = time.perf_counter() - started
@@ -112,6 +122,10 @@ def _measure(segments, fused: bool) -> dict:
         "peak_in_flight": final.peak_in_flight,
         "mean_occupancy": final.mean_occupancy,
         "warm_start_pruned": final.warm_start_pruned,
+        "batched_dtw_sweeps": final.batched_dtw_sweeps,
+        "envelope_precompute_ms": final.envelope_precompute_ms,
+        "shm_bytes": final.shm_bytes,
+        "broadcast_bytes_saved": final.broadcast_bytes_saved,
     }
 
 
@@ -119,7 +133,98 @@ def _best(runs: list[dict]) -> dict:
     return min(runs, key=lambda run: run["scoring_seconds"])
 
 
+def _run_multicore() -> int:
+    """Zero-copy hot path (plane + batched DTW) vs pickled scalar."""
+    import tempfile
+
+    segments = _segments()
+    print(
+        f"e2e_bench --multicore: workers={WORKERS}, "
+        f"segments={len(segments)}, reps={REPS} (min wins)"
+    )
+    off_runs: list[dict] = []
+    on_runs: list[dict] = []
+    checkpoints: list[bytes] = []
+    with tempfile.TemporaryDirectory() as tmp:
+        for rep in range(REPS):
+            for mode, runs, overrides in (
+                ("off", off_runs, {"shm_plane": False, "batch_dtw": False}),
+                ("on", on_runs, {}),
+            ):
+                path = Path(tmp) / f"{mode}_{rep}.jsonl"
+                runs.append(
+                    _measure(
+                        segments, checkpoint_path=str(path), **overrides
+                    )
+                )
+                checkpoints.append(path.read_bytes())
+            print(
+                f"  rep {rep}: pickled+scalar "
+                f"{off_runs[-1]['scoring_seconds']:.2f}s, zero-copy "
+                f"{on_runs[-1]['scoring_seconds']:.2f}s"
+            )
+
+    reference = _essentials(off_runs[0]["result"])
+    for run in off_runs[1:] + on_runs:
+        if _essentials(run["result"]) != reference:
+            print(
+                "e2e_bench: zero-copy and pickled-scalar runs DISAGREE — "
+                "the hot path is no longer bit-identical",
+                file=sys.stderr,
+            )
+            return 1
+    if any(blob != checkpoints[0] for blob in checkpoints[1:]):
+        print(
+            "e2e_bench: checkpoint files DIVERGE across hot-path modes — "
+            "the transport/kernel knobs leaked into the decision log",
+            file=sys.stderr,
+        )
+        return 1
+
+    off = _best(off_runs)
+    on = _best(on_runs)
+    speedup = off["scoring_seconds"] / max(on["scoring_seconds"], 1e-9)
+    strip = ("result",)
+    payload = {
+        "benchmark": "e2e_zero_copy_hot_path",
+        "workers": WORKERS,
+        "reps": REPS,
+        "segments": len(segments),
+        "buckets": off["result"].initial_bucket_count,
+        "handlers_scored": on["handlers_scored"],
+        "speedup": round(speedup, 2),
+        "checkpoints_byte_identical": True,
+        "zero_copy": {
+            key: value for key, value in on.items() if key not in strip
+        },
+        "pickled_scalar": {
+            key: value for key, value in off.items() if key not in strip
+        },
+        "note": (
+            "Scoring-phase wall-clock ratio of the workers=4 fused run "
+            "with pickled broadcasts + scalar DTW vs the shared-memory "
+            "segment plane + batched anti-diagonal DTW kernel; min of "
+            "REPS runs per mode, results asserted bit-identical and "
+            "checkpoints byte-identical. check_e2e_regression.py "
+            "--multicore gates CI against benchmarks/BASELINE_e2e_mp.json."
+        ),
+    }
+    out = REPO_ROOT / "BENCH_e2e_mp.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(
+        f"e2e_bench: pickled+scalar {off['scoring_seconds']:.2f}s vs "
+        f"zero-copy {on['scoring_seconds']:.2f}s -> {speedup:.2f}x speedup "
+        f"({on['batched_dtw_sweeps']} batched DTW sweeps, "
+        f"{on['shm_bytes']} B plane, "
+        f"{on['broadcast_bytes_saved']} B broadcast avoided)"
+    )
+    print(f"e2e_bench: wrote {out}")
+    return 0
+
+
 def main() -> int:
+    if "--multicore" in sys.argv[1:]:
+        return _run_multicore()
     segments = _segments()
     print(
         f"e2e_bench: workers={WORKERS}, segments={len(segments)}, "
@@ -128,8 +233,8 @@ def main() -> int:
     plain_runs: list[dict] = []
     fused_runs: list[dict] = []
     for rep in range(REPS):
-        plain_runs.append(_measure(segments, fused=False))
-        fused_runs.append(_measure(segments, fused=True))
+        plain_runs.append(_measure(segments, fused_scheduling=False))
+        fused_runs.append(_measure(segments, fused_scheduling=True))
         print(
             f"  rep {rep}: per-bucket "
             f"{plain_runs[-1]['scoring_seconds']:.2f}s, fused "

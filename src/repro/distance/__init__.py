@@ -15,6 +15,7 @@ from repro.distance.base import (
 from repro.distance.dtw import (
     band_width,
     dtw_distance,
+    dtw_distance_batch,
     dtw_matrix,
     inflate_bound,
 )
@@ -38,6 +39,7 @@ __all__ = [
     "DistanceMetric",
     "get_metric",
     "dtw_distance",
+    "dtw_distance_batch",
     "dtw_matrix",
     "band_width",
     "inflate_bound",

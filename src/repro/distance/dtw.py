@@ -11,6 +11,14 @@ Sakoe-Chiba band, vectorized row-by-row with numpy.  Cost is absolute
 difference (L1 ground distance); the returned value is normalized by the
 warping-path-length bound (n + m) so segments of different lengths are
 comparable.
+
+Storage is banded: the DP keeps two rolling length-(m+1) rows instead of
+the full ``(n+1)×(m+1)`` matrix (:func:`dtw_matrix` can still materialize
+the matrix for tests/debugging via ``return_matrix=True``), and
+:func:`dtw_distance_batch` runs the same recurrence over a ``(K, n)``
+stack of queries against one candidate in a single sweep, with per-lane
+early abandonment — the kernel the batched scoring cascade feeds whole
+replay matrices through.
 """
 
 from __future__ import annotations
@@ -19,7 +27,13 @@ import numpy as np
 
 from repro.distance.preprocess import SERIES_BUDGET, downsample
 
-__all__ = ["dtw_distance", "dtw_matrix", "band_width", "inflate_bound"]
+__all__ = [
+    "dtw_distance",
+    "dtw_distance_batch",
+    "dtw_matrix",
+    "band_width",
+    "inflate_bound",
+]
 
 _INF = float("inf")
 
@@ -31,7 +45,7 @@ _BOUND_ABSOLUTE_SLACK = 1e-9
 
 
 def band_width(n: int, m: int, band: float | None = 0.2) -> int:
-    """Sakoe-Chiba half-width used by :func:`dtw_matrix` for sizes n, m.
+    """Sakoe-Chiba half-width used by the DTW DP for sizes n, m.
 
     Also the contract the LB_Keogh envelope must honor: the DP only
     visits cells with ``|i - j| <= width``, so an envelope built with
@@ -56,22 +70,76 @@ def inflate_bound(bound: float) -> float:
     return bound + abs(bound) * _BOUND_RELATIVE_SLACK + _BOUND_ABSOLUTE_SLACK
 
 
+def _banded_cost(
+    left: np.ndarray,
+    right: np.ndarray,
+    width: int,
+    bound: float | None,
+) -> float:
+    """Corner total of the banded DP, storing only two rolling rows.
+
+    Bit-identical to reading ``dtw_matrix(...)[n, m]``: each row is the
+    same closed-form recurrence on the same floats; the only cells a row
+    reads from its predecessor are ``[lo-1, hi]``, and the band edges
+    ``lo`` / ``hi`` are non-decreasing in ``i``, so a two-buffer rotation
+    with one explicit reset at ``curr[lo-1]`` (the cell a stale row
+    ``i-2`` value could leak through) reproduces the full matrix's
+    neighborhood exactly.  In the full matrix ``cost[i, lo-1]`` is never
+    written for ``i >= 1`` (it sits left of the band), so the in-row
+    ``min(running, cost[i, lo-1])`` term of the matrix recurrence is a
+    no-op and is dropped here.
+    """
+    n, m = left.size, right.size
+    prev = np.full(m + 1, _INF)
+    prev[0] = 0.0
+    curr = np.full(m + 1, _INF)
+    with np.errstate(invalid="ignore"):
+        for i in range(1, n + 1):
+            lo = max(1, i - width)
+            hi = min(m, i + width)
+            row_cost = np.abs(left[i - 1] - right[lo - 1 : hi])
+            best_prev = np.minimum(prev[lo - 1 : hi], prev[lo : hi + 1])
+            prefix = np.add.accumulate(row_cost)
+            shifted = np.empty_like(prefix)
+            shifted[0] = 0.0
+            shifted[1:] = prefix[:-1]
+            running = np.minimum.accumulate(best_prev - shifted)
+            row = prefix + running
+            if i < n and bound is not None and not row.min() <= bound:
+                # `not <=` rather than `>` so a NaN bound never abandons.
+                # The final row is exempt: the matrix form writes the
+                # corner before checking, so an abandonment there still
+                # surfaces the exact corner value.
+                return _INF
+            curr[lo - 1] = _INF
+            curr[lo : hi + 1] = row
+            prev, curr = curr, prev
+    return float(prev[m])
+
+
 def dtw_matrix(
     left: np.ndarray,
     right: np.ndarray,
     *,
     band: float | None = 0.2,
     bound: float | None = None,
-) -> np.ndarray:
-    """Return the (n+1)x(m+1) accumulated-cost matrix of the DTW DP.
+    return_matrix: bool = False,
+):
+    """Banded DTW DP: corner total, or the full cost matrix on request.
+
+    By default returns the accumulated cost at the ``(n, m)`` corner as
+    a float, computed with two rolling band rows — no ``(n+1)×(m+1)``
+    allocation.  ``return_matrix=True`` materializes and returns the
+    classic full matrix instead (tests and debugging only; the values
+    are identical where the band visits).
 
     ``band`` is the Sakoe-Chiba band half-width as a fraction of the
     longer series; ``None`` disables banding.  When *bound* is given the
-    DP is abandoned — leaving the corner infinite — as soon as an entire
-    row's running minimum exceeds it: every warping path visits at least
-    one cell per row and costs are non-negative, so the row minimum
-    lower-bounds the corner and abandonment is exact (a path with total
-    cost ``<= bound`` is never lost).
+    DP is abandoned — the corner reported infinite — as soon as an
+    entire row's running minimum exceeds it: every warping path visits
+    at least one cell per row and costs are non-negative, so the row
+    minimum lower-bounds the corner and abandonment is exact (a path
+    with total cost ``<= bound`` is never lost).
     """
     left = np.asarray(left, dtype=float)
     right = np.asarray(right, dtype=float)
@@ -79,6 +147,8 @@ def dtw_matrix(
     if n == 0 or m == 0:
         raise ValueError("DTW requires non-empty series")
     width = band_width(n, m, band)
+    if not return_matrix:
+        return _banded_cost(left, right, width, bound)
 
     cost = np.full((n + 1, m + 1), _INF)
     cost[0, 0] = 0.0
@@ -103,7 +173,6 @@ def dtw_matrix(
             row = prefix + np.minimum(running, cost[i, lo - 1])
             cost[i, lo : hi + 1] = row
             if bound is not None and not row.min() <= bound:
-                # `not <=` rather than `>` so a NaN bound never abandons.
                 return cost
     return cost
 
@@ -128,21 +197,115 @@ def dtw_distance(
     threshold is inflated by :func:`inflate_bound` so float rounding can
     never turn a would-be winner into a prune).
     """
-    left = downsample(left, budget)
-    right = downsample(right, budget)
+    left = downsample(np.asarray(left, dtype=float), budget)
+    right = downsample(np.asarray(right, dtype=float), budget)
+    n, m = left.size, right.size
+    if n == 0 or m == 0:
+        raise ValueError("DTW requires non-empty series")
+    width = band_width(n, m, band)
     if bound is not None and np.isfinite(bound):
-        raw_bound = inflate_bound(bound * (left.size + right.size))
-        cost = dtw_matrix(left, right, band=band, bound=raw_bound)
-        total = cost[left.size, right.size]
+        raw_bound = inflate_bound(bound * (n + m))
+        total = _banded_cost(left, right, width, raw_bound)
         if total == _INF:
             # band_width keeps the corner reachable, so an infinite
             # corner here means the DP was abandoned: distance > bound.
             return _INF
-        return float(total / (left.size + right.size))
-    cost = dtw_matrix(left, right, band=band)
-    total = cost[left.size, right.size]
+        return float(total / (n + m))
+    total = _banded_cost(left, right, width, None)
     if total == _INF:
         # Band too narrow for these lengths; fall back to an exact pass.
-        cost = dtw_matrix(left, right, band=None)
-        total = cost[left.size, right.size]
-    return float(total / (left.size + right.size))
+        total = _banded_cost(left, right, band_width(n, m, None), None)
+    return float(total / (n + m))
+
+
+def dtw_distance_batch(
+    queries: np.ndarray,
+    candidate: np.ndarray,
+    *,
+    band: float | None = 0.2,
+    bounds: np.ndarray | None = None,
+) -> np.ndarray:
+    """Normalized DTW of every row of ``queries`` against ``candidate``.
+
+    One banded DP sweep over a ``(K, n)`` lane stack: each row of the
+    rolling ``(K, m+1)`` buffers evolves through exactly the float
+    operations the scalar kernel applies to that lane alone (the
+    accumulate/minimum ops act independently along ``axis=1``), so lane
+    ``k``'s result is bit-identical to ``dtw_distance(queries[k],
+    candidate, bound=bounds[k])`` on pre-downsampled inputs.
+
+    *bounds* gives each lane its abandon threshold in normalized units
+    (``inf`` lanes never abandon, matching the scalar no-bound path);
+    abandoned lanes report ``inf`` and are compacted out of the sweep,
+    so heavily pruned waves cost proportionally less.  Inputs are used
+    as-is — callers downsample beforehand (the batched cascade already
+    holds the downsampled replay matrix).
+    """
+    queries = np.asarray(queries, dtype=float)
+    candidate = np.asarray(candidate, dtype=float)
+    if queries.ndim != 2:
+        raise ValueError("queries must be a (K, n) matrix")
+    lanes, n = queries.shape
+    m = candidate.size
+    if lanes == 0:
+        return np.empty(0)
+    if n == 0 or m == 0:
+        raise ValueError("DTW requires non-empty series")
+    width = band_width(n, m, band)
+    if bounds is None:
+        raw = np.full(lanes, _INF)
+    else:
+        scaled = np.asarray(bounds, dtype=float) * (n + m)
+        # Vectorized inflate_bound; non-finite thresholds stay inf.
+        raw = np.where(
+            np.isfinite(scaled),
+            scaled
+            + np.abs(scaled) * _BOUND_RELATIVE_SLACK
+            + _BOUND_ABSOLUTE_SLACK,
+            _INF,
+        )
+    result = np.full(lanes, _INF)
+    alive = np.arange(lanes)
+    prev = np.full((lanes, m + 1), _INF)
+    prev[:, 0] = 0.0
+    curr = np.full((lanes, m + 1), _INF)
+    with np.errstate(invalid="ignore"):
+        for i in range(1, n + 1):
+            lo = max(1, i - width)
+            hi = min(m, i + width)
+            row_cost = np.abs(
+                queries[alive, i - 1][:, None] - candidate[None, lo - 1 : hi]
+            )
+            best_prev = np.minimum(
+                prev[:, lo - 1 : hi], prev[:, lo : hi + 1]
+            )
+            prefix = np.add.accumulate(row_cost, axis=1)
+            shifted = np.empty_like(prefix)
+            shifted[:, 0] = 0.0
+            shifted[:, 1:] = prefix[:, :-1]
+            running = np.minimum.accumulate(best_prev - shifted, axis=1)
+            row = prefix + running
+            # Scalar semantics per lane: a finite threshold abandons when
+            # ``not row.min() <= bound`` (NaN rows abandon); an infinite
+            # one never does (the scalar no-bound path has no check),
+            # and the final row is exempt like the scalar kernel's.
+            row_min = row.min(axis=1)
+            lane_raw = raw[alive]
+            abandon = (
+                np.isfinite(lane_raw) & ~(row_min <= lane_raw)
+                if i < n
+                else np.zeros(alive.size, dtype=bool)
+            )
+            if abandon.any():
+                keep = ~abandon
+                alive = alive[keep]
+                if alive.size == 0:
+                    return result
+                prev = prev[keep]
+                curr = curr[keep]
+                row = row[keep]
+            curr[:, lo - 1] = _INF
+            curr[:, lo : hi + 1] = row
+            prev, curr = curr, prev
+    result[alive] = prev[:, m]
+    return result / (n + m)

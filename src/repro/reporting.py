@@ -108,6 +108,16 @@ def format_series(
     )
 
 
+def _format_bytes(count: int) -> str:
+    """``4096 -> '4.0 KiB'``; keeps the summary readable at any scale."""
+    size = float(count)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if size < 1024.0 or unit == "GiB":
+            return f"{size:.1f} {unit}" if unit != "B" else f"{int(size)} B"
+        size /= 1024.0
+    return f"{int(size)} B"  # pragma: no cover - unreachable
+
+
 def fleet_rollup(events: Iterable[Event]) -> dict | None:
     """Aggregate the scheduler's ``job_*``/``lease_stolen`` events.
 
@@ -431,6 +441,22 @@ def format_run_summary(events: Iterable[Event]) -> str:
                 f"peak {final_scoring.peak_in_flight} in flight, "
                 f"{final_scoring.mean_occupancy:.0%} mean occupancy, "
                 f"{final_scoring.warm_start_pruned} warm-start prune(s)"
+            )
+        if (
+            final_scoring.batched_dtw_sweeps
+            or final_scoring.envelope_precompute_ms
+        ):
+            lines.append(
+                f"dtw:    {final_scoring.batched_dtw_sweeps} batched "
+                f"sweep(s), envelopes precomputed in "
+                f"{final_scoring.envelope_precompute_ms:.1f}ms"
+            )
+        if final_scoring.shm_bytes:
+            lines.append(
+                f"plane:  {_format_bytes(final_scoring.shm_bytes)} "
+                f"shared-memory segment plane, "
+                f"{_format_bytes(final_scoring.broadcast_bytes_saved)} "
+                f"of pickled broadcast avoided"
             )
     finals = [e for e in events if isinstance(e, RunFinished)]
     if finals and finals[-1].phase_seconds:

@@ -180,6 +180,17 @@ class ScoringStats(Event):
     peak_in_flight: int = 0
     #: Mean fraction of executor capacity kept busy per fused wave.
     mean_occupancy: float = 0.0
+    #: Multi-lane banded-DTW sweeps (each replaces up to completion_cap
+    #: scalar dynamic programs).
+    batched_dtw_sweeps: int = 0
+    #: Wall-clock spent eagerly building tables/envelopes once per
+    #: working set (``Scorer.prepare_segments``).
+    envelope_precompute_ms: float = 0.0
+    #: Peak bytes of live shared-memory segment planes (0 = no plane).
+    shm_bytes: int = 0
+    #: Estimated pickled-broadcast bytes the zero-copy plane avoided
+    #: (plane bytes × workers per segment broadcast).
+    broadcast_bytes_saved: int = 0
 
 
 @dataclass(frozen=True)

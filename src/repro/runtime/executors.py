@@ -54,7 +54,7 @@ import math
 import multiprocessing
 import os
 import time
-from collections import deque
+from collections import OrderedDict, deque
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
@@ -75,6 +75,12 @@ from repro.runtime.events import (
     WorkerCrashed,
 )
 from repro.runtime.faults import FaultInjected, FaultPlan, apply_sketch_faults
+from repro.runtime.shm import (
+    PlaneHandle,
+    SegmentPlane,
+    attach_plane,
+    plane_segments,
+)
 from repro.runtime.supervise import (
     WORST_DISTANCE,
     Quarantined,
@@ -117,6 +123,11 @@ _PRIME_TIMEOUT_SECONDS = 120.0
 #: Pool breaks tolerated with the same sketch at the head of the
 #: incomplete suffix before that sketch is quarantined as the culprit.
 _CRASH_STRIKES = 2
+
+#: Planes a :class:`PooledExecutor` keeps alive at once.  A scheduler
+#: multiplexing jobs alternates working sets wave by wave; the LRU keeps
+#: each live job's plane mapped instead of rebuilding it per switch.
+_PLANE_LRU_ENTRIES = 8
 
 
 def interleave_groups(sizes: Sequence[int]) -> list[tuple[int, int]]:
@@ -236,6 +247,12 @@ def derive_chunksize(tasks: int, workers: int) -> int:
     return max(1, -(-tasks // (workers * 4)))
 
 
+#: Zero value of ``ScoringCounters.as_tuple()`` — the executors carry
+#: worker counter snapshots in this positional shape (the last slot is
+#: the float ``envelope_precompute_ms``).
+_COUNTER_ZEROS: tuple = (0, 0, 0, 0, 0, 0, 0.0)
+
+
 def _zero_scorer_counters(scorer: "Scorer") -> None:
     """Reset a scorer's cumulative telemetry in place.
 
@@ -249,6 +266,8 @@ def _zero_scorer_counters(scorer: "Scorer") -> None:
     counters.dp_abandoned = 0
     counters.candidates_pruned = 0
     counters.warm_start_pruned = 0
+    counters.batched_dtw_sweeps = 0
+    counters.envelope_precompute_ms = 0.0
     if scorer.cache is not None:
         scorer.cache.hits = 0
         scorer.cache.misses = 0
@@ -436,11 +455,19 @@ class SerialExecutor:
         #: Every scorer this executor has run waves for (a scheduler
         #: adopts one per job); stats aggregate over all of them.
         self._scorers: dict[int, Scorer] = {id(scorer): scorer}
+        self._prepared_token: tuple[int, ...] | None = None
 
     def adopt_scorer(self, scorer: Scorer) -> None:
         """Point subsequent waves at *scorer* (scheduler job switches)."""
         self._scorers.setdefault(id(scorer), scorer)
         self.scorer = scorer
+
+    def _prepare(self, segments: Sequence[TraceSegment]) -> None:
+        """Once-per-working-set eager precompute (tables + envelopes)."""
+        token = (id(self.scorer), *(id(segment) for segment in segments))
+        if token != self._prepared_token:
+            self.scorer.prepare_segments(segments)
+            self._prepared_token = token
 
     def reset_stats(self) -> None:
         """Zero all cumulative counters (between jobs sharing the
@@ -474,6 +501,7 @@ class SerialExecutor:
         deadline: float | None = None,
         min_results: int = 0,
     ) -> list[ScoredHandler]:
+        self._prepare(segments)
         return _score_serially(
             self.scorer,
             sketches,
@@ -493,6 +521,7 @@ class SerialExecutor:
         deadline: float | None = None,
         min_results: int = 0,
     ) -> list[list[ScoredHandler]]:
+        self._prepare(segments)
         groups = [list(group) for group in groups]
         order = wave_order(
             [len(group) for group in groups], min_results
@@ -539,7 +568,7 @@ class SerialExecutor:
         )
 
     def scoring_stats(self) -> ScoringStats:
-        totals = [0] * 5
+        totals = list(_COUNTER_ZEROS)
         for scorer in self._scorers.values():
             for index, value in enumerate(scorer.counters.as_tuple()):
                 totals[index] += value
@@ -554,6 +583,8 @@ class SerialExecutor:
             fused_tasks=waves.fused_tasks,
             peak_in_flight=waves.peak_in_flight,
             mean_occupancy=round(waves.mean_occupancy, 4),
+            batched_dtw_sweeps=totals[5],
+            envelope_precompute_ms=round(totals[6], 3),
         )
 
     def stats(self) -> tuple[CacheStats | None, ScoringStats]:
@@ -573,6 +604,27 @@ _worker_barrier = None
 _worker_faults: FaultPlan | None = None
 _worker_generation = 0
 _worker_watchdog: float | None = None
+#: The attached shared-memory plane, as ``(name, SharedMemory)``.
+#: One attach per pool lifetime per plane; replaced (and the old
+#: mapping closed) when a broadcast ships a different plane.
+_worker_plane: "tuple[str, object] | None" = None
+
+
+def _attach_plane_segments(handle: PlaneHandle) -> "list":
+    """Materialize the working set from a plane handle (worker side)."""
+    global _worker_plane
+    if _worker_plane is not None and _worker_plane[0] != handle.name:
+        try:
+            _worker_plane[1].close()
+        except BufferError:
+            # The scorer's table LRU may still hold views into the old
+            # plane; the mapping stays alive with them and is reclaimed
+            # when the worker exits.
+            pass
+        _worker_plane = None
+    if _worker_plane is None:
+        _worker_plane = (handle.name, attach_plane(handle))
+    return plane_segments(_worker_plane[1], handle)
 
 
 @dataclass(frozen=True)
@@ -610,6 +662,7 @@ def _init_worker(
         max_replay_rows,
         series_budget,
         batch,
+        batch_dtw,
         table_cache_entries,
     ) = scorer_config
     _worker_scorer = Scorer(
@@ -621,6 +674,7 @@ def _init_worker(
         series_budget=series_budget,
         cache=ScoreCache(cache_entries) if cache_entries else None,
         batch=batch,
+        batch_dtw=batch_dtw,
         table_cache_entries=table_cache_entries,
     )
     _worker_segments = segments
@@ -637,26 +691,32 @@ def _worker_cache_counts() -> tuple[int, int, int]:
     return (cache.hits, cache.misses, len(cache))
 
 
-def _worker_scoring_counts() -> tuple[int, int, int, int, int]:
+def _worker_scoring_counts() -> tuple:
     if _worker_scorer is None:
-        return (0, 0, 0, 0, 0)
+        return _COUNTER_ZEROS
     return _worker_scorer.counters.as_tuple()
 
 
 def _broadcast_segments(
-    segments: Sequence[TraceSegment] | None,
-) -> tuple[int, tuple[int, int, int], tuple[int, int, int, int, int]]:
+    payload: "Sequence[TraceSegment] | PlaneHandle | None",
+) -> tuple[int, tuple[int, int, int], tuple]:
     """Install a new working set (or just report stats when ``None``).
 
-    Returns ``(pid, cache_counts, scoring_counts)`` so the parent can
-    aggregate run-wide cache and batched-scoring telemetry.  The barrier
-    wait is what guarantees each worker executes exactly one broadcast
-    task: a worker that finished its task blocks until every sibling has
-    one, so the pool cannot route two broadcasts to the same worker.
+    *payload* is either the pickled segment list (legacy path) or a
+    :class:`~repro.runtime.shm.PlaneHandle` naming a shared-memory
+    plane this worker attaches and rebuilds views over — the zero-copy
+    path.  Returns ``(pid, cache_counts, scoring_counts)`` so the
+    parent can aggregate run-wide cache and batched-scoring telemetry.
+    The barrier wait is what guarantees each worker executes exactly
+    one broadcast task: a worker that finished its task blocks until
+    every sibling has one, so the pool cannot route two broadcasts to
+    the same worker.
     """
     global _worker_segments
-    if segments is not None:
-        _worker_segments = segments
+    if isinstance(payload, PlaneHandle):
+        _worker_segments = _attach_plane_segments(payload)
+    elif payload is not None:
+        _worker_segments = payload
     if _worker_barrier is not None:
         _worker_barrier.wait(timeout=_PRIME_TIMEOUT_SECONDS)
     return (os.getpid(), _worker_cache_counts(), _worker_scoring_counts())
@@ -664,7 +724,7 @@ def _broadcast_segments(
 
 def _install_worker_scorer(
     payload: tuple,
-) -> tuple[int, tuple[int, int, int], tuple[int, int, int, int, int]]:
+) -> tuple[int, tuple[int, int, int], tuple]:
     """Swap this worker's scorer in place (scheduler job switch).
 
     Returns the OUTGOING scorer's cumulative counters: the parent folds
@@ -687,6 +747,7 @@ def _install_worker_scorer(
         max_replay_rows,
         series_budget,
         batch,
+        batch_dtw,
         table_cache_entries,
     ) = scorer_config
     _worker_scorer = Scorer(
@@ -698,6 +759,7 @@ def _install_worker_scorer(
         series_budget=series_budget,
         cache=ScoreCache(cache_entries) if cache_entries else None,
         batch=batch,
+        batch_dtw=batch_dtw,
         table_cache_entries=table_cache_entries,
     )
     if _worker_barrier is not None:
@@ -836,6 +898,7 @@ class PooledExecutor:
         policy: SupervisionPolicy | None = None,
         watchdog_seconds: float | None = None,
         fault_plan: FaultPlan | None = None,
+        use_shm: bool = True,
     ):
         if workers < 2:
             raise ValueError("PooledExecutor needs workers >= 2")
@@ -866,22 +929,37 @@ class PooledExecutor:
         #: Every scorer this executor has run waves for (a scheduler
         #: adopts one per job); stats aggregate over all of them.
         self._scorers: dict[int, Scorer] = {id(scorer): scorer}
+        self._prepared_token: tuple[int, ...] | None = None
         #: Scorer config the pool's workers currently have installed.
         self._installed_config: tuple | None = None
         #: Cache (hits, misses) and scoring counters of worker scorers
         #: that were replaced by an install broadcast — their work
         #: happened and stays in the run-wide sums.
         self._retired_cache = [0, 0]
-        self._retired_scoring = [0] * 5
+        self._retired_scoring = list(_COUNTER_ZEROS)
         self._waves = _WaveTelemetry()
         #: Latest cumulative cache counters per worker pid.
         self._worker_cache: dict[int, tuple[int, int, int]] = {}
         #: Latest cumulative batched-scoring counters per worker pid.
-        self._worker_scoring: dict[int, tuple[int, int, int, int, int]] = {}
+        self._worker_scoring: dict[int, tuple] = {}
         methods = multiprocessing.get_all_start_methods()
         self._mp_context = (
             multiprocessing.get_context("fork") if "fork" in methods else None
         )
+        #: Zero-copy segment plane (``--no-shm`` turns it off).  Without
+        #: fork the pool bakes segments into the initializer, so the
+        #: broadcast path the plane replaces never runs — fall back.
+        self.use_shm = use_shm and self._mp_context is not None
+        #: Planes this executor owns, LRU by working-set/data-knob key.
+        #: A scheduler multiplexing N jobs alternates working sets, so a
+        #: small LRU (not a single slot) keeps each job's plane warm.
+        self._planes: "OrderedDict[tuple, SegmentPlane]" = OrderedDict()
+        #: Peak bytes of concurrently live planes (telemetry).
+        self.shm_bytes = 0
+        #: Estimated pickled-broadcast bytes the plane path avoided:
+        #: plane bytes × workers per segment broadcast (each worker
+        #: would have received its own pickled copy of these arrays).
+        self.broadcast_bytes_saved = 0
 
     # ------------------------------------------------------------------
 
@@ -918,7 +996,11 @@ class PooledExecutor:
         self.quarantined = []
         self._crash_strikes.clear()
         self._retired_cache = [0, 0]
-        self._retired_scoring = [0] * 5
+        self._retired_scoring = list(_COUNTER_ZEROS)
+        self.shm_bytes = sum(
+            plane.nbytes for plane in self._planes.values()
+        )
+        self.broadcast_bytes_saved = 0
         for scorer in self._scorers.values():
             _zero_scorer_counters(scorer)
         self._worker_cache.clear()
@@ -944,6 +1026,7 @@ class PooledExecutor:
             scorer.max_replay_rows,
             scorer.series_budget,
             scorer.batch,
+            scorer.batch_dtw,
             scorer.table_cache_entries,
         )
 
@@ -987,8 +1070,58 @@ class PooledExecutor:
     def _degrade(self, reason: str) -> None:
         """Give up on pooled scoring for the rest of the run."""
         self._shutdown_pool()
+        self._release_planes()
         self._degraded = True
         self._emit(DegradedToSerial(reason=reason))
+
+    def _release_planes(self) -> None:
+        """Unlink every plane this executor owns (idempotent)."""
+        while self._planes:
+            self._planes.popitem(last=False)[1].close()
+
+    def _plane_for(
+        self, token: tuple[int, ...], segments: Sequence[TraceSegment]
+    ) -> SegmentPlane | None:
+        """The plane for this working set under the scorer's data knobs,
+        building (and LRU-evicting) as needed; ``None`` means the input
+        cannot be packed and the pickled path must carry the broadcast.
+
+        Keyed on the data-shaping knobs too: two jobs sharing segments
+        but differing in ``max_replay_rows``/``series_budget`` (or
+        metric — envelopes only exist for DTW) need different arrays.
+        """
+        scorer = self.scorer
+        key = (
+            token,
+            scorer.metric_name,
+            scorer.max_replay_rows,
+            scorer.series_budget,
+        )
+        plane = self._planes.get(key)
+        if plane is not None:
+            self._planes.move_to_end(key)
+            return plane
+        plane = SegmentPlane.build(scorer.prepare_segments(segments))
+        if plane is None:
+            return None
+        self._planes[key] = plane
+        while len(self._planes) > _PLANE_LRU_ENTRIES:
+            # Evicted planes may still be mapped by workers (another
+            # job's views): unlinking only removes the name, the pages
+            # survive until those mappings are replaced or exit.
+            self._planes.popitem(last=False)[1].close()
+        self.shm_bytes = max(
+            self.shm_bytes,
+            sum(plane.nbytes for plane in self._planes.values()),
+        )
+        return plane
+
+    def _prepare(self, segments: Sequence[TraceSegment]) -> None:
+        """Once-per-working-set eager precompute for inline scoring."""
+        token = (id(self.scorer), *(id(segment) for segment in segments))
+        if token != self._prepared_token:
+            self.scorer.prepare_segments(segments)
+            self._prepared_token = token
 
     def _quarantine(
         self, sketch: Sketch, reason: str, detail: str
@@ -1010,15 +1143,15 @@ class PooledExecutor:
     # ------------------------------------------------------------------
 
     def _broadcast(
-        self, segments: Sequence[TraceSegment] | None
+        self, payload: "Sequence[TraceSegment] | PlaneHandle | None"
     ) -> None:
         """Run one barrier-synchronized task on every worker."""
         assert self._pool is not None
-        if segments is not None and self._broadcast_faults_left > 0:
+        if payload is not None and self._broadcast_faults_left > 0:
             self._broadcast_faults_left -= 1
             raise FaultInjected("injected broadcast failure")
         futures = [
-            self._pool.submit(_broadcast_segments, segments)
+            self._pool.submit(_broadcast_segments, payload)
             for _ in range(self.workers)
         ]
         for future in futures:
@@ -1050,10 +1183,10 @@ class PooledExecutor:
             # point-in-time gauge of a cache that no longer exists.
             self._retired_cache[0] += cache_counts[0]
             self._retired_cache[1] += cache_counts[1]
-            for index in range(5):
+            for index in range(len(_COUNTER_ZEROS)):
                 self._retired_scoring[index] += scoring_counts[index]
             self._worker_cache[pid] = (0, 0, 0)
-            self._worker_scoring[pid] = (0, 0, 0, 0, 0)
+            self._worker_scoring[pid] = _COUNTER_ZEROS
         self._installed_config = config
 
     def _prime(self, segments: Sequence[TraceSegment]) -> None:
@@ -1092,7 +1225,21 @@ class PooledExecutor:
                     if config != self._installed_config:
                         self._install_scorer(config)
                     if not same_segments:
-                        self._broadcast(segments)
+                        plane = (
+                            self._plane_for(token, segments)
+                            if self.use_shm
+                            else None
+                        )
+                        payload: object = (
+                            plane.handle if plane is not None else segments
+                        )
+                        self._broadcast(payload)
+                        if plane is not None:
+                            # Each worker would otherwise have received
+                            # its own pickled copy of these arrays.
+                            self.broadcast_bytes_saved += (
+                                plane.nbytes * self.workers
+                            )
                         segments_shipped = True
                     break
                 except Exception as exc:
@@ -1137,6 +1284,7 @@ class PooledExecutor:
         min_results: int,
     ) -> list[ScoredHandler]:
         """Serial fallback (tiny waves and post-degradation scoring)."""
+        self._prepare(segments)
         return _score_serially(
             self.scorer,
             sketches,
@@ -1535,6 +1683,7 @@ class PooledExecutor:
                     self._waves.peak_in_flight, 1
                 )
                 self._waves.note_occupancy(1.0 / self.workers)
+            self._prepare(segments)
             flat = _score_grouped_serially(
                 self.scorer,
                 tasks,
@@ -1652,7 +1801,7 @@ class PooledExecutor:
         totals = [
             sum(entry[index] for entry in self._worker_scoring.values())
             + self._retired_scoring[index]
-            for index in range(5)
+            for index in range(len(_COUNTER_ZEROS))
         ]
         for scorer in self._scorers.values():
             for index, value in enumerate(scorer.counters.as_tuple()):
@@ -1668,6 +1817,10 @@ class PooledExecutor:
             fused_tasks=waves.fused_tasks,
             peak_in_flight=waves.peak_in_flight,
             mean_occupancy=round(waves.mean_occupancy, 4),
+            batched_dtw_sweeps=totals[5],
+            envelope_precompute_ms=round(totals[6], 3),
+            shm_bytes=self.shm_bytes,
+            broadcast_bytes_saved=self.broadcast_bytes_saved,
         )
 
     def cache_stats(self) -> CacheStats | None:
@@ -1712,8 +1865,14 @@ class PooledExecutor:
         callers that own a healthy pool (the scheduler after a fleet
         drains) use it to avoid racing interpreter teardown.  Leave it
         off on paths that may hold a hung worker.
+
+        Every shared-memory plane is unlinked here: the executor is the
+        plane owner, and a closed executor must leave ``/dev/shm``
+        exactly as it found it.  The next wave's ``_prime`` rebuilds a
+        fresh plane along with the pool.
         """
         self._shutdown_pool(wait=wait)
+        self._release_planes()
         self._expect_spawn = True
 
     def __enter__(self) -> "PooledExecutor":
@@ -1731,6 +1890,7 @@ def make_executor(
     policy: SupervisionPolicy | None = None,
     watchdog_seconds: float | None = None,
     fault_plan: FaultPlan | None = None,
+    use_shm: bool = True,
 ) -> ScoringExecutor:
     """The executor for a run: pooled when ``workers > 1``."""
     if workers > 1:
@@ -1741,6 +1901,7 @@ def make_executor(
             policy=policy,
             watchdog_seconds=watchdog_seconds,
             fault_plan=fault_plan,
+            use_shm=use_shm,
         )
     return SerialExecutor(
         scorer,

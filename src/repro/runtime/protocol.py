@@ -67,6 +67,10 @@ class ScorerReady:
     watchdog_seconds: float | None
     fault_plan: "FaultPlan | None"
     context: "RunContext"
+    #: Broadcast segment working sets through the shared-memory plane
+    #: (``repro.runtime.shm``) instead of pickling them per worker.
+    #: Execution knob: results are bit-identical either way.
+    use_shm: bool = True
 
 
 @dataclass(frozen=True)

@@ -135,6 +135,7 @@ class Scheduler:
         steal_leases: bool = False,
         max_pool_rebuilds: int = 3,
         watchdog_seconds: float | None = None,
+        use_shm: bool = True,
         fault_plan: FaultPlan | None = None,
         service_fault_plan: ServiceFaultPlan | None = None,
     ) -> None:
@@ -148,6 +149,7 @@ class Scheduler:
         self.steal_leases = steal_leases
         self.max_pool_rebuilds = max_pool_rebuilds
         self.watchdog_seconds = watchdog_seconds
+        self.use_shm = use_shm
         self.fault_plan = fault_plan
         self.service_fault_plan = service_fault_plan
         self._queue = JobQueue()
@@ -231,6 +233,7 @@ class Scheduler:
                 ),
                 watchdog_seconds=self.watchdog_seconds,
                 fault_plan=self.fault_plan,
+                use_shm=self.use_shm,
             )
         elif self._executor.scorer is not active.scorer:
             self._executor.adopt_scorer(active.scorer)

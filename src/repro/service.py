@@ -408,6 +408,7 @@ class FleetServer:
         claim_interval_seconds: float = DEFAULT_CLAIM_INTERVAL,
         max_job_retries: int = DEFAULT_MAX_JOB_RETRIES,
         retry_backoff_seconds: float = DEFAULT_RETRY_BACKOFF,
+        use_shm: bool = True,
         context: RunContext | None = None,
         fault_plan: ServiceFaultPlan | None = None,
         drain: Any = None,
@@ -425,6 +426,7 @@ class FleetServer:
         self.claim_interval_seconds = claim_interval_seconds
         self.max_job_retries = max_job_retries
         self.retry_backoff_seconds = retry_backoff_seconds
+        self.use_shm = use_shm
         self.context = context
         self.fault_plan = fault_plan
         self.drain = drain  #: object with ``is_set()`` or zero-arg callable
@@ -777,6 +779,7 @@ class FleetServer:
             owner=self.server_id,
             lease_ttl_seconds=self.lease_ttl_seconds,
             steal_leases=self.steal_leases,
+            use_shm=self.use_shm,
             service_fault_plan=self.fault_plan,
         )
         self._scheduler = scheduler

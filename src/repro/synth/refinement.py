@@ -142,6 +142,21 @@ class SynthesisConfig:
     #: ``batch_scoring`` (a run started fused can be resumed per-bucket,
     #: and vice versa).
     fused_scheduling: bool = True
+    #: Broadcast each pooled working set through ONE shared-memory
+    #: segment plane (:mod:`repro.runtime.shm`) instead of pickling the
+    #: segments into every worker.  Transport only — scores, rankings,
+    #: and checkpoints are byte-identical either way — so this is an
+    #: execution knob, excluded from :func:`_run_fingerprint` (a run
+    #: started with the plane can be resumed with ``--no-shm``, and
+    #: vice versa).  Ignored when ``workers == 1``.
+    shm_plane: bool = True
+    #: Sweep each candidate wave's surviving DTW lanes through the
+    #: batched anti-diagonal kernel
+    #: (:func:`repro.distance.dtw.dtw_distance_batch`) with per-lane
+    #: early abandonment, instead of one scalar DP per candidate.
+    #: Bit-identical distances; an execution knob, excluded from
+    #: :func:`_run_fingerprint` like ``batch_scoring``.
+    batch_dtw: bool = True
     #: Deterministic fault injection (tests only; ``None`` in production).
     fault_plan: FaultPlan | None = None
 
@@ -234,6 +249,7 @@ def synthesize_core(
             else None
         ),
         batch=config.batch_scoring,
+        batch_dtw=config.batch_dtw,
     )
     pool = BucketPool(dsl, context=ctx)
     initial_bucket_count = len(pool.buckets)
@@ -304,6 +320,7 @@ def synthesize_core(
         watchdog_seconds=config.watchdog_seconds,
         fault_plan=config.fault_plan,
         context=ctx,
+        use_shm=config.shm_plane,
     )
     # Cumulative quarantine log for this run, as of the latest wave reply
     # (quarantines only ever happen inside waves, so at a checkpoint
@@ -644,6 +661,7 @@ def drive(core) -> Any:
                     ),
                     watchdog_seconds=request.watchdog_seconds,
                     fault_plan=request.fault_plan,
+                    use_shm=request.use_shm,
                 )
             elif isinstance(request, WaveRequest):
                 if request.fused:

@@ -23,6 +23,7 @@ thresholds carry float-safety slack), so both paths return the same
 from __future__ import annotations
 
 import math
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Sequence
@@ -30,7 +31,12 @@ from typing import TYPE_CHECKING, Callable, Sequence
 import numpy as np
 
 from repro.distance.base import DEFAULT_METRIC, get_metric
-from repro.distance.dtw import band_width, dtw_distance, inflate_bound
+from repro.distance.dtw import (
+    band_width,
+    dtw_distance,
+    dtw_distance_batch,
+    inflate_bound,
+)
 from repro.distance.lb import (
     keogh_envelope,
     keogh_envelope_batch,
@@ -214,14 +220,22 @@ class ScoringCounters:
     #: scheduler's per-bucket warm-start bound) was tighter than anything
     #: this sketch had computed itself.
     warm_start_pruned: int = 0
+    #: Multi-lane DP sweeps run by :func:`dtw_distance_batch` (each
+    #: replaces up to ``completion_cap`` scalar DPs).
+    batched_dtw_sweeps: int = 0
+    #: Wall-clock milliseconds spent eagerly building segment entries
+    #: and Keogh envelopes in :meth:`Scorer.prepare_segments`.
+    envelope_precompute_ms: float = 0.0
 
-    def as_tuple(self) -> tuple[int, int, int, int, int]:
+    def as_tuple(self) -> tuple[int, int, int, int, int, int, float]:
         return (
             self.batched_waves,
             self.lb_pruned,
             self.dp_abandoned,
             self.candidates_pruned,
             self.warm_start_pruned,
+            self.batched_dtw_sweeps,
+            self.envelope_precompute_ms,
         )
 
 
@@ -273,6 +287,11 @@ class Scorer:
     #: Score sketches through the vectorized batch path (identical
     #: rankings; ``--no-batch`` forces the scalar reference path).
     batch: bool = True
+    #: Inside the batch path, score every surviving lane's DTW for a
+    #: segment in one :func:`dtw_distance_batch` sweep instead of K
+    #: scalar DPs (identical results; ``--no-batch-dtw`` reverts to the
+    #: per-lane reference path).
+    batch_dtw: bool = True
     #: LRU cap on the per-segment table cache below.
     table_cache_entries: int = DEFAULT_TABLE_CACHE_ENTRIES
     #: Prune telemetry, aggregated across the scorer's lifetime.
@@ -298,6 +317,24 @@ class Scorer:
         if entry is not None and entry.segment is segment:
             self._tables.move_to_end(key)
             return entry
+        plane_entry = getattr(segment, "plane_entry", None)
+        if plane_entry is not None:
+            # A shared-memory plane segment carries its precomputed
+            # table/series/envelope views (built by the parent's
+            # prepare_segments); rebuild the entry from those instead of
+            # re-extracting signals it does not have.
+            table, observed, downsampled, envelope = plane_entry()
+            entry = _SegmentEntry(
+                segment=segment,
+                table=table,
+                observed=observed,
+                downsampled=downsampled,
+                envelope_cache=envelope,
+            )
+            self._tables[key] = entry
+            while len(self._tables) > max(self.table_cache_entries, 1):
+                self._tables.popitem(last=False)
+            return entry
         table = extract_signals(segment).coalesce(self.max_replay_rows)
         observed = table.observed_cwnd() / table.mss
         entry = _SegmentEntry(
@@ -314,6 +351,31 @@ class Scorer:
     def table_for(self, segment: TraceSegment) -> SignalTable:
         """Extract (and LRU-cache) the signal table for *segment*."""
         return self._entry_for(segment).table
+
+    def prepare_segments(
+        self, segments: Sequence[TraceSegment]
+    ) -> "list[_SegmentEntry]":
+        """Eagerly build every segment's entry — once per working set.
+
+        Materializes the coalesced signal table, the normalized observed
+        series, its downsampled form, and (for the DTW metric) the Keogh
+        envelope, so neither serial waves nor pool workers pay the lazy
+        per-wave cost; the shared-memory plane packs exactly these
+        arrays.  Idempotent and cheap when the entries already exist
+        (an LRU hit per segment); the time actually spent is accumulated
+        into ``counters.envelope_precompute_ms``.
+        """
+        started = time.perf_counter()
+        entries = []
+        for segment in segments:
+            entry = self._entry_for(segment)
+            if self.metric_name == "dtw" and entry.envelope_cache is None:
+                entry.envelope()
+            entries.append(entry)
+        self.counters.envelope_precompute_ms += (
+            time.perf_counter() - started
+        ) * 1000.0
+        return entries
 
     def score_handler(
         self,
@@ -529,9 +591,13 @@ class Scorer:
         # tops the incumbent mean are dropped with zero DTW calls.
         replayed: dict[int, np.ndarray] = {}
         lb_matrix = np.zeros((len(assignments), count))
-        for seg_index, entry in enumerate(
-            self._entry_for(segment) for segment in segments
-        ):
+        entries = [self._entry_for(segment) for segment in segments]
+        #: Per segment, the (K, n) downsampled replay matrix — row
+        #: ``lane`` holds the same floats ``downsample(matrix[lane])``
+        #: yields, so the batched DTW sweep below scores the very series
+        #: the scalar cascade would.
+        queries_by_segment: list[np.ndarray] = []
+        for seg_index, entry in enumerate(entries):
             table = entry.table
             matrix = replay_batch(vector, assignments, table) / table.mss
             replayed[id(entry.segment)] = matrix
@@ -545,6 +611,7 @@ class Scorer:
                 queries = matrix[:, picks]  # rows == downsample(row)
             else:
                 queries = matrix
+            queries_by_segment.append(queries)
             candidate = entry.downsampled
             if queries.shape[1] != candidate.size:
                 continue  # no envelope information for this segment
@@ -637,6 +704,18 @@ class Scorer:
                 ),
             )
 
+        if self.batch_dtw and probe_scored is not None:
+            return self._batched_dtw_minimum(
+                entries,
+                queries_by_segment,
+                lb_matrix,
+                lb_totals,
+                warm,
+                probe,
+                probe_scored,
+                handler_for,
+            )
+
         best: ScoredHandler | None = None
         for lane in range(len(assignments)):
             if probe_scored is not None and lane == probe:
@@ -673,6 +752,167 @@ class Scorer:
                 )
             if best is None or scored.distance < best.distance:
                 best = scored
+        return best
+
+    def _batched_dtw_minimum(
+        self,
+        entries: "list[_SegmentEntry]",
+        queries_by_segment: "list[np.ndarray]",
+        lb_matrix: np.ndarray,
+        lb_totals: np.ndarray,
+        warm: float,
+        probe: int,
+        probe_scored: ScoredHandler,
+        handler_for: Callable[[int], ast.NumExpr],
+    ) -> ScoredHandler:
+        """Segment-major minimum over the non-probe lanes: one
+        :func:`dtw_distance_batch` sweep per segment instead of K scalar
+        DPs.
+
+        Returns the same :class:`ScoredHandler` as the per-lane loop it
+        replaces.  The pruning threshold here is the *fixed* incumbent
+        ``t0 = min(warm, probe)`` rather than the per-lane loop's
+        evolving one — a looser (never tighter) threshold, so this path
+        prunes a subset of what the reference prunes.  That cannot
+        change the result: every prune discards only lanes provably
+        worse than ``t0 >= final minimum`` (lower bounds and partial
+        totals versus a slack-inflated budget, exactly the reference
+        formulas), so the winning lane is always scored exactly, extra
+        exact-but-worse values never beat it under strict ``<``
+        selection in lane order, and when everything is ``inf`` the
+        initially-pruned (absent) set matches the reference's
+        ``continue`` set because no evolving incumbent ever tightened
+        below ``t0`` in that case either.
+        """
+        count = len(entries)
+        lanes = lb_matrix.shape[0]
+        cache = self.cache
+        t0 = min(warm, probe_scored.distance)
+        finite_budget = math.isfinite(t0)
+        budget = inflate_bound(t0 * count) if finite_budget else float("inf")
+        #: Lanes that produce a ScoredHandler (possibly ``inf``) exactly
+        #: like a ``score_handler`` call would; lanes pruned by the
+        #: whole-candidate lower bound are absent from selection like
+        #: the reference loop's ``continue``.
+        present = np.ones(lanes, dtype=bool)
+        alive = np.ones(lanes, dtype=bool)
+        alive[probe] = False
+        if finite_budget:
+            with np.errstate(invalid="ignore"):
+                hopeless = lb_totals > budget
+            hopeless[probe] = False
+            dropped = int(np.count_nonzero(hopeless))
+            if dropped:
+                self.counters.lb_pruned += count * dropped
+                self.counters.candidates_pruned += dropped
+                if warm < probe_scored.distance:
+                    self.counters.warm_start_pruned += dropped
+                present &= ~hopeless
+                alive &= ~hopeless
+        totals = np.zeros(lanes)
+        lb_suffix = np.zeros((lanes, count + 1))
+        with np.errstate(invalid="ignore"):
+            lb_suffix[:, :count] = np.cumsum(
+                lb_matrix[:, ::-1], axis=1
+            )[:, ::-1]
+        handlers: dict[int, ast.NumExpr] = {}
+
+        def handler_at(lane: int) -> ast.NumExpr:
+            handler = handlers.get(lane)
+            if handler is None:
+                handler = handler_for(lane)
+                handlers[lane] = handler
+            return handler
+
+        for seg_index, entry in enumerate(entries):
+            lane_ids = np.nonzero(alive)[0]
+            if lane_ids.size == 0:
+                break
+            segment = entry.segment
+            if finite_budget:
+                # Partial total plus the remaining segments' lower
+                # bounds already over budget: the mean cannot beat t0.
+                over = (
+                    totals[lane_ids] + lb_suffix[lane_ids, seg_index]
+                    > budget
+                )
+                for lane in lane_ids[over]:
+                    alive[lane] = False
+                    self.counters.candidates_pruned += 1
+                lane_ids = lane_ids[~over]
+                if lane_ids.size == 0:
+                    break
+            need: list[int] = []
+            keys: dict[int, tuple] = {}
+            for lane in (int(lane) for lane in lane_ids):
+                if cache is not None:
+                    key = cache.key(
+                        to_text(handler_at(lane)),
+                        segment,
+                        self.metric_name,
+                        self.max_replay_rows,
+                        self.series_budget,
+                    )
+                    keys[lane] = key
+                    cached = cache.get(key, segment)
+                    if cached is not None:
+                        totals[lane] += cached
+                        continue
+                need.append(lane)
+            if not need:
+                continue
+            dtw_lanes: list[int] = []
+            bounds: list[float] = []
+            for lane in need:
+                seg_bound = float(
+                    budget - totals[lane] - lb_suffix[lane, seg_index + 1]
+                )
+                known_lb = lb_matrix[lane, seg_index]
+                if finite_budget and known_lb > inflate_bound(seg_bound):
+                    self.counters.lb_pruned += 1
+                    self.counters.candidates_pruned += 1
+                    alive[lane] = False
+                    continue
+                dtw_lanes.append(lane)
+                bounds.append(seg_bound)
+            if not dtw_lanes:
+                continue
+            distances = dtw_distance_batch(
+                queries_by_segment[seg_index][dtw_lanes],
+                entry.downsampled,
+                bounds=np.array(bounds),
+            )
+            self.counters.batched_dtw_sweeps += 1
+            for lane, distance in zip(dtw_lanes, distances):
+                if distance == float("inf"):
+                    # Abandoned DP (or a truly infinite distance —
+                    # equally hopeless), same accounting as the scalar
+                    # cascade.
+                    self.counters.dp_abandoned += 1
+                    self.counters.candidates_pruned += 1
+                    alive[lane] = False
+                    continue
+                value = float(distance)
+                if cache is not None:
+                    cache.put(keys[lane], segment, value)
+                totals[lane] += value
+
+        best: ScoredHandler | None = None
+        for lane in range(lanes):
+            if lane == probe:
+                scored = probe_scored
+            elif present[lane]:
+                distance = (
+                    float(totals[lane] / count)
+                    if alive[lane]
+                    else float("inf")
+                )
+                scored = ScoredHandler(handler_at(lane), distance)
+            else:
+                continue
+            if best is None or scored.distance < best.distance:
+                best = scored
+        assert best is not None  # the probe lane always contributes
         return best
 
     def score_sketch(

@@ -132,3 +132,93 @@ def test_vectorized_rows_match_reference_dp():
         assert dtw_distance(a, b, band=band) == pytest.approx(
             _reference_dtw(a, b, band=band), abs=1e-9
         )
+
+
+def test_dtw_matrix_scalar_matches_full_matrix_corner():
+    rng = np.random.default_rng(11)
+    for trial in range(30):
+        n = int(rng.integers(2, 60))
+        m = int(rng.integers(2, 60))
+        a = rng.normal(size=n) * 10
+        b = rng.normal(size=m) * 10
+        band = None if trial % 3 == 0 else 0.25
+        corner = dtw_matrix(a, b, band=band)
+        full = dtw_matrix(a, b, band=band, return_matrix=True)
+        assert isinstance(corner, float)
+        assert corner == full[n, m]
+
+
+def test_dtw_matrix_bounded_scalar_matches_full_matrix_corner():
+    rng = np.random.default_rng(12)
+    for _ in range(30):
+        n = int(rng.integers(2, 60))
+        m = int(rng.integers(2, 60))
+        a = rng.normal(size=n) * 10
+        b = rng.normal(size=m) * 10
+        bound = float(rng.random() * 200)
+        corner = dtw_matrix(a, b, bound=bound)
+        full = dtw_matrix(a, b, bound=bound, return_matrix=True)
+        assert corner == full[n, m]
+
+
+def test_dtw_distance_batch_matches_scalar_bit_identically():
+    from repro.distance.dtw import dtw_distance_batch
+
+    rng = np.random.default_rng(13)
+    for trial in range(40):
+        lanes = int(rng.integers(1, 8))
+        n = int(rng.integers(2, 50))
+        m = int(rng.integers(2, 50))
+        queries = rng.normal(size=(lanes, n)) * 10
+        candidate = rng.normal(size=m) * 10
+        band = None if trial % 4 == 0 else 0.2
+        batch = dtw_distance_batch(queries, candidate, band=band)
+        for lane in range(lanes):
+            # budget larger than both sizes: downsample is the identity,
+            # so the scalar kernel sees the very same floats.
+            assert batch[lane] == dtw_distance(
+                queries[lane], candidate, band=band, budget=1 << 30
+            )
+
+
+def test_dtw_distance_batch_bounded_matches_scalar_per_lane():
+    from repro.distance.dtw import dtw_distance_batch
+
+    rng = np.random.default_rng(14)
+    for _ in range(40):
+        lanes = int(rng.integers(1, 8))
+        n = int(rng.integers(2, 50))
+        m = int(rng.integers(2, 50))
+        queries = rng.normal(size=(lanes, n)) * 10
+        candidate = rng.normal(size=m) * 10
+        bounds = np.where(
+            rng.random(lanes) < 0.3, np.inf, rng.random(lanes) * 6
+        )
+        batch = dtw_distance_batch(queries, candidate, bounds=bounds)
+        for lane in range(lanes):
+            bound = None if not np.isfinite(bounds[lane]) else bounds[lane]
+            scalar = dtw_distance(
+                queries[lane], candidate, budget=1 << 30, bound=bound
+            )
+            assert batch[lane] == scalar
+
+
+def test_dtw_distance_batch_abandons_hopeless_lanes_only():
+    from repro.distance.dtw import dtw_distance_batch
+
+    queries = np.stack([np.zeros(32), np.full(32, 100.0)])
+    candidate = np.full(32, 100.0)
+    bounds = np.array([1e-6, 1e-6])
+    batch = dtw_distance_batch(queries, candidate, bounds=bounds)
+    assert batch[0] == float("inf")  # hopeless lane abandoned
+    assert batch[1] == 0.0  # identical lane survives its tight bound
+
+
+def test_dtw_distance_batch_rejects_bad_shapes():
+    from repro.distance.dtw import dtw_distance_batch
+
+    with pytest.raises(ValueError):
+        dtw_distance_batch(np.zeros(5), np.ones(3))
+    with pytest.raises(ValueError):
+        dtw_distance_batch(np.zeros((2, 0)), np.ones(3))
+    assert dtw_distance_batch(np.empty((0, 4)), np.ones(3)).size == 0

@@ -50,7 +50,7 @@ _equal_pair = st.integers(min_value=2, max_value=40).flatmap(
 
 def _raw_cost(left, right):
     """The raw (un-normalized) banded-DTW corner the bounds must stay under."""
-    return dtw_matrix(left, right)[left.size, right.size]
+    return dtw_matrix(left, right)
 
 
 @given(_series, _series)
@@ -134,7 +134,8 @@ def test_bounded_dtw_abandons_hopeless_candidate():
     a = np.zeros(32)
     b = np.full(32, 100.0)
     assert dtw_distance(a, b, bound=1e-6) == float("inf")
-    cost = dtw_matrix(a, b, bound=-1.0)
+    assert dtw_matrix(a, b, bound=-1.0) == float("inf")  # corner abandoned
+    cost = dtw_matrix(a, b, bound=-1.0, return_matrix=True)
     assert cost[32, 32] == float("inf")  # corner left infinite
 
 

@@ -123,6 +123,17 @@ def test_simplify_preserves_semantics(expr):
             if isinstance(node, ast.NumExpr):
                 if abs(evaluate(node, env)) >= 1e15:
                     return
+        # Comparisons are discontinuous: a rewrite that is mathematically
+        # exact but not float-exact (cube(cbrt(x)) -> x perturbs the last
+        # ulp) can flip a predicate whose sides are essentially tied, and
+        # then the branches — not the rewrite — produce the difference.
+        # Restrict the property to predicates that are decisively one-sided.
+        for node in ast.walk(expr):
+            if isinstance(node, (ast.Cmp, ast.ModEq)):
+                left = evaluate(node.left, env)
+                right = evaluate(node.right, env)
+                if left == pytest.approx(right, rel=1e-6, abs=1e-9):
+                    return
         before = evaluate(expr, env)
         after = evaluate(simplified, env)
     except EvaluationError:

@@ -168,7 +168,19 @@ def test_serial_reports_scoring_stats(sketches, reno_segments):
 
 def test_pooled_scoring_stats_match_serial(sketches, reno_segments):
     """Counter totals are per-sketch work, so the worker split (and the
-    per-worker scorers it implies) cannot change the aggregate."""
+    per-worker scorers it implies) cannot change the aggregate.  The
+    wall-clock and transport fields (precompute ms, shm bytes) describe
+    *how* the work ran, not how much — normalized out before comparing."""
+    import dataclasses
+
+    def deterministic(stats):
+        return dataclasses.replace(
+            stats,
+            envelope_precompute_ms=0.0,
+            shm_bytes=0,
+            broadcast_bytes_saved=0,
+        )
+
     working = reno_segments[:2]
     serial = SerialExecutor(_scorer())
     serial.score(sketches, working)
@@ -176,7 +188,9 @@ def test_pooled_scoring_stats_match_serial(sketches, reno_segments):
     with PooledExecutor(_scorer(), 2) as pooled:
         pooled.score(sketches, working)
         stats = pooled.scoring_stats()
-    assert stats == expected
+        assert stats.shm_bytes > 0  # the plane carried the broadcast
+        assert stats.broadcast_bytes_saved >= stats.shm_bytes
+    assert deterministic(stats) == deterministic(expected)
     assert stats.batched_waves == len(sketches)
 
 

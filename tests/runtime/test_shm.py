@@ -1,0 +1,292 @@
+"""Shared-memory segment plane suite (``repro.runtime.shm``).
+
+The plane is pure transport: scores, rankings, and checkpoints must be
+bit-identical with it on or off, at one worker and at four, with the
+batched DTW kernel on or off.  Around that differential core sit the
+lifecycle guarantees — crash-mid-wave pool rebuilds re-attach the same
+plane, co-scheduled jobs get isolated planes, and no ``/dev/shm``
+segment survives an executor close or a fleet drain.
+"""
+
+import os
+from dataclasses import replace
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.dsl import RENO_DSL, with_budget
+from repro.dsl.parser import parse
+from repro.runtime.context import RunContext
+from repro.runtime.executors import PooledExecutor, make_executor
+from repro.runtime.faults import FaultPlan
+from repro.runtime.shm import (
+    PLANE_NAME_PREFIX,
+    SegmentPlane,
+    attach_plane,
+    plane_segments,
+)
+from repro.runtime.sinks import CollectorSink
+from repro.service import FleetServer, submit_job
+from repro.synth.refinement import SynthesisConfig, synthesize
+from repro.synth.scoring import Scorer
+from repro.synth.sketch import Sketch
+from repro.trace.io import save_traces
+
+SHM_DIR = "/dev/shm"
+
+SKETCH_TEXTS = [
+    "cwnd + c0 * reno_inc",
+    "cwnd + reno_inc",
+    "c0 * mss",
+    "cwnd + mss",
+    "(c0 < c1) ? cwnd + mss : cwnd",
+]
+
+TINY = with_budget(RENO_DSL, max_depth=3, max_nodes=4)
+
+FAST = SynthesisConfig(
+    initial_samples=6,
+    initial_keep=3,
+    completion_cap=8,
+    max_iterations=2,
+    exhaustive_cap=120,
+)
+
+
+@pytest.fixture(scope="module")
+def sketches():
+    return [Sketch.from_expr(parse(text)) for text in SKETCH_TEXTS]
+
+
+def _scorer(**kwargs):
+    return Scorer(constant_pool=(0.5, 1.0), completion_cap=8, **kwargs)
+
+
+def _live_planes():
+    if not os.path.isdir(SHM_DIR):  # pragma: no cover - exotic platform
+        pytest.skip("no /dev/shm to inspect")
+    return sorted(
+        name
+        for name in os.listdir(SHM_DIR)
+        if name.startswith(PLANE_NAME_PREFIX)
+    )
+
+
+# ---------------------------------------------------------------- roundtrip
+
+
+def test_plane_roundtrip_preserves_every_array(reno_segments):
+    scorer = _scorer()
+    entries = scorer.prepare_segments(reno_segments[:3])
+    plane = SegmentPlane.build(entries)
+    assert plane is not None
+    assert plane.name in _live_planes()
+    shm = attach_plane(plane.handle)
+    try:
+        rebuilt = plane_segments(shm, plane.handle)
+        assert len(rebuilt) == len(entries)
+        for entry, segment in zip(entries, rebuilt):
+            table, observed, downsampled, envelope = segment.plane_entry()
+            assert table.mss == entry.table.mss
+            assert set(table.columns) == set(entry.table.columns)
+            for name, column in entry.table.columns.items():
+                assert np.array_equal(table.columns[name], column)
+            assert np.array_equal(observed, entry.observed)
+            assert np.array_equal(downsampled, entry.downsampled)
+            assert entry.envelope_cache is not None, "dtw precomputes"
+            assert envelope is not None
+            assert np.array_equal(envelope[0], entry.envelope_cache[0])
+            assert np.array_equal(envelope[1], entry.envelope_cache[1])
+            # Views are read-only: a worker can never corrupt the plane.
+            with pytest.raises(ValueError):
+                observed[0] = 0.0
+    finally:
+        shm.close()
+        plane.close()
+    assert plane.name not in _live_planes()
+    plane.close()  # idempotent
+
+
+def test_plane_build_rejects_unpackable_inputs(reno_segments):
+    before = _live_planes()
+    assert SegmentPlane.build([]) is None
+    entry = _scorer().prepare_segments(reno_segments[:1])[0]
+    empty_series = SimpleNamespace(
+        table=entry.table,
+        observed=np.empty(0),
+        downsampled=entry.downsampled,
+        envelope_cache=None,
+    )
+    assert SegmentPlane.build([empty_series]) is None
+    assert _live_planes() == before, "failed builds must not leak blocks"
+
+
+# ------------------------------------------------------------- bit-identity
+
+
+@pytest.mark.parametrize("workers", [1, 4])
+@pytest.mark.parametrize("use_shm", [True, False])
+@pytest.mark.parametrize("batch_dtw", [True, False])
+def test_wave_bit_identity_across_transport_and_kernel(
+    sketches, reno_segments, workers, use_shm, batch_dtw
+):
+    """Every (transport, kernel, workers) combination returns the exact
+    floats of the scalar pickled serial reference — not approximately."""
+    working = reno_segments[:2]
+    reference = make_executor(
+        _scorer(batch_dtw=False), 1, use_shm=False
+    ).score(sketches, working)
+    executor = make_executor(
+        _scorer(batch_dtw=batch_dtw), workers, use_shm=use_shm
+    )
+    try:
+        results = executor.score(sketches, working)
+    finally:
+        executor.close()
+    assert [r.distance for r in results] == [
+        r.distance for r in reference
+    ]
+    assert [r.handler for r in results] == [r.handler for r in reference]
+    assert _live_planes() == []
+
+
+@pytest.mark.parametrize(
+    "workers,shm_plane,batch_dtw",
+    [(4, True, True), (4, False, True), (1, True, False)],
+)
+def test_synthesis_checkpoints_byte_identical(
+    reno_segments, tmp_path, workers, shm_plane, batch_dtw
+):
+    """Full refinement runs checkpoint byte-identically whatever the
+    transport/kernel/worker knobs — the resume contract behind
+    excluding them from the run fingerprint."""
+    segments = reno_segments[:4]
+    baseline_path = tmp_path / "baseline.jsonl"
+    variant_path = tmp_path / "variant.jsonl"
+    baseline = synthesize(
+        segments,
+        TINY,
+        replace(
+            FAST,
+            workers=1,
+            shm_plane=False,
+            batch_dtw=False,
+            checkpoint_path=str(baseline_path),
+        ),
+    )
+    variant = synthesize(
+        segments,
+        TINY,
+        replace(
+            FAST,
+            workers=workers,
+            shm_plane=shm_plane,
+            batch_dtw=batch_dtw,
+            checkpoint_path=str(variant_path),
+        ),
+    )
+    assert variant.best.handler == baseline.best.handler
+    assert variant.best.distance == baseline.best.distance
+    assert tuple(variant.iterations) == tuple(baseline.iterations)
+    assert variant.total_handlers_scored == baseline.total_handlers_scored
+    assert variant_path.read_bytes() == baseline_path.read_bytes()
+    assert _live_planes() == []
+
+
+# ------------------------------------------------------- crash re-attach
+
+
+def test_crash_mid_wave_rebuild_reattaches_plane(sketches, reno_segments):
+    """A transient worker crash rebuilds the pool; the fresh workers
+    re-attach the *cached* plane (no new block) and finish with the
+    fault-free distances."""
+    working = reno_segments[:2]
+    with PooledExecutor(_scorer(), 2) as clean:
+        expected = clean.score(sketches, working)
+    collector = CollectorSink()
+    plan = FaultPlan.make(crash_on=[sketches[2]], crash_generations=[1])
+    with PooledExecutor(
+        _scorer(), 2, context=RunContext([collector]), fault_plan=plan
+    ) as pooled:
+        results = pooled.score(sketches, working)
+        assert len(pooled._planes) == 1, "rebuild reuses the cached plane"
+        (plane,) = pooled._planes.values()
+        # Both the original broadcast and the rebuild's re-broadcast
+        # travelled through the plane handle, never the pickled path.
+        assert pooled.broadcast_bytes_saved >= 2 * plane.nbytes
+    assert len(collector.of_kind("worker_crashed")) == 1
+    assert len(collector.of_kind("pool_rebuilt")) == 1
+    assert [r.distance for r in results] == [
+        r.distance for r in expected
+    ]
+    assert _live_planes() == []
+
+
+# ------------------------------------------------------- fleet isolation
+
+
+def test_coscheduled_working_sets_get_isolated_planes(
+    sketches, reno_segments
+):
+    """Two jobs multiplexed over one executor (the scheduler's shape)
+    each get their own plane — distinct names, both live while the pool
+    serves them, all unlinked on close."""
+    job_a = reno_segments[:2]
+    job_b = reno_segments[2:4]
+    with PooledExecutor(_scorer(), 2) as pooled:
+        first = pooled.score(sketches, job_a)
+        second = pooled.score(sketches, job_b)
+        assert len(first) == len(second) == len(sketches)
+        assert len(pooled._planes) == 2
+        names = [plane.name for plane in pooled._planes.values()]
+        assert len(set(names)) == 2
+        live = _live_planes()
+        for name in names:
+            assert name in live
+    assert _live_planes() == []
+
+
+# ------------------------------------------------------------ leak checks
+
+
+def test_drained_server_leaves_no_planes(reno_trace, tmp_path):
+    """A graceful drain (the SIGTERM handler's path) tears the shared
+    executor down plane-free, exactly like a normal completion."""
+    archive = tmp_path / "reno.json"
+    save_traces([reno_trace], str(archive))
+    spool = str(tmp_path / "spool")
+    submit_job(
+        spool,
+        "job",
+        traces=str(archive),
+        dsl="reno",
+        max_depth=3,
+        max_nodes=4,
+        config={
+            "initial_samples": 4,
+            "initial_keep": 3,
+            "completion_cap": 8,
+            "max_iterations": 2,
+            "exhaustive_cap": 120,
+        },
+    )
+    calls = {"n": 0}
+
+    def drain_after_one_slice():
+        calls["n"] += 1
+        return calls["n"] > 2
+
+    sink = CollectorSink()
+    server = FleetServer(
+        spool,
+        server_id="srv-shm",
+        workers=2,
+        quantum_tasks=2,
+        drain=drain_after_one_slice,
+        context=RunContext([sink]),
+    )
+    server.run()
+    (drained,) = sink.of_kind("server_drained")
+    assert drained.jobs_released == 1
+    assert _live_planes() == []

@@ -192,6 +192,8 @@ def test_batched_counters_advance(working):
         counters.dp_abandoned,
         counters.candidates_pruned,
         counters.warm_start_pruned,
+        counters.batched_dtw_sweeps,
+        counters.envelope_precompute_ms,
     )
     # No incumbent bound was supplied, so warm-start pruning stays idle.
     assert counters.warm_start_pruned == 0
@@ -202,7 +204,7 @@ def test_scalar_path_leaves_counters_untouched(working):
     scorer.score_sketch(
         Sketch.from_expr(parse("c0 * cwnd + c1 * mss")), working
     )
-    assert scorer.counters.as_tuple() == (0, 0, 0, 0, 0)
+    assert scorer.counters.as_tuple() == (0, 0, 0, 0, 0, 0, 0.0)
 
 
 def test_non_dtw_metric_falls_back_to_scalar(working):

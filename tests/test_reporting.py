@@ -120,6 +120,10 @@ def test_scoring_stats_event_payload_roundtrips():
             fused_tasks=7,
             peak_in_flight=8,
             mean_occupancy=0.75,
+            batched_dtw_sweeps=9,
+            envelope_precompute_ms=1.25,
+            shm_bytes=4096,
+            broadcast_bytes_saved=16384,
         )
     )
     assert payload == {
@@ -133,6 +137,10 @@ def test_scoring_stats_event_payload_roundtrips():
         "fused_tasks": 7,
         "peak_in_flight": 8,
         "mean_occupancy": 0.75,
+        "batched_dtw_sweeps": 9,
+        "envelope_precompute_ms": 1.25,
+        "shm_bytes": 4096,
+        "broadcast_bytes_saved": 16384,
     }
 
 
